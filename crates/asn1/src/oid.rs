@@ -1,0 +1,279 @@
+//! OBJECT IDENTIFIER values and the dotted-decimal ↔ DER content encodings.
+
+use crate::Asn1Error;
+
+/// An ASN.1 OBJECT IDENTIFIER, stored as its arc components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    arcs: Vec<u64>,
+}
+
+impl Oid {
+    // --- X.500 attribute types (RFC 4519) used in distinguished names ---
+    /// id-at-commonName (2.5.4.3).
+    pub fn common_name() -> Oid {
+        Oid::new(&[2, 5, 4, 3])
+    }
+    /// id-at-countryName (2.5.4.6).
+    pub fn country() -> Oid {
+        Oid::new(&[2, 5, 4, 6])
+    }
+    /// id-at-localityName (2.5.4.7).
+    pub fn locality() -> Oid {
+        Oid::new(&[2, 5, 4, 7])
+    }
+    /// id-at-stateOrProvinceName (2.5.4.8).
+    pub fn state() -> Oid {
+        Oid::new(&[2, 5, 4, 8])
+    }
+    /// id-at-organizationName (2.5.4.10).
+    pub fn organization() -> Oid {
+        Oid::new(&[2, 5, 4, 10])
+    }
+    /// id-at-organizationalUnitName (2.5.4.11).
+    pub fn organizational_unit() -> Oid {
+        Oid::new(&[2, 5, 4, 11])
+    }
+    /// pkcs-9 emailAddress (1.2.840.113549.1.9.1).
+    pub fn email_address() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 9, 1])
+    }
+
+    // --- Signature algorithms ---
+    /// sha1WithRSAEncryption (1.2.840.113549.1.1.5).
+    pub fn sha1_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 5])
+    }
+    /// sha256WithRSAEncryption (1.2.840.113549.1.1.11).
+    pub fn sha256_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 11])
+    }
+    /// rsaEncryption (1.2.840.113549.1.1.1) — SubjectPublicKeyInfo algorithm.
+    pub fn rsa_encryption() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 1])
+    }
+
+    // --- X.509 v3 extensions (RFC 5280 §4.2.1) ---
+    /// id-ce-subjectKeyIdentifier (2.5.29.14).
+    pub fn subject_key_identifier() -> Oid {
+        Oid::new(&[2, 5, 29, 14])
+    }
+    /// id-ce-keyUsage (2.5.29.15).
+    pub fn key_usage() -> Oid {
+        Oid::new(&[2, 5, 29, 15])
+    }
+    /// id-ce-subjectAltName (2.5.29.17).
+    pub fn subject_alt_name() -> Oid {
+        Oid::new(&[2, 5, 29, 17])
+    }
+    /// id-ce-basicConstraints (2.5.29.19).
+    pub fn basic_constraints() -> Oid {
+        Oid::new(&[2, 5, 29, 19])
+    }
+    /// id-ce-authorityKeyIdentifier (2.5.29.35).
+    pub fn authority_key_identifier() -> Oid {
+        Oid::new(&[2, 5, 29, 35])
+    }
+    /// id-ce-extKeyUsage (2.5.29.37).
+    pub fn ext_key_usage() -> Oid {
+        Oid::new(&[2, 5, 29, 37])
+    }
+
+    // --- Extended key usage purposes ---
+    /// id-kp-serverAuth (1.3.6.1.5.5.7.3.1).
+    pub fn kp_server_auth() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 1])
+    }
+    /// id-kp-clientAuth (1.3.6.1.5.5.7.3.2).
+    pub fn kp_client_auth() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 2])
+    }
+    /// id-kp-codeSigning (1.3.6.1.5.5.7.3.3).
+    pub fn kp_code_signing() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 3])
+    }
+    /// id-kp-emailProtection (1.3.6.1.5.5.7.3.4).
+    pub fn kp_email_protection() -> Oid {
+        Oid::new(&[1, 3, 6, 1, 5, 5, 7, 3, 4])
+    }
+
+    /// Construct from arc components.
+    ///
+    /// # Panics
+    /// Panics when fewer than two arcs are given or the first two violate
+    /// the X.660 constraints (first ≤ 2; second ≤ 39 when first < 2).
+    pub fn new(arcs: &[u64]) -> Oid {
+        assert!(arcs.len() >= 2, "OID needs at least two arcs");
+        assert!(arcs[0] <= 2, "first OID arc must be 0..=2");
+        assert!(
+            arcs[0] == 2 || arcs[1] <= 39,
+            "second OID arc must be <= 39 under arcs 0 and 1"
+        );
+        Oid {
+            arcs: arcs.to_vec(),
+        }
+    }
+
+    /// Borrow the arc components.
+    pub fn arcs(&self) -> &[u64] {
+        &self.arcs
+    }
+
+    /// Parse a dotted-decimal string such as `"2.5.4.3"`.
+    pub fn parse(s: &str) -> Option<Oid> {
+        let arcs: Option<Vec<u64>> = s.split('.').map(|p| p.parse().ok()).collect();
+        let arcs = arcs?;
+        if arcs.len() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39) {
+            return None;
+        }
+        Some(Oid { arcs })
+    }
+
+    /// Encode the OID content octets (without tag/length).
+    pub fn to_der_content(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.arcs.len() + 1);
+        let first = self.arcs[0] * 40 + self.arcs[1];
+        push_base128(&mut out, first);
+        for &arc in &self.arcs[2..] {
+            push_base128(&mut out, arc);
+        }
+        out
+    }
+
+    /// Decode from content octets.
+    pub fn from_der_content(bytes: &[u8]) -> Result<Oid, Asn1Error> {
+        if bytes.is_empty() {
+            return Err(Asn1Error::BadValue("empty OID"));
+        }
+        let mut arcs = Vec::new();
+        let mut value: u64 = 0;
+        let mut in_progress = false;
+        for (i, &b) in bytes.iter().enumerate() {
+            if !in_progress && b == 0x80 {
+                return Err(Asn1Error::BadValue("non-minimal OID arc"));
+            }
+            value = value
+                .checked_shl(7)
+                .and_then(|v| v.checked_add((b & 0x7f) as u64))
+                .ok_or(Asn1Error::BadValue("OID arc overflow"))?;
+            if b & 0x80 != 0 {
+                in_progress = true;
+                if i == bytes.len() - 1 {
+                    return Err(Asn1Error::BadValue("truncated OID arc"));
+                }
+            } else {
+                arcs.push(value);
+                value = 0;
+                in_progress = false;
+            }
+        }
+        let first = arcs.remove(0);
+        let (a0, a1) = if first < 40 {
+            (0, first)
+        } else if first < 80 {
+            (1, first - 40)
+        } else {
+            (2, first - 80)
+        };
+        let mut full = vec![a0, a1];
+        full.extend(arcs);
+        Ok(Oid { arcs: full })
+    }
+}
+
+fn push_base128(out: &mut Vec<u8>, mut v: u64) {
+    let mut stack = [0u8; 10];
+    let mut i = 0;
+    loop {
+        stack[i] = (v & 0x7f) as u8;
+        v >>= 7;
+        i += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    while i > 1 {
+        i -= 1;
+        out.push(stack[i] | 0x80);
+    }
+    out.push(stack[0]);
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, arc) in self.arcs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{arc}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encoding_common_name() {
+        // 2.5.4.3 → 55 04 03
+        assert_eq!(Oid::common_name().to_der_content(), vec![0x55, 0x04, 0x03]);
+    }
+
+    #[test]
+    fn known_encoding_rsa() {
+        // 1.2.840.113549.1.1.1 → 2a 86 48 86 f7 0d 01 01 01
+        assert_eq!(
+            Oid::rsa_encryption().to_der_content(),
+            vec![0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x01]
+        );
+    }
+
+    #[test]
+    fn round_trip_various() {
+        for oid in [
+            Oid::common_name(),
+            Oid::sha256_with_rsa(),
+            Oid::basic_constraints(),
+            Oid::kp_server_auth(),
+            Oid::new(&[2, 999, 12345678]),
+            Oid::new(&[0, 39]),
+            Oid::new(&[1, 0]),
+        ] {
+            let content = oid.to_der_content();
+            assert_eq!(Oid::from_der_content(&content).unwrap(), oid);
+        }
+    }
+
+    #[test]
+    fn parse_dotted() {
+        assert_eq!(Oid::parse("2.5.4.3"), Some(Oid::common_name()));
+        assert_eq!(Oid::parse("2.5.4.3").unwrap().to_string(), "2.5.4.3");
+        assert_eq!(Oid::parse("3.1"), None);
+        assert_eq!(Oid::parse("1.40"), None);
+        assert_eq!(Oid::parse("1"), None);
+        assert_eq!(Oid::parse("1.2.x"), None);
+    }
+
+    #[test]
+    fn bad_der_content() {
+        assert!(Oid::from_der_content(&[]).is_err());
+        // Continuation bit on last byte.
+        assert!(Oid::from_der_content(&[0x55, 0x84]).is_err());
+        // Non-minimal leading 0x80 in an arc.
+        assert!(Oid::from_der_content(&[0x55, 0x80, 0x01]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two arcs")]
+    fn too_few_arcs_panics() {
+        Oid::new(&[1]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_arcs() {
+        assert!(Oid::new(&[2, 5, 4, 3]) < Oid::new(&[2, 5, 4, 10]));
+        assert!(Oid::new(&[1, 2]) < Oid::new(&[2, 5]));
+    }
+}

@@ -1,0 +1,441 @@
+//! Strict DER parsing.
+//!
+//! [`DerReader`] walks a byte slice, enforcing DER's canonical-form rules:
+//! definite minimal lengths only, minimal INTEGERs, boolean content octets
+//! restricted to `0x00`/`0xFF`.
+
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Time;
+use crate::writer::is_printable_char;
+use crate::Asn1Error;
+
+/// A cursor over DER-encoded bytes.
+#[derive(Debug, Clone)]
+pub struct DerReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    /// Start reading at the beginning of `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        DerReader { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.input.len()
+    }
+
+    /// Assert that all input was consumed.
+    pub fn finish(&self) -> Result<(), Asn1Error> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(Asn1Error::TrailingData)
+        }
+    }
+
+    /// Peek at the tag of the next TLV without consuming anything.
+    pub fn peek_tag(&self) -> Result<Tag, Asn1Error> {
+        let b = *self.input.get(self.pos).ok_or(Asn1Error::Truncated)?;
+        Tag::from_byte(b).ok_or(Asn1Error::UnsupportedTag)
+    }
+
+    /// Read the next TLV, returning its tag and content octets.
+    pub fn read_tlv(&mut self) -> Result<(Tag, &'a [u8]), Asn1Error> {
+        let tag = self.peek_tag()?;
+        let mut pos = self.pos + 1;
+        let first = *self.input.get(pos).ok_or(Asn1Error::Truncated)?;
+        pos += 1;
+        let len = if first < 0x80 {
+            first as usize
+        } else if first == 0x80 {
+            return Err(Asn1Error::BadLength); // indefinite form
+        } else {
+            let nbytes = (first & 0x7f) as usize;
+            if nbytes > 8 {
+                return Err(Asn1Error::BadLength);
+            }
+            let bytes = self
+                .input
+                .get(pos..pos + nbytes)
+                .ok_or(Asn1Error::Truncated)?;
+            pos += nbytes;
+            if bytes[0] == 0 {
+                return Err(Asn1Error::BadLength); // non-minimal
+            }
+            let mut len = 0usize;
+            for &b in bytes {
+                len = len
+                    .checked_shl(8)
+                    .and_then(|l| l.checked_add(b as usize))
+                    .ok_or(Asn1Error::BadLength)?;
+            }
+            if len < 0x80 {
+                return Err(Asn1Error::BadLength); // should have used short form
+            }
+            len
+        };
+        let content = self.input.get(pos..pos + len).ok_or(Asn1Error::Truncated)?;
+        self.pos = pos + len;
+        Ok((tag, content))
+    }
+
+    /// Read the next TLV including its header, returning the full encoding.
+    ///
+    /// Useful for capturing sub-structures verbatim (e.g. the
+    /// `tbsCertificate` bytes that a signature covers).
+    pub fn read_raw_tlv(&mut self) -> Result<&'a [u8], Asn1Error> {
+        let start = self.pos;
+        self.read_tlv()?;
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Read a TLV and require a specific tag.
+    pub fn expect(&mut self, expected: Tag) -> Result<&'a [u8], Asn1Error> {
+        let actual = self.peek_tag()?;
+        if actual != expected {
+            return Err(Asn1Error::UnexpectedTag { expected, actual });
+        }
+        Ok(self.read_tlv()?.1)
+    }
+
+    /// Read a SEQUENCE and return a reader over its content.
+    pub fn read_sequence(&mut self) -> Result<DerReader<'a>, Asn1Error> {
+        Ok(DerReader::new(self.expect(Tag::SEQUENCE)?))
+    }
+
+    /// Read a SET and return a reader over its content.
+    pub fn read_set(&mut self) -> Result<DerReader<'a>, Asn1Error> {
+        Ok(DerReader::new(self.expect(Tag::SET)?))
+    }
+
+    /// Read an EXPLICIT `[n]` wrapper and return a reader over its content.
+    pub fn read_context(&mut self, number: u8) -> Result<DerReader<'a>, Asn1Error> {
+        Ok(DerReader::new(
+            self.expect(Tag::context_constructed(number))?,
+        ))
+    }
+
+    /// If the next TLV is `[n]` EXPLICIT, consume it and return its reader.
+    pub fn read_optional_context(
+        &mut self,
+        number: u8,
+    ) -> Result<Option<DerReader<'a>>, Asn1Error> {
+        if self.is_at_end() {
+            return Ok(None);
+        }
+        if self.peek_tag()? == Tag::context_constructed(number) {
+            Ok(Some(self.read_context(number)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a BOOLEAN.
+    pub fn read_boolean(&mut self) -> Result<bool, Asn1Error> {
+        let content = self.expect(Tag::BOOLEAN)?;
+        match content {
+            [0x00] => Ok(false),
+            [0xff] => Ok(true),
+            _ => Err(Asn1Error::BadValue("non-canonical BOOLEAN")),
+        }
+    }
+
+    /// Read an INTEGER as unsigned big-endian magnitude bytes.
+    ///
+    /// Negative INTEGERs are rejected — X.509 uses only non-negative values
+    /// (serials, versions, RSA parameters).
+    pub fn read_integer_bytes(&mut self) -> Result<Vec<u8>, Asn1Error> {
+        let content = self.expect(Tag::INTEGER)?;
+        if content.is_empty() {
+            return Err(Asn1Error::BadValue("empty INTEGER"));
+        }
+        if content.len() > 1 && content[0] == 0 && content[1] & 0x80 == 0 {
+            return Err(Asn1Error::BadValue("non-minimal INTEGER"));
+        }
+        if content[0] & 0x80 != 0 {
+            return Err(Asn1Error::BadValue("negative INTEGER"));
+        }
+        let start = if content[0] == 0 && content.len() > 1 { 1 } else { 0 };
+        Ok(content[start..].to_vec())
+    }
+
+    /// Read an INTEGER that must fit in a `u64`.
+    pub fn read_integer_u64(&mut self) -> Result<u64, Asn1Error> {
+        let bytes = self.read_integer_bytes()?;
+        if bytes.len() > 8 {
+            return Err(Asn1Error::BadValue("INTEGER too large for u64"));
+        }
+        let mut v = 0u64;
+        for b in bytes {
+            v = (v << 8) | b as u64;
+        }
+        Ok(v)
+    }
+
+    /// Read an OBJECT IDENTIFIER.
+    pub fn read_oid(&mut self) -> Result<Oid, Asn1Error> {
+        Oid::from_der_content(self.expect(Tag::OID)?)
+    }
+
+    /// Read NULL.
+    pub fn read_null(&mut self) -> Result<(), Asn1Error> {
+        let content = self.expect(Tag::NULL)?;
+        if content.is_empty() {
+            Ok(())
+        } else {
+            Err(Asn1Error::BadValue("NULL with content"))
+        }
+    }
+
+    /// Read an OCTET STRING.
+    pub fn read_octet_string(&mut self) -> Result<&'a [u8], Asn1Error> {
+        self.expect(Tag::OCTET_STRING)
+    }
+
+    /// Read a BIT STRING, returning (unused-bit count, payload bytes).
+    pub fn read_bit_string(&mut self) -> Result<(u8, &'a [u8]), Asn1Error> {
+        let content = self.expect(Tag::BIT_STRING)?;
+        let (&unused, rest) = content
+            .split_first()
+            .ok_or(Asn1Error::BadValue("empty BIT STRING"))?;
+        if unused > 7 || (rest.is_empty() && unused != 0) {
+            return Err(Asn1Error::BadValue("invalid BIT STRING unused count"));
+        }
+        Ok((unused, rest))
+    }
+
+    /// Read a BIT STRING that must have zero unused bits (signatures, SPKI).
+    pub fn read_bit_string_bytes(&mut self) -> Result<&'a [u8], Asn1Error> {
+        let (unused, bytes) = self.read_bit_string()?;
+        if unused != 0 {
+            return Err(Asn1Error::BadValue("BIT STRING with unused bits"));
+        }
+        Ok(bytes)
+    }
+
+    /// Read any of UTF8String / PrintableString / IA5String as a `&str`.
+    pub fn read_string(&mut self) -> Result<String, Asn1Error> {
+        let tag = self.peek_tag()?;
+        let content = match tag {
+            Tag::UTF8_STRING => self.expect(Tag::UTF8_STRING)?,
+            Tag::PRINTABLE_STRING => {
+                let c = self.expect(Tag::PRINTABLE_STRING)?;
+                if !c.iter().all(|&b| is_printable_char(b)) {
+                    return Err(Asn1Error::BadValue("invalid PrintableString character"));
+                }
+                c
+            }
+            Tag::IA5_STRING => {
+                let c = self.expect(Tag::IA5_STRING)?;
+                if !c.is_ascii() {
+                    return Err(Asn1Error::BadValue("non-ASCII IA5String"));
+                }
+                c
+            }
+            actual => {
+                return Err(Asn1Error::UnexpectedTag {
+                    expected: Tag::UTF8_STRING,
+                    actual,
+                })
+            }
+        };
+        String::from_utf8(content.to_vec())
+            .map_err(|_| Asn1Error::BadValue("invalid UTF-8 in string"))
+    }
+
+    /// Read a UTCTime or GeneralizedTime.
+    pub fn read_time(&mut self) -> Result<Time, Asn1Error> {
+        let tag = self.peek_tag()?;
+        match tag {
+            Tag::UTC_TIME => {
+                let content = self.expect(Tag::UTC_TIME)?;
+                Time::parse_utc_time(content)
+            }
+            Tag::GENERALIZED_TIME => {
+                let content = self.expect(Tag::GENERALIZED_TIME)?;
+                Time::parse_generalized_time(content)
+            }
+            actual => Err(Asn1Error::UnexpectedTag {
+                expected: Tag::UTC_TIME,
+                actual,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::DerWriter;
+
+    #[test]
+    fn rejects_indefinite_length() {
+        // SEQUENCE with indefinite length: 30 80 ... 00 00
+        let bytes = [0x30, 0x80, 0x02, 0x01, 0x01, 0x00, 0x00];
+        assert_eq!(
+            DerReader::new(&bytes).read_tlv().unwrap_err(),
+            Asn1Error::BadLength
+        );
+    }
+
+    #[test]
+    fn rejects_non_minimal_length() {
+        // 0x81 0x05 could have been 0x05.
+        let bytes = [0x04, 0x81, 0x05, 1, 2, 3, 4, 5];
+        assert_eq!(
+            DerReader::new(&bytes).read_tlv().unwrap_err(),
+            Asn1Error::BadLength
+        );
+        // Leading zero in long-form length.
+        let bytes = [0x04, 0x82, 0x00, 0x81].iter().copied().chain([0u8; 0x81]).collect::<Vec<_>>();
+        assert_eq!(
+            DerReader::new(&bytes).read_tlv().unwrap_err(),
+            Asn1Error::BadLength
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.integer_u64(1);
+            w.utf8_string("payload");
+        });
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let r = DerReader::new(&bytes[..cut]).read_tlv();
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+        // Full input parses.
+        assert!(DerReader::new(&bytes).read_tlv().is_ok());
+    }
+
+    #[test]
+    fn rejects_noncanonical_boolean() {
+        let bytes = [0x01, 0x01, 0x2a];
+        assert_eq!(
+            DerReader::new(&bytes).read_boolean().unwrap_err(),
+            Asn1Error::BadValue("non-canonical BOOLEAN")
+        );
+    }
+
+    #[test]
+    fn rejects_non_minimal_integer() {
+        let bytes = [0x02, 0x02, 0x00, 0x01];
+        assert!(DerReader::new(&bytes).read_integer_bytes().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_integer() {
+        let bytes = [0x02, 0x01, 0x80];
+        assert_eq!(
+            DerReader::new(&bytes).read_integer_bytes().unwrap_err(),
+            Asn1Error::BadValue("negative INTEGER")
+        );
+    }
+
+    #[test]
+    fn integer_with_required_leading_zero() {
+        let mut w = DerWriter::new();
+        w.integer_u64(0x80);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            DerReader::new(&bytes).read_integer_bytes().unwrap(),
+            vec![0x80]
+        );
+    }
+
+    #[test]
+    fn integer_u64_limits() {
+        let mut w = DerWriter::new();
+        w.integer_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(DerReader::new(&bytes).read_integer_u64().unwrap(), u64::MAX);
+
+        // 9 magnitude bytes overflows u64.
+        let mut w = DerWriter::new();
+        w.integer_bytes(&[0x01, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let bytes = w.into_bytes();
+        assert!(DerReader::new(&bytes).read_integer_u64().is_err());
+    }
+
+    #[test]
+    fn bit_string_unused_bits() {
+        let bytes = [0x03, 0x02, 0x04, 0xf0];
+        let (unused, payload) = DerReader::new(&bytes).read_bit_string().unwrap();
+        assert_eq!((unused, payload), (4, &[0xf0u8][..]));
+
+        // Unused > 7 rejected.
+        let bytes = [0x03, 0x02, 0x08, 0xf0];
+        assert!(DerReader::new(&bytes).read_bit_string().is_err());
+        // Empty with nonzero unused rejected.
+        let bytes = [0x03, 0x01, 0x01];
+        assert!(DerReader::new(&bytes).read_bit_string().is_err());
+    }
+
+    #[test]
+    fn string_type_validation() {
+        // PrintableString containing '@' is invalid.
+        let bytes = [0x13, 0x01, b'@'];
+        assert!(DerReader::new(&bytes).read_string().is_err());
+        // IA5 with high bit set is invalid.
+        let bytes = [0x16, 0x01, 0xc3];
+        assert!(DerReader::new(&bytes).read_string().is_err());
+        // UTF8 must be valid UTF-8.
+        let bytes = [0x0c, 0x01, 0xc3];
+        assert!(DerReader::new(&bytes).read_string().is_err());
+        let bytes = [0x0c, 0x02, 0xc3, 0xa9];
+        assert_eq!(DerReader::new(&bytes).read_string().unwrap(), "é");
+    }
+
+    #[test]
+    fn optional_context_detection() {
+        let mut w = DerWriter::new();
+        w.context(2, |w| w.integer_u64(9));
+        w.integer_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        assert!(r.read_optional_context(0).unwrap().is_none());
+        let mut ctx = r.read_optional_context(2).unwrap().unwrap();
+        assert_eq!(ctx.read_integer_u64().unwrap(), 9);
+        assert!(r.read_optional_context(2).unwrap().is_none());
+        assert_eq!(r.read_integer_u64().unwrap(), 1);
+        assert!(r.read_optional_context(2).unwrap().is_none()); // at end
+    }
+
+    #[test]
+    fn raw_tlv_captures_header() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| w.integer_u64(5));
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        let raw = r.read_raw_tlv().unwrap();
+        assert_eq!(raw, &bytes[..]);
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let bytes = [0x02, 0x01, 0x01, 0xff];
+        let mut r = DerReader::new(&bytes);
+        r.read_integer_bytes().unwrap();
+        assert_eq!(r.finish().unwrap_err(), Asn1Error::TrailingData);
+    }
+
+    #[test]
+    fn unsupported_high_tag() {
+        let bytes = [0x1f, 0x81, 0x01, 0x00];
+        assert_eq!(
+            DerReader::new(&bytes).read_tlv().unwrap_err(),
+            Asn1Error::UnsupportedTag
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! ASN.1 identifier octets: tag class, constructed bit, and tag number.
+
+/// The four ASN.1 tag classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagClass {
+    /// Universal (built-in ASN.1 types).
+    Universal,
+    /// Application-specific.
+    Application,
+    /// Context-specific (the `[n]` tags in X.509 definitions).
+    Context,
+    /// Private.
+    Private,
+}
+
+/// A decoded identifier octet. X.509 uses only low tag numbers (< 31), so a
+/// single octet always suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Class of the tag.
+    pub class: TagClass,
+    /// Whether the value is constructed (contains nested TLVs).
+    pub constructed: bool,
+    /// The tag number within its class.
+    pub number: u8,
+}
+
+impl Tag {
+    /// UNIVERSAL 1, BOOLEAN.
+    pub const BOOLEAN: Tag = Tag::universal(1);
+    /// UNIVERSAL 2, INTEGER.
+    pub const INTEGER: Tag = Tag::universal(2);
+    /// UNIVERSAL 3, BIT STRING.
+    pub const BIT_STRING: Tag = Tag::universal(3);
+    /// UNIVERSAL 4, OCTET STRING.
+    pub const OCTET_STRING: Tag = Tag::universal(4);
+    /// UNIVERSAL 5, NULL.
+    pub const NULL: Tag = Tag::universal(5);
+    /// UNIVERSAL 6, OBJECT IDENTIFIER.
+    pub const OID: Tag = Tag::universal(6);
+    /// UNIVERSAL 12, UTF8String.
+    pub const UTF8_STRING: Tag = Tag::universal(12);
+    /// UNIVERSAL 16, SEQUENCE (always constructed in DER).
+    pub const SEQUENCE: Tag = Tag {
+        class: TagClass::Universal,
+        constructed: true,
+        number: 16,
+    };
+    /// UNIVERSAL 17, SET (always constructed in DER).
+    pub const SET: Tag = Tag {
+        class: TagClass::Universal,
+        constructed: true,
+        number: 17,
+    };
+    /// UNIVERSAL 19, PrintableString.
+    pub const PRINTABLE_STRING: Tag = Tag::universal(19);
+    /// UNIVERSAL 22, IA5String.
+    pub const IA5_STRING: Tag = Tag::universal(22);
+    /// UNIVERSAL 23, UTCTime.
+    pub const UTC_TIME: Tag = Tag::universal(23);
+    /// UNIVERSAL 24, GeneralizedTime.
+    pub const GENERALIZED_TIME: Tag = Tag::universal(24);
+
+    /// A primitive universal tag.
+    pub const fn universal(number: u8) -> Tag {
+        Tag {
+            class: TagClass::Universal,
+            constructed: false,
+            number,
+        }
+    }
+
+    /// A constructed context-specific tag `[n]` (EXPLICIT wrapper).
+    pub const fn context_constructed(number: u8) -> Tag {
+        Tag {
+            class: TagClass::Context,
+            constructed: true,
+            number,
+        }
+    }
+
+    /// A primitive context-specific tag `[n]` (IMPLICIT primitive).
+    pub const fn context_primitive(number: u8) -> Tag {
+        Tag {
+            class: TagClass::Context,
+            constructed: false,
+            number,
+        }
+    }
+
+    /// Encode into a single identifier octet.
+    ///
+    /// # Panics
+    /// Panics for tag numbers >= 31 (never constructed by this workspace).
+    pub fn to_byte(self) -> u8 {
+        assert!(self.number < 31, "high tag numbers unsupported");
+        let class_bits = match self.class {
+            TagClass::Universal => 0b0000_0000,
+            TagClass::Application => 0b0100_0000,
+            TagClass::Context => 0b1000_0000,
+            TagClass::Private => 0b1100_0000,
+        };
+        class_bits | ((self.constructed as u8) << 5) | self.number
+    }
+
+    /// Decode from an identifier octet. Returns `None` for the high-tag-number
+    /// form (number bits all set), which this codec does not support.
+    pub fn from_byte(b: u8) -> Option<Tag> {
+        let number = b & 0b0001_1111;
+        if number == 31 {
+            return None;
+        }
+        let class = match b >> 6 {
+            0 => TagClass::Universal,
+            1 => TagClass::Application,
+            2 => TagClass::Context,
+            _ => TagClass::Private,
+        };
+        Some(Tag {
+            class,
+            constructed: b & 0b0010_0000 != 0,
+            number,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        for tag in [
+            Tag::BOOLEAN,
+            Tag::INTEGER,
+            Tag::SEQUENCE,
+            Tag::SET,
+            Tag::OID,
+            Tag::context_constructed(0),
+            Tag::context_constructed(3),
+            Tag::context_primitive(2),
+        ] {
+            assert_eq!(Tag::from_byte(tag.to_byte()), Some(tag));
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(Tag::SEQUENCE.to_byte(), 0x30);
+        assert_eq!(Tag::SET.to_byte(), 0x31);
+        assert_eq!(Tag::INTEGER.to_byte(), 0x02);
+        assert_eq!(Tag::context_constructed(0).to_byte(), 0xa0);
+        assert_eq!(Tag::context_constructed(3).to_byte(), 0xa3);
+    }
+
+    #[test]
+    fn high_tag_rejected() {
+        assert_eq!(Tag::from_byte(0x1f), None);
+        assert_eq!(Tag::from_byte(0xbf), None);
+    }
+
+    #[test]
+    fn all_classes_decode() {
+        assert_eq!(Tag::from_byte(0x41).unwrap().class, TagClass::Application);
+        assert_eq!(Tag::from_byte(0xc1).unwrap().class, TagClass::Private);
+    }
+}

@@ -1,0 +1,313 @@
+//! Calendar time for certificate validity periods.
+//!
+//! A minimal proleptic-Gregorian UTC time type with conversions to and from
+//! the ASN.1 `UTCTime` (`YYMMDDHHMMSSZ`) and `GeneralizedTime`
+//! (`YYYYMMDDHHMMSSZ`) content encodings, plus a total order via Unix
+//! seconds. No external time crate is needed (or allowed).
+
+use crate::Asn1Error;
+
+/// A UTC calendar time with one-second resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Time {
+    /// Full year, e.g. 2014.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31 (validated against the month).
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59 (leap seconds are not modelled).
+    pub second: u8,
+}
+
+impl Time {
+    /// Construct a validated time.
+    pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Option<Time> {
+        if !(1..=12).contains(&month)
+            || day == 0
+            || day > days_in_month(year, month)
+            || hour > 23
+            || minute > 59
+            || second > 59
+        {
+            return None;
+        }
+        Some(Time {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Midnight on the given date.
+    pub fn date(year: i32, month: u8, day: u8) -> Option<Time> {
+        Time::new(year, month, day, 0, 0, 0)
+    }
+
+    /// Seconds since the Unix epoch (negative before 1970).
+    pub fn to_unix(&self) -> i64 {
+        let days = days_from_civil(self.year, self.month, self.day);
+        days * 86_400 + self.hour as i64 * 3_600 + self.minute as i64 * 60 + self.second as i64
+    }
+
+    /// Inverse of [`Time::to_unix`].
+    pub fn from_unix(secs: i64) -> Time {
+        let days = secs.div_euclid(86_400);
+        let rem = secs.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        Time {
+            year,
+            month,
+            day,
+            hour: (rem / 3_600) as u8,
+            minute: (rem % 3_600 / 60) as u8,
+            second: (rem % 60) as u8,
+        }
+    }
+
+    /// This time plus a number of days (may be negative).
+    pub fn plus_days(&self, days: i64) -> Time {
+        Time::from_unix(self.to_unix() + days * 86_400)
+    }
+
+    /// `YYMMDDHHMMSSZ` per RFC 5280 (§4.1.2.5.1); only valid for 1950–2049.
+    pub fn to_utc_time_string(&self) -> String {
+        debug_assert!((1950..2050).contains(&self.year), "UTCTime year range");
+        format!(
+            "{:02}{:02}{:02}{:02}{:02}{:02}Z",
+            self.year % 100,
+            self.month,
+            self.day,
+            self.hour,
+            self.minute,
+            self.second
+        )
+    }
+
+    /// `YYYYMMDDHHMMSSZ` per RFC 5280 (§4.1.2.5.2).
+    pub fn to_generalized_time_string(&self) -> String {
+        format!(
+            "{:04}{:02}{:02}{:02}{:02}{:02}Z",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+
+    /// Parse UTCTime content octets. Two-digit years follow the RFC 5280
+    /// rule: `YY >= 50` → 19YY, else 20YY.
+    pub fn parse_utc_time(content: &[u8]) -> Result<Time, Asn1Error> {
+        if content.len() != 13 || content[12] != b'Z' {
+            return Err(Asn1Error::BadValue("malformed UTCTime"));
+        }
+        let d = parse_digits(&content[..12])?;
+        let yy = d[0] as i32 * 10 + d[1] as i32;
+        let year = if yy >= 50 { 1900 + yy } else { 2000 + yy };
+        build_time(year, &d[2..])
+    }
+
+    /// Parse GeneralizedTime content octets (the `YYYYMMDDHHMMSSZ` form DER
+    /// requires; fractional seconds and offsets are rejected).
+    pub fn parse_generalized_time(content: &[u8]) -> Result<Time, Asn1Error> {
+        if content.len() != 15 || content[14] != b'Z' {
+            return Err(Asn1Error::BadValue("malformed GeneralizedTime"));
+        }
+        let d = parse_digits(&content[..14])?;
+        let year = d[0] as i32 * 1000 + d[1] as i32 * 100 + d[2] as i32 * 10 + d[3] as i32;
+        build_time(year, &d[4..])
+    }
+}
+
+fn build_time(year: i32, d: &[u8]) -> Result<Time, Asn1Error> {
+    Time::new(
+        year,
+        d[0] * 10 + d[1],
+        d[2] * 10 + d[3],
+        d[4] * 10 + d[5],
+        d[6] * 10 + d[7],
+        d[8] * 10 + d[9],
+    )
+    .ok_or(Asn1Error::BadValue("out-of-range time"))
+}
+
+fn parse_digits(bytes: &[u8]) -> Result<Vec<u8>, Asn1Error> {
+    bytes
+        .iter()
+        .map(|&b| {
+            if b.is_ascii_digit() {
+                Ok(b - b'0')
+            } else {
+                Err(Asn1Error::BadValue("non-digit in time"))
+            }
+        })
+        .collect()
+}
+
+fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - (m <= 2) as i64;
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400;
+    let doy = (153 * (m as i64 + if m > 2 { -3 } else { 9 }) + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    ((y + (m <= 2) as i64) as i32, m, d)
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.to_unix().cmp(&other.to_unix())
+    }
+}
+
+impl std::fmt::Display for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_epoch() {
+        let t = Time::new(1970, 1, 1, 0, 0, 0).unwrap();
+        assert_eq!(t.to_unix(), 0);
+        assert_eq!(Time::from_unix(0), t);
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2014-12-02 00:00:00 UTC (CoNEXT'14 start) = 1417478400.
+        let t = Time::date(2014, 12, 2).unwrap();
+        assert_eq!(t.to_unix(), 1_417_478_400);
+        // 2000-02-29 exists (leap year divisible by 400).
+        assert!(Time::date(2000, 2, 29).is_some());
+        // 1900-02-29 does not (divisible by 100, not 400).
+        assert!(Time::date(1900, 2, 29).is_none());
+    }
+
+    #[test]
+    fn unix_round_trip_sweep() {
+        for secs in [
+            -86_400i64,
+            -1,
+            0,
+            1,
+            951_782_400,   // 2000-02-29
+            1_000_000_000,
+            1_385_856_000, // 2013-12-01
+            4_102_444_800, // 2100-01-01
+        ] {
+            assert_eq!(Time::from_unix(secs).to_unix(), secs, "secs={secs}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(Time::new(2014, 0, 1, 0, 0, 0).is_none());
+        assert!(Time::new(2014, 13, 1, 0, 0, 0).is_none());
+        assert!(Time::new(2014, 4, 31, 0, 0, 0).is_none());
+        assert!(Time::new(2014, 1, 1, 24, 0, 0).is_none());
+        assert!(Time::new(2014, 1, 1, 0, 60, 0).is_none());
+        assert!(Time::new(2014, 1, 1, 0, 0, 60).is_none());
+    }
+
+    #[test]
+    fn utc_time_round_trip() {
+        let t = Time::new(2013, 10, 5, 14, 30, 9).unwrap();
+        let s = t.to_utc_time_string();
+        assert_eq!(s, "131005143009Z");
+        assert_eq!(Time::parse_utc_time(s.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn utc_time_century_pivot() {
+        // YY >= 50 → 19YY.
+        let t = Time::parse_utc_time(b"500101000000Z").unwrap();
+        assert_eq!(t.year, 1950);
+        let t = Time::parse_utc_time(b"491231235959Z").unwrap();
+        assert_eq!(t.year, 2049);
+    }
+
+    #[test]
+    fn generalized_time_round_trip() {
+        let t = Time::new(2051, 3, 2, 1, 0, 59).unwrap();
+        let s = t.to_generalized_time_string();
+        assert_eq!(s, "20510302010059Z");
+        assert_eq!(Time::parse_generalized_time(s.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_times_rejected() {
+        assert!(Time::parse_utc_time(b"1310051430Z").is_err()); // too short
+        assert!(Time::parse_utc_time(b"131005143009+").is_err()); // no Z
+        assert!(Time::parse_utc_time(b"13a005143009Z").is_err()); // non-digit
+        assert!(Time::parse_utc_time(b"131305143009Z").is_err()); // month 13
+        assert!(Time::parse_generalized_time(b"20140101000000").is_err());
+        assert!(Time::parse_generalized_time(b"20141301000000Z").is_err());
+    }
+
+    #[test]
+    fn ordering_and_plus_days() {
+        let a = Time::date(2013, 11, 1).unwrap();
+        let b = Time::date(2014, 4, 30).unwrap();
+        assert!(a < b);
+        assert_eq!(a.plus_days(1), Time::date(2013, 11, 2).unwrap());
+        assert_eq!(a.plus_days(-1), Time::date(2013, 10, 31).unwrap());
+        // Crossing a leap day.
+        assert_eq!(
+            Time::date(2012, 2, 28).unwrap().plus_days(1),
+            Time::date(2012, 2, 29).unwrap()
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Time::new(2014, 12, 2, 9, 5, 0).unwrap();
+        assert_eq!(t.to_string(), "2014-12-02T09:05:00Z");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the DER codec: structured round trips and
+//! never-panic on arbitrary input.
+
+use proptest::prelude::*;
+use tangled_asn1::{DerReader, DerWriter, Oid, Tag, Time};
+
+/// A recursive random DER value we can write and read back.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Boolean(bool),
+    Integer(Vec<u8>),
+    OctetString(Vec<u8>),
+    Utf8(String),
+    Null,
+    Sequence(Vec<Value>),
+    Context(u8, Box<Value>),
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Boolean),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Integer),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::OctetString),
+        "[a-zA-Z0-9 .,:=-]{0,32}".prop_map(Value::Utf8),
+        Just(Value::Null),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Sequence),
+            (0u8..4, inner).prop_map(|(n, v)| Value::Context(n, Box::new(v))),
+        ]
+    })
+}
+
+fn write(v: &Value, w: &mut DerWriter) {
+    match v {
+        Value::Boolean(b) => w.boolean(*b),
+        Value::Integer(m) => w.integer_bytes(m),
+        Value::OctetString(b) => w.octet_string(b),
+        Value::Utf8(s) => w.utf8_string(s),
+        Value::Null => w.null(),
+        Value::Sequence(children) => w.sequence(|w| {
+            for c in children {
+                write(c, w);
+            }
+        }),
+        Value::Context(n, inner) => w.context(*n, |w| write(inner, w)),
+    }
+}
+
+fn read(r: &mut DerReader<'_>) -> Result<Value, tangled_asn1::Asn1Error> {
+    let tag = r.peek_tag()?;
+    Ok(match tag {
+        Tag::BOOLEAN => Value::Boolean(r.read_boolean()?),
+        Tag::INTEGER => Value::Integer(r.read_integer_bytes()?),
+        Tag::OCTET_STRING => Value::OctetString(r.read_octet_string()?.to_vec()),
+        Tag::UTF8_STRING => Value::Utf8(r.read_string()?),
+        Tag::NULL => {
+            r.read_null()?;
+            Value::Null
+        }
+        Tag::SEQUENCE => {
+            let mut inner = r.read_sequence()?;
+            let mut children = Vec::new();
+            while !inner.is_at_end() {
+                children.push(read(&mut inner)?);
+            }
+            Value::Sequence(children)
+        }
+        t if t.constructed => {
+            let mut inner = r.read_context(t.number)?;
+            let v = read(&mut inner)?;
+            inner.finish()?;
+            Value::Context(t.number, Box::new(v))
+        }
+        _ => unreachable!("writer never produces other tags"),
+    })
+}
+
+/// Strip leading zero bytes (the INTEGER codec canonicalizes magnitude).
+fn canonical(v: &Value) -> Value {
+    match v {
+        Value::Integer(m) => {
+            let start = m.iter().position(|&b| b != 0).unwrap_or(m.len());
+            let trimmed = &m[start..];
+            Value::Integer(if trimmed.is_empty() {
+                vec![0]
+            } else {
+                trimmed.to_vec()
+            })
+        }
+        Value::Sequence(children) => Value::Sequence(children.iter().map(canonical).collect()),
+        Value::Context(n, inner) => Value::Context(*n, Box::new(canonical(inner))),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn structured_round_trip(v in arb_value()) {
+        let mut w = DerWriter::new();
+        write(&v, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        let back = read(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(back, canonical(&v));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut r = DerReader::new(&bytes);
+        // Walk as far as the input allows; every step must return, not panic.
+        for _ in 0..16 {
+            if r.read_tlv().is_err() {
+                break;
+            }
+        }
+        // Typed readers on the same input must also never panic.
+        let _ = DerReader::new(&bytes).read_boolean();
+        let _ = DerReader::new(&bytes).read_integer_bytes();
+        let _ = DerReader::new(&bytes).read_oid();
+        let _ = DerReader::new(&bytes).read_string();
+        let _ = DerReader::new(&bytes).read_time();
+        let _ = DerReader::new(&bytes).read_bit_string();
+        let _ = DerReader::new(&bytes).read_sequence();
+    }
+
+    #[test]
+    fn oid_content_fuzz_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let _ = Oid::from_der_content(&bytes);
+    }
+
+    #[test]
+    fn time_strings_fuzz_never_panic(s in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let _ = Time::parse_utc_time(&s);
+        let _ = Time::parse_generalized_time(&s);
+    }
+
+    #[test]
+    fn truncation_always_detected(v in arb_value()) {
+        let mut w = DerWriter::new();
+        write(&v, &mut w);
+        let bytes = w.into_bytes();
+        prop_assume!(bytes.len() > 1);
+        // Every strict prefix must fail to parse as a complete value.
+        let cut = bytes.len() - 1;
+        let mut r = DerReader::new(&bytes[..cut]);
+        let result = read(&mut r).and_then(|val| r.finish().map(|_| val));
+        prop_assert!(result.is_err(), "truncated input parsed");
+    }
+}

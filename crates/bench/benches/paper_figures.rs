@@ -1,0 +1,81 @@
+//! Figures 1–3: print each regenerated figure's data series, then
+//! benchmark its computation.
+//!
+//! ```text
+//! cargo bench --bench paper_figures
+//! ```
+
+use criterion::{black_box, Criterion};
+use tangled_bench::{criterion, ECOSYSTEM_SCALE, POPULATION_SCALE};
+use tangled_core::classify::{addition_class_distribution, headline_stats};
+use tangled_core::figures;
+use tangled_core::Study;
+use tangled_pki::extras::Figure2Class;
+
+fn main() {
+    eprintln!(
+        "[paper_figures] generating study (population ×{POPULATION_SCALE}, \
+         ecosystem ×{ECOSYSTEM_SCALE})…"
+    );
+    let study = Study::new(POPULATION_SCALE, ECOSYSTEM_SCALE);
+
+    // ---- Figure 1 ---------------------------------------------------------
+    println!("{}", figures::figure1_render(&study.population, 20));
+    let summary = figures::figure1_summary(&study.population);
+    println!(
+        "figure1 headline: {:.1}% of sessions extended (paper: 39%); \
+         {} devices missing certs (paper: 5)\n",
+        summary.extended_session_fraction * 100.0,
+        summary.missing_devices
+    );
+
+    // ---- Figure 2 ---------------------------------------------------------
+    println!("{}", figures::figure2_render(&study.population, 20));
+    let cells = figures::figure2(&study.population);
+    let dist = figures::figure2_class_distribution(&cells);
+    println!("figure2 classes (paper: 6.7 / 16.2 / 37.1 / 40.0):");
+    for class in [
+        Figure2Class::MozillaAndIos7,
+        Figure2Class::Ios7,
+        Figure2Class::OnlyAndroid,
+        Figure2Class::NotRecorded,
+    ] {
+        println!(
+            "  {:<30} {:>5.1}%",
+            class.label(),
+            dist.get(&class).copied().unwrap_or(0.0) * 100.0
+        );
+    }
+    println!();
+
+    // ---- Figure 3 ---------------------------------------------------------
+    println!("{}", figures::figure3_render(&study.validation));
+
+    // ---- §5/§6 headline statistics ---------------------------------------
+    let stats = headline_stats(&study.population);
+    println!(
+        "headlines: extended {:.1}% | rooted {:.1}% | rooted-only {:.1}% of rooted",
+        stats.extended_session_fraction * 100.0,
+        stats.rooted_session_fraction * 100.0,
+        stats.rooted_only_share_of_rooted * 100.0,
+    );
+
+    // ---- benchmarks --------------------------------------------------------
+    let mut c: Criterion = criterion();
+    c.bench_function("fig1_scatter/aggregate_points", |b| {
+        b.iter(|| black_box(figures::figure1(&study.population).len()))
+    });
+    c.bench_function("fig2_matrix/presence_cells", |b| {
+        b.iter(|| black_box(figures::figure2(&study.population).len()))
+    });
+    c.bench_function("fig3_ecdf/series", |b| {
+        b.iter(|| black_box(figures::figure3(&study.validation).len()))
+    });
+    c.bench_function("headline_stats/full_pass", |b| {
+        b.iter(|| black_box(headline_stats(&study.population)))
+    });
+    c.bench_function("headline_stats/class_distribution", |b| {
+        b.iter(|| black_box(addition_class_distribution(&study.population).len()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,68 @@
+//! Tables 1–6: print each regenerated table, then benchmark its
+//! generation path.
+//!
+//! ```text
+//! cargo bench --bench paper_tables
+//! ```
+
+use criterion::black_box;
+use tangled_bench::{criterion, ECOSYSTEM_SCALE, POPULATION_SCALE};
+use tangled_core::tables;
+use tangled_core::Study;
+use tangled_pki::factory::CaFactory;
+use tangled_pki::stores::ReferenceStore;
+
+fn main() {
+    eprintln!(
+        "[paper_tables] generating study (population ×{POPULATION_SCALE}, \
+         ecosystem ×{ECOSYSTEM_SCALE})…"
+    );
+    let study = Study::new(POPULATION_SCALE, ECOSYSTEM_SCALE);
+
+    // ---- regenerate and print every table -------------------------------
+    println!("{}", tables::table1().render());
+    println!("{}", tables::table2(&study.population).render());
+    println!("{}", tables::table3(&study.validation).render());
+    println!("{}", tables::table4(&study.validation).render());
+    println!("{}", tables::table5(&study.population).render());
+    println!("{}", tables::table6().render());
+
+    // ---- benchmarks ------------------------------------------------------
+    let mut c = criterion();
+
+    // Table 1: full store construction from a warm key cache (the realistic
+    // cost of loading a root store).
+    let mut warm_factory = CaFactory::new();
+    for rs in ReferenceStore::ALL {
+        rs.build_with(&mut warm_factory); // warm all keys
+    }
+    c.bench_function("table1_store_sizes/build_all_stores", |b| {
+        b.iter(|| {
+            for rs in ReferenceStore::ALL {
+                black_box(rs.build_with(&mut warm_factory).len());
+            }
+        })
+    });
+
+    c.bench_function("table2_population/aggregate_sessions", |b| {
+        b.iter(|| black_box(tables::table2_data(&study.population)))
+    });
+
+    c.bench_function("table3_validation/store_counts", |b| {
+        b.iter(|| black_box(tables::table3_data(&study.validation)))
+    });
+
+    c.bench_function("table4_categories/dead_fractions", |b| {
+        b.iter(|| black_box(tables::table4_data(&study.validation)))
+    });
+
+    c.bench_function("table5_rooted/device_scan", |b| {
+        b.iter(|| black_box(tables::table5_data(&study.population)))
+    });
+
+    c.bench_function("table6_interception/probe_all", |b| {
+        b.iter(|| black_box(tables::table6_data().intercepted.len()))
+    });
+
+    c.final_summary();
+}

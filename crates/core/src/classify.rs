@@ -1,0 +1,220 @@
+//! Session and addition classification — the §5/§6 headline statistics.
+//!
+//! * 39 % of sessions carry additional certificates (§5, Figure 1);
+//! * additions split 6.7 % Mozilla+iOS7 / 16.2 % iOS7-only / 37.1 %
+//!   Android-specific / 40.0 % not recorded by the Notary (§5.1);
+//! * 24 % of sessions run on rooted handsets; rooted-only certificates
+//!   show up in ~6 % of those (§6).
+
+use std::collections::HashMap;
+use tangled_netalyzr::Population;
+use tangled_pki::extras::{catalogue, Figure2Class};
+use tangled_pki::stores::{global_factory, mint_extra};
+use tangled_x509::CertIdentity;
+
+/// The headline aggregate statistics of §5 and §6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineStats {
+    /// Fraction of sessions whose store extends the AOSP baseline.
+    pub extended_session_fraction: f64,
+    /// Number of devices missing AOSP certificates (paper: 5).
+    pub devices_missing_certs: usize,
+    /// Fraction of sessions on rooted handsets (paper: 24 %).
+    pub rooted_session_fraction: f64,
+    /// Of rooted sessions, the fraction exposing root-app-installed
+    /// certificates (paper: ~6 %).
+    pub rooted_only_share_of_rooted: f64,
+    /// Distinct additional-certificate identities observed.
+    pub distinct_additions: usize,
+}
+
+/// Compute the headline statistics over a population.
+pub fn headline_stats(pop: &Population) -> HeadlineStats {
+    let mut extended = 0usize;
+    let mut rooted = 0usize;
+    let mut rooted_only = 0usize;
+    for s in &pop.sessions {
+        let d = pop.device_of(s);
+        if d.has_extended_store() {
+            extended += 1;
+        }
+        if d.rooted {
+            rooted += 1;
+            if d.has_root_app_certs() {
+                rooted_only += 1;
+            }
+        }
+    }
+    let n = pop.sessions.len().max(1) as f64;
+    let mut additions: std::collections::HashSet<CertIdentity> = Default::default();
+    for d in &pop.devices {
+        for a in d.additional_certs() {
+            additions.insert(a.identity());
+        }
+    }
+    HeadlineStats {
+        extended_session_fraction: extended as f64 / n,
+        devices_missing_certs: pop
+            .devices
+            .iter()
+            .filter(|d| d.is_missing_aosp_certs())
+            .count(),
+        rooted_session_fraction: rooted as f64 / n,
+        rooted_only_share_of_rooted: if rooted == 0 {
+            0.0
+        } else {
+            rooted_only as f64 / rooted as f64
+        },
+        distinct_additions: additions.len(),
+    }
+}
+
+/// The §4.1 collection statistics: "we collected information about 2.3
+/// million root certificates in 15,970 Netalyzr executions … only 314 root
+/// certificates are unique based on the certificate signature."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Root certificates collected across all sessions (each session
+    /// reports its device's full store).
+    pub total_collected: u64,
+    /// Distinct certificates among them, by the paper's identity.
+    pub unique: usize,
+}
+
+/// Compute the collection statistics over a population.
+pub fn collection_stats(pop: &Population) -> CollectionStats {
+    let mut total = 0u64;
+    let mut unique: std::collections::HashSet<CertIdentity> = Default::default();
+    // Unique certificates per *device store*; session totals weight by use.
+    let mut per_device_size: Vec<u64> = Vec::with_capacity(pop.devices.len());
+    for d in &pop.devices {
+        per_device_size.push(d.store.len() as u64);
+        for a in d.store.iter() {
+            unique.insert(a.identity());
+        }
+    }
+    for s in &pop.sessions {
+        total += per_device_size[s.device.0 as usize];
+    }
+    CollectionStats {
+        total_collected: total,
+        unique: unique.len(),
+    }
+}
+
+/// Map from certificate identity to Figure 2 class for every catalogued
+/// extra (additions outside the catalogue — rooted CAs, user VPN roots —
+/// classify as "not recorded", which is where the paper's Notary lookup
+/// would put them too).
+pub fn class_index() -> HashMap<CertIdentity, Figure2Class> {
+    let mut factory = global_factory().lock().expect("factory poisoned");
+    catalogue()
+        .iter()
+        .map(|e| (mint_extra(&mut factory, e).identity(), e.class()))
+        .collect()
+}
+
+/// Distribution of addition classes over *distinct* additional
+/// certificates observed on non-rooted devices — the §5.1 percentages.
+pub fn addition_class_distribution(pop: &Population) -> HashMap<Figure2Class, f64> {
+    let index = class_index();
+    let mut seen: std::collections::HashSet<CertIdentity> = Default::default();
+    for d in pop.devices.iter().filter(|d| !d.rooted) {
+        for a in d.additional_certs() {
+            seen.insert(a.identity());
+        }
+    }
+    let mut counts: HashMap<Figure2Class, usize> = HashMap::new();
+    for id in &seen {
+        let class = index
+            .get(id)
+            .copied()
+            .unwrap_or(Figure2Class::NotRecorded);
+        *counts.entry(class).or_default() += 1;
+    }
+    let total = seen.len().max(1) as f64;
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_netalyzr::PopulationSpec;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationSpec::scaled(0.5))
+    }
+
+    #[test]
+    fn extended_fraction_near_39_percent() {
+        let stats = headline_stats(&pop());
+        assert!(
+            (0.30..=0.48).contains(&stats.extended_session_fraction),
+            "extended fraction {:.3} (paper: 0.39)",
+            stats.extended_session_fraction
+        );
+    }
+
+    #[test]
+    fn rooted_fraction_near_24_percent() {
+        let stats = headline_stats(&pop());
+        assert!(
+            (0.18..=0.30).contains(&stats.rooted_session_fraction),
+            "rooted {:.3}",
+            stats.rooted_session_fraction
+        );
+    }
+
+    #[test]
+    fn missing_devices_counted() {
+        let stats = headline_stats(&pop());
+        assert_eq!(stats.devices_missing_certs, 5);
+    }
+
+    #[test]
+    fn class_distribution_covers_all_classes() {
+        let dist = addition_class_distribution(&pop());
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // All four legend classes appear among wild additions.
+        assert!(dist.contains_key(&Figure2Class::MozillaAndIos7));
+        assert!(dist.contains_key(&Figure2Class::Ios7));
+        assert!(dist.contains_key(&Figure2Class::OnlyAndroid));
+        assert!(dist.contains_key(&Figure2Class::NotRecorded));
+        // Shape: NotRecorded and OnlyAndroid dominate, as in §5.1.
+        assert!(dist[&Figure2Class::NotRecorded] > dist[&Figure2Class::MozillaAndIos7]);
+        assert!(dist[&Figure2Class::OnlyAndroid] > dist[&Figure2Class::MozillaAndIos7]);
+    }
+
+    #[test]
+    fn collection_stats_match_section_4_1() {
+        // Full scale: the paper collects 2.3M root certs over 15,970
+        // sessions (~144/session) with ~314 unique.
+        let pop = Population::generate(&PopulationSpec::default());
+        let stats = collection_stats(&pop);
+        let per_session = stats.total_collected as f64 / 15_970.0;
+        assert!(
+            (139.0..=165.0).contains(&per_session),
+            "per-session store size {per_session:.1} (paper: ~144)"
+        );
+        assert!(
+            (2_200_000..=2_600_000).contains(&stats.total_collected),
+            "total {} (paper: 2.3M)",
+            stats.total_collected
+        );
+        assert!(
+            (250..=340).contains(&stats.unique),
+            "unique {} (paper: 314)",
+            stats.unique
+        );
+    }
+
+    #[test]
+    fn class_index_covers_catalogue() {
+        let idx = class_index();
+        assert_eq!(idx.len(), 104);
+    }
+}

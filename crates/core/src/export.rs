@@ -1,0 +1,179 @@
+//! JSON export of the full result set.
+//!
+//! [`export_study`] serializes every table, figure series and headline
+//! statistic into one `serde_json::Value`, so external tooling (plotting
+//! scripts, dashboards, regression trackers) can consume a run without
+//! linking Rust. The schema is stable and documented field by field below.
+
+use crate::classify::{addition_class_distribution, headline_stats};
+use crate::figures;
+use crate::study::Study;
+use crate::tables;
+use serde_json::{json, Value};
+
+/// Schema version of the exported document.
+pub const EXPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Export the complete result set of a study.
+pub fn export_study(study: &Study) -> Value {
+    let stats = headline_stats(&study.population);
+    let classes = addition_class_distribution(&study.population);
+    let t2 = tables::table2_data(&study.population);
+    let t6 = tables::table6_data();
+
+    json!({
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "paper": "A Tangled Mass: The Android Root Certificate Stores (CoNEXT 2014)",
+        "dataset": {
+            "sessions": study.population.sessions.len(),
+            "devices": study.population.devices.len(),
+            "models": study.population.distinct_models(),
+            "notary_certs": study.ecosystem.len(),
+            "notary_non_expired": study.ecosystem.non_expired(),
+            "notary_sessions": study.db.total_sessions(),
+        },
+        "table1": tables::table1_data()
+            .into_iter()
+            .map(|(store, n)| json!({"store": store, "certificates": n}))
+            .collect::<Vec<_>>(),
+        "table2": {
+            "top_models": t2.top_models
+                .iter()
+                .map(|(m, n)| json!({"model": m, "sessions": n}))
+                .collect::<Vec<_>>(),
+            "top_manufacturers": t2.top_manufacturers
+                .iter()
+                .map(|(m, n)| json!({"manufacturer": m, "sessions": n}))
+                .collect::<Vec<_>>(),
+        },
+        "table3": tables::table3_data(&study.validation)
+            .into_iter()
+            .map(|(store, n)| json!({"store": store, "validated": n}))
+            .collect::<Vec<_>>(),
+        "table4": tables::table4_data(&study.validation)
+            .into_iter()
+            .map(|row| json!({
+                "category": row.category,
+                "total": row.total,
+                "dead_fraction": row.dead_fraction,
+            }))
+            .collect::<Vec<_>>(),
+        "table5": tables::table5_data(&study.population)
+            .into_iter()
+            .map(|(authority, devices)| json!({
+                "authority": authority,
+                "devices": devices,
+            }))
+            .collect::<Vec<_>>(),
+        "table6": {
+            "intercepted": t6.intercepted,
+            "whitelisted": t6.whitelisted,
+        },
+        "figure1": figures::figure1(&study.population)
+            .into_iter()
+            .map(|p| json!({
+                "manufacturer": p.manufacturer.label(),
+                "version": p.version.label(),
+                "aosp_certs": p.aosp_certs,
+                "additional": p.additional,
+                "sessions": p.sessions,
+            }))
+            .collect::<Vec<_>>(),
+        "figure2": figures::figure2(&study.population)
+            .into_iter()
+            .map(|c| json!({
+                "row": c.row.label(),
+                "cert": c.cert,
+                "class": c.class.label(),
+                "frequency": c.frequency,
+            }))
+            .collect::<Vec<_>>(),
+        "figure3": figures::figure3(&study.validation)
+            .into_iter()
+            .map(|s| json!({
+                "label": s.label,
+                "roots": s.counts.len(),
+                "dead_fraction": s.dead_fraction,
+                "ecdf": s.ecdf
+                    .iter()
+                    .map(|&(x, y)| json!([x, y]))
+                    .collect::<Vec<_>>(),
+            }))
+            .collect::<Vec<_>>(),
+        "headlines": {
+            "extended_session_fraction": stats.extended_session_fraction,
+            "devices_missing_certs": stats.devices_missing_certs,
+            "rooted_session_fraction": stats.rooted_session_fraction,
+            "rooted_only_share_of_rooted": stats.rooted_only_share_of_rooted,
+            "distinct_additions": stats.distinct_additions,
+            "addition_classes": classes
+                .into_iter()
+                .map(|(c, f)| (c.label().to_owned(), f))
+                .collect::<std::collections::BTreeMap<String, f64>>(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn doc() -> &'static Value {
+        static DOC: OnceLock<Value> = OnceLock::new();
+        DOC.get_or_init(|| export_study(&Study::quick()))
+    }
+
+    #[test]
+    fn schema_fields_present() {
+        let d = doc();
+        for key in [
+            "schema_version",
+            "dataset",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure2",
+            "figure3",
+            "headlines",
+        ] {
+            assert!(d.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(d["schema_version"], EXPORT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn table1_contents() {
+        let t1 = doc()["table1"].as_array().unwrap();
+        assert_eq!(t1.len(), 6);
+        assert_eq!(t1[3]["store"], "AOSP 4.4");
+        assert_eq!(t1[3]["certificates"], 150);
+    }
+
+    #[test]
+    fn json_serializes_and_reparses() {
+        let text = serde_json::to_string(doc()).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, doc());
+        // A figure3 series carries a monotone ECDF.
+        let ecdf = back["figure3"][0]["ecdf"].as_array().unwrap();
+        assert!(!ecdf.is_empty());
+        let ys: Vec<f64> = ecdf.iter().map(|p| p[1].as_f64().unwrap()).collect();
+        assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn headline_values_in_range() {
+        let h = &doc()["headlines"];
+        let ext = h["extended_session_fraction"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&ext));
+        assert_eq!(h["devices_missing_certs"], 5);
+        let classes = h["addition_classes"].as_object().unwrap();
+        let total: f64 = classes.values().map(|v| v.as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

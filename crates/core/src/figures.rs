@@ -1,0 +1,432 @@
+//! Generators for Figures 1–3 of the paper.
+//!
+//! Each figure function returns the plotted series as plain data (points,
+//! matrix cells, ECDF curves) plus an ASCII rendering used by the bench
+//! harness; no plotting library is needed to compare shapes.
+
+use crate::classify::class_index;
+use crate::report::TextTable;
+use std::collections::HashMap;
+use tangled_netalyzr::Population;
+use tangled_notary::coverage::{dead_fraction, ecdf, EcdfPoint};
+use tangled_notary::ValidationIndex;
+use tangled_pki::extras::Figure2Class;
+use tangled_pki::trust::AnchorSource;
+use tangled_pki::vocab::{AndroidVersion, Figure2Row, Manufacturer};
+use tangled_x509::CertIdentity;
+
+// ---------------------------------------------------------------------------
+// Figure 1 — scatter of AOSP vs additional certificates.
+// ---------------------------------------------------------------------------
+
+/// One aggregated scatter point of Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig1Point {
+    /// Handset manufacturer.
+    pub manufacturer: Manufacturer,
+    /// Android version (the figure's facet).
+    pub version: AndroidVersion,
+    /// Number of AOSP certificates present on the device (x axis).
+    pub aosp_certs: usize,
+    /// Number of additional certificates (y axis).
+    pub additional: usize,
+    /// Number of sessions at this point (marker size).
+    pub sessions: u32,
+}
+
+/// Compute the Figure 1 point set.
+pub fn figure1(pop: &Population) -> Vec<Fig1Point> {
+    let counts = pop.sessions_per_device();
+    let mut agg: HashMap<(Manufacturer, AndroidVersion, usize, usize), u32> = HashMap::new();
+    for (i, d) in pop.devices.iter().enumerate() {
+        if counts[i] == 0 {
+            continue;
+        }
+        let key = (
+            d.manufacturer,
+            d.os_version,
+            d.aosp_cert_count(),
+            d.additional_count(),
+        );
+        *agg.entry(key).or_default() += counts[i];
+    }
+    let mut points: Vec<Fig1Point> = agg
+        .into_iter()
+        .map(|((manufacturer, version, aosp_certs, additional), sessions)| Fig1Point {
+            manufacturer,
+            version,
+            aosp_certs,
+            additional,
+            sessions,
+        })
+        .collect();
+    points.sort_by_key(|p| (p.version, p.manufacturer, p.aosp_certs, p.additional));
+    points
+}
+
+/// Summary of Figure 1's headline claims, for tests and the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Summary {
+    /// Fraction of sessions with ≥1 additional certificate (paper: 39 %).
+    pub extended_session_fraction: f64,
+    /// Per-(manufacturer, version) fraction of sessions with >40
+    /// additions.
+    pub big_bundle_rows: Vec<(Manufacturer, AndroidVersion, f64)>,
+    /// Devices missing AOSP certificates (paper: 5).
+    pub missing_devices: usize,
+}
+
+/// Summarize Figure 1.
+pub fn figure1_summary(pop: &Population) -> Fig1Summary {
+    let points = figure1(pop);
+    let total: u32 = points.iter().map(|p| p.sessions).sum();
+    let extended: u32 = points
+        .iter()
+        .filter(|p| p.additional > 0)
+        .map(|p| p.sessions)
+        .sum();
+    let mut per_row: HashMap<(Manufacturer, AndroidVersion), (u32, u32)> = HashMap::new();
+    for p in &points {
+        let e = per_row.entry((p.manufacturer, p.version)).or_default();
+        e.1 += p.sessions;
+        if p.additional > 40 {
+            e.0 += p.sessions;
+        }
+    }
+    let mut big_bundle_rows: Vec<(Manufacturer, AndroidVersion, f64)> = per_row
+        .into_iter()
+        .map(|((m, v), (big, all))| (m, v, big as f64 / all.max(1) as f64))
+        .collect();
+    big_bundle_rows.sort_by_key(|&(m, v, _)| (m, v));
+    Fig1Summary {
+        extended_session_fraction: extended as f64 / total.max(1) as f64,
+        big_bundle_rows,
+        missing_devices: pop
+            .devices
+            .iter()
+            .filter(|d| d.is_missing_aosp_certs())
+            .count(),
+    }
+}
+
+/// ASCII rendering of the Figure 1 point set (top rows by sessions).
+pub fn figure1_render(pop: &Population, max_rows: usize) -> String {
+    let mut points = figure1(pop);
+    points.sort_by_key(|p| std::cmp::Reverse(p.sessions));
+    let mut t = TextTable::new(
+        "Figure 1: sessions per (manufacturer, version, AOSP certs, additional certs).",
+        &["Manufacturer", "Version", "AOSP certs", "Additional", "Sessions"],
+    );
+    for p in points.iter().take(max_rows) {
+        t.row(&[
+            p.manufacturer.label().to_owned(),
+            p.version.label().to_owned(),
+            p.aosp_certs.to_string(),
+            p.additional.to_string(),
+            p.sessions.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — per-row certificate presence matrix.
+// ---------------------------------------------------------------------------
+
+/// One cell of the Figure 2 matrix.
+#[derive(Debug, Clone)]
+pub struct Fig2Cell {
+    /// The figure row (manufacturer × version, or operator).
+    pub row: Figure2Row,
+    /// Certificate subject (short form).
+    pub cert: String,
+    /// Legend class of the certificate.
+    pub class: Figure2Class,
+    /// Sessions with this certificate / sessions with modified stores in
+    /// this row (the paper's marker size).
+    pub frequency: f64,
+}
+
+/// Compute the Figure 2 matrix from the population.
+pub fn figure2(pop: &Population) -> Vec<Fig2Cell> {
+    let class_idx = class_index();
+    let counts = pop.sessions_per_device();
+    // Per row: (sessions with modified stores, per-cert session counts).
+    let mut per_row: HashMap<Figure2Row, (u32, HashMap<CertIdentity, u32>)> = HashMap::new();
+
+    for (i, d) in pop.devices.iter().enumerate() {
+        if counts[i] == 0 || !d.has_extended_store() || d.rooted {
+            continue;
+        }
+        let additions: Vec<(CertIdentity, AnchorSource)> = d
+            .additional_certs()
+            .iter()
+            .map(|a| (a.identity(), a.source))
+            .collect();
+        let mut rows = vec![Figure2Row::Mfr(d.manufacturer, d.os_version)];
+        rows.push(Figure2Row::Op(d.operator));
+        for row in rows {
+            let entry = per_row.entry(row).or_default();
+            entry.0 += counts[i];
+            for (id, _) in &additions {
+                *entry.1.entry(id.clone()).or_default() += counts[i];
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    for row in Figure2Row::paper_rows() {
+        let Some((total, certs)) = per_row.get(&row) else {
+            continue;
+        };
+        if *total == 0 {
+            continue;
+        }
+        for (id, n) in certs {
+            let class = class_idx
+                .get(id)
+                .copied()
+                .unwrap_or(Figure2Class::NotRecorded);
+            cells.push(Fig2Cell {
+                row,
+                cert: id.subject.clone(),
+                class,
+                frequency: *n as f64 / *total as f64,
+            });
+        }
+    }
+    cells.sort_by(|a, b| {
+        a.row
+            .label()
+            .cmp(&b.row.label())
+            .then(a.cert.cmp(&b.cert))
+    });
+    cells
+}
+
+/// Class distribution over the distinct certificates of the matrix —
+/// §5.1's 6.7 / 16.2 / 37.1 / 40.0 split.
+pub fn figure2_class_distribution(cells: &[Fig2Cell]) -> HashMap<Figure2Class, f64> {
+    let mut seen: HashMap<&str, Figure2Class> = HashMap::new();
+    for c in cells {
+        seen.insert(c.cert.as_str(), c.class);
+    }
+    let total = seen.len().max(1) as f64;
+    let mut counts: HashMap<Figure2Class, usize> = HashMap::new();
+    for class in seen.values() {
+        *counts.entry(*class).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total))
+        .collect()
+}
+
+/// ASCII rendering of the strongest matrix cells.
+pub fn figure2_render(pop: &Population, max_rows: usize) -> String {
+    let mut cells = figure2(pop);
+    cells.sort_by(|a, b| b.frequency.total_cmp(&a.frequency));
+    let mut t = TextTable::new(
+        "Figure 2: certificate presence per manufacturer/operator row.",
+        &["Row", "Certificate", "Class", "Frequency"],
+    );
+    for c in cells.iter().take(max_rows) {
+        t.row(&[
+            c.row.label(),
+            c.cert.chars().take(50).collect(),
+            c.class.label().to_owned(),
+            format!("{:.2}", c.frequency),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — ECDFs of per-root validation counts.
+// ---------------------------------------------------------------------------
+
+/// One Figure 3 series.
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    /// Legend label (matching the paper's).
+    pub label: &'static str,
+    /// Per-root validation counts.
+    pub counts: Vec<u32>,
+    /// The ECDF over `counts`.
+    pub ecdf: Vec<EcdfPoint>,
+    /// Fraction of roots validating nothing (the y-axis offset).
+    pub dead_fraction: f64,
+}
+
+/// Compute the seven Figure 3 series.
+pub fn figure3(validation: &ValidationIndex) -> Vec<Fig3Series> {
+    crate::tables::table4_categories()
+        .into_iter()
+        .filter_map(|(label, ids)| {
+            // Figure 3 plots a subset of the Table 4 categories.
+            let label = match label {
+                "AOSP 4.1 certs" => "AOSP 4.1",
+                "AOSP 4.4 certs" => "AOSP 4.4",
+                "AOSP 4.4 and Mozilla root certs" => "AOSP 4.4 and Mozilla root certs",
+                "Aggregated Android root certs" => "Aggregated Android root certs",
+                "Mozilla root store certs" => "Mozilla",
+                "iOS 7 root store certs" => "iOS7",
+                "Non AOSP and Non Mozilla root certs" => "Non AOSP and non Mozilla Android certs",
+                "Non AOSP root certs found on Mozilla's" => "Non AOSP Android certs",
+                _ => return None,
+            };
+            let counts = validation.counts_for(ids.iter());
+            let e = ecdf(&counts);
+            let dead = dead_fraction(&counts);
+            Some(Fig3Series {
+                label,
+                counts,
+                ecdf: e,
+                dead_fraction: dead,
+            })
+        })
+        .collect()
+}
+
+/// ASCII rendering: per-series dead fraction and quantiles.
+pub fn figure3_render(validation: &ValidationIndex) -> String {
+    let mut t = TextTable::new(
+        "Figure 3: per-root validation count ECDFs (dead fraction = y-offset at 0).",
+        &["Series", "Roots", "Dead", "Median", "Max"],
+    );
+    for s in figure3(validation) {
+        let mut sorted = s.counts.clone();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let max = sorted.last().copied().unwrap_or(0);
+        t.row(&[
+            s.label.to_owned(),
+            s.counts.len().to_string(),
+            crate::report::pct(s.dead_fraction),
+            median.to_string(),
+            max.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+    use tangled_netalyzr::PopulationSpec;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationSpec::scaled(0.5))
+    }
+
+    #[test]
+    fn figure1_extended_fraction_and_big_bundles() {
+        let p = pop();
+        let summary = figure1_summary(&p);
+        assert!(
+            (0.30..=0.48).contains(&summary.extended_session_fraction),
+            "extended {:.3}",
+            summary.extended_session_fraction
+        );
+        assert_eq!(summary.missing_devices, 5);
+        // The paper's heavy rows exceed 40 additions on >10% of sessions.
+        let rate = |m: Manufacturer, v: AndroidVersion| -> f64 {
+            summary
+                .big_bundle_rows
+                .iter()
+                .find(|&&(rm, rv, _)| rm == m && rv == v)
+                .map(|&(_, _, f)| f)
+                .unwrap_or(0.0)
+        };
+        assert!(rate(Manufacturer::Htc, AndroidVersion::V4_1) > 0.10);
+        assert!(rate(Manufacturer::Motorola, AndroidVersion::V4_1) > 0.10);
+        assert!(rate(Manufacturer::Samsung, AndroidVersion::V4_4) > 0.10);
+        // Near-stock rows have none.
+        assert!(rate(Manufacturer::Asus, AndroidVersion::V4_3) < 0.01);
+        assert!(rate(Manufacturer::Motorola, AndroidVersion::V4_4) < 0.01);
+    }
+
+    #[test]
+    fn figure1_x_axis_bounded_by_aosp_size() {
+        let p = pop();
+        for point in figure1(&p) {
+            assert!(point.aosp_certs <= point.version.aosp_store_size());
+        }
+    }
+
+    #[test]
+    fn figure2_has_pinned_narrative_cells() {
+        let p = pop();
+        let cells = figure2(&p);
+        assert!(!cells.is_empty());
+        // Certisign appears on the Motorola 4.1 row.
+        assert!(cells.iter().any(|c| {
+            c.row == Figure2Row::Mfr(Manufacturer::Motorola, AndroidVersion::V4_1)
+                && c.cert.contains("Certisign")
+        }));
+        // DoD appears on HTC rows with high frequency.
+        let dod: Vec<_> = cells
+            .iter()
+            .filter(|c| {
+                c.cert.contains("DoD CLASS 3")
+                    && matches!(c.row, Figure2Row::Mfr(Manufacturer::Htc, _))
+            })
+            .collect();
+        assert!(!dod.is_empty());
+        for c in dod {
+            assert!(c.frequency > 0.2, "DoD frequency {:.2}", c.frequency);
+        }
+        // Frequencies are valid ratios.
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.frequency));
+        }
+    }
+
+    #[test]
+    fn figure2_class_distribution_shape() {
+        let p = pop();
+        let cells = figure2(&p);
+        let dist = figure2_class_distribution(&cells);
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // §5.1 ordering: NotRecorded ≥ OnlyAndroid > Ios7 > MozillaAndIos7.
+        let get = |c: Figure2Class| dist.get(&c).copied().unwrap_or(0.0);
+        assert!(get(Figure2Class::NotRecorded) > get(Figure2Class::Ios7));
+        assert!(get(Figure2Class::OnlyAndroid) > get(Figure2Class::Ios7));
+        assert!(get(Figure2Class::Ios7) > get(Figure2Class::MozillaAndIos7));
+    }
+
+    #[test]
+    fn figure3_series_shapes() {
+        let study = Study::quick();
+        let series = figure3(&study.validation);
+        assert_eq!(series.len(), 8);
+        let by_label: HashMap<&str, &Fig3Series> =
+            series.iter().map(|s| (s.label, s)).collect();
+        // Dead fractions reproduce Table 4's ordering.
+        let neither = by_label["Non AOSP and non Mozilla Android certs"].dead_fraction;
+        let aosp44 = by_label["AOSP 4.4"].dead_fraction;
+        let shared = by_label["AOSP 4.4 and Mozilla root certs"].dead_fraction;
+        let ios7 = by_label["iOS7"].dead_fraction;
+        assert!(neither > ios7, "neither {neither} > ios7 {ios7}");
+        assert!(ios7 > aosp44);
+        assert!(aosp44 > shared);
+        // ECDFs are monotone and end at 1.
+        for s in &series {
+            for w in s.ecdf.windows(2) {
+                assert!(w[0].0 < w[1].0);
+                assert!(w[0].1 <= w[1].1);
+            }
+            assert!((s.ecdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        let study = Study::quick();
+        assert!(figure1_render(&study.population, 10).contains("Figure 1"));
+        assert!(figure2_render(&study.population, 10).contains("Figure 2"));
+        assert!(figure3_render(&study.validation).contains("Figure 3"));
+    }
+}

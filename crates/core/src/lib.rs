@@ -1,0 +1,37 @@
+//! `tangled-core` — the paper's analysis pipeline.
+//!
+//! Takes the measurement substrates (the [`tangled_netalyzr`] device
+//! population, the [`tangled_notary`] certificate ecosystem, the
+//! [`tangled_intercept`] proxy model) and reproduces every table and
+//! figure of *“A Tangled Mass: The Android Root Certificate Stores”*:
+//!
+//! | artifact | module |
+//! |----------|--------|
+//! | Table 1 — root store sizes | [`tables::table1`] |
+//! | Table 2 — top devices/manufacturers | [`tables::table2`] |
+//! | Table 3 — Notary certs validated per store | [`tables::table3`] |
+//! | Table 4 — per-category dead-root fractions | [`tables::table4`] |
+//! | Table 5 — rooted-device CAs | [`tables::table5`] |
+//! | Table 6 — intercepted/whitelisted domains | [`tables::table6`] |
+//! | Figure 1 — AOSP vs additional certs scatter | [`figures::figure1`] |
+//! | Figure 2 — per-row certificate presence matrix | [`figures::figure2`] |
+//! | Figure 3 — per-root validation ECDFs | [`figures::figure3`] |
+//! | §5/§6 headline statistics | [`classify`] |
+//!
+//! [`study::Study`] bundles the generated inputs so the artifacts share
+//! one dataset; [`report::TextTable`] renders them in the paper's layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod export;
+pub mod figures;
+pub mod report;
+pub mod study;
+pub mod survey;
+pub mod tables;
+pub mod trimming;
+
+pub use report::TextTable;
+pub use study::Study;

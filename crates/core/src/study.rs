@@ -1,0 +1,60 @@
+//! Study bundle: one dataset shared by every table and figure.
+
+use tangled_netalyzr::{Population, PopulationSpec};
+use tangled_notary::ecosystem::EcosystemSpec;
+use tangled_notary::{Ecosystem, NotaryDb, ValidationIndex};
+
+/// The generated inputs for one run of the paper's analysis.
+pub struct Study {
+    /// The Netalyzr device/session population.
+    pub population: Population,
+    /// The Notary certificate ecosystem.
+    pub ecosystem: Ecosystem,
+    /// Per-root validation tallies over the ecosystem.
+    pub validation: ValidationIndex,
+    /// The Notary record-keeping view.
+    pub db: NotaryDb,
+}
+
+impl Study {
+    /// Generate a study at the given scales (1.0 = the paper's dataset
+    /// sizes for the population; the ecosystem plan at 1.0 is the scaled
+    /// Notary of DESIGN.md).
+    pub fn new(population_scale: f64, ecosystem_scale: f64) -> Study {
+        let population = Population::generate(&PopulationSpec::scaled(population_scale));
+        let ecosystem = Ecosystem::generate(&EcosystemSpec::scaled(ecosystem_scale));
+        let validation = ValidationIndex::build(&ecosystem);
+        let db = NotaryDb::build(&ecosystem);
+        Study {
+            population,
+            ecosystem,
+            validation,
+            db,
+        }
+    }
+
+    /// The full-scale study (15,970 sessions; full issuance plan).
+    pub fn full() -> Study {
+        Study::new(1.0, 1.0)
+    }
+
+    /// A reduced study for tests: sessions at 25 %, ecosystem at the
+    /// smallest scale that preserves the Table 3 ordering.
+    pub fn quick() -> Study {
+        Study::new(0.25, 0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_builds_consistently() {
+        let s = Study::quick();
+        assert!(!s.population.sessions.is_empty());
+        assert!(!s.ecosystem.is_empty());
+        assert!(s.validation.validated_total() > 0);
+        assert!(s.db.unique_certs() == s.ecosystem.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Population-wide interception survey — how the §7 case was actually
+//! found: "out of the 15K sessions, we identified a case of TLS
+//! interception for one user running a Nexus 7 device".
+//!
+//! [`survey`] replays Netalyzr's per-session trust-chain probes over a
+//! whole population, with a configurable set of devices sitting behind an
+//! intercepting proxy, and reports which sessions exposed interception.
+
+use std::collections::{HashMap, HashSet};
+use tangled_intercept::detect::probe;
+use tangled_intercept::origin::OriginServers;
+use tangled_intercept::{MitmProxy, Verdict};
+use tangled_netalyzr::device::DeviceId;
+use tangled_netalyzr::Population;
+
+/// One session's probe outcome.
+#[derive(Debug, Clone)]
+pub struct SessionProbe {
+    /// Session index in the population.
+    pub session: u32,
+    /// The device that ran it.
+    pub device: DeviceId,
+    /// Number of probed targets flagged as intercepted.
+    pub intercepted_targets: usize,
+    /// Subject of the interfering issuer, when one was identified.
+    pub interfering_issuer: Option<String>,
+}
+
+/// Result of surveying a population.
+#[derive(Debug, Clone)]
+pub struct SurveyReport {
+    /// Total sessions probed.
+    pub sessions: usize,
+    /// Sessions that exposed interception.
+    pub flagged: Vec<SessionProbe>,
+}
+
+impl SurveyReport {
+    /// Distinct devices with at least one flagged session.
+    pub fn flagged_devices(&self) -> HashSet<DeviceId> {
+        self.flagged.iter().map(|p| p.device).collect()
+    }
+}
+
+/// Probe every session of `pop`. Devices in `proxied` have all their
+/// traffic flowing through a fresh Reality-Mine-style proxy (the paper's
+/// tun-interface setup); everyone else reaches origins directly.
+///
+/// Clean-path sessions take an O(1) shortcut — the origin chains anchor at
+/// the known public-web issuer, so the probe outcome reduces to "does the
+/// device store trust that issuer"; proxied sessions run the full
+/// chain-validation probe per target.
+pub fn survey(pop: &Population, proxied: &HashSet<DeviceId>) -> SurveyReport {
+    let origin = OriginServers::for_table6();
+    let expected = origin.issuer_identity();
+    let targets: Vec<_> = origin.targets().cloned().collect();
+    // One proxy instance per proxied device (each middlebox mints its own
+    // chains; re-signed leaves are cached inside the proxy).
+    let mut proxies: HashMap<DeviceId, MitmProxy> = proxied
+        .iter()
+        .map(|&id| (id, MitmProxy::reality_mine()))
+        .collect();
+
+    let mut flagged = Vec::new();
+    for s in &pop.sessions {
+        let device = pop.device_of(s);
+        if let Some(proxy) = proxies.get_mut(&s.device) {
+            let mut intercepted = 0usize;
+            let mut issuer = None;
+            for t in &targets {
+                let chain = proxy.serve(t, &origin);
+                let report = probe(t, &chain, &device.store, &expected, false);
+                match report.verdict {
+                    Verdict::Clean => {}
+                    Verdict::UntrustedChain { presented_issuer } => {
+                        intercepted += 1;
+                        issuer.get_or_insert(presented_issuer);
+                    }
+                    Verdict::UnexpectedAnchor { anchor } => {
+                        intercepted += 1;
+                        issuer.get_or_insert(anchor.subject);
+                    }
+                    _ => intercepted += 1,
+                }
+            }
+            if intercepted > 0 {
+                flagged.push(SessionProbe {
+                    session: s.index,
+                    device: s.device,
+                    intercepted_targets: intercepted,
+                    interfering_issuer: issuer,
+                });
+            }
+        } else {
+            // Direct path: chains anchor at the expected issuer; the probe
+            // outcome is decided by the device store's trust in it.
+            let trusted = device
+                .store
+                .get(&expected)
+                .is_some_and(|a| a.trusts_tls());
+            if !trusted {
+                flagged.push(SessionProbe {
+                    session: s.index,
+                    device: s.device,
+                    intercepted_targets: targets.len(),
+                    interfering_issuer: None,
+                });
+            }
+        }
+    }
+
+    SurveyReport {
+        sessions: pop.sessions.len(),
+        flagged,
+    }
+}
+
+/// Pick the §7 victim: a Nexus 7 on Android 4.4, as the paper found.
+pub fn nexus7_victim(pop: &Population) -> Option<DeviceId> {
+    pop.devices
+        .iter()
+        .find(|d| {
+            d.model.contains("Nexus 7")
+                && d.os_version == tangled_pki::vocab::AndroidVersion::V4_4
+        })
+        .map(|d| d.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_netalyzr::PopulationSpec;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationSpec::scaled(0.1))
+    }
+
+    #[test]
+    fn clean_population_has_no_flags() {
+        let p = pop();
+        let report = survey(&p, &HashSet::new());
+        assert_eq!(report.sessions, p.sessions.len());
+        assert!(report.flagged.is_empty(), "no proxy → no interception");
+    }
+
+    #[test]
+    fn single_proxied_device_is_found() {
+        let p = pop();
+        let victim = nexus7_victim(&p).expect("population carries Nexus 7s");
+        let proxied: HashSet<_> = [victim].into_iter().collect();
+        let report = survey(&p, &proxied);
+
+        // Every flagged session belongs to the victim, and all of the
+        // victim's sessions are flagged.
+        assert_eq!(report.flagged_devices(), proxied);
+        let victim_sessions = p
+            .sessions
+            .iter()
+            .filter(|s| s.device == victim)
+            .count();
+        assert_eq!(report.flagged.len(), victim_sessions);
+        for f in &report.flagged {
+            // The Table 6 split: 12 of the 21 targets are re-signed.
+            assert_eq!(f.intercepted_targets, 12);
+            assert!(f
+                .interfering_issuer
+                .as_deref()
+                .unwrap()
+                .contains("Reality Mine"));
+        }
+    }
+
+    #[test]
+    fn multiple_proxied_devices_all_found() {
+        let p = pop();
+        let proxied: HashSet<_> = p.devices.iter().take(3).map(|d| d.id).collect();
+        let report = survey(&p, &proxied);
+        // Devices with zero sessions can't be observed; flagged ⊆ proxied.
+        assert!(report.flagged_devices().is_subset(&proxied));
+        assert!(!report.flagged.is_empty());
+    }
+}

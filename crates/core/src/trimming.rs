@@ -1,0 +1,291 @@
+//! Root-store trimming — the Perl et al. direction the paper confirms
+//! (§5.3: "one could seemingly disable these certificates with little
+//! negative effect on the user experience or TLS functionality").
+//!
+//! [`plan`] computes, for a store and a validation index, which anchors to
+//! disable under a coverage target: keep the smallest set of anchors (by
+//! greedy marginal coverage) that retains the requested fraction of
+//! validated traffic, disable the rest. Both certificate-weighted and
+//! session-weighted objectives are supported — a root validating three
+//! certificates that carry half the sessions is *not* dead weight.
+
+use std::collections::HashMap;
+use tangled_notary::ValidationIndex;
+use tangled_pki::store::RootStore;
+use tangled_pki::trust::TrustBits;
+use tangled_x509::CertIdentity;
+
+/// What the planner optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weighting {
+    /// Count of distinct certificates validated (Table 3's metric).
+    Certificates,
+    /// SSL session volume anchored (the Notary's traffic view).
+    Sessions,
+}
+
+/// A trimming plan for one store.
+#[derive(Debug, Clone)]
+pub struct TrimPlan {
+    /// Anchors to keep enabled, highest marginal weight first.
+    pub keep: Vec<CertIdentity>,
+    /// Anchors to disable.
+    pub disable: Vec<CertIdentity>,
+    /// Weight retained by `keep` (certificates or sessions).
+    pub retained: u64,
+    /// Total weight of the untrimmed store.
+    pub total: u64,
+    /// The weighting that produced the plan.
+    pub weighting: Weighting,
+}
+
+impl TrimPlan {
+    /// Fraction of the store's weight retained.
+    pub fn retained_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.retained as f64 / self.total as f64
+        }
+    }
+
+    /// Attack-surface reduction: fraction of anchors disabled.
+    pub fn surface_reduction(&self) -> f64 {
+        let n = self.keep.len() + self.disable.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.disable.len() as f64 / n as f64
+        }
+    }
+}
+
+/// Compute a trimming plan: keep the fewest anchors that retain at least
+/// `target` (a fraction in `[0, 1]`) of the store's validated weight.
+///
+/// # Panics
+/// Panics when `target` is outside `[0, 1]`.
+pub fn plan(
+    store: &RootStore,
+    validation: &ValidationIndex,
+    target: f64,
+    weighting: Weighting,
+) -> TrimPlan {
+    assert!((0.0..=1.0).contains(&target), "target must be a fraction");
+    let mut weighted: Vec<(CertIdentity, u64)> = store
+        .identities()
+        .iter()
+        .map(|id| {
+            let w = match weighting {
+                Weighting::Certificates => validation.root_count(id) as u64,
+                Weighting::Sessions => validation.root_sessions(id),
+            };
+            (id.clone(), w)
+        })
+        .collect();
+    // Greedy: heaviest first; ties broken by identity for determinism.
+    weighted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: u64 = weighted.iter().map(|(_, w)| w).sum();
+    let want = (total as f64 * target).ceil() as u64;
+
+    let mut keep = Vec::new();
+    let mut disable = Vec::new();
+    let mut retained = 0u64;
+    for (id, w) in weighted {
+        if retained < want && w > 0 {
+            retained += w;
+            keep.push(id);
+        } else {
+            disable.push(id);
+        }
+    }
+    TrimPlan {
+        keep,
+        disable,
+        retained,
+        total,
+        weighting,
+    }
+}
+
+/// Apply a plan: disable every `plan.disable` anchor in a copy of the
+/// store. The anchors stay listed (Android's disable semantics).
+pub fn apply(store: &RootStore, plan: &TrimPlan) -> RootStore {
+    let mut trimmed = store.cloned_as(&format!("{} (trimmed)", store.name()));
+    for id in &plan.disable {
+        trimmed.disable(id);
+    }
+    trimmed
+}
+
+/// The §8 recommendation, quantified: scope every anchor that anchors TLS
+/// traffic to TLS-server-only trust, and strip *all* trust bits from
+/// anchors that never validated anything. Returns the scoped store and a
+/// summary of the surface change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopingReport {
+    /// Anchors trusted for everything before (stock Android: all).
+    pub all_purpose_before: usize,
+    /// Anchors trusted for everything after scoping.
+    pub all_purpose_after: usize,
+    /// Anchors reduced to TLS-only trust.
+    pub tls_scoped: usize,
+    /// Anchors fully untrusted (dead weight).
+    pub untrusted: usize,
+    /// TLS validation count before and after (must be equal: scoping by
+    /// observed use loses no TLS coverage).
+    pub tls_coverage_before: u32,
+    /// TLS validation count after scoping.
+    pub tls_coverage_after: u32,
+}
+
+/// Apply Mozilla-style scoping to a store based on observed use.
+pub fn scope_by_observed_use(
+    store: &RootStore,
+    validation: &ValidationIndex,
+) -> (RootStore, ScopingReport) {
+    let mut scoped = store.cloned_as(&format!("{} (scoped)", store.name()));
+    let before = validation.store_count(store);
+    let all_purpose_before = store
+        .iter()
+        .filter(|a| a.trust.tls_server && a.trust.email && a.trust.code_signing)
+        .count();
+
+    let mut tls_scoped = 0usize;
+    let mut untrusted = 0usize;
+    let ids: Vec<CertIdentity> = scoped.identities().to_vec();
+    let mut new_bits: HashMap<CertIdentity, TrustBits> = HashMap::new();
+    for id in &ids {
+        let bits = if validation.root_count(id) > 0 {
+            tls_scoped += 1;
+            TrustBits::tls_only()
+        } else {
+            untrusted += 1;
+            TrustBits::none()
+        };
+        new_bits.insert(id.clone(), bits);
+    }
+    for (id, bits) in new_bits {
+        scoped.set_trust(&id, bits);
+    }
+
+    let after = validation.store_count(&scoped);
+    let report = ScopingReport {
+        all_purpose_before,
+        all_purpose_after: scoped
+            .iter()
+            .filter(|a| a.trust.tls_server && a.trust.email && a.trust.code_signing)
+            .count(),
+        tls_scoped,
+        untrusted,
+        tls_coverage_before: before,
+        tls_coverage_after: after,
+    };
+    (scoped, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+    use std::sync::OnceLock;
+    use tangled_pki::stores::ReferenceStore;
+
+    fn study() -> &'static Study {
+        static S: OnceLock<Study> = OnceLock::new();
+        S.get_or_init(Study::quick)
+    }
+
+    fn aosp44() -> RootStore {
+        ReferenceStore::Aosp44.cached().cloned_as("trim-test")
+    }
+
+    #[test]
+    fn full_target_keeps_every_live_root() {
+        let p = plan(&aosp44(), &study().validation, 1.0, Weighting::Certificates);
+        assert_eq!(p.retained, p.total);
+        assert!((p.retained_fraction() - 1.0).abs() < 1e-12);
+        // Everything disabled is genuinely dead.
+        for id in &p.disable {
+            assert_eq!(study().validation.root_count(id), 0);
+        }
+        assert!(p.surface_reduction() > 0.10, "dead weight exists to trim");
+    }
+
+    #[test]
+    fn half_target_needs_few_roots() {
+        let p = plan(&aosp44(), &study().validation, 0.5, Weighting::Certificates);
+        // Zipf issuance: a handful of roots carries half the coverage.
+        assert!(p.keep.len() <= 12, "kept {}", p.keep.len());
+        assert!(p.retained_fraction() >= 0.5);
+    }
+
+    #[test]
+    fn plans_are_monotone_in_target() {
+        let v = &study().validation;
+        let store = aosp44();
+        let mut prev = 0usize;
+        for target in [0.25, 0.5, 0.9, 0.99, 1.0] {
+            let p = plan(&store, v, target, Weighting::Certificates);
+            assert!(p.keep.len() >= prev, "target {target}");
+            prev = p.keep.len();
+        }
+    }
+
+    #[test]
+    fn session_weighting_can_reorder_keeps() {
+        let v = &study().validation;
+        let store = aosp44();
+        let by_cert = plan(&store, v, 0.9, Weighting::Certificates);
+        let by_sess = plan(&store, v, 0.9, Weighting::Sessions);
+        // Both achieve their target under their own metric.
+        assert!(by_cert.retained_fraction() >= 0.9);
+        assert!(by_sess.retained_fraction() >= 0.9);
+        assert_eq!(by_sess.weighting, Weighting::Sessions);
+    }
+
+    #[test]
+    fn apply_preserves_len_and_coverage() {
+        let v = &study().validation;
+        let store = aosp44();
+        let p = plan(&store, v, 1.0, Weighting::Certificates);
+        let trimmed = apply(&store, &p);
+        assert_eq!(trimmed.len(), store.len(), "disable keeps anchors listed");
+        // Full-target trim loses no coverage.
+        assert_eq!(v.store_count(&trimmed), v.store_count(&store));
+        // A 50% trim loses coverage but keeps at least half.
+        let p50 = plan(&store, v, 0.5, Weighting::Certificates);
+        let trimmed50 = apply(&store, &p50);
+        let c = v.store_count(&trimmed50);
+        assert!(c < v.store_count(&store));
+        assert!(c as f64 >= 0.5 * v.store_count(&store) as f64);
+    }
+
+    #[test]
+    fn scoping_report_invariants() {
+        let v = &study().validation;
+        let store = aosp44();
+        let (scoped, report) = scope_by_observed_use(&store, v);
+        // Stock Android: everything all-purpose. After: nothing.
+        assert_eq!(report.all_purpose_before, store.len());
+        assert_eq!(report.all_purpose_after, 0);
+        assert_eq!(report.tls_scoped + report.untrusted, store.len());
+        // Scoping by observed use never reduces TLS coverage...
+        assert_eq!(report.tls_coverage_before, report.tls_coverage_after);
+        // ...while eliminating code-signing trust everywhere.
+        assert!(scoped.iter().all(|a| !a.trust.code_signing));
+        // Untrusted count equals the Table 4 dead count for this store.
+        let dead = store
+            .identities()
+            .iter()
+            .filter(|id| v.root_count(id) == 0)
+            .count();
+        assert_eq!(report.untrusted, dead);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_target_panics() {
+        plan(&aosp44(), &study().validation, 1.5, Weighting::Certificates);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Key generation must be reproducible from a seed so that every synthetic
+//! certificate in the workspace is bit-stable across runs (the experiment
+//! tables depend on it). [`SplitMix64`] is tiny, fast, passes the statistical
+//! bar needed for Miller–Rabin witnesses and prime candidates, and keeps this
+//! crate dependency-free. It is of course not a CSPRNG — nothing in this
+//! workspace protects real traffic.
+
+use crate::bigint::Uint;
+
+/// The SplitMix64 generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fill a byte buffer with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// A uniform [`Uint`] with exactly `bits` significant bits
+    /// (top bit forced to 1). `bits == 0` yields zero.
+    pub fn next_uint_exact_bits(&mut self, bits: usize) -> Uint {
+        if bits == 0 {
+            return Uint::zero();
+        }
+        let nlimbs = bits.div_ceil(64);
+        let mut limbs = Vec::with_capacity(nlimbs);
+        for _ in 0..nlimbs {
+            limbs.push(self.next_u64());
+        }
+        // Mask the top limb down to the requested width, then set the top bit.
+        let top_bits = bits - (nlimbs - 1) * 64;
+        let last = limbs.last_mut().expect("nlimbs >= 1");
+        if top_bits < 64 {
+            *last &= (1u64 << top_bits) - 1;
+        }
+        *last |= 1u64 << (top_bits - 1);
+        Uint::from_limbs(limbs)
+    }
+
+    /// A uniform [`Uint`] in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics when `low >= high`.
+    pub fn next_uint_range(&mut self, low: &Uint, high: &Uint) -> Uint {
+        assert!(low < high, "empty range");
+        let span = high.sub(low);
+        let bits = span.bit_len();
+        // Rejection-sample below `span`, then offset by `low`.
+        loop {
+            let nlimbs = bits.div_ceil(64);
+            let mut limbs = Vec::with_capacity(nlimbs);
+            for _ in 0..nlimbs {
+                limbs.push(self.next_u64());
+            }
+            let top_bits = bits - (nlimbs - 1) * 64;
+            if top_bits < 64 {
+                if let Some(last) = limbs.last_mut() {
+                    *last &= (1u64 << top_bits) - 1;
+                }
+            }
+            let candidate = Uint::from_limbs(limbs);
+            if candidate < span {
+                return low.add(&candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn exact_bits() {
+        let mut rng = SplitMix64::new(3);
+        for bits in [1usize, 7, 64, 65, 100, 512] {
+            let v = rng.next_uint_exact_bits(bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+        assert!(rng.next_uint_exact_bits(0).is_zero());
+    }
+
+    #[test]
+    fn range_sampling() {
+        let mut rng = SplitMix64::new(11);
+        let low = Uint::from_u64(100);
+        let high = Uint::from_u64(110);
+        for _ in 0..200 {
+            let v = rng.next_uint_range(&low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunk() {
+        let mut rng = SplitMix64::new(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

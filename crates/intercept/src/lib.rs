@@ -1,0 +1,36 @@
+//! `tangled-intercept` — TLS interception modelling and detection (§7 of
+//! the paper).
+//!
+//! The paper found a marketing company (Reality Mine) proxying a user's
+//! HTTPS traffic through a `tun` interface, re-generating "both root and
+//! intermediate certificates on-the-fly for specific domains" while
+//! whitelisting services known to deploy certificate pinning (Table 6).
+//!
+//! The model operates at the certificate-chain layer — exactly what
+//! Netalyzr records — rather than as a live TLS handshake:
+//!
+//! * [`origin`] serves the *legitimate* chain for each probed domain,
+//!   anchored in the public web PKI of [`tangled_pki::stores`];
+//! * [`proxy`] implements the intercepting middlebox: its own root and
+//!   issuing CA, a per-(domain, port) policy, and on-the-fly leaf
+//!   re-signing;
+//! * [`detect`] implements the Netalyzr-side check: validate the presented
+//!   chain against the device's root store, compare the anchor against
+//!   the expectation, and apply app-style certificate pinning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod origin;
+pub mod policy;
+pub mod proxy;
+
+pub use detect::{probe, ProbeReport, Verdict};
+pub use policy::{ProxyPolicy, Target, INTERCEPTED_DOMAINS, WHITELISTED_DOMAINS};
+pub use proxy::MitmProxy;
+
+/// The probe instant (same study time as the rest of the workspace).
+pub fn study_time() -> tangled_asn1::Time {
+    tangled_asn1::Time::date(2014, 2, 1).expect("valid date")
+}

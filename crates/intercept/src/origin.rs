@@ -1,0 +1,99 @@
+//! Legitimate origin servers for the probed domains.
+//!
+//! Each Table 6 domain gets a real chain anchored in the shared web PKI
+//! (a busy CA of the AOSP/Mozilla core), exactly what a device would see
+//! without a middlebox in the path.
+
+use crate::policy::Target;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tangled_pki::stores::{global_factory, shared_exact_name};
+use tangled_x509::Certificate;
+
+/// The origin-side view: legitimate chains per target.
+pub struct OriginServers {
+    chains: HashMap<Target, Vec<Arc<Certificate>>>,
+    issuer_name: String,
+}
+
+impl OriginServers {
+    /// Issue legitimate chains for the given targets under a busy shared
+    /// web CA (deterministic).
+    pub fn new(targets: &[Target]) -> OriginServers {
+        // A popular CA from the shared core signs the real sites.
+        let issuer_name = shared_exact_name(2);
+        let mut factory = global_factory().lock().expect("factory poisoned");
+        let issuer = factory.root(&issuer_name);
+        let mut chains = HashMap::new();
+        for (i, t) in targets.iter().enumerate() {
+            let leaf = factory
+                .leaf(&issuer_name, &issuer, &t.domain, 50_000 + i as u64)
+                .expect("origin leaf issuance");
+            chains.insert(t.clone(), vec![leaf]);
+        }
+        OriginServers {
+            chains,
+            issuer_name,
+        }
+    }
+
+    /// Chains for the full Table 6 probe list.
+    pub fn for_table6() -> OriginServers {
+        let targets: Vec<Target> = crate::policy::INTERCEPTED_DOMAINS
+            .iter()
+            .chain(&crate::policy::WHITELISTED_DOMAINS)
+            .filter_map(|s| Target::parse(s))
+            .collect();
+        OriginServers::new(&targets)
+    }
+
+    /// The legitimate chain for a target (leaf first, root omitted).
+    pub fn chain(&self, target: &Target) -> Option<&[Arc<Certificate>]> {
+        self.chains.get(target).map(|c| c.as_slice())
+    }
+
+    /// All targets served.
+    pub fn targets(&self) -> impl Iterator<Item = &Target> {
+        self.chains.keys()
+    }
+
+    /// The key name of the legitimate issuing CA (for pinning checks).
+    pub fn issuer_name(&self) -> &str {
+        &self.issuer_name
+    }
+
+    /// The identity of the legitimate issuing CA.
+    pub fn issuer_identity(&self) -> tangled_x509::CertIdentity {
+        let mut factory = global_factory().lock().expect("factory poisoned");
+        factory.root(&self.issuer_name).identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_serves_every_table6_target() {
+        let origin = OriginServers::for_table6();
+        assert_eq!(origin.targets().count(), 21);
+        let t = Target::parse("www.bankofamerica.com:443").unwrap();
+        let chain = origin.chain(&t).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(
+            chain[0].dns_names(),
+            &["www.bankofamerica.com".to_string()]
+        );
+        // The leaf chains to the public web CA.
+        let mut f = global_factory().lock().unwrap();
+        let issuer = f.root(origin.issuer_name());
+        drop(f);
+        chain[0].verify_issued_by(&issuer).unwrap();
+    }
+
+    #[test]
+    fn unknown_target_has_no_chain() {
+        let origin = OriginServers::for_table6();
+        assert!(origin.chain(&Target::new("nonexistent.example", 443)).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The intercepting middlebox.
+//!
+//! [`MitmProxy`] owns a root CA and an issuing (intermediate) CA and, for
+//! intercepted targets, mints a fresh leaf for the requested domain on the
+//! fly — "intercepting and re-generating both root and intermediate
+//! certificates on-the-fly for specific domains" (§7).
+
+use crate::origin::OriginServers;
+use crate::policy::{ProxyAction, ProxyPolicy, Target};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tangled_asn1::Time;
+use tangled_crypto::rsa::RsaKeyPair;
+use tangled_crypto::{SplitMix64, Uint};
+use tangled_x509::{Certificate, CertificateBuilder, DistinguishedName};
+
+/// The proxy's name in certificates it mints (the paper's operator signs
+/// as the marketing company).
+pub const PROXY_CA_NAME: &str = "Reality Mine Research Proxy CA";
+
+/// Host name of the proxy endpoint observed by Netalyzr.
+pub const PROXY_HOST: &str = "v-us-49.analyzeme.me.uk";
+
+/// An HTTPS-intercepting proxy.
+pub struct MitmProxy {
+    policy: ProxyPolicy,
+    root: Arc<Certificate>,
+    issuing: Arc<Certificate>,
+    issuing_key: RsaKeyPair,
+    leaf_key: RsaKeyPair,
+    minted: HashMap<Target, Vec<Arc<Certificate>>>,
+    serial: u64,
+}
+
+impl MitmProxy {
+    /// Stand up a proxy with a fresh CA hierarchy (deterministic in
+    /// `seed`) and the given policy.
+    pub fn new(policy: ProxyPolicy, seed: u64) -> MitmProxy {
+        let mut rng = SplitMix64::new(seed);
+        let root_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+        let issuing_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+        let leaf_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+
+        let nb = Time::date(2013, 1, 1).expect("valid");
+        let na = Time::date(2023, 1, 1).expect("valid");
+        let root_dn = DistinguishedName::builder()
+            .common_name(PROXY_CA_NAME)
+            .organization("RealityMine Ltd")
+            .country("GB")
+            .build();
+        let root = Arc::new(
+            CertificateBuilder::new(root_dn.clone(), root_dn.clone(), nb, na)
+                .serial(Uint::one())
+                .ca(None)
+                .key_ids(root_key.public_key(), root_key.public_key())
+                .sign(root_key.public_key(), &root_key)
+                .expect("root issuance"),
+        );
+        let issuing_dn = DistinguishedName::builder()
+            .common_name("Reality Mine Issuing CA 01")
+            .organization("RealityMine Ltd")
+            .country("GB")
+            .build();
+        let issuing = Arc::new(
+            CertificateBuilder::new(root_dn, issuing_dn, nb, na)
+                .serial(Uint::from_u64(2))
+                .ca(Some(0))
+                .key_ids(issuing_key.public_key(), root_key.public_key())
+                .sign(issuing_key.public_key(), &root_key)
+                .expect("issuing CA issuance"),
+        );
+        MitmProxy {
+            policy,
+            root,
+            issuing,
+            issuing_key,
+            leaf_key,
+            minted: HashMap::new(),
+            serial: 90_000,
+        }
+    }
+
+    /// The Reality Mine proxy as the paper observed it.
+    pub fn reality_mine() -> MitmProxy {
+        MitmProxy::new(ProxyPolicy::reality_mine(), 0x5EA1)
+    }
+
+    /// The proxy's own root certificate (never installed on the victim
+    /// device in the §7 case — which is exactly why Netalyzr could see the
+    /// interception).
+    pub fn root_cert(&self) -> &Arc<Certificate> {
+        &self.root
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ProxyPolicy {
+        &self.policy
+    }
+
+    /// Handle a connection: return the chain the client sees.
+    ///
+    /// Whitelisted / non-HTTPS targets get the origin chain verbatim;
+    /// intercepted targets get a proxy-minted chain
+    /// `leaf(domain) ← issuing CA ← (proxy root, not sent)`.
+    pub fn serve(&mut self, target: &Target, origin: &OriginServers) -> Vec<Arc<Certificate>> {
+        match self.policy.action(target) {
+            ProxyAction::PassThrough => origin
+                .chain(target)
+                .map(|c| c.to_vec())
+                .unwrap_or_default(),
+            ProxyAction::Intercept => {
+                if let Some(chain) = self.minted.get(target) {
+                    return chain.clone();
+                }
+                self.serial += 1;
+                let leaf = Arc::new(
+                    CertificateBuilder::new(
+                        self.issuing.subject.clone(),
+                        DistinguishedName::common_name(&target.domain),
+                        Time::date(2013, 6, 1).expect("valid"),
+                        Time::date(2016, 6, 1).expect("valid"),
+                    )
+                    .serial(Uint::from_u64(self.serial))
+                    .tls_server(vec![target.domain.clone()])
+                    .key_ids(self.leaf_key.public_key(), self.issuing_key.public_key())
+                    .sign(self.leaf_key.public_key(), &self.issuing_key)
+                    .expect("on-the-fly leaf"),
+                );
+                let chain = vec![leaf, Arc::clone(&self.issuing)];
+                self.minted.insert(target.clone(), chain.clone());
+                chain
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intercepted_chain_is_proxy_signed() {
+        let origin = OriginServers::for_table6();
+        let mut proxy = MitmProxy::reality_mine();
+        let t = Target::parse("www.chase.com:443").unwrap();
+        let chain = proxy.serve(&t, &origin);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].subject.cn(), Some("www.chase.com"));
+        // Leaf verifies under the proxy's issuing CA, which verifies under
+        // the proxy root.
+        chain[0].verify_issued_by(&chain[1]).unwrap();
+        chain[1].verify_issued_by(proxy.root_cert()).unwrap();
+        // And it is NOT the origin chain.
+        assert_ne!(chain[0].to_der(), origin.chain(&t).unwrap()[0].to_der());
+    }
+
+    #[test]
+    fn whitelisted_chain_is_untouched() {
+        let origin = OriginServers::for_table6();
+        let mut proxy = MitmProxy::reality_mine();
+        let t = Target::parse("www.facebook.com:443").unwrap();
+        let chain = proxy.serve(&t, &origin);
+        assert_eq!(chain[0].to_der(), origin.chain(&t).unwrap()[0].to_der());
+    }
+
+    #[test]
+    fn minted_leaves_are_cached_per_target() {
+        let origin = OriginServers::for_table6();
+        let mut proxy = MitmProxy::reality_mine();
+        let t = Target::parse("gmail.com:443").unwrap();
+        let a = proxy.serve(&t, &origin);
+        let b = proxy.serve(&t, &origin);
+        assert_eq!(a[0].to_der(), b[0].to_der());
+        // Different targets get different leaves.
+        let c = proxy.serve(&Target::parse("www.yahoo.com:443").unwrap(), &origin);
+        assert_ne!(a[0].to_der(), c[0].to_der());
+    }
+
+    #[test]
+    fn proxy_is_deterministic_in_seed() {
+        let a = MitmProxy::new(ProxyPolicy::reality_mine(), 7);
+        let b = MitmProxy::new(ProxyPolicy::reality_mine(), 7);
+        assert_eq!(a.root_cert().to_der(), b.root_cert().to_der());
+        let c = MitmProxy::new(ProxyPolicy::reality_mine(), 8);
+        assert_ne!(a.root_cert().to_der(), c.root_cert().to_der());
+    }
+}

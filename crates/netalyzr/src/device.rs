@@ -1,0 +1,132 @@
+//! Devices: the unit the paper's per-handset analysis runs on.
+
+use std::sync::Arc;
+use tangled_pki::store::RootStore;
+use tangled_pki::trust::AnchorSource;
+use tangled_pki::vocab::{AndroidVersion, Manufacturer, Operator};
+use tangled_x509::CertIdentity;
+
+/// Opaque device identifier (the paper pseudonymizes devices via
+/// network/model tuples; we just number them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+/// One simulated handset.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Stable identifier.
+    pub id: DeviceId,
+    /// Marketing model name ("Galaxy SIV", "Nexus 5", …).
+    pub model: String,
+    /// Handset manufacturer.
+    pub manufacturer: Manufacturer,
+    /// Android OS version.
+    pub os_version: AndroidVersion,
+    /// Subscribed mobile operator.
+    pub operator: Operator,
+    /// Whether the handset is rooted (§6).
+    pub rooted: bool,
+    /// The device's effective root store (firmware base plus any user /
+    /// root-app modifications). Shared between devices with identical
+    /// firmware composition.
+    pub store: Arc<RootStore>,
+    /// Identities of AOSP anchors the user deleted (rare; the paper saw
+    /// only 5 such handsets).
+    pub removed_aosp: Vec<CertIdentity>,
+}
+
+impl Device {
+    /// Number of anchors originating from the AOSP distribution.
+    pub fn aosp_cert_count(&self) -> usize {
+        self.store
+            .iter()
+            .filter(|a| a.source == AnchorSource::Aosp)
+            .count()
+    }
+
+    /// Anchors beyond the AOSP distribution (the paper's "additional
+    /// certificates").
+    pub fn additional_certs(&self) -> Vec<&tangled_pki::trust::TrustAnchor> {
+        self.store
+            .iter()
+            .filter(|a| a.source != AnchorSource::Aosp)
+            .collect()
+    }
+
+    /// Count of additional certificates.
+    pub fn additional_count(&self) -> usize {
+        self.store
+            .iter()
+            .filter(|a| a.source != AnchorSource::Aosp)
+            .count()
+    }
+
+    /// Does the store extend the AOSP baseline?
+    pub fn has_extended_store(&self) -> bool {
+        self.additional_count() > 0
+    }
+
+    /// Does the device carry anchors installed by a root-privileged app?
+    pub fn has_root_app_certs(&self) -> bool {
+        self.store
+            .iter()
+            .any(|a| a.source == AnchorSource::RootApp)
+    }
+
+    /// Is the device missing AOSP anchors relative to its distribution?
+    pub fn is_missing_aosp_certs(&self) -> bool {
+        !self.removed_aosp.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_pki::stores::ReferenceStore;
+    use tangled_pki::trust::TrustAnchor;
+
+    fn base_device(store: Arc<RootStore>) -> Device {
+        Device {
+            id: DeviceId(1),
+            model: "Test Phone".into(),
+            manufacturer: Manufacturer::Htc,
+            os_version: AndroidVersion::V4_1,
+            operator: Operator::AttUs,
+            rooted: false,
+            store,
+            removed_aosp: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn stock_device_counts() {
+        let d = base_device(ReferenceStore::Aosp41.cached());
+        assert_eq!(d.aosp_cert_count(), 139);
+        assert_eq!(d.additional_count(), 0);
+        assert!(!d.has_extended_store());
+        assert!(!d.has_root_app_certs());
+        assert!(!d.is_missing_aosp_certs());
+    }
+
+    #[test]
+    fn extended_device_counts() {
+        let base = ReferenceStore::Aosp41.cached();
+        let mut store = base.cloned_as("extended");
+        let mut f = tangled_pki::stores::global_factory().lock().unwrap();
+        store.add(TrustAnchor::new(
+            f.root("Extra Vendor CA"),
+            AnchorSource::Manufacturer,
+        ));
+        store.add(TrustAnchor::new(
+            f.root("Extra Malware CA"),
+            AnchorSource::RootApp,
+        ));
+        drop(f);
+        let d = base_device(Arc::new(store));
+        assert_eq!(d.aosp_cert_count(), 139);
+        assert_eq!(d.additional_count(), 2);
+        assert!(d.has_extended_store());
+        assert!(d.has_root_app_certs());
+        assert_eq!(d.additional_certs().len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! `tangled-netalyzr` — a calibrated simulator of the paper's Netalyzr
+//! for Android dataset.
+//!
+//! The real dataset (15,970 sessions, ≥3,835 handsets, 435 device models,
+//! Nov 2013 – Apr 2014) is closed; this crate generates a synthetic
+//! population with the same marginal structure so every downstream analysis
+//! runs on realistic input:
+//!
+//! * manufacturer and device-model session mix of **Table 2** (Samsung
+//!   7,709 sessions, LG 2,908, ASUS 1,876, HTC 963, Motorola 837; Galaxy
+//!   S4/S3, Nexus 4/5/7 on top);
+//! * per-(manufacturer, OS version) firmware profiles that reproduce
+//!   **Figure 1**: 39 % of sessions carry additional certificates, the
+//!   heavy rows (HTC 4.1/4.2, Motorola 4.1/4.2, LG 4.1/4.2, Samsung 4.4)
+//!   exceed 40 additions on >10 % of their devices, Motorola 4.3/4.4 /
+//!   Huawei / Sony / ASUS stay below 10, and exactly 5 handsets are
+//!   *missing* AOSP certificates;
+//! * the extras installed per firmware come from the Figure 2 catalogue in
+//!   [`tangled_pki::extras`], honouring its pinned provenance narrative;
+//! * rooting (**§6**): 24 % of sessions run on rooted handsets; ~6 % of
+//!   rooted sessions expose rooted-only certificates, dominated by the
+//!   Freedom app's CRAZY HOUSE CA on 70 devices (Table 5);
+//! * the §5.2 "unusual certificates" sprinkled on a handful of devices.
+//!
+//! Everything is deterministic in the [`population::PopulationSpec`] seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod firmware;
+pub mod population;
+pub mod rooted;
+pub mod session;
+
+pub use device::{Device, DeviceId};
+pub use population::{Population, PopulationSpec};
+pub use session::Session;

@@ -1,0 +1,385 @@
+//! Whole-dataset generation: devices, firmware, rooting, sessions.
+//!
+//! [`Population::generate`] produces the synthetic counterpart of the
+//! paper's dataset: 15,970 sessions over ~3,835 devices and 435 models,
+//! with the Table 2 manufacturer/model mix, Figure 1 firmware behaviour,
+//! §6 rooting and §5.2 oddities. Deterministic in the spec seed.
+
+use crate::device::{Device, DeviceId};
+use crate::firmware::{compose, ExtrasIndex, FirmwareCache};
+use crate::rooted;
+use crate::session::{study_days, study_start, NetworkKind, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tangled_pki::vocab::{AndroidVersion, Manufacturer, Operator};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationSpec {
+    /// Master seed; every draw derives from it.
+    pub seed: u64,
+    /// Scale factor on session counts (1.0 = the paper's 15,970 sessions).
+    /// Tests use smaller scales for speed.
+    pub scale: f64,
+}
+
+impl Default for PopulationSpec {
+    fn default() -> Self {
+        PopulationSpec {
+            seed: 2014,
+            scale: 1.0,
+        }
+    }
+}
+
+impl PopulationSpec {
+    /// A reduced-scale spec for fast tests (≈ `scale` × 15,970 sessions).
+    pub fn scaled(scale: f64) -> PopulationSpec {
+        PopulationSpec {
+            seed: 2014,
+            scale,
+        }
+    }
+}
+
+/// The generated dataset.
+pub struct Population {
+    /// All devices, indexed by `DeviceId.0`.
+    pub devices: Vec<Device>,
+    /// All sessions, in generation order.
+    pub sessions: Vec<Session>,
+}
+
+/// Per-manufacturer session budgets from Table 2 (plus the long tail that
+/// brings the total to 15,970).
+const MANUFACTURER_SESSIONS: [(Manufacturer, u32); 8] = [
+    (Manufacturer::Samsung, 7_709),
+    (Manufacturer::Lg, 2_908),
+    (Manufacturer::Asus, 1_876),
+    (Manufacturer::Htc, 963),
+    (Manufacturer::Motorola, 837),
+    (Manufacturer::Sony, 500),
+    (Manufacturer::Huawei, 300),
+    (Manufacturer::Other, 877),
+];
+
+/// Pinned top models with their Table 2 session budgets.
+const PINNED_MODELS: [(Manufacturer, &str, u32); 5] = [
+    (Manufacturer::Samsung, "Samsung Galaxy SIV", 2_762),
+    (Manufacturer::Samsung, "Samsung Galaxy SIII", 2_108),
+    (Manufacturer::Lg, "LG Nexus 4", 1_331),
+    (Manufacturer::Lg, "LG Nexus 5", 1_010),
+    (Manufacturer::Asus, "Asus Nexus 7", 832),
+];
+
+/// Synthetic model-pool sizes per manufacturer (total distinct models
+/// = pinned 5 + these = the paper's 435).
+const MODEL_POOL: [(Manufacturer, usize); 8] = [
+    (Manufacturer::Samsung, 148),
+    (Manufacturer::Lg, 58),
+    (Manufacturer::Asus, 39),
+    (Manufacturer::Htc, 50),
+    (Manufacturer::Motorola, 40),
+    (Manufacturer::Sony, 30),
+    (Manufacturer::Huawei, 25),
+    (Manufacturer::Other, 40),
+];
+
+/// Mean sessions per device (15,970 / 3,835 ≈ 4.16).
+const MEAN_SESSIONS_PER_DEVICE: f64 = 4.16;
+
+impl Population {
+    /// Generate the full dataset.
+    pub fn generate(spec: &PopulationSpec) -> Population {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let index = ExtrasIndex::new();
+        let mut cache = FirmwareCache::new();
+
+        let mut devices: Vec<Device> = Vec::new();
+        let mut session_counts: Vec<u32> = Vec::new();
+
+        for (mfr, budget) in MANUFACTURER_SESSIONS {
+            let budget = ((budget as f64) * spec.scale).round() as u32;
+            let mut remaining = budget;
+
+            // Pinned flagship models first.
+            for &(m, model, model_budget) in &PINNED_MODELS {
+                if m != mfr {
+                    continue;
+                }
+                let model_budget =
+                    (((model_budget as f64) * spec.scale).round() as u32).min(remaining);
+                let mut left = model_budget;
+                while left > 0 {
+                    let k = draw_session_count(&mut rng).min(left);
+                    let dev = mk_device(
+                        devices.len() as u32,
+                        model.to_owned(),
+                        mfr,
+                        &index,
+                        &mut cache,
+                        &mut rng,
+                    );
+                    devices.push(dev);
+                    session_counts.push(k);
+                    left -= k;
+                }
+                remaining -= model_budget;
+            }
+
+            // Long tail over the synthetic model pool (round-robin start so
+            // every model name is used, then random).
+            let pool_size = MODEL_POOL
+                .iter()
+                .find(|(m, _)| *m == mfr)
+                .map(|&(_, n)| n)
+                .unwrap_or(10);
+            let mut tail_index = 0usize;
+            while remaining > 0 {
+                let k = draw_session_count(&mut rng).min(remaining);
+                let model_idx = if tail_index < pool_size {
+                    tail_index
+                } else {
+                    rng.gen_range(0..pool_size)
+                };
+                tail_index += 1;
+                let model = format!("{} Model {:03}", mfr.label(), model_idx + 1);
+                let dev = mk_device(
+                    devices.len() as u32,
+                    model,
+                    mfr,
+                    &index,
+                    &mut cache,
+                    &mut rng,
+                );
+                devices.push(dev);
+                session_counts.push(k);
+                remaining -= k;
+            }
+        }
+
+        // §6 rooting and Table 5 rooted-only certificates.
+        rooted::assign_rooting(&mut devices, &session_counts, &mut rng);
+        // §5.2 unusual certificates and the 5 missing-cert handsets.
+        rooted::sprinkle_unusual(&mut devices, &mut rng);
+        rooted::remove_certs_on_five_devices(&mut devices, &mut rng);
+
+        // Sessions.
+        let mut sessions = Vec::with_capacity(session_counts.iter().sum::<u32>() as usize);
+        let days = study_days();
+        for (device_idx, &count) in session_counts.iter().enumerate() {
+            for _ in 0..count {
+                let at = study_start().plus_days(rng.gen_range(0..days));
+                sessions.push(Session {
+                    index: sessions.len() as u32,
+                    device: DeviceId(device_idx as u32),
+                    at,
+                    network: if rng.gen_bool(0.6) {
+                        NetworkKind::Wifi
+                    } else {
+                        NetworkKind::Cellular
+                    },
+                });
+            }
+        }
+
+        Population { devices, sessions }
+    }
+
+    /// The device a session ran on.
+    pub fn device_of(&self, s: &Session) -> &Device {
+        &self.devices[s.device.0 as usize]
+    }
+
+    /// Session count per device id.
+    pub fn sessions_per_device(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.devices.len()];
+        for s in &self.sessions {
+            counts[s.device.0 as usize] += 1;
+        }
+        counts
+    }
+
+    /// Distinct model count.
+    pub fn distinct_models(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.model.as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+}
+
+/// Geometric-ish session count with mean ≈ 4.16 (heavy tail: a few devices
+/// run Netalyzr dozens of times).
+fn draw_session_count(rng: &mut StdRng) -> u32 {
+    let p = 1.0 / MEAN_SESSIONS_PER_DEVICE;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).floor() as u32 + 1;
+    k.min(60)
+}
+
+fn mk_device(
+    id: u32,
+    model: String,
+    mfr: Manufacturer,
+    index: &ExtrasIndex,
+    cache: &mut FirmwareCache,
+    rng: &mut StdRng,
+) -> Device {
+    let os_version = draw_version(mfr, rng);
+    let operator = draw_operator(mfr, rng);
+    let store = compose(index, cache, mfr, os_version, operator, rng);
+    Device {
+        id: DeviceId(id),
+        model,
+        manufacturer: mfr,
+        os_version,
+        operator,
+        rooted: false, // assigned afterwards
+        store,
+        removed_aosp: Vec::new(),
+    }
+}
+
+fn draw_version(mfr: Manufacturer, rng: &mut StdRng) -> AndroidVersion {
+    use AndroidVersion::*;
+    // Global mix ~30/25/20/25 with Sony biased to 4.3 (its Figure 2 row).
+    let weights: [(AndroidVersion, f64); 4] = match mfr {
+        Manufacturer::Sony => [(V4_1, 0.15), (V4_2, 0.15), (V4_3, 0.50), (V4_4, 0.20)],
+        Manufacturer::Lg => [(V4_1, 0.25), (V4_2, 0.20), (V4_3, 0.20), (V4_4, 0.35)],
+        _ => [(V4_1, 0.30), (V4_2, 0.25), (V4_3, 0.20), (V4_4, 0.25)],
+    };
+    pick_weighted(&weights, rng)
+}
+
+fn draw_operator(mfr: Manufacturer, rng: &mut StdRng) -> Operator {
+    use Operator::*;
+    // Motorola skews to US carriers (Verizon especially) per §5.1; others
+    // follow a broad global mix.
+    let weights: Vec<(Operator, f64)> = match mfr {
+        Manufacturer::Motorola => vec![
+            (VerizonUs, 0.45),
+            (AttUs, 0.25),
+            (SprintUs, 0.10),
+            (TmobileUs, 0.10),
+            (Other, 0.10),
+        ],
+        _ => vec![
+            (VerizonUs, 0.10),
+            (AttUs, 0.09),
+            (TmobileUs, 0.07),
+            (SprintUs, 0.06),
+            (VodafoneDe, 0.06),
+            (OrangeFr, 0.05),
+            (SfrFr, 0.04),
+            (FreeFr, 0.04),
+            (EeUk, 0.04),
+            (ThreeUk, 0.03),
+            (BouyguesFr, 0.03),
+            (TelstraAu, 0.03),
+            (Other, 0.36),
+        ],
+    };
+    pick_weighted(&weights, rng)
+}
+
+fn pick_weighted<T: Copy>(weights: &[(T, f64)], rng: &mut StdRng) -> T {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0.0..total);
+    for &(item, w) in weights {
+        if roll < w {
+            return item;
+        }
+        roll -= w;
+    }
+    weights.last().expect("non-empty weights").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Population {
+        Population::generate(&PopulationSpec::scaled(0.1))
+    }
+
+    #[test]
+    fn session_budget_respected() {
+        let pop = small();
+        let expected: u32 = MANUFACTURER_SESSIONS
+            .iter()
+            .map(|&(_, b)| ((b as f64) * 0.1).round() as u32)
+            .sum();
+        assert_eq!(pop.sessions.len() as u32, expected);
+        assert_eq!(
+            pop.sessions_per_device().iter().sum::<u32>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn full_scale_matches_paper_totals() {
+        let pop = Population::generate(&PopulationSpec::default());
+        assert_eq!(pop.sessions.len(), 15_970);
+        // ≥3,835 handsets; our generator lands in the same band.
+        assert!(
+            (3_300..=4_400).contains(&pop.devices.len()),
+            "devices = {}",
+            pop.devices.len()
+        );
+        assert_eq!(pop.distinct_models(), 435);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.devices.len(), b.devices.len());
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.os_version, y.os_version);
+            assert_eq!(x.store.len(), y.store.len());
+            assert_eq!(x.rooted, y.rooted);
+        }
+    }
+
+    #[test]
+    fn manufacturer_session_mix() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let mut by_mfr: std::collections::HashMap<Manufacturer, u32> = Default::default();
+        for s in &pop.sessions {
+            *by_mfr.entry(pop.device_of(s).manufacturer).or_default() += 1;
+        }
+        assert_eq!(by_mfr[&Manufacturer::Samsung], 7_709);
+        assert_eq!(by_mfr[&Manufacturer::Lg], 2_908);
+        assert_eq!(by_mfr[&Manufacturer::Asus], 1_876);
+        assert_eq!(by_mfr[&Manufacturer::Htc], 963);
+        assert_eq!(by_mfr[&Manufacturer::Motorola], 837);
+    }
+
+    #[test]
+    fn pinned_models_match_table2() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let counts = pop.sessions_per_device();
+        let mut by_model: std::collections::HashMap<&str, u32> = Default::default();
+        for (i, d) in pop.devices.iter().enumerate() {
+            *by_model.entry(d.model.as_str()).or_default() += counts[i];
+        }
+        assert_eq!(by_model["Samsung Galaxy SIV"], 2_762);
+        assert_eq!(by_model["Samsung Galaxy SIII"], 2_108);
+        assert_eq!(by_model["LG Nexus 4"], 1_331);
+        assert_eq!(by_model["LG Nexus 5"], 1_010);
+        assert_eq!(by_model["Asus Nexus 7"], 832);
+    }
+
+    #[test]
+    fn sessions_fall_in_study_window() {
+        let pop = small();
+        for s in &pop.sessions {
+            assert!(s.at >= crate::session::study_start());
+            assert!(s.at <= crate::session::study_end());
+        }
+    }
+}

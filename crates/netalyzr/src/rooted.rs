@@ -1,0 +1,224 @@
+//! Rooting, rooted-only certificates (§6 / Table 5), §5.2 oddities, and the
+//! five missing-cert handsets.
+
+use crate::device::Device;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+use tangled_pki::extras::{rooted_device_cas, unusual_certs, UnusualOrigin};
+use tangled_pki::stores::global_factory;
+use tangled_pki::trust::AnchorSource;
+
+/// Fraction of *sessions* that run on rooted handsets (§6: 24 %). Applied
+/// per device; session counts are independent of rooting, so the
+/// session-weighted fraction matches in expectation.
+pub const ROOTED_FRACTION: f64 = 0.24;
+
+/// Flag devices as rooted, then install the Table 5 rooted-only
+/// certificates on specific rooted devices.
+///
+/// The CRAZY HOUSE certificate (installed by the Freedom app) lands on 70
+/// devices; the four singletons on one each. Target devices are chosen
+/// among rooted devices with few sessions so that the sessions exposing
+/// rooted-only certs come to ≈6 % of rooted sessions, as the paper reports.
+pub fn assign_rooting(devices: &mut [Device], session_counts: &[u32], rng: &mut StdRng) {
+    for d in devices.iter_mut() {
+        d.rooted = rng.gen_bool(ROOTED_FRACTION);
+    }
+
+    // Candidate hosts for rooted-only certs: rooted, light session counts.
+    let hosts: Vec<usize> = devices
+        .iter()
+        .enumerate()
+        .filter(|(i, d)| d.rooted && (2..=4).contains(&session_counts[*i]))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut factory = global_factory().lock().expect("factory poisoned");
+    let mut next = 0usize;
+    for ca in rooted_device_cas() {
+        // Scale the device count down when the population itself is scaled
+        // (fewer hosts than the full-scale dataset provides).
+        let want = ca.devices.min(hosts.len().saturating_sub(next));
+        for _ in 0..want {
+            let idx = hosts[next];
+            next += 1;
+            let dev = &mut devices[idx];
+            let mut store = dev.store.cloned_as(&format!("{} (rooted)", dev.store.name()));
+            store.add_cert(factory.root(ca.authority), AnchorSource::RootApp);
+            dev.store = Arc::new(store);
+        }
+        if next >= hosts.len() {
+            break;
+        }
+    }
+}
+
+/// Sprinkle the §5.2 unusual certificates (operator services, government
+/// CAs, user VPN roots) over non-rooted devices.
+pub fn sprinkle_unusual(devices: &mut [Device], rng: &mut StdRng) {
+    let mut factory = global_factory().lock().expect("factory poisoned");
+    let n = devices.len();
+    if n == 0 {
+        return;
+    }
+    for uc in unusual_certs() {
+        for _ in 0..uc.devices {
+            // Uniform device pick; collisions are fine (add is idempotent).
+            let idx = rng.gen_range(0..n);
+            let dev = &mut devices[idx];
+            let source = match uc.origin {
+                UnusualOrigin::RootApp => AnchorSource::RootApp,
+                UnusualOrigin::UserVpn => AnchorSource::User,
+                UnusualOrigin::OperatorService => AnchorSource::Operator,
+                UnusualOrigin::Government => AnchorSource::Unknown,
+            };
+            let mut store = dev.store.cloned_as(&format!("{} (+unusual)", dev.store.name()));
+            store.add_cert(factory.root(uc.authority), source);
+            dev.store = Arc::new(store);
+        }
+    }
+}
+
+/// Exactly five handsets in the paper were *missing* AOSP certificates.
+/// Remove one or two anchors from five devices via user action.
+pub fn remove_certs_on_five_devices(devices: &mut [Device], rng: &mut StdRng) {
+    let n = devices.len();
+    if n == 0 {
+        return;
+    }
+    let target = 5.min(n);
+    // BTreeSet: deterministic iteration order (std HashSet order is
+    // seeded per process and would break reproducibility).
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < target {
+        chosen.insert(rng.gen_range(0..n));
+    }
+    for idx in chosen {
+        let dev = &mut devices[idx];
+        let mut store = dev.store.cloned_as(&format!("{} (-user)", dev.store.name()));
+        let k = rng.gen_range(1..=2usize);
+        // Users remove obscure tail-of-store anchors, not the busy web
+        // CAs at the front (which would break ordinary browsing).
+        let victims: Vec<_> = store
+            .identities()
+            .iter()
+            .rev()
+            .filter(|id| {
+                store
+                    .get(id)
+                    .is_some_and(|a| a.source == AnchorSource::Aosp)
+            })
+            .take(k)
+            .cloned()
+            .collect();
+        for id in &victims {
+            store.remove(id);
+        }
+        dev.removed_aosp = victims;
+        dev.store = Arc::new(store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::population::{Population, PopulationSpec};
+
+    fn pop() -> Population {
+        Population::generate(&PopulationSpec::scaled(0.25))
+    }
+
+    #[test]
+    fn rooted_session_fraction_near_24_percent() {
+        let pop = pop();
+        let rooted: usize = pop
+            .sessions
+            .iter()
+            .filter(|s| pop.device_of(s).rooted)
+            .count();
+        let frac = rooted as f64 / pop.sessions.len() as f64;
+        assert!(
+            (0.18..=0.30).contains(&frac),
+            "rooted session fraction {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn rooted_only_certs_only_on_rooted_devices() {
+        let pop = pop();
+        for d in &pop.devices {
+            if d.has_root_app_certs()
+                && d.store
+                    .iter()
+                    .any(|a| a.cert.subject.to_string().contains("CRAZY HOUSE"))
+            {
+                assert!(d.rooted, "CRAZY HOUSE only appears on rooted handsets");
+            }
+        }
+    }
+
+    #[test]
+    fn crazy_house_device_count_scales() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let carriers = pop
+            .devices
+            .iter()
+            .filter(|d| {
+                d.store
+                    .iter()
+                    .any(|a| a.cert.subject.to_string().contains("CRAZY HOUSE"))
+            })
+            .count();
+        assert_eq!(carriers, 70, "Table 5: CRAZY HOUSE on 70 devices");
+    }
+
+    #[test]
+    fn rooted_only_session_share_near_6_percent_of_rooted() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let mut rooted_sessions = 0usize;
+        let mut flagged = 0usize;
+        for s in &pop.sessions {
+            let d = pop.device_of(s);
+            if d.rooted {
+                rooted_sessions += 1;
+                if d.has_root_app_certs() {
+                    flagged += 1;
+                }
+            }
+        }
+        let frac = flagged as f64 / rooted_sessions as f64;
+        assert!(
+            (0.03..=0.10).contains(&frac),
+            "rooted-only cert session share {frac:.3} (paper: 6%)"
+        );
+    }
+
+    #[test]
+    fn exactly_five_devices_missing_certs() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let missing = pop
+            .devices
+            .iter()
+            .filter(|d| d.is_missing_aosp_certs())
+            .count();
+        assert_eq!(missing, 5);
+        for d in pop.devices.iter().filter(|d| d.is_missing_aosp_certs()) {
+            assert!(d.aosp_cert_count() < d.os_version.aosp_store_size());
+        }
+    }
+
+    #[test]
+    fn unusual_certs_present_somewhere() {
+        let pop = Population::generate(&PopulationSpec::default());
+        let has = |needle: &str| {
+            pop.devices.iter().any(|d| {
+                d.store
+                    .iter()
+                    .any(|a| a.cert.subject.to_string().contains(needle))
+            })
+        };
+        assert!(has("Meditel"));
+        assert!(has("Venezuelan National CA"));
+        assert!(has("Telefonica"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Netalyzr sessions: one execution of the measurement app on a device.
+
+use crate::device::DeviceId;
+use tangled_asn1::Time;
+
+/// Network attachment at session time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Wi-Fi access point.
+    Wifi,
+    /// Cellular data.
+    Cellular,
+}
+
+/// One Netalyzr execution.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Sequential session number (0-based, generation order).
+    pub index: u32,
+    /// The device that ran the session.
+    pub device: DeviceId,
+    /// When the session ran (within the paper's Nov 2013 – Apr 2014 window).
+    pub at: Time,
+    /// Network attachment.
+    pub network: NetworkKind,
+}
+
+/// The study window start (November 2013).
+pub fn study_start() -> Time {
+    Time::date(2013, 11, 1).expect("valid date")
+}
+
+/// The study window end (April 2014, inclusive).
+pub fn study_end() -> Time {
+    Time::date(2014, 4, 30).expect("valid date")
+}
+
+/// The number of days in the study window.
+pub fn study_days() -> i64 {
+    (study_end().to_unix() - study_start().to_unix()) / 86_400
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn window_spans_six_months() {
+        assert_eq!(study_days(), 180);
+        assert!(study_start() < study_end());
+    }
+}

@@ -1,0 +1,130 @@
+//! ECDF and progressive-coverage math for Figure 3.
+//!
+//! Figure 3 plots, per root-store category, the ECDF of the number of
+//! Notary certificates each root validates, built by "cumulatively
+//! considering" each of its certificates (starting with the certificates
+//! that can validate the most additional certs)". This module supplies the
+//! two curves: the plain ECDF over per-root counts (whose y-offset at zero
+//! is the Table 4 dead fraction) and the greedy cumulative-coverage curve.
+
+/// One ECDF point: `(validation count, fraction of roots ≤ count)`.
+pub type EcdfPoint = (u32, f64);
+
+/// Empirical CDF over per-root validation counts.
+///
+/// Returns one point per distinct count value, ascending; the first point
+/// at count 0 (when present) is the dead-root fraction.
+pub fn ecdf(counts: &[u32]) -> Vec<EcdfPoint> {
+    if counts.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out: Vec<EcdfPoint> = Vec::new();
+    for (i, &c) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == c => last.1 = frac,
+            _ => out.push((c, frac)),
+        }
+    }
+    out
+}
+
+/// Fraction of roots validating zero certificates.
+pub fn dead_fraction(counts: &[u32]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.iter().filter(|&&c| c == 0).count() as f64 / counts.len() as f64
+}
+
+/// Greedy cumulative coverage: roots sorted by validation count
+/// descending; point `i` is `(i + 1, certificates covered by the top i+1
+/// roots)`. With single-anchor chains the marginal gain of a root is its
+/// own count, so the greedy order is exactly the sort.
+pub fn progressive_coverage(counts: &[u32]) -> Vec<(usize, u64)> {
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut acc = 0u64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            acc += c as u64;
+            (i + 1, acc)
+        })
+        .collect()
+}
+
+/// How many of the highest-validating roots are needed to retain `target`
+/// fraction of the full coverage — the Perl et al. "you won't be needing
+/// these any more" planner the paper cites, used by the
+/// `notary_coverage` example.
+pub fn roots_needed_for(counts: &[u32], target: f64) -> usize {
+    assert!((0.0..=1.0).contains(&target), "target must be a fraction");
+    let curve = progressive_coverage(counts);
+    let total = curve.last().map_or(0, |&(_, c)| c);
+    if total == 0 {
+        return 0;
+    }
+    let want = (total as f64 * target).ceil() as u64;
+    curve
+        .iter()
+        .find(|&&(_, c)| c >= want)
+        .map_or(counts.len(), |&(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let points = ecdf(&[0, 0, 5, 10]);
+        assert_eq!(points, vec![(0, 0.5), (5, 0.75), (10, 1.0)]);
+        assert!(ecdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let counts = [3u32, 0, 7, 7, 1, 0, 250, 12];
+        let points = ecdf(&counts);
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1 + 1e-12);
+        }
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_fraction_counts_zeros() {
+        assert_eq!(dead_fraction(&[0, 0, 1, 2]), 0.5);
+        assert_eq!(dead_fraction(&[1, 2]), 0.0);
+        assert_eq!(dead_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn progressive_coverage_descends_marginally() {
+        let curve = progressive_coverage(&[5, 1, 10, 0]);
+        assert_eq!(curve, vec![(1, 10), (2, 15), (3, 16), (4, 16)]);
+    }
+
+    #[test]
+    fn roots_needed_for_targets() {
+        // Counts: 10, 5, 1, 0 → total 16.
+        let counts = [5u32, 1, 10, 0];
+        assert_eq!(roots_needed_for(&counts, 0.5), 1); // 10 ≥ 8
+        assert_eq!(roots_needed_for(&counts, 0.9), 2); // 15 ≥ 14.4→15
+        assert_eq!(roots_needed_for(&counts, 1.0), 3); // 16 at 3 roots
+        assert_eq!(roots_needed_for(&[], 0.9), 0);
+        assert_eq!(roots_needed_for(&[0, 0], 0.9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn roots_needed_rejects_bad_target() {
+        roots_needed_for(&[1], 1.5);
+    }
+}

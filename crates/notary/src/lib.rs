@@ -1,0 +1,34 @@
+//! `tangled-notary` — a calibrated simulator of the ICSI Certificate
+//! Notary.
+//!
+//! The real Notary passively collects certificates from live traffic at
+//! eight research networks (>1.9 M unique certificates, >66 B TLS
+//! sessions). That dataset is closed, so this crate builds a synthetic
+//! server-certificate ecosystem with the same *validation structure*:
+//!
+//! * every root-store member of [`tangled_pki::stores`] gets a calibrated
+//!   issuance volume ([`ecosystem::issuance_plan`]): a Zipf-heavy core of
+//!   shared web CAs, small volumes for government/operator roots, and a
+//!   long tail of roots that issue nothing (the "dead weight" of Table 4);
+//! * a *wild* population (self-signed and private-CA chains) that no store
+//!   validates, sized so store coverage lands near the paper's ~74 %;
+//! * real chains: every certificate is issued and signed through
+//!   [`tangled_x509`], some through intermediates, and validation runs the
+//!   real chain verifier.
+//!
+//! On top sit the measurement queries the paper's Tables 3–4 and Figure 3
+//! need: per-root validation counts ([`validate::ValidationIndex`]),
+//! per-store totals, dead-root fractions, and ECDF series
+//! ([`coverage`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod db;
+pub mod ecosystem;
+pub mod validate;
+
+pub use db::NotaryDb;
+pub use ecosystem::{Ecosystem, EcosystemSpec};
+pub use validate::ValidationIndex;

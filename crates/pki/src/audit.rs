@@ -1,0 +1,270 @@
+//! Device root-store auditing — the operational tool this reproduction
+//! distils from the paper's methodology.
+//!
+//! Given an observed device store and the AOSP baseline it should match,
+//! [`audit`] produces a structured [`AuditReport`]: additions with
+//! provenance, removals, disabled anchors, expired-but-trusted anchors,
+//! root-app red flags (§6), and an overall [`RiskLevel`]. This is exactly
+//! the per-handset analysis behind Figures 1–2 packaged as a reusable API.
+
+use crate::diff::{diff, StoreDiff};
+use crate::store::RootStore;
+use crate::trust::AnchorSource;
+use tangled_asn1::Time;
+use tangled_x509::CertIdentity;
+
+/// Overall assessment of a device store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RiskLevel {
+    /// Identical to the AOSP baseline.
+    Stock,
+    /// Vendor/operator additions only — the 39 % case of §5.
+    Extended,
+    /// User-visible modifications (manual additions or removals).
+    UserModified,
+    /// Anchors installed by root-privileged apps — the §6 case.
+    Compromised,
+}
+
+impl RiskLevel {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RiskLevel::Stock => "stock",
+            RiskLevel::Extended => "extended (vendor/operator)",
+            RiskLevel::UserModified => "user-modified",
+            RiskLevel::Compromised => "compromised (root-app anchors)",
+        }
+    }
+}
+
+/// One flagged anchor in a report.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The anchor's identity.
+    pub identity: CertIdentity,
+    /// Provenance recorded in the store.
+    pub source: AnchorSource,
+    /// Why it was flagged.
+    pub reason: &'static str,
+}
+
+/// The audit result for one device store.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Name of the audited store.
+    pub store_name: String,
+    /// Name of the baseline it was compared against.
+    pub baseline_name: String,
+    /// The raw diff against the baseline.
+    pub diff: StoreDiff,
+    /// Flagged anchors, most severe first.
+    pub findings: Vec<Finding>,
+    /// The rolled-up risk level.
+    pub risk: RiskLevel,
+}
+
+impl AuditReport {
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audit of '{}' against '{}': {}\n",
+            self.store_name,
+            self.baseline_name,
+            self.risk.label()
+        ));
+        out.push_str(&format!(
+            "  +{} additions, -{} removals, {} findings\n",
+            self.diff.added_count(),
+            self.diff.removed_count(),
+            self.findings.len()
+        ));
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  [{}] {} — {}\n",
+                f.source.label(),
+                f.identity.subject,
+                f.reason
+            ));
+        }
+        out
+    }
+}
+
+/// Audit an observed store against its expected baseline at time `at`.
+pub fn audit(baseline: &RootStore, observed: &RootStore, at: Time) -> AuditReport {
+    let d = diff(baseline, observed);
+    let mut findings = Vec::new();
+
+    // Additions, by provenance severity.
+    for id in &d.added {
+        if let Some(anchor) = observed.get(id) {
+            let reason = match anchor.source {
+                AnchorSource::RootApp => "installed by a root-privileged app",
+                AnchorSource::User => "manually installed by the user",
+                AnchorSource::Unknown => "addition of unknown origin",
+                AnchorSource::Operator => "operator firmware addition",
+                AnchorSource::Manufacturer => "manufacturer firmware addition",
+                AnchorSource::Aosp => "addition labelled AOSP but absent from baseline",
+            };
+            findings.push(Finding {
+                identity: id.clone(),
+                source: anchor.source,
+                reason,
+            });
+        }
+    }
+    // Removals (the paper saw only 5 such handsets).
+    for id in &d.removed {
+        findings.push(Finding {
+            identity: id.clone(),
+            source: AnchorSource::User,
+            reason: "baseline anchor missing from device",
+        });
+    }
+    // Disabled anchors.
+    for anchor in observed.iter().filter(|a| !a.enabled) {
+        findings.push(Finding {
+            identity: anchor.identity(),
+            source: anchor.source,
+            reason: "anchor disabled in settings",
+        });
+    }
+    // Expired anchors still trusted (the Firmaprofesional case, §2).
+    for anchor in observed.iter_enabled().filter(|a| a.cert.is_expired_at(at)) {
+        findings.push(Finding {
+            identity: anchor.identity(),
+            source: anchor.source,
+            reason: "expired certificate still enabled as trust anchor",
+        });
+    }
+
+    // Severity order: root-app first, then unknown/user, then the rest.
+    findings.sort_by_key(|f| match f.source {
+        AnchorSource::RootApp => 0,
+        AnchorSource::Unknown => 1,
+        AnchorSource::User => 2,
+        AnchorSource::Operator => 3,
+        AnchorSource::Manufacturer => 4,
+        AnchorSource::Aosp => 5,
+    });
+
+    let has_root_app = findings
+        .iter()
+        .any(|f| f.source == AnchorSource::RootApp);
+    let has_user_change = !d.removed.is_empty()
+        || findings
+            .iter()
+            .any(|f| f.source == AnchorSource::User && f.reason != "anchor disabled in settings");
+    let risk = if has_root_app {
+        RiskLevel::Compromised
+    } else if has_user_change {
+        RiskLevel::UserModified
+    } else if !d.added.is_empty() {
+        RiskLevel::Extended
+    } else {
+        RiskLevel::Stock
+    };
+
+    AuditReport {
+        store_name: observed.name().to_owned(),
+        baseline_name: baseline.name().to_owned(),
+        diff: d,
+        findings,
+        risk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stores::{global_factory, ReferenceStore};
+
+    fn at() -> Time {
+        Time::date(2014, 2, 1).expect("valid")
+    }
+
+    fn baseline() -> RootStore {
+        ReferenceStore::Aosp41.cached().cloned_as("AOSP 4.1 baseline")
+    }
+
+    #[test]
+    fn stock_device_is_stock_despite_expired_root() {
+        let b = baseline();
+        let report = audit(&b, &b, at());
+        assert_eq!(report.risk, RiskLevel::Stock);
+        assert!(report.diff.is_identity());
+        // The expired Firmaprofesional root is still flagged as a finding.
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0]
+            .reason
+            .contains("expired certificate"));
+    }
+
+    #[test]
+    fn vendor_extension_is_extended() {
+        let b = baseline();
+        let mut obs = b.cloned_as("vendor firmware");
+        let mut f = global_factory().lock().unwrap();
+        obs.add_cert(f.root("Audit Vendor CA"), AnchorSource::Manufacturer);
+        obs.add_cert(f.root("Audit Operator CA"), AnchorSource::Operator);
+        drop(f);
+        let report = audit(&b, &obs, at());
+        assert_eq!(report.risk, RiskLevel::Extended);
+        assert_eq!(report.diff.added_count(), 2);
+        let text = report.render();
+        assert!(text.contains("manufacturer"));
+        assert!(text.contains("operator firmware addition"));
+    }
+
+    #[test]
+    fn root_app_anchor_is_compromised_and_sorted_first() {
+        let b = baseline();
+        let mut obs = b.cloned_as("rooted device");
+        let mut f = global_factory().lock().unwrap();
+        obs.add_cert(f.root("Audit Vendor CA"), AnchorSource::Manufacturer);
+        obs.add_cert(f.root("CRAZY HOUSE"), AnchorSource::RootApp);
+        drop(f);
+        let report = audit(&b, &obs, at());
+        assert_eq!(report.risk, RiskLevel::Compromised);
+        assert_eq!(report.findings[0].source, AnchorSource::RootApp);
+        assert!(report.findings[0].identity.subject.contains("CRAZY HOUSE"));
+    }
+
+    #[test]
+    fn removal_is_user_modified() {
+        let b = baseline();
+        let mut obs = b.cloned_as("user trimmed");
+        let victim = obs.identities()[3].clone();
+        obs.remove(&victim);
+        let report = audit(&b, &obs, at());
+        assert_eq!(report.risk, RiskLevel::UserModified);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.reason.contains("missing from device")));
+    }
+
+    #[test]
+    fn disabled_anchor_reported_without_raising_risk() {
+        let b = baseline();
+        let mut obs = b.cloned_as("user disabled one");
+        let victim = obs.identities()[0].clone();
+        obs.disable(&victim);
+        let report = audit(&b, &obs, at());
+        // Disable is a finding but the store is otherwise stock.
+        assert_eq!(report.risk, RiskLevel::Stock);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.reason.contains("disabled in settings")));
+    }
+
+    #[test]
+    fn risk_levels_are_ordered() {
+        assert!(RiskLevel::Stock < RiskLevel::Extended);
+        assert!(RiskLevel::Extended < RiskLevel::UserModified);
+        assert!(RiskLevel::UserModified < RiskLevel::Compromised);
+    }
+}

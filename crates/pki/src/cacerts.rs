@@ -1,0 +1,249 @@
+//! Emulation of Android's on-disk root store layout.
+//!
+//! Android keeps its system root store as one file per anchor under
+//! `/system/etc/security/cacerts/`, named `<subject-hash>.<n>` (footnote 2
+//! of the paper). This module renders a [`RootStore`] into that layout and
+//! parses it back — the format third-party apps with root permissions
+//! manipulate directly in §6.
+
+use crate::store::RootStore;
+use crate::trust::AnchorSource;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tangled_crypto::sha1::sha1;
+use tangled_x509::Certificate;
+
+/// One file of the cacerts directory: name and contents. Android's real
+/// files are PEM-armored; this emulation accepts both PEM and raw DER
+/// contents and can write either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacertsFile {
+    /// File name, `xxxxxxxx.n` (8 hex digits of the subject hash, then a
+    /// collision counter).
+    pub name: String,
+    /// Certificate bytes: PEM text or raw DER.
+    pub der: Vec<u8>,
+}
+
+/// The subject-hash prefix used in the file name (first 4 bytes of the
+/// SHA-1 of the DER-encoded subject, rendered as 8 hex digits — a stand-in
+/// for OpenSSL's `X509_NAME_hash`).
+pub fn subject_hash(cert: &Certificate) -> String {
+    let h = sha1(&cert.subject.to_der());
+    format!("{:02x}{:02x}{:02x}{:02x}", h[0], h[1], h[2], h[3])
+}
+
+/// Render a store into the cacerts directory layout with raw DER
+/// contents. Output is sorted by file name; hash collisions get increasing
+/// `.n` suffixes, as on Android.
+pub fn to_cacerts(store: &RootStore) -> Vec<CacertsFile> {
+    let mut by_hash: BTreeMap<String, Vec<&Arc<Certificate>>> = BTreeMap::new();
+    for anchor in store.iter() {
+        by_hash
+            .entry(subject_hash(&anchor.cert))
+            .or_default()
+            .push(&anchor.cert);
+    }
+    let mut files = Vec::with_capacity(store.len());
+    for (hash, certs) in by_hash {
+        for (n, cert) in certs.iter().enumerate() {
+            files.push(CacertsFile {
+                name: format!("{hash}.{n}"),
+                der: cert.to_der().to_vec(),
+            });
+        }
+    }
+    files
+}
+
+/// Render a store into the cacerts layout with PEM-armored contents — the
+/// format Android actually ships.
+pub fn to_cacerts_pem(store: &RootStore) -> Vec<CacertsFile> {
+    to_cacerts(store)
+        .into_iter()
+        .map(|f| {
+            let cert = Certificate::parse(&f.der).expect("just serialized");
+            CacertsFile {
+                name: f.name,
+                der: tangled_x509::pem::encode_certificate(&cert).into_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// Errors from reading a cacerts directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacertsError {
+    /// A file's contents failed to parse as a certificate.
+    BadCertificate {
+        /// Offending file name.
+        file: String,
+    },
+    /// A file name does not match the `xxxxxxxx.n` convention.
+    BadFileName {
+        /// Offending file name.
+        file: String,
+    },
+    /// A file's name hash does not match its certificate's subject.
+    HashMismatch {
+        /// Offending file name.
+        file: String,
+    },
+}
+
+impl std::fmt::Display for CacertsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacertsError::BadCertificate { file } => {
+                write!(f, "{file}: not a valid certificate")
+            }
+            CacertsError::BadFileName { file } => {
+                write!(f, "{file}: invalid cacerts file name")
+            }
+            CacertsError::HashMismatch { file } => {
+                write!(f, "{file}: name does not match subject hash")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacertsError {}
+
+/// Parse a cacerts directory back into a store. Every anchor is tagged with
+/// the given provenance (a reader cannot tell who wrote a file).
+pub fn from_cacerts(
+    name: &str,
+    files: &[CacertsFile],
+    source: AnchorSource,
+) -> Result<RootStore, CacertsError> {
+    let mut store = RootStore::new(name);
+    for file in files {
+        let valid_name = file.name.len() >= 10
+            && file.name.as_bytes()[8] == b'.'
+            && file.name[..8].bytes().all(|b| b.is_ascii_hexdigit())
+            && file.name[9..].bytes().all(|b| b.is_ascii_digit());
+        if !valid_name {
+            return Err(CacertsError::BadFileName {
+                file: file.name.clone(),
+            });
+        }
+        // Auto-detect PEM armor vs raw DER, like Android's cert loader.
+        let cert = if file.der.starts_with(b"-----BEGIN") {
+            std::str::from_utf8(&file.der)
+                .ok()
+                .and_then(|text| tangled_x509::pem::decode_certificate(text).ok())
+                .ok_or(CacertsError::BadCertificate {
+                    file: file.name.clone(),
+                })?
+        } else {
+            Certificate::parse(&file.der).map_err(|_| CacertsError::BadCertificate {
+                file: file.name.clone(),
+            })?
+        };
+        if subject_hash(&cert) != file.name[..8] {
+            return Err(CacertsError::HashMismatch {
+                file: file.name.clone(),
+            });
+        }
+        store.add_cert(Arc::new(cert), source);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::CaFactory;
+    use crate::stores::ReferenceStore;
+
+    #[test]
+    fn round_trip_aosp_store() {
+        let store = ReferenceStore::Aosp41.cached();
+        let files = to_cacerts(&store);
+        assert_eq!(files.len(), store.len());
+        let back = from_cacerts("reread", &files, AnchorSource::Aosp).unwrap();
+        assert_eq!(back.len(), store.len());
+        let orig: std::collections::BTreeSet<_> =
+            store.identities().iter().cloned().collect();
+        let reread: std::collections::BTreeSet<_> =
+            back.identities().iter().cloned().collect();
+        assert_eq!(orig, reread);
+    }
+
+    #[test]
+    fn file_names_are_hash_dot_counter() {
+        let store = ReferenceStore::Aosp41.cached();
+        for f in to_cacerts(&store) {
+            assert_eq!(f.name.as_bytes()[8], b'.');
+            assert!(f.name[..8].bytes().all(|b| b.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn pem_round_trip_matches_der() {
+        let store = ReferenceStore::Aosp41.cached();
+        let pem_files = to_cacerts_pem(&store);
+        assert!(pem_files[0].der.starts_with(b"-----BEGIN CERTIFICATE-----"));
+        let back = from_cacerts("pem", &pem_files, AnchorSource::Aosp).unwrap();
+        assert_eq!(back.len(), store.len());
+        let orig: std::collections::BTreeSet<_> =
+            store.identities().iter().cloned().collect();
+        let reread: std::collections::BTreeSet<_> =
+            back.identities().iter().cloned().collect();
+        assert_eq!(orig, reread);
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let mut f = CaFactory::new();
+        let mut store = RootStore::new("one");
+        store.add_cert(f.root("Corrupt Test CA"), AnchorSource::Aosp);
+        let mut files = to_cacerts(&store);
+        files[0].der[30] ^= 0xff;
+        let err = from_cacerts("x", &files, AnchorSource::Aosp).unwrap_err();
+        assert!(matches!(
+            err,
+            CacertsError::BadCertificate { .. } | CacertsError::HashMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_name_rejected() {
+        let mut f = CaFactory::new();
+        let mut store = RootStore::new("one");
+        store.add_cert(f.root("Name Test CA"), AnchorSource::Aosp);
+        let mut files = to_cacerts(&store);
+        files[0].name = "zzzz.0".into();
+        assert!(matches!(
+            from_cacerts("x", &files, AnchorSource::Aosp).unwrap_err(),
+            CacertsError::BadFileName { .. }
+        ));
+        // Valid shape, wrong hash.
+        let mut files2 = to_cacerts(&store);
+        files2[0].name = "00000000.0".into();
+        assert!(matches!(
+            from_cacerts("x", &files2, AnchorSource::Aosp).unwrap_err(),
+            CacertsError::HashMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn root_app_tampering_is_visible_via_diff() {
+        // The §6 scenario end-to-end at the file level: a root app drops a
+        // new file into cacerts; a diff against AOSP flags it.
+        let mut f = CaFactory::new();
+        let aosp = ReferenceStore::Aosp44.cached();
+        let mut files = to_cacerts(&aosp);
+        let mal = f.root("CRAZY HOUSE");
+        let mal_hash = subject_hash(&mal);
+        files.push(CacertsFile {
+            name: format!("{mal_hash}.0"),
+            der: mal.to_der().to_vec(),
+        });
+        let observed = from_cacerts("tampered", &files, AnchorSource::Unknown).unwrap();
+        let d = crate::diff::diff(&aosp, &observed);
+        assert_eq!(d.added.len(), 1);
+        assert!(d.added[0].subject.contains("CRAZY HOUSE"));
+        assert!(d.removed.is_empty());
+    }
+}

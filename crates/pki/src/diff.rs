@@ -1,0 +1,305 @@
+//! Root-store diffing — the audit primitive behind Figure 1 and §5.
+//!
+//! A [`StoreDiff`] between a *baseline* store (e.g. the AOSP distribution
+//! for the device's OS version) and an *observed* store (what Netalyzr saw
+//! on the handset) lists the anchors added, removed, and carried over. The
+//! paper's headline "39 % of sessions have additional certificates … only 5
+//! handsets were missing certificates" is exactly `added / removed` of this
+//! diff.
+//!
+//! Two implementations are provided — a hash join and a sorted merge — with
+//! identical results; the bench crate ablates them (DESIGN.md §5.3).
+//! Identity granularity is configurable via [`IdentityMode`] for the
+//! identity ablation (DESIGN.md §5.1).
+
+use crate::store::RootStore;
+use tangled_x509::CertIdentity;
+
+/// How two certificates are considered "the same" for diffing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentityMode {
+    /// Byte-exact DER equality (SHA-256 of the encoding).
+    ByteHash,
+    /// The paper's equivalence: subject string + RSA modulus.
+    SubjectAndModulus,
+    /// Modulus only (over-merges distinct subjects sharing a key).
+    ModulusOnly,
+}
+
+/// An opaque identity key under a chosen [`IdentityMode`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdentityKey(String);
+
+impl IdentityKey {
+    /// Compute the key for an anchor certificate.
+    pub fn of(cert: &tangled_x509::Certificate, mode: IdentityMode) -> IdentityKey {
+        match mode {
+            IdentityMode::ByteHash => {
+                IdentityKey(tangled_crypto::sha256::hex(&cert.fingerprint_sha256()))
+            }
+            IdentityMode::SubjectAndModulus => IdentityKey(format!(
+                "{}|{}",
+                cert.subject,
+                cert.public_key.modulus.to_hex()
+            )),
+            IdentityMode::ModulusOnly => IdentityKey(cert.public_key.modulus.to_hex()),
+        }
+    }
+}
+
+/// The result of diffing an observed store against a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDiff {
+    /// Identities present in `observed` but not in `baseline`
+    /// (vendor/operator/user additions), in observed-store order.
+    pub added: Vec<CertIdentity>,
+    /// Identities present in `baseline` but missing from `observed`,
+    /// in baseline-store order.
+    pub removed: Vec<CertIdentity>,
+    /// Identities present in both, in baseline-store order.
+    pub common: Vec<CertIdentity>,
+}
+
+impl StoreDiff {
+    /// Are the two stores identical (under the paper's identity)?
+    pub fn is_identity(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of additions.
+    pub fn added_count(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Number of removals.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+}
+
+/// Diff `observed` against `baseline` using the paper's identity, via hash
+/// join. O(n + m).
+pub fn diff(baseline: &RootStore, observed: &RootStore) -> StoreDiff {
+    let base: std::collections::HashSet<&CertIdentity> = baseline.identities().iter().collect();
+    let obs: std::collections::HashSet<&CertIdentity> = observed.identities().iter().collect();
+    StoreDiff {
+        added: observed
+            .identities()
+            .iter()
+            .filter(|id| !base.contains(id))
+            .cloned()
+            .collect(),
+        removed: baseline
+            .identities()
+            .iter()
+            .filter(|id| !obs.contains(id))
+            .cloned()
+            .collect(),
+        common: baseline
+            .identities()
+            .iter()
+            .filter(|id| obs.contains(id))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Diff via sorted merge. O(n log n + m log m), no hash sets — kept for the
+/// ablation benchmark. Output vectors are sorted by identity rather than by
+/// store order.
+pub fn diff_sorted_merge(baseline: &RootStore, observed: &RootStore) -> StoreDiff {
+    let mut base: Vec<&CertIdentity> = baseline.identities().iter().collect();
+    let mut obs: Vec<&CertIdentity> = observed.identities().iter().collect();
+    base.sort();
+    obs.sort();
+
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut common = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() && j < obs.len() {
+        match base[i].cmp(obs[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push(base[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(obs[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                common.push(base[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend(base[i..].iter().map(|id| (*id).clone()));
+    added.extend(obs[j..].iter().map(|id| (*id).clone()));
+    StoreDiff {
+        added,
+        removed,
+        common,
+    }
+}
+
+/// Count distinct certificates in a collection under a given identity mode
+/// (the DESIGN.md §5.1 ablation: the paper's 314-unique-of-2.3-million
+/// depends on which identity is used).
+pub fn distinct_count<'a>(
+    certs: impl IntoIterator<Item = &'a tangled_x509::Certificate>,
+    mode: IdentityMode,
+) -> usize {
+    certs
+        .into_iter()
+        .map(|c| IdentityKey::of(c, mode))
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+/// Apply a diff to a baseline, reproducing the observed store's identity
+/// set (used by the property tests: `apply(a, diff(a, b)) ≡ b`).
+pub fn apply(baseline: &RootStore, diff: &StoreDiff, observed: &RootStore) -> RootStore {
+    let mut out = RootStore::new(observed.name());
+    for id in &diff.common {
+        if let Some(anchor) = baseline.get(id) {
+            out.add(anchor.clone());
+        }
+    }
+    for id in &diff.added {
+        if let Some(anchor) = observed.get(id) {
+            out.add(anchor.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::CaFactory;
+    use crate::trust::AnchorSource;
+
+    fn mk(names: &[&str]) -> RootStore {
+        let mut f = CaFactory::new();
+        let mut s = RootStore::new("s");
+        for n in names {
+            s.add_cert(f.root(n), AnchorSource::Aosp);
+        }
+        s
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty() {
+        let a = mk(&["A", "B", "C"]);
+        let b = mk(&["A", "B", "C"]);
+        let d = diff(&a, &b);
+        assert!(d.is_identity());
+        assert_eq!(d.common.len(), 3);
+    }
+
+    #[test]
+    fn additions_and_removals_detected() {
+        let baseline = mk(&["A", "B", "C"]);
+        let observed = mk(&["B", "C", "D", "E"]);
+        let d = diff(&baseline, &observed);
+        let names = |ids: &[CertIdentity]| -> Vec<String> {
+            ids.iter().map(|i| i.subject.clone()).collect()
+        };
+        assert_eq!(names(&d.added), vec!["CN=D", "CN=E"]);
+        assert_eq!(names(&d.removed), vec!["CN=A"]);
+        assert_eq!(names(&d.common), vec!["CN=B", "CN=C"]);
+    }
+
+    #[test]
+    fn sorted_merge_agrees_with_hash_join() {
+        let baseline = mk(&["A", "B", "C", "Q", "Z"]);
+        let observed = mk(&["B", "D", "Q", "X"]);
+        let h = diff(&baseline, &observed);
+        let m = diff_sorted_merge(&baseline, &observed);
+        let as_set = |v: &[CertIdentity]| -> std::collections::BTreeSet<CertIdentity> {
+            v.iter().cloned().collect()
+        };
+        assert_eq!(as_set(&h.added), as_set(&m.added));
+        assert_eq!(as_set(&h.removed), as_set(&m.removed));
+        assert_eq!(as_set(&h.common), as_set(&m.common));
+    }
+
+    #[test]
+    fn empty_store_edges() {
+        let empty = RootStore::new("empty");
+        let full = mk(&["A", "B"]);
+        let d = diff(&empty, &full);
+        assert_eq!(d.added.len(), 2);
+        assert!(d.removed.is_empty());
+        let d = diff(&full, &empty);
+        assert_eq!(d.removed.len(), 2);
+        assert!(d.added.is_empty());
+        assert!(diff(&empty, &empty).is_identity());
+    }
+
+    #[test]
+    fn reissued_cert_is_not_an_addition() {
+        // The paper: equivalent certs (same subject+modulus, new expiry)
+        // must not count as additions.
+        let mut f = CaFactory::new();
+        let mut baseline = RootStore::new("base");
+        baseline.add_cert(f.root("Equiv CA"), AnchorSource::Aosp);
+        let mut observed = RootStore::new("obs");
+        observed.add_cert(f.reissued_root("Equiv CA"), AnchorSource::Aosp);
+        let d = diff(&baseline, &observed);
+        assert!(d.is_identity());
+    }
+
+    #[test]
+    fn identity_mode_granularity() {
+        let mut f = CaFactory::new();
+        let orig = f.root("Mode CA");
+        let re = f.reissued_root("Mode CA");
+        let other = f.root("Other CA");
+        let certs = [orig.as_ref().clone(), re.as_ref().clone(), other.as_ref().clone()];
+        assert_eq!(distinct_count(certs.iter(), IdentityMode::ByteHash), 3);
+        assert_eq!(
+            distinct_count(certs.iter(), IdentityMode::SubjectAndModulus),
+            2
+        );
+        assert_eq!(distinct_count(certs.iter(), IdentityMode::ModulusOnly), 2);
+    }
+
+    #[test]
+    fn modulus_only_over_merges() {
+        // Same key under two different subjects: modulus-only merges them,
+        // the paper's identity keeps them apart.
+        let mut f = CaFactory::new();
+        let kp = f.keypair("shared-key");
+        let mk_cert = |cn: &str| {
+            tangled_x509::CertificateBuilder::new(
+                tangled_x509::DistinguishedName::common_name(cn),
+                tangled_x509::DistinguishedName::common_name(cn),
+                tangled_asn1::Time::date(2010, 1, 1).unwrap(),
+                tangled_asn1::Time::date(2020, 1, 1).unwrap(),
+            )
+            .ca(None)
+            .sign(kp.public_key(), &kp)
+            .unwrap()
+        };
+        let a = mk_cert("Subject A");
+        let b = mk_cert("Subject B");
+        let certs = [a, b];
+        assert_eq!(distinct_count(certs.iter(), IdentityMode::ModulusOnly), 1);
+        assert_eq!(
+            distinct_count(certs.iter(), IdentityMode::SubjectAndModulus),
+            2
+        );
+    }
+
+    #[test]
+    fn apply_reconstructs_observed() {
+        let baseline = mk(&["A", "B", "C"]);
+        let observed = mk(&["B", "C", "D"]);
+        let d = diff(&baseline, &observed);
+        let rebuilt = apply(&baseline, &d, &observed);
+        let d2 = diff(&observed, &rebuilt);
+        assert!(d2.is_identity());
+    }
+}

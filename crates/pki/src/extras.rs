@@ -1,0 +1,635 @@
+//! The non-AOSP certificate universe of the paper.
+//!
+//! Figure 2's x-axis names 104 distinct root certificates found on Android
+//! handsets beyond the official AOSP store, each tagged with the first 32
+//! bits of its subject (the parenthesised hint). This module embeds that
+//! catalogue together with:
+//!
+//! * store membership (in Mozilla / in iOS 7 / in neither) and Notary
+//!   visibility, pinned for the certificates the paper discusses explicitly
+//!   and quota-filled deterministically for the rest so the aggregate
+//!   fractions match §5.1 — "Mozilla and iOS7 simultaneously (6.7 %), iOS7
+//!   exclusively (16.2 %), Android-specific (37.1 %), no Notary record
+//!   (40.0 %)";
+//! * provenance: which Figure 2 rows (manufacturer × version, or operator)
+//!   install each certificate, pinned from the §5.1 narrative (AddTrust /
+//!   Deutsche Telekom / Sonera / DoD on HTC and Samsung; Certisign and PTT
+//!   Post on Verizon Motorola 4.1; Microsoft Secure Server on AT&T
+//!   Motorola; FOTA/SUPL on Motorola; GeoTrust UTI on Samsung 4.2/4.3 …);
+//! * the rooted-device CA list of Table 5 and the §5.2 "unusual
+//!   certificates" of unknown origin.
+
+use crate::vocab::{AndroidVersion, Figure2Row, Manufacturer, Operator};
+
+/// The legend classes of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Figure2Class {
+    /// Present in both the Mozilla and iOS 7 root stores.
+    MozillaAndIos7,
+    /// Present in the iOS 7 root store only.
+    Ios7,
+    /// Android-specific but recorded by the ICSI Notary.
+    OnlyAndroid,
+    /// Never recorded by the ICSI Notary.
+    NotRecorded,
+}
+
+impl Figure2Class {
+    /// Legend label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Figure2Class::MozillaAndIos7 => "Mozilla, and iOS7",
+            Figure2Class::Ios7 => "iOS7",
+            Figure2Class::OnlyAndroid => "Only Android",
+            Figure2Class::NotRecorded => "Not recorded by ICSI Notary",
+        }
+    }
+}
+
+/// One catalogued non-AOSP certificate.
+#[derive(Debug, Clone)]
+pub struct ExtraCert {
+    /// Display name from Figure 2's axis.
+    pub name: &'static str,
+    /// The paper's 32-bit subject hint (8 hex digits), unique per entry.
+    pub hint: &'static str,
+    /// Member of the Mozilla root store?
+    pub in_mozilla: bool,
+    /// Member of the iOS 7 root store?
+    pub in_ios7: bool,
+    /// Recorded by the ICSI Notary (appears in live traffic)?
+    pub notary_seen: bool,
+    /// Figure 2 rows that install this certificate, with the within-row
+    /// session frequency (the paper's marker size).
+    pub installers: Vec<(Figure2Row, f64)>,
+}
+
+impl ExtraCert {
+    /// The factory key name for this certificate (unique even for
+    /// duplicate display names).
+    pub fn key_name(&self) -> String {
+        format!("{} [{}]", self.name, self.hint)
+    }
+
+    /// The Figure 2 legend class.
+    pub fn class(&self) -> Figure2Class {
+        if self.in_mozilla && self.in_ios7 {
+            Figure2Class::MozillaAndIos7
+        } else if self.in_ios7 {
+            Figure2Class::Ios7
+        } else if self.notary_seen {
+            Figure2Class::OnlyAndroid
+        } else {
+            Figure2Class::NotRecorded
+        }
+    }
+}
+
+/// Raw catalogue: (display name, subject hint), in Figure 2 axis order.
+pub const FIGURE2_AXIS: [(&str, &str); 104] = [
+    ("Sprint Nextel Root Authority", "979eb027"),
+    ("ABA.ECOM Root CA", "b1d311e0"),
+    ("AddTrust Class 1 CA Root", "9696d421"),
+    ("AddTrust Public CA Root", "e91a308f"),
+    ("AddTrust Qualified CA Root", "e41e9afe"),
+    ("AOL Time Warner Root CA 1", "99de8fc3"),
+    ("AOL Time Warner Root CA 2", "b4375a08"),
+    ("Baltimore EZ by DST", "bcccb33d"),
+    ("Certisign AC1S", "b0c095eb"),
+    ("Certisign AC2", "b930cca5"),
+    ("Certisign AC3S", "ce644ed6"),
+    ("Certisign AC4", "ec83d4cc"),
+    ("Certplus Class 1 Primary CA", "c36b29c8"),
+    ("Certplus Class 3 Primary CA", "b794306e"),
+    ("Certplus Class 3P Primary CA", "ab37ffeb"),
+    ("Certplus Class 3TS Primary CA", "bd659a23"),
+    ("CFCA Root CA", "c107f487"),
+    ("Cingular Preferred Root CA", "db7f0a90"),
+    ("Cingular Trusted Root CA", "eaaa66b1"),
+    ("COMODO RSA CA", "91e85492"),
+    ("COMODO Secure Certificate Services", "c0713382"),
+    ("COMODO Trusted Certificate Services", "df716f36"),
+    ("Deutsche Telekom Root CA 1", "d0dd9b0c"),
+    ("DoD CLASS 3 Root CA", "b530fe64"),
+    ("DST (ANX Network) CA", "b4481180"),
+    ("DST (NRF) RootCA", "d9ac9b77"),
+    ("DST (UPS) RootCA", "ef17ecaf"),
+    ("DST Root CA X1", "d2c626b6"),
+    ("DST RootCA X2", "dc75f08c"),
+    ("DST-Entrust GTI CA", "b61df74b"),
+    ("Entrust CA - L1B", "dc21f568"),
+    ("Entrust.net CA", "ad4d4ba9"),
+    ("Entrust.net Client CA", "9374b4b6"),
+    ("Entrust.net Client CA", "c83a995e"),
+    ("Entrust.net Secure Server CA", "c7c15f4e"),
+    ("eSign Imperito Primary Root CA", "b6d352ea"),
+    ("eSign Gatekeeper Root CA", "bdfaf7c6"),
+    ("eSign Primary Utility Root CA", "a46daef2"),
+    ("EUnet International Root CA", "9e413bd9"),
+    ("FESTE Public Notary Certs", "e183f39b"),
+    ("FESTE Verified Certs", "ea639f1f"),
+    ("First Data Digital CA", "df1c141e"),
+    ("Free SSL CA", "ed846000"),
+    ("GeoTrust CA for Adobe", "a7e577e0"),
+    ("GeoTrust CA for UTI", "b94b8f0a"),
+    ("GeoTrust Mobile Device Root - Privileged", "bbec6559"),
+    ("GeoTrust Mobile Device Root", "8fb1a7ee"),
+    ("GeoTrust True Credentials CA 2", "b2972ca5"),
+    ("GlobalSign Root CA", "da0ee699"),
+    ("GoDaddy Inc", "c42dd515"),
+    ("IPS CA CLASE1", "e05127a7"),
+    ("IPS CA CLASE3 CA", "ab17fe0e"),
+    ("IPS CA CLASEA1 CA", "bb30d7dc"),
+    ("IPS CA CLASEA3", "ee8000f6"),
+    ("IPS CA Timestamping CA", "bcb8ee56"),
+    ("IPS Chained CAs", "dc569249"),
+    ("Microsoft Secure Server Authority", "ea9f5f91"),
+    ("Motorola FOTA Root CA", "bae1df7c"),
+    ("Motorola SUPL Server Root CA", "caf7a0d5"),
+    ("PTT Post Root CA KeyMail", "b07ee23a"),
+    ("RSA Data Security CA", "92ce7ac1"),
+    ("SecureSign Root CA2 Japan", "967b9223"),
+    ("SecureSign Root CA3 Japan", "995e1e80"),
+    ("SEVEN Open Channel Primary CA", "cc2479ed"),
+    ("SIA Secure Client CA", "d2fcb040"),
+    ("SIA Secure Server CA", "dbc10bcc"),
+    ("Sonera Class1 CA", "b5891f2b"),
+    ("Sony Computer DNAS Root 05", "d98f7b36"),
+    ("Sony Ericsson Secure E2E", "ed849d0f"),
+    ("Sprint XCA01", "c65c80d1"),
+    ("Starfield Services Root CA", "f2cc562a"),
+    ("TC TrustCenter Class 1 CA", "b029ebb4"),
+    ("Thawte Personal Basic CA", "bcbc9353"),
+    ("Thawte Personal Freemail CA", "d469d7d4"),
+    ("Thawte Personal Premium CA", "c966d9f8"),
+    ("Thawte Premium Server CA", "d236366a"),
+    ("Thawte Server CA", "d3a4506e"),
+    ("Thawte Timestamping CA", "d62b5878"),
+    ("TrustCenter Class 2 CA", "da38e8ed"),
+    ("TrustCenter Class 3 CA", "b6b4c135"),
+    ("UserTrust Client Auth. and Email", "b23985a4"),
+    ("UserTrust RSA Extended Val. Sec. Server CA", "949c238c"),
+    ("UserTrust UTN-USERFirst", "ceaa813f"),
+    ("VeriSign", "d32e20f0"),
+    ("VeriSign Class 1 Public Primary CA", "dd84d4b9"),
+    ("VeriSign Class 1 Public Primary CA", "e519bf6d"),
+    ("VeriSign Class 2 Public Primary CA", "af0a0dc2"),
+    ("VeriSign Class 2 Public Primary CA", "b65a8ba3"),
+    ("VeriSign Class 3 Extended Validation SSL SGC CA", "bd5688ba"),
+    ("VeriSign Class 3 International Server CA - G3", "99d69c62"),
+    ("VeriSign Class 3 Public Primary CA", "c95c599e"),
+    ("VeriSign Class 3 Secure Server CA - G3", "b187841f"),
+    ("VeriSign Class 3 Secure Server CA", "95c32112"),
+    ("VeriSign Commercial Software Publishers CA", "c3d36965"),
+    ("VeriSign CPS", "d88280e8"),
+    ("VeriSign Individual Software Publishers CA", "c17aca65"),
+    ("VeriSign Trust Network", "a7880121"),
+    ("VeriSign Trust Network", "aad0babe"),
+    ("VeriSign Trust Network", "cc5ed111"),
+    ("Visa Information Delivery Root CA", "c91100e1"),
+    ("Vodafone (Operator Domain)", "c148b339"),
+    ("Vodafone (Widget Operator Domain)", "941c5d68"),
+    ("Wells Fargo CA 01", "9d29d5b9"),
+    ("Xcert EZ by DST", "ad5418de"),
+];
+
+/// Hints of extras in **both** Mozilla and iOS 7 (Figure 2 class
+/// "Mozilla, and iOS7" — 7 of 104 ≈ 6.7 %).
+const MOZILLA_AND_IOS7: [&str; 7] = [
+    "9696d421", // AddTrust Class 1 CA Root
+    "c0713382", // COMODO Secure Certificate Services
+    "df716f36", // COMODO Trusted Certificate Services
+    "da0ee699", // GlobalSign Root CA
+    "b5891f2b", // Sonera Class1 CA
+    "d236366a", // Thawte Premium Server CA
+    "f2cc562a", // Starfield Services Root CA
+];
+
+/// Hints of extras in Mozilla but **not** iOS 7 (9; together with the 7
+/// above, "non-AOSP roots found in Mozilla's store" totals 16 — Table 4).
+const MOZILLA_ONLY: [&str; 9] = [
+    "e91a308f", // AddTrust Public CA Root
+    "e41e9afe", // AddTrust Qualified CA Root
+    "c36b29c8", // Certplus Class 1 Primary CA
+    "b794306e", // Certplus Class 3 Primary CA
+    "d0dd9b0c", // Deutsche Telekom Root CA 1
+    "967b9223", // SecureSign Root CA2 Japan
+    "995e1e80", // SecureSign Root CA3 Japan
+    "b029ebb4", // TC TrustCenter Class 1 CA
+    "d3a4506e", // Thawte Server CA
+];
+
+/// Hints of extras in iOS 7 only (17 of 104 ≈ 16.2 %). Includes the DoD
+/// CLASS 3 root, which the paper notes ships in iOS 7 but is an Intranet CA
+/// to Mozilla.
+const IOS7_ONLY: [&str; 17] = [
+    "b530fe64", // DoD CLASS 3 Root CA
+    "99de8fc3", // AOL Time Warner Root CA 1
+    "b4375a08", // AOL Time Warner Root CA 2
+    "91e85492", // COMODO RSA CA
+    "c42dd515", // GoDaddy Inc
+    "bcbc9353", // Thawte Personal Basic CA
+    "d469d7d4", // Thawte Personal Freemail CA
+    "c966d9f8", // Thawte Personal Premium CA
+    "dd84d4b9", // VeriSign Class 1 Public Primary CA
+    "af0a0dc2", // VeriSign Class 2 Public Primary CA
+    "c95c599e", // VeriSign Class 3 Public Primary CA
+    "ceaa813f", // UserTrust UTN-USERFirst
+    "c91100e1", // Visa Information Delivery Root CA
+    "9d29d5b9", // Wells Fargo CA 01
+    "ad5418de", // Xcert EZ by DST
+    "bcccb33d", // Baltimore EZ by DST
+    "92ce7ac1", // RSA Data Security CA
+];
+
+/// Hints pinned as "Not recorded by ICSI Notary" (§5.1: device-management,
+/// code-signing and firmware/operator-service certificates never seen in
+/// network traffic).
+const PINNED_NOT_RECORDED: [&str; 21] = [
+    "b94b8f0a", // GeoTrust CA for UTI (Java Verified programme)
+    "bae1df7c", // Motorola FOTA Root CA
+    "caf7a0d5", // Motorola SUPL Server Root CA
+    "c148b339", // Vodafone (Operator Domain)
+    "941c5d68", // Vodafone (Widget Operator Domain)
+    "979eb027", // Sprint Nextel Root Authority
+    "c65c80d1", // Sprint XCA01
+    "db7f0a90", // Cingular Preferred Root CA
+    "eaaa66b1", // Cingular Trusted Root CA
+    "ea9f5f91", // Microsoft Secure Server Authority
+    "d98f7b36", // Sony Computer DNAS Root 05
+    "ed849d0f", // Sony Ericsson Secure E2E
+    "cc2479ed", // SEVEN Open Channel Primary CA
+    "bbec6559", // GeoTrust Mobile Device Root - Privileged
+    "8fb1a7ee", // GeoTrust Mobile Device Root
+    "a7e577e0", // GeoTrust CA for Adobe
+    "b2972ca5", // GeoTrust True Credentials CA 2
+    "b07ee23a", // PTT Post Root CA KeyMail (Windows store, not Notary)
+    "b0c095eb", // Certisign AC1S
+    "b930cca5", // Certisign AC2
+    "ce644ed6", // Certisign AC3S
+];
+
+/// Of the entries with no pinned membership, how many are Notary-visible
+/// ("Only Android") — chosen so the four class counts land at 7/17/38/42,
+/// i.e. the paper's 6.7 % / 16.2 % / 37.1 % / 40.0 % split over the axis.
+const UNPINNED_SEEN_QUOTA: usize = 29;
+
+/// Build the full catalogue with membership, visibility and installers.
+pub fn catalogue() -> Vec<ExtraCert> {
+    let mut remaining_seen = UNPINNED_SEEN_QUOTA;
+    FIGURE2_AXIS
+        .iter()
+        .map(|&(name, hint)| {
+            let in_mozilla =
+                MOZILLA_AND_IOS7.contains(&hint) || MOZILLA_ONLY.contains(&hint);
+            let in_ios7 = MOZILLA_AND_IOS7.contains(&hint) || IOS7_ONLY.contains(&hint);
+            let notary_seen = if in_mozilla || in_ios7 {
+                // Store members are public CAs the Notary observes.
+                true
+            } else if PINNED_NOT_RECORDED.contains(&hint) {
+                false
+            } else if remaining_seen > 0 {
+                remaining_seen -= 1;
+                true
+            } else {
+                false
+            };
+            ExtraCert {
+                name,
+                hint,
+                in_mozilla,
+                in_ios7,
+                notary_seen,
+                installers: installers_for(name, hint),
+            }
+        })
+        .collect()
+}
+
+/// Which Figure 2 rows install a certificate, with session frequency.
+///
+/// Pinned from the §5.1 narrative where the paper is explicit; the rest are
+/// spread deterministically (hash of the hint) over the figure's rows.
+fn installers_for(name: &str, hint: &str) -> Vec<(Figure2Row, f64)> {
+    use AndroidVersion::*;
+    use Manufacturer::*;
+    let mfr = Figure2Row::Mfr;
+    let op = Figure2Row::Op;
+
+    // "Mobile manufacturers such as HTC and Samsung have alike additional
+    // certificates (AddTrust, Deutsche Telekom, Sonera, U.S. DoD)
+    // independently of the mobile operator."
+    let htc_samsung: Vec<(Figure2Row, f64)> = [
+        mfr(Htc, V4_1),
+        mfr(Htc, V4_2),
+        mfr(Htc, V4_3),
+        mfr(Htc, V4_4),
+        mfr(Samsung, V4_1),
+        mfr(Samsung, V4_2),
+        mfr(Samsung, V4_3),
+        mfr(Samsung, V4_4),
+    ]
+    .into_iter()
+    .map(|r| (r, 0.85))
+    .collect();
+
+    match hint {
+        // HTC + Samsung firmware additions.
+        "9696d421" | "e91a308f" | "e41e9afe" | "d0dd9b0c" | "b5891f2b" | "b530fe64" => {
+            htc_samsung
+        }
+        // "CertiSign and ptt-post.nl exclusively on 60 to 70 % of Motorola
+        // 4.1 devices, all subscribed to Verizon Wireless."
+        "b0c095eb" | "b930cca5" | "ce644ed6" | "ec83d4cc" | "b07ee23a" => vec![
+            (mfr(Motorola, V4_1), 0.65),
+            (op(Operator::VerizonUs), 0.65),
+        ],
+        // "Potential AT&T-specific inclusions on Motorola handsets, such as
+        // a Microsoft Secure Server certificate."
+        "ea9f5f91" => vec![(mfr(Motorola, V4_1), 0.45), (op(Operator::AttUs), 0.45)],
+        // Motorola's own FOTA / SUPL service roots.
+        "bae1df7c" | "caf7a0d5" => vec![(mfr(Motorola, V4_1), 0.9)],
+        // "GeoTrust CA for UTI certificate (installed on Samsung 4.2 and
+        // 4.3 devices)."
+        "b94b8f0a" => vec![(mfr(Samsung, V4_2), 0.7), (mfr(Samsung, V4_3), 0.7)],
+        // Operator-branded roots.
+        "979eb027" | "c65c80d1" => vec![(op(Operator::SprintUs), 0.8)],
+        "db7f0a90" | "eaaa66b1" => vec![(op(Operator::AttUs), 0.6)],
+        "c148b339" | "941c5d68" => vec![(op(Operator::VodafoneDe), 0.7)],
+        // eSign (Australian CA) on Telstra handsets.
+        "bdfaf7c6" | "b6d352ea" | "a46daef2" => vec![(op(Operator::TelstraAu), 0.55)],
+        // Sony service roots on Sony firmware.
+        "d98f7b36" | "ed849d0f" => vec![(mfr(Sony, V4_3), 0.8)],
+        // Everything else: deterministic spread over the figure's rows.
+        _ => {
+            let rows = Figure2Row::paper_rows();
+            let h = fxhash(name, hint);
+            let n_rows = 1 + (h % 3) as usize;
+            (0..n_rows)
+                .map(|k| {
+                    let idx = ((h >> (8 * k)) as usize + k * 7) % rows.len();
+                    let freq = 0.1 + ((h >> (4 * k)) % 60) as f64 / 100.0;
+                    (rows[idx], freq)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Small deterministic string hash (FNV-1a over name and hint).
+fn fxhash(name: &str, hint: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes().chain([0]).chain(hint.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Rooted-device CAs (Table 5) and §5.2 unusual certificates.
+// ---------------------------------------------------------------------------
+
+/// Why an unusual certificate is on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnusualOrigin {
+    /// Installed by an app running with root permissions (§6).
+    RootApp,
+    /// Self-signed, user-installed (VPN and similar, §5.2).
+    UserVpn,
+    /// Operator service certificate (location/widgets/email APIs, §5.2).
+    OperatorService,
+    /// Government-agency certificate (§5.2).
+    Government,
+}
+
+/// An unusual certificate with its Table 5 / §5.2 provenance.
+#[derive(Debug, Clone)]
+pub struct UnusualCert {
+    /// Issuing authority name as the paper prints it.
+    pub authority: &'static str,
+    /// Origin category.
+    pub origin: UnusualOrigin,
+    /// Number of distinct devices carrying it (Table 5 / §5.2 counts).
+    pub devices: usize,
+    /// For RootApp entries: the app responsible, when known.
+    pub installer_app: Option<&'static str>,
+}
+
+/// Table 5: "CAs and user self-signed certificates found more frequently on
+/// rooted devices", with device counts.
+pub fn rooted_device_cas() -> Vec<UnusualCert> {
+    vec![
+        UnusualCert {
+            authority: "CRAZY HOUSE",
+            origin: UnusualOrigin::RootApp,
+            devices: 70,
+            installer_app: Some("Freedom"),
+        },
+        UnusualCert {
+            authority: "MIND OVERFLOW",
+            origin: UnusualOrigin::RootApp,
+            devices: 1,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "USER_X",
+            origin: UnusualOrigin::UserVpn,
+            devices: 1,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "CDA/EMAILADDRESS",
+            origin: UnusualOrigin::UserVpn,
+            devices: 1,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "CIRRUS, PRIVATE",
+            origin: UnusualOrigin::UserVpn,
+            devices: 1,
+            installer_app: None,
+        },
+    ]
+}
+
+/// §5.2: unusual certificates of unknown origin on non-rooted handsets.
+pub fn unusual_certs() -> Vec<UnusualCert> {
+    vec![
+        UnusualCert {
+            authority: "Verizon Wireless Network API CA",
+            origin: UnusualOrigin::OperatorService,
+            devices: 3,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "Meditel Root CA",
+            origin: UnusualOrigin::OperatorService,
+            devices: 4,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "Telefonica Root CA 1",
+            origin: UnusualOrigin::OperatorService,
+            devices: 2,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "Telefonica Root CA 2",
+            origin: UnusualOrigin::OperatorService,
+            devices: 2,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "Venezuelan National CA",
+            origin: UnusualOrigin::Government,
+            devices: 2,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "CFCA Government CA 2",
+            origin: UnusualOrigin::Government,
+            devices: 5,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "CFCA Government CA 3",
+            origin: UnusualOrigin::Government,
+            devices: 4,
+            installer_app: None,
+        },
+        UnusualCert {
+            authority: "CFCA Government CA 4",
+            origin: UnusualOrigin::Government,
+            devices: 3,
+            installer_app: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn axis_has_104_unique_hints() {
+        let hints: std::collections::HashSet<_> =
+            FIGURE2_AXIS.iter().map(|&(_, h)| h).collect();
+        assert_eq!(hints.len(), 104);
+    }
+
+    #[test]
+    fn class_fractions_match_paper() {
+        let cat = catalogue();
+        assert_eq!(cat.len(), 104);
+        let mut counts: HashMap<Figure2Class, usize> = HashMap::new();
+        for c in &cat {
+            *counts.entry(c.class()).or_default() += 1;
+        }
+        // Paper §5.1: 6.7 % / 16.2 % / 37.1 % / 40.0 % of the axis.
+        assert_eq!(counts[&Figure2Class::MozillaAndIos7], 7);
+        assert_eq!(counts[&Figure2Class::Ios7], 17);
+        assert_eq!(counts[&Figure2Class::OnlyAndroid], 38);
+        assert_eq!(counts[&Figure2Class::NotRecorded], 42);
+    }
+
+    #[test]
+    fn mozilla_membership_matches_table4() {
+        // Table 4: "Non AOSP root certs found on Mozilla's" = 16.
+        let cat = catalogue();
+        assert_eq!(cat.iter().filter(|c| c.in_mozilla).count(), 16);
+        // And 24 in iOS 7 (7 shared + 17 exclusive).
+        assert_eq!(cat.iter().filter(|c| c.in_ios7).count(), 24);
+    }
+
+    #[test]
+    fn dod_cert_membership() {
+        let cat = catalogue();
+        let dod = cat.iter().find(|c| c.hint == "b530fe64").unwrap();
+        assert_eq!(dod.name, "DoD CLASS 3 Root CA");
+        assert!(dod.in_ios7, "paper: iOS7 contains DoD by default");
+        assert!(!dod.in_mozilla, "paper: Mozilla treats DoD as Intranet CA");
+        assert_eq!(dod.class(), Figure2Class::Ios7);
+    }
+
+    #[test]
+    fn narrative_installers_pinned() {
+        let cat = catalogue();
+        let by_hint: HashMap<&str, &ExtraCert> =
+            cat.iter().map(|c| (c.hint, c)).collect();
+
+        // Certisign on Verizon Motorola 4.1 at 60-70%.
+        let certisign = by_hint["b0c095eb"];
+        assert!(certisign.installers.iter().any(|(r, f)| {
+            *r == Figure2Row::Mfr(Manufacturer::Motorola, AndroidVersion::V4_1)
+                && (0.6..=0.7).contains(f)
+        }));
+        assert!(certisign
+            .installers
+            .iter()
+            .any(|(r, _)| *r == Figure2Row::Op(Operator::VerizonUs)));
+
+        // DoD on both HTC and Samsung rows, all versions.
+        let dod = by_hint["b530fe64"];
+        assert_eq!(dod.installers.len(), 8);
+
+        // UTI cert only on Samsung 4.2/4.3.
+        let uti = by_hint["b94b8f0a"];
+        let rows: Vec<_> = uti.installers.iter().map(|(r, _)| *r).collect();
+        assert_eq!(
+            rows,
+            vec![
+                Figure2Row::Mfr(Manufacturer::Samsung, AndroidVersion::V4_2),
+                Figure2Row::Mfr(Manufacturer::Samsung, AndroidVersion::V4_3),
+            ]
+        );
+        assert!(!uti.notary_seen, "UTI cert is not used for TLS");
+    }
+
+    #[test]
+    fn every_extra_has_an_installer_and_sane_freq() {
+        for c in catalogue() {
+            assert!(!c.installers.is_empty(), "{} has no installers", c.key_name());
+            for (_, f) in &c.installers {
+                assert!((0.05..=1.0).contains(f), "{} freq {f}", c.key_name());
+            }
+        }
+    }
+
+    #[test]
+    fn key_names_unique_despite_duplicate_display_names() {
+        let cat = catalogue();
+        let keys: std::collections::HashSet<_> =
+            cat.iter().map(|c| c.key_name()).collect();
+        assert_eq!(keys.len(), cat.len());
+        // There ARE duplicate display names (three "VeriSign Trust Network").
+        let vtn = cat
+            .iter()
+            .filter(|c| c.name == "VeriSign Trust Network")
+            .count();
+        assert_eq!(vtn, 3);
+    }
+
+    #[test]
+    fn table5_counts() {
+        let rooted = rooted_device_cas();
+        assert_eq!(rooted.len(), 5);
+        let crazy = &rooted[0];
+        assert_eq!(crazy.authority, "CRAZY HOUSE");
+        assert_eq!(crazy.devices, 70);
+        assert_eq!(crazy.installer_app, Some("Freedom"));
+        assert!(rooted[1..].iter().all(|c| c.devices == 1));
+    }
+
+    #[test]
+    fn catalogue_is_deterministic() {
+        let a = catalogue();
+        let b = catalogue();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hint, y.hint);
+            assert_eq!(x.notary_seen, y.notary_seen);
+            assert_eq!(x.installers.len(), y.installers.len());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `tangled-pki` — root certificate stores, trust anchors, and the
+//! reference store manifests of the paper.
+//!
+//! The core object is the [`store::RootStore`]: an ordered, mutable set of
+//! [`trust::TrustAnchor`]s keyed by the paper's certificate identity
+//! (subject + RSA modulus). On top of it sit:
+//!
+//! * [`factory::CaFactory`] — deterministic minting of CA certificates from
+//!   a name and workspace seed, so the same CA carries the same key pair
+//!   everywhere it appears (across stores, firmware images and simulators);
+//! * [`diff::StoreDiff`] — the audit primitive: which anchors were added,
+//!   removed, or carried over between two stores (hash-join and
+//!   sorted-merge implementations, ablated in the bench crate);
+//! * [`stores`] — manifests reproducing the structure of the eight
+//!   reference stores of the paper (AOSP 4.1–4.4, Mozilla, iOS 7, plus the
+//!   wild-Android aggregate), with the exact cardinalities of Table 1 and
+//!   the byte-vs-equivalence overlap of §2/Table 4;
+//! * [`extras`] — the 105 named non-AOSP certificates of Figure 2 with
+//!   their provenance (manufacturer / operator rows) and store-membership
+//!   classes, plus the rooted-device CAs of Table 5;
+//! * [`cacerts`] — an emulation of Android's on-disk
+//!   `/system/etc/security/cacerts/` layout (subject-hash file names).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod cacerts;
+pub mod diff;
+pub mod extras;
+pub mod factory;
+pub mod store;
+pub mod stores;
+pub mod trust;
+pub mod vocab;
+
+pub use diff::StoreDiff;
+pub use factory::CaFactory;
+pub use store::RootStore;
+pub use stores::ReferenceStore;
+pub use trust::{AnchorSource, TrustAnchor, TrustBits};
+
+/// The deterministic seed every reference object in the workspace derives
+/// from. Changing it re-keys the entire synthetic PKI.
+pub const WORKSPACE_SEED: u64 = 0x007A_4E61_6C79_7A72; // "tangled" flavoured
+
+/// Default RSA modulus size for synthetic CAs. 512 bits keeps from-scratch
+/// keygen fast while exercising every multi-limb code path.
+pub const DEFAULT_KEY_BITS: usize = 512;

@@ -1,0 +1,431 @@
+//! Reference root-store manifests.
+//!
+//! Rebuilds the *structure* of the eight root stores the paper compares:
+//! the four AOSP releases (139/140/146/150 anchors — Table 1), Mozilla
+//! (153) and iOS 7 (227), plus the aggregated "Android in the wild"
+//! universe (235 — Table 4). The certificates are synthetic (the real
+//! stores are a closed dataset in DER form), but every cardinality and
+//! overlap the paper reports is encoded:
+//!
+//! * 117 anchors **byte-identical** between AOSP 4.4 and Mozilla (§2);
+//! * 13 more that are *equivalent* — same subject and RSA modulus,
+//!   re-issued DER — bringing the equivalence-overlap to 130 (Table 4's
+//!   "AOSP 4.4 and Mozilla root certs" row);
+//! * the expired Autoridad de Certificacion Firmaprofesional root that AOSP
+//!   still ships (§2);
+//! * AOSP stores that only grow across releases (§2, and the Sony 4.1
+//!   observation in §5);
+//! * Mozilla's 23 non-AOSP members, 16 of which are the "found on Android
+//!   devices" extras of Figure 2 (Table 4 row 2);
+//! * iOS 7 as the largest store, containing the 24 iOS-member extras.
+
+use crate::extras::{catalogue, ExtraCert};
+use crate::factory::{CaFactory, CaSpec};
+use crate::store::RootStore;
+use crate::trust::AnchorSource;
+use crate::vocab::AndroidVersion;
+use tangled_asn1::Time;
+
+/// Display name of the expired AOSP root (§2 of the paper).
+pub const FIRMAPROFESIONAL: &str =
+    "Autoridad de Certificacion Firmaprofesional CIF A62634068";
+
+/// The reference stores of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReferenceStore {
+    /// Google's AOSP distribution for Android 4.1.
+    Aosp41,
+    /// Google's AOSP distribution for Android 4.2.
+    Aosp42,
+    /// Google's AOSP distribution for Android 4.3.
+    Aosp43,
+    /// Google's AOSP distribution for Android 4.4.
+    Aosp44,
+    /// Mozilla's root store (NSS).
+    Mozilla,
+    /// Apple iOS 7's root store.
+    Ios7,
+}
+
+impl ReferenceStore {
+    /// All reference stores, AOSP releases first.
+    pub const ALL: [ReferenceStore; 6] = [
+        ReferenceStore::Aosp41,
+        ReferenceStore::Aosp42,
+        ReferenceStore::Aosp43,
+        ReferenceStore::Aosp44,
+        ReferenceStore::Mozilla,
+        ReferenceStore::Ios7,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReferenceStore::Aosp41 => "AOSP 4.1",
+            ReferenceStore::Aosp42 => "AOSP 4.2",
+            ReferenceStore::Aosp43 => "AOSP 4.3",
+            ReferenceStore::Aosp44 => "AOSP 4.4",
+            ReferenceStore::Mozilla => "Mozilla",
+            ReferenceStore::Ios7 => "iOS 7",
+        }
+    }
+
+    /// The certificate count the paper reports (Table 1).
+    pub fn expected_len(self) -> usize {
+        match self {
+            ReferenceStore::Aosp41 => 139,
+            ReferenceStore::Aosp42 => 140,
+            ReferenceStore::Aosp43 => 146,
+            ReferenceStore::Aosp44 => 150,
+            ReferenceStore::Mozilla => 153,
+            ReferenceStore::Ios7 => 227,
+        }
+    }
+
+    /// The AOSP store for an Android version.
+    pub fn for_version(v: AndroidVersion) -> ReferenceStore {
+        match v {
+            AndroidVersion::V4_1 => ReferenceStore::Aosp41,
+            AndroidVersion::V4_2 => ReferenceStore::Aosp42,
+            AndroidVersion::V4_3 => ReferenceStore::Aosp43,
+            AndroidVersion::V4_4 => ReferenceStore::Aosp44,
+        }
+    }
+
+    /// Build the store with a fresh factory. Prefer
+    /// [`ReferenceStore::build_with`] when building several stores so the
+    /// key cache is shared, or [`ReferenceStore::cached`] to share fully
+    /// built stores process-wide.
+    pub fn build(self) -> RootStore {
+        self.build_with(&mut CaFactory::new())
+    }
+
+    /// A process-wide shared copy of this store, built once on first use
+    /// from the [`global_factory`]. Key generation dominates store
+    /// construction, so everything that only *reads* a reference store
+    /// (simulators, analyses, benchmarks) should use this.
+    pub fn cached(self) -> std::sync::Arc<RootStore> {
+        use std::sync::{Arc, Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<std::collections::HashMap<ReferenceStore, Arc<RootStore>>>> =
+            OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+        let mut guard = cache.lock().expect("store cache poisoned");
+        if let Some(store) = guard.get(&self) {
+            return Arc::clone(store);
+        }
+        let store = {
+            let mut factory = global_factory().lock().expect("factory poisoned");
+            Arc::new(self.build_with(&mut factory))
+        };
+        guard.insert(self, Arc::clone(&store));
+        store
+    }
+
+    /// Build the store using a shared factory.
+    pub fn build_with(self, f: &mut CaFactory) -> RootStore {
+        let mut store = RootStore::new(self.name());
+        match self {
+            ReferenceStore::Aosp41 => build_aosp(f, &mut store, AndroidVersion::V4_1),
+            ReferenceStore::Aosp42 => build_aosp(f, &mut store, AndroidVersion::V4_2),
+            ReferenceStore::Aosp43 => build_aosp(f, &mut store, AndroidVersion::V4_3),
+            ReferenceStore::Aosp44 => build_aosp(f, &mut store, AndroidVersion::V4_4),
+            ReferenceStore::Mozilla => build_mozilla(f, &mut store),
+            ReferenceStore::Ios7 => build_ios7(f, &mut store),
+        }
+        debug_assert_eq!(store.len(), self.expected_len());
+        store
+    }
+}
+
+/// The process-wide shared [`CaFactory`] (workspace seed, default key
+/// size). Sharing it means a CA's key pair is generated exactly once per
+/// process no matter how many stores or simulators need it.
+pub fn global_factory() -> &'static std::sync::Mutex<CaFactory> {
+    use std::sync::{Mutex, OnceLock};
+    static FACTORY: OnceLock<Mutex<CaFactory>> = OnceLock::new();
+    FACTORY.get_or_init(|| Mutex::new(CaFactory::new()))
+}
+
+// --- composition constants ------------------------------------------------
+
+/// Anchors byte-identical between AOSP 4.4 and Mozilla.
+pub const SHARED_EXACT: usize = 117;
+/// Anchors equivalent (same subject + modulus) but re-issued between them.
+pub const SHARED_REISSUED: usize = 13;
+/// AOSP 4.4 members absent from Mozilla.
+pub const AOSP_ONLY: usize = 20;
+/// Mozilla synthetic members absent from AOSP and from the extras list.
+pub const MOZILLA_ONLY_SYNTHETIC: usize = 7;
+/// iOS-7-only synthetic members.
+pub const IOS7_ONLY_SYNTHETIC: usize = 63;
+/// AOSP-only members that iOS 7 also carries.
+pub const AOSP_ONLY_IN_IOS7: usize = 10;
+
+/// Per-AOSP-version membership thresholds (stores only grow):
+/// (shared-exact, shared-reissued, aosp-only) counts per release.
+fn aosp_composition(v: AndroidVersion) -> (usize, usize, usize) {
+    match v {
+        AndroidVersion::V4_1 => (110, 11, 18), // 139
+        AndroidVersion::V4_2 => (111, 11, 18), // 140
+        AndroidVersion::V4_3 => (115, 12, 19), // 146
+        AndroidVersion::V4_4 => (117, 13, 20), // 150
+    }
+}
+
+/// Name of the i-th shared (byte-identical) anchor, 1-based.
+pub fn shared_exact_name(i: usize) -> String {
+    format!("Shared Web Trust Root CA {i:03}")
+}
+
+/// Name of the i-th shared re-issued anchor, 1-based.
+pub fn shared_reissued_name(i: usize) -> String {
+    format!("Reissued Web Trust Root CA {i:02}")
+}
+
+/// Name of the i-th AOSP-only anchor, 1-based. Index 1 is the expired
+/// Firmaprofesional root.
+pub fn aosp_only_name(i: usize) -> String {
+    if i == 1 {
+        FIRMAPROFESIONAL.to_owned()
+    } else {
+        format!("AOSP Regional Root CA {i:02}")
+    }
+}
+
+/// Name of the i-th Mozilla-only synthetic anchor, 1-based.
+pub fn mozilla_only_name(i: usize) -> String {
+    format!("Mozilla Program Root CA {i:02}")
+}
+
+/// Name of the i-th iOS-7-only synthetic anchor, 1-based.
+pub fn ios7_only_name(i: usize) -> String {
+    format!("Apple Partner Root CA {i:02}")
+}
+
+fn mint_root(f: &mut CaFactory, name: &str) -> std::sync::Arc<tangled_x509::Certificate> {
+    if name == FIRMAPROFESIONAL {
+        // The expired root the paper calls out: expired Oct. 2013, still in
+        // AOSP 4.4.
+        let mut spec = CaSpec::named(name);
+        spec.not_before = Time::date(2001, 10, 24).expect("valid date");
+        spec.not_after = Time::date(2013, 10, 24).expect("valid date");
+        f.root_with_spec(name, &spec).expect("spec is valid")
+    } else {
+        f.root(name)
+    }
+}
+
+fn build_aosp(f: &mut CaFactory, store: &mut RootStore, v: AndroidVersion) {
+    let (n_exact, n_reissued, n_only) = aosp_composition(v);
+    for i in 1..=n_exact {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=n_reissued {
+        // AOSP carries the *re-issued* variant; Mozilla the original.
+        store.add_cert(
+            f.reissued_root(&shared_reissued_name(i)),
+            AnchorSource::Aosp,
+        );
+    }
+    for i in 1..=n_only {
+        store.add_cert(mint_root(f, &aosp_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+fn build_mozilla(f: &mut CaFactory, store: &mut RootStore) {
+    for i in 1..=SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        // The original issue — byte-unequal to AOSP's copy, same identity.
+        store.add_cert(f.root(&shared_reissued_name(i)), AnchorSource::Aosp);
+    }
+    // The 16 Figure 2 extras that are Mozilla members.
+    for extra in catalogue().iter().filter(|e| e.in_mozilla) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Aosp);
+    }
+    for i in 1..=MOZILLA_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &mozilla_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+fn build_ios7(f: &mut CaFactory, store: &mut RootStore) {
+    for i in 1..=SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        store.add_cert(f.root(&shared_reissued_name(i)), AnchorSource::Aosp);
+    }
+    // iOS 7 carries some of the AOSP-only regional roots too.
+    for i in 1..=AOSP_ONLY_IN_IOS7 {
+        // Skip the expired Firmaprofesional (index 1) — Apple dropped it.
+        store.add_cert(mint_root(f, &aosp_only_name(i + 1)), AnchorSource::Aosp);
+    }
+    // The 24 Figure 2 extras that are iOS 7 members (incl. DoD CLASS 3).
+    for extra in catalogue().iter().filter(|e| e.in_ios7) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Aosp);
+    }
+    for i in 1..=IOS7_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &ios7_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+/// Mint the certificate for a Figure 2 extra. The subject carries the
+/// paper's hint as an OU so duplicate display names stay distinct.
+pub fn mint_extra(
+    f: &mut CaFactory,
+    extra: &ExtraCert,
+) -> std::sync::Arc<tangled_x509::Certificate> {
+    let key = extra.key_name();
+    let mut spec = CaSpec::named(extra.name);
+    spec.subject = tangled_x509::DistinguishedName::builder()
+        .common_name(extra.name)
+        .organizational_unit(extra.hint)
+        .build();
+    f.root_with_spec(&key, &spec).expect("spec is valid")
+}
+
+/// Build the "aggregated Android" universe of Table 4: the AOSP 4.4 store
+/// plus every wild extra that is in neither AOSP nor Mozilla
+/// (150 + 85 ≈ the paper's 235; ours is 150 + 88 = 238 because the Figure 2
+/// axis carries 88 such certificates — see EXPERIMENTS.md).
+pub fn aggregated_android(f: &mut CaFactory) -> RootStore {
+    let mut store = ReferenceStore::Aosp44
+        .build_with(f)
+        .cloned_as("Aggregated Android");
+    for extra in catalogue().iter().filter(|e| !e.in_mozilla) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Manufacturer);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff, distinct_count, IdentityMode};
+
+    #[test]
+    fn table1_cardinalities() {
+        for rs in ReferenceStore::ALL {
+            let store = rs.cached();
+            assert_eq!(store.len(), rs.expected_len(), "{}", rs.name());
+        }
+    }
+
+    #[test]
+    fn aosp_stores_only_grow() {
+        let stores: Vec<_> = AndroidVersion::ALL
+            .iter()
+            .map(|&v| ReferenceStore::for_version(v).cached())
+            .collect();
+        for w in stores.windows(2) {
+            let d = diff(&w[0], &w[1]);
+            assert!(d.removed.is_empty(), "AOSP releases never drop anchors");
+            assert!(!d.added.is_empty(), "each release adds anchors");
+        }
+    }
+
+    #[test]
+    fn aosp44_mozilla_overlap_is_130_equivalent_117_exact() {
+        let aosp = ReferenceStore::Aosp44.cached();
+        let mozilla = ReferenceStore::Mozilla.cached();
+
+        // Paper-identity overlap (subject + modulus): 130 (Table 4).
+        let d = diff(&mozilla, &aosp);
+        assert_eq!(d.common.len(), 130);
+
+        // Byte-identical overlap: 117 (§2's "117 of AOSP 4.4's 150").
+        let aosp_hashes: std::collections::HashSet<[u8; 32]> = aosp
+            .iter()
+            .map(|a| a.cert.fingerprint_sha256())
+            .collect();
+        let exact = mozilla
+            .iter()
+            .filter(|a| aosp_hashes.contains(&a.cert.fingerprint_sha256()))
+            .count();
+        assert_eq!(exact, 117);
+    }
+
+    #[test]
+    fn firmaprofesional_expired_but_present() {
+        let aosp = ReferenceStore::Aosp44.cached();
+        let study = Time::date(2014, 2, 1).unwrap();
+        let expired: Vec<_> = aosp
+            .iter()
+            .filter(|a| a.cert.is_expired_at(study))
+            .collect();
+        assert_eq!(expired.len(), 1, "exactly one expired AOSP anchor");
+        assert!(expired[0]
+            .cert
+            .subject
+            .to_string()
+            .contains("Firmaprofesional"));
+        // All four AOSP releases carry it.
+        for v in AndroidVersion::ALL {
+            let s = ReferenceStore::for_version(v).cached();
+            assert!(
+                s.iter().any(|a| a.cert.is_expired_at(study)),
+                "{} carries the expired root",
+                v.label()
+            );
+        }
+        // Mozilla and iOS 7 do not.
+        for rs in [ReferenceStore::Mozilla, ReferenceStore::Ios7] {
+            let s = rs.cached();
+            assert!(s.iter().all(|a| !a.cert.is_expired_at(study)));
+        }
+    }
+
+    #[test]
+    fn ios7_is_largest_and_contains_dod() {
+        let ios = ReferenceStore::Ios7.cached();
+        for rs in ReferenceStore::ALL {
+            assert!(ios.len() >= rs.expected_len());
+        }
+        assert!(ios
+            .iter()
+            .any(|a| a.cert.subject.to_string().contains("DoD CLASS 3")));
+        // Mozilla does not carry DoD (Intranet CA footnote).
+        let moz = ReferenceStore::Mozilla.cached();
+        assert!(!moz
+            .iter()
+            .any(|a| a.cert.subject.to_string().contains("DoD CLASS 3")));
+    }
+
+    #[test]
+    fn aggregated_android_size() {
+        let mut f = global_factory().lock().unwrap();
+        let agg = aggregated_android(&mut f);
+        // 150 AOSP 4.4 + 88 extras outside Mozilla (paper: 235; the Figure 2
+        // axis yields 88 rather than 85 such extras).
+        assert_eq!(agg.len(), 238);
+    }
+
+    #[test]
+    fn stores_are_reproducible() {
+        // Fresh factories on purpose: proves bit-stability across factories.
+        let a = ReferenceStore::Aosp41.build();
+        let b = ReferenceStore::Aosp41.build();
+        assert_eq!(a.identities(), b.identities());
+        let ha: Vec<_> = a.iter().map(|x| x.cert.fingerprint_sha256()).collect();
+        let hb: Vec<_> = b.iter().map(|x| x.cert.fingerprint_sha256()).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn reissued_members_diverge_in_bytes_only() {
+        let aosp = ReferenceStore::Aosp44.cached();
+        let moz = ReferenceStore::Mozilla.cached();
+        // Under byte identity the stores share fewer members than under
+        // the paper's identity — the DESIGN.md §5.1 ablation in miniature.
+        let all: Vec<_> = aosp
+            .iter()
+            .chain(moz.iter())
+            .map(|a| a.cert.as_ref().clone())
+            .collect();
+        let by_bytes = distinct_count(all.iter(), IdentityMode::ByteHash);
+        let by_identity = distinct_count(all.iter(), IdentityMode::SubjectAndModulus);
+        assert_eq!(by_identity, 150 + 153 - 130);
+        assert_eq!(by_bytes, 150 + 153 - 117);
+    }
+}

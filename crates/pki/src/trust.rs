@@ -1,0 +1,162 @@
+//! Trust anchors and trust scoping.
+//!
+//! Android's root store treats every member as trusted "for any operation
+//! from TLS server verification to code signing" (§2 of the paper) — unlike
+//! Mozilla, which records per-anchor trust bits. [`TrustBits`] models the
+//! Mozilla-style scoping so the §8 recommendation (scoped trust for
+//! Android) can be implemented and measured; [`TrustBits::android`] is the
+//! all-purposes value Android effectively uses.
+
+use std::sync::Arc;
+use tangled_x509::{CertIdentity, Certificate};
+
+/// Mozilla-style trust scoping for an anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrustBits {
+    /// Trusted to anchor TLS server certificates.
+    pub tls_server: bool,
+    /// Trusted to anchor S/MIME e-mail certificates.
+    pub email: bool,
+    /// Trusted to anchor code-signing certificates.
+    pub code_signing: bool,
+}
+
+impl TrustBits {
+    /// Android semantics: trusted for everything.
+    pub const fn android() -> TrustBits {
+        TrustBits {
+            tls_server: true,
+            email: true,
+            code_signing: true,
+        }
+    }
+
+    /// TLS-server-only trust (the typical Mozilla websites bit).
+    pub const fn tls_only() -> TrustBits {
+        TrustBits {
+            tls_server: true,
+            email: false,
+            code_signing: false,
+        }
+    }
+
+    /// No trust at all (a disabled anchor).
+    pub const fn none() -> TrustBits {
+        TrustBits {
+            tls_server: false,
+            email: false,
+            code_signing: false,
+        }
+    }
+
+    /// Does this value grant any trust?
+    pub fn any(self) -> bool {
+        self.tls_server || self.email || self.code_signing
+    }
+}
+
+impl Default for TrustBits {
+    fn default() -> Self {
+        TrustBits::android()
+    }
+}
+
+/// Who put an anchor into a device's root store — the provenance axis the
+/// whole §5/§6 analysis pivots on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AnchorSource {
+    /// Shipped in Google's AOSP distribution.
+    Aosp,
+    /// Added by the handset manufacturer's firmware image.
+    Manufacturer,
+    /// Added by the mobile operator's firmware customization.
+    Operator,
+    /// Added manually by the user through system settings.
+    User,
+    /// Added by an app with root permissions (rooted handsets, §6).
+    RootApp,
+    /// Provenance unknown (observed in the wild, origin not established —
+    /// the §5.2 "additional observations" bucket).
+    Unknown,
+}
+
+impl AnchorSource {
+    /// Short human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnchorSource::Aosp => "AOSP",
+            AnchorSource::Manufacturer => "manufacturer",
+            AnchorSource::Operator => "operator",
+            AnchorSource::User => "user",
+            AnchorSource::RootApp => "root-app",
+            AnchorSource::Unknown => "unknown",
+        }
+    }
+}
+
+/// One member of a root store.
+#[derive(Debug, Clone)]
+pub struct TrustAnchor {
+    /// The anchor certificate.
+    pub cert: Arc<Certificate>,
+    /// Trust scoping (always [`TrustBits::android`] on stock Android).
+    pub trust: TrustBits,
+    /// Provenance.
+    pub source: AnchorSource,
+    /// Whether the user disabled the anchor in system settings (it stays in
+    /// the store but anchors nothing).
+    pub enabled: bool,
+}
+
+impl TrustAnchor {
+    /// A fully-enabled, Android-scoped anchor.
+    pub fn new(cert: Arc<Certificate>, source: AnchorSource) -> TrustAnchor {
+        TrustAnchor {
+            cert,
+            trust: TrustBits::android(),
+            source,
+            enabled: true,
+        }
+    }
+
+    /// The paper's identity key for this anchor.
+    pub fn identity(&self) -> CertIdentity {
+        self.cert.identity()
+    }
+
+    /// Is the anchor usable for TLS server verification right now?
+    pub fn trusts_tls(&self) -> bool {
+        self.enabled && self.trust.tls_server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn android_bits_grant_everything() {
+        let b = TrustBits::android();
+        assert!(b.tls_server && b.email && b.code_signing);
+        assert!(b.any());
+    }
+
+    #[test]
+    fn none_grants_nothing() {
+        assert!(!TrustBits::none().any());
+    }
+
+    #[test]
+    fn tls_only_scoping() {
+        let b = TrustBits::tls_only();
+        assert!(b.tls_server && !b.email && !b.code_signing);
+    }
+
+    #[test]
+    fn source_labels_unique() {
+        use AnchorSource::*;
+        let all = [Aosp, Manufacturer, Operator, User, RootApp, Unknown];
+        let labels: std::collections::HashSet<_> = all.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! Shared vocabulary of the paper's measurement axes: Android versions,
+//! handset manufacturers, and mobile operators as they appear in Figures 1
+//! and 2 and Table 2.
+
+/// Android OS versions studied by the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AndroidVersion {
+    /// Android 4.1 (AOSP store: 139 certificates).
+    V4_1,
+    /// Android 4.2 (AOSP store: 140 certificates).
+    V4_2,
+    /// Android 4.3 (AOSP store: 146 certificates).
+    V4_3,
+    /// Android 4.4 (AOSP store: 150 certificates).
+    V4_4,
+}
+
+impl AndroidVersion {
+    /// All versions in release order.
+    pub const ALL: [AndroidVersion; 4] = [
+        AndroidVersion::V4_1,
+        AndroidVersion::V4_2,
+        AndroidVersion::V4_3,
+        AndroidVersion::V4_4,
+    ];
+
+    /// Display label ("4.1" …).
+    pub fn label(self) -> &'static str {
+        match self {
+            AndroidVersion::V4_1 => "4.1",
+            AndroidVersion::V4_2 => "4.2",
+            AndroidVersion::V4_3 => "4.3",
+            AndroidVersion::V4_4 => "4.4",
+        }
+    }
+
+    /// Size of the official AOSP root store for this version (Table 1).
+    pub fn aosp_store_size(self) -> usize {
+        match self {
+            AndroidVersion::V4_1 => 139,
+            AndroidVersion::V4_2 => 140,
+            AndroidVersion::V4_3 => 146,
+            AndroidVersion::V4_4 => 150,
+        }
+    }
+}
+
+/// Handset manufacturers appearing in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Manufacturer {
+    Samsung,
+    Lg,
+    Asus,
+    Htc,
+    Motorola,
+    Sony,
+    Huawei,
+    Lenovo,
+    Compal,
+    Pantech,
+    Other,
+}
+
+impl Manufacturer {
+    /// The manufacturers with dedicated rows in Figure 1/2.
+    pub const MAJOR: [Manufacturer; 6] = [
+        Manufacturer::Asus,
+        Manufacturer::Htc,
+        Manufacturer::Lg,
+        Manufacturer::Motorola,
+        Manufacturer::Samsung,
+        Manufacturer::Sony,
+    ];
+
+    /// Display label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Manufacturer::Samsung => "SAMSUNG",
+            Manufacturer::Lg => "LG",
+            Manufacturer::Asus => "ASUS",
+            Manufacturer::Htc => "HTC",
+            Manufacturer::Motorola => "MOTOROLA",
+            Manufacturer::Sony => "SONY",
+            Manufacturer::Huawei => "HUAWEI",
+            Manufacturer::Lenovo => "LENOVO",
+            Manufacturer::Compal => "COMPAL",
+            Manufacturer::Pantech => "PANTECH",
+            Manufacturer::Other => "OTHER",
+        }
+    }
+}
+
+/// Mobile operators with rows in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Operator {
+    ThreeUk,
+    AttUs,
+    BouyguesFr,
+    EeUk,
+    FreeFr,
+    OrangeFr,
+    SfrFr,
+    SprintUs,
+    TmobileUs,
+    TelstraAu,
+    VerizonUs,
+    VodafoneDe,
+    /// Any operator without a dedicated Figure 2 row.
+    Other,
+}
+
+impl Operator {
+    /// The operators with dedicated rows in Figure 2, in the paper's order.
+    pub const MAJOR: [Operator; 12] = [
+        Operator::ThreeUk,
+        Operator::AttUs,
+        Operator::BouyguesFr,
+        Operator::EeUk,
+        Operator::FreeFr,
+        Operator::OrangeFr,
+        Operator::SfrFr,
+        Operator::SprintUs,
+        Operator::TmobileUs,
+        Operator::TelstraAu,
+        Operator::VerizonUs,
+        Operator::VodafoneDe,
+    ];
+
+    /// Display label as printed in the paper (e.g. `VERIZON(US)`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Operator::ThreeUk => "3(UK)",
+            Operator::AttUs => "AT&T(US)",
+            Operator::BouyguesFr => "BOUYGUES(FR)",
+            Operator::EeUk => "EE(UK)",
+            Operator::FreeFr => "FREE(FR)",
+            Operator::OrangeFr => "ORANGE(FR)",
+            Operator::SfrFr => "SFR(FR)",
+            Operator::SprintUs => "SPRINT(US)",
+            Operator::TmobileUs => "T-MOBILE(US)",
+            Operator::TelstraAu => "TELSTRA(AU)",
+            Operator::VerizonUs => "VERIZON(US)",
+            Operator::VodafoneDe => "VODAFONE(DE)",
+            Operator::Other => "OTHER",
+        }
+    }
+}
+
+/// One row of Figure 2: a manufacturer at an OS version, or an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Figure2Row {
+    /// A manufacturer/version row (upper block of the figure).
+    Mfr(Manufacturer, AndroidVersion),
+    /// An operator row (lower block).
+    Op(Operator),
+}
+
+impl Figure2Row {
+    /// The paper's Figure 2 row set, top to bottom.
+    pub fn paper_rows() -> Vec<Figure2Row> {
+        use AndroidVersion::*;
+        use Manufacturer::*;
+        let mut rows = vec![
+            Figure2Row::Mfr(Htc, V4_1),
+            Figure2Row::Mfr(Htc, V4_2),
+            Figure2Row::Mfr(Htc, V4_3),
+            Figure2Row::Mfr(Htc, V4_4),
+            Figure2Row::Mfr(Motorola, V4_1),
+            Figure2Row::Mfr(Samsung, V4_1),
+            Figure2Row::Mfr(Samsung, V4_2),
+            Figure2Row::Mfr(Samsung, V4_3),
+            Figure2Row::Mfr(Samsung, V4_4),
+            Figure2Row::Mfr(Sony, V4_3),
+        ];
+        rows.extend(Operator::MAJOR.iter().map(|&o| Figure2Row::Op(o)));
+        rows
+    }
+
+    /// Display label ("SAMSUNG 4.2" or "VERIZON(US)").
+    pub fn label(self) -> String {
+        match self {
+            Figure2Row::Mfr(m, v) => format!("{} {}", m.label(), v.label()),
+            Figure2Row::Op(o) => o.label().to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aosp_sizes_match_table1() {
+        assert_eq!(AndroidVersion::V4_1.aosp_store_size(), 139);
+        assert_eq!(AndroidVersion::V4_2.aosp_store_size(), 140);
+        assert_eq!(AndroidVersion::V4_3.aosp_store_size(), 146);
+        assert_eq!(AndroidVersion::V4_4.aosp_store_size(), 150);
+    }
+
+    #[test]
+    fn versions_are_ordered() {
+        let mut prev = None;
+        for v in AndroidVersion::ALL {
+            if let Some(p) = prev {
+                assert!(p < v);
+                assert!(AndroidVersion::aosp_store_size(p) < v.aosp_store_size());
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn figure2_rows_match_paper() {
+        let rows = Figure2Row::paper_rows();
+        assert_eq!(rows.len(), 22); // 10 manufacturer rows + 12 operator rows
+        assert_eq!(rows[0].label(), "HTC 4.1");
+        assert_eq!(rows[4].label(), "MOTOROLA 4.1");
+        assert_eq!(rows[21].label(), "VODAFONE(DE)");
+    }
+
+    #[test]
+    fn labels_unique() {
+        let rows = Figure2Row::paper_rows();
+        let labels: std::collections::HashSet<_> = rows.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), rows.len());
+    }
+}

@@ -1,0 +1,412 @@
+//! Certificate issuance.
+//!
+//! [`CertificateBuilder`] assembles a `tbsCertificate`, signs it with an
+//! issuer key, and returns a parsed [`Certificate`]. The simulators use it
+//! to mint everything from AOSP-style root CAs to the on-the-fly re-signed
+//! leaves of the TLS-interception proxy (§7 of the paper).
+
+use crate::cert::Certificate;
+use crate::extensions::{BasicConstraints, Extension, KeyPurpose, KeyUsage};
+use crate::name::DistinguishedName;
+use crate::X509Error;
+use tangled_asn1::{DerWriter, Oid, Time};
+use tangled_crypto::rsa::{RsaKeyPair, SignatureAlgorithm};
+use tangled_crypto::Uint;
+
+/// Builder for issuing X.509 v3 certificates.
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    serial: Uint,
+    signature_algorithm: SignatureAlgorithm,
+    issuer: DistinguishedName,
+    subject: DistinguishedName,
+    not_before: Time,
+    not_after: Time,
+    extensions: Vec<Extension>,
+}
+
+impl CertificateBuilder {
+    /// Start a builder with the mandatory fields.
+    ///
+    /// Defaults: serial 1, `sha256WithRSAEncryption`, no extensions.
+    pub fn new(
+        issuer: DistinguishedName,
+        subject: DistinguishedName,
+        not_before: Time,
+        not_after: Time,
+    ) -> Self {
+        CertificateBuilder {
+            serial: Uint::one(),
+            signature_algorithm: SignatureAlgorithm::Sha256WithRsa,
+            issuer,
+            subject,
+            not_before,
+            not_after,
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Set the serial number.
+    pub fn serial(mut self, serial: Uint) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Set the signature algorithm.
+    pub fn signature_algorithm(mut self, alg: SignatureAlgorithm) -> Self {
+        self.signature_algorithm = alg;
+        self
+    }
+
+    /// Append an arbitrary extension.
+    pub fn extension(mut self, ext: Extension) -> Self {
+        self.extensions.push(ext);
+        self
+    }
+
+    /// Mark the subject as a CA with an optional path length constraint and
+    /// CA key usage.
+    pub fn ca(self, path_len: Option<u32>) -> Self {
+        self.extension(Extension::BasicConstraints(BasicConstraints {
+            ca: true,
+            path_len,
+        }))
+        .extension(Extension::KeyUsage(KeyUsage::ca()))
+    }
+
+    /// Mark the subject as a TLS server leaf for the given DNS names.
+    pub fn tls_server(self, dns_names: Vec<String>) -> Self {
+        self.extension(Extension::BasicConstraints(BasicConstraints {
+            ca: false,
+            path_len: None,
+        }))
+        .extension(Extension::KeyUsage(KeyUsage::tls_server()))
+        .extension(Extension::ExtendedKeyUsage(vec![KeyPurpose::ServerAuth]))
+        .extension(Extension::SubjectAltName(dns_names))
+    }
+
+    /// Append subject/authority key identifiers derived from the key
+    /// moduli (a stand-in for the usual SHA-1-of-SPKI derivation).
+    pub fn key_ids(self, subject_key: &tangled_crypto::rsa::RsaPublicKey, issuer_key: &tangled_crypto::rsa::RsaPublicKey) -> Self {
+        let skid = tangled_crypto::sha1::sha1(&subject_key.modulus.to_be_bytes()).to_vec();
+        let akid = tangled_crypto::sha1::sha1(&issuer_key.modulus.to_be_bytes()).to_vec();
+        self.extension(Extension::SubjectKeyIdentifier(skid))
+            .extension(Extension::AuthorityKeyIdentifier(akid))
+    }
+
+    /// Sign the certificate: `subject_key` becomes the embedded public key,
+    /// `issuer_keypair` signs. For a self-signed root pass the same pair's
+    /// public half and the pair itself.
+    pub fn sign(
+        self,
+        subject_key: &tangled_crypto::rsa::RsaPublicKey,
+        issuer_keypair: &RsaKeyPair,
+    ) -> Result<Certificate, X509Error> {
+        let mut tbs_writer = DerWriter::new();
+        tbs_writer.sequence(|w| {
+            // version [0] EXPLICIT v3(2)
+            w.context(0, |w| w.integer_u64(2));
+            w.integer_bytes(&self.serial.to_be_bytes());
+            write_algorithm_identifier(w, self.signature_algorithm);
+            self.issuer.write_der(w);
+            w.sequence(|w| {
+                w.time(&self.not_before);
+                w.time(&self.not_after);
+            });
+            self.subject.write_der(w);
+            write_spki(w, subject_key);
+            if !self.extensions.is_empty() {
+                w.context(3, |w| {
+                    w.sequence(|w| {
+                        for ext in &self.extensions {
+                            ext.write_der(w);
+                        }
+                    });
+                });
+            }
+        });
+        let tbs = tbs_writer.into_bytes();
+
+        let signature = issuer_keypair.sign(self.signature_algorithm, &tbs)?;
+
+        let mut cert_writer = DerWriter::new();
+        cert_writer.sequence(|w| {
+            w.raw(&tbs);
+            write_algorithm_identifier(w, self.signature_algorithm);
+            w.bit_string(&signature);
+        });
+        Certificate::parse(&cert_writer.into_bytes())
+    }
+
+    /// Convenience: issue a self-signed root CA certificate.
+    pub fn self_signed_root(
+        subject: DistinguishedName,
+        not_before: Time,
+        not_after: Time,
+        keypair: &RsaKeyPair,
+        serial: Uint,
+    ) -> Result<Certificate, X509Error> {
+        CertificateBuilder::new(subject.clone(), subject, not_before, not_after)
+            .serial(serial)
+            .ca(None)
+            .key_ids(keypair.public_key(), keypair.public_key())
+            .sign(keypair.public_key(), keypair)
+    }
+}
+
+fn write_algorithm_identifier(w: &mut DerWriter, alg: SignatureAlgorithm) {
+    w.sequence(|w| {
+        let oid = match alg {
+            SignatureAlgorithm::Sha1WithRsa => Oid::sha1_with_rsa(),
+            SignatureAlgorithm::Sha256WithRsa => Oid::sha256_with_rsa(),
+        };
+        w.oid(&oid);
+        w.null();
+    });
+}
+
+fn write_spki(w: &mut DerWriter, key: &tangled_crypto::rsa::RsaPublicKey) {
+    w.sequence(|w| {
+        w.sequence(|w| {
+            w.oid(&Oid::rsa_encryption());
+            w.null();
+        });
+        let mut key_writer = DerWriter::new();
+        key_writer.sequence(|w| {
+            w.integer_bytes(&key.modulus.to_be_bytes());
+            w.integer_bytes(&key.exponent.to_be_bytes());
+        });
+        w.bit_string(&key_writer.into_bytes());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_crypto::SplitMix64;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut SplitMix64::new(seed)).unwrap()
+    }
+
+    fn window() -> (Time, Time) {
+        (
+            Time::date(2012, 1, 1).unwrap(),
+            Time::date(2022, 1, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn self_signed_root_round_trip() {
+        let kp = keypair(1);
+        let subject = DistinguishedName::builder()
+            .common_name("Test Root CA")
+            .organization("Test Org")
+            .country("US")
+            .build();
+        let (nb, na) = window();
+        let cert =
+            CertificateBuilder::self_signed_root(subject.clone(), nb, na, &kp, Uint::from_u64(7))
+                .unwrap();
+
+        assert_eq!(cert.subject, subject);
+        assert_eq!(cert.issuer, subject);
+        assert!(cert.is_self_issued());
+        assert!(cert.is_ca());
+        assert_eq!(cert.serial, Uint::from_u64(7));
+        assert_eq!(cert.public_key, *kp.public_key());
+        assert!(cert.key_usage().unwrap().key_cert_sign);
+
+        // Signature verifies with its own key.
+        cert.verify_signature(kp.public_key()).unwrap();
+        cert.verify_issued_by(&cert).unwrap();
+
+        // Reparse of the DER is identical.
+        let reparsed = Certificate::parse(cert.to_der()).unwrap();
+        assert_eq!(reparsed, cert);
+    }
+
+    #[test]
+    fn issued_chain_verifies() {
+        let root_kp = keypair(10);
+        let leaf_kp = keypair(11);
+        let (nb, na) = window();
+        let root = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Chain Root"),
+            nb,
+            na,
+            &root_kp,
+            Uint::one(),
+        )
+        .unwrap();
+
+        let leaf = CertificateBuilder::new(
+            root.subject.clone(),
+            DistinguishedName::common_name("www.example.com"),
+            nb,
+            na,
+        )
+        .serial(Uint::from_u64(2))
+        .tls_server(vec!["www.example.com".into()])
+        .key_ids(leaf_kp.public_key(), root_kp.public_key())
+        .sign(leaf_kp.public_key(), &root_kp)
+        .unwrap();
+
+        leaf.verify_issued_by(&root).unwrap();
+        assert!(!leaf.is_ca());
+        assert_eq!(leaf.dns_names(), &["www.example.com".to_string()]);
+        assert_eq!(
+            leaf.extended_key_usage().unwrap(),
+            &[KeyPurpose::ServerAuth]
+        );
+        // Key IDs chain: leaf AKI == root SKI.
+        assert_eq!(leaf.authority_key_id(), root.subject_key_id());
+    }
+
+    #[test]
+    fn wrong_issuer_name_rejected() {
+        let kp1 = keypair(20);
+        let kp2 = keypair(21);
+        let (nb, na) = window();
+        let root1 = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Root 1"),
+            nb,
+            na,
+            &kp1,
+            Uint::one(),
+        )
+        .unwrap();
+        let root2 = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Root 2"),
+            nb,
+            na,
+            &kp2,
+            Uint::one(),
+        )
+        .unwrap();
+        let leaf = CertificateBuilder::new(
+            root1.subject.clone(),
+            DistinguishedName::common_name("leaf"),
+            nb,
+            na,
+        )
+        .sign(kp2.public_key(), &kp1)
+        .unwrap();
+        // Signed by root1 — name mismatch against root2.
+        assert!(leaf.verify_issued_by(&root2).is_err());
+        // Correct issuer verifies.
+        leaf.verify_issued_by(&root1).unwrap();
+    }
+
+    #[test]
+    fn corrupted_der_signature_fails() {
+        let kp = keypair(30);
+        let (nb, na) = window();
+        let cert = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Victim"),
+            nb,
+            na,
+            &kp,
+            Uint::one(),
+        )
+        .unwrap();
+        let mut der = cert.to_der().to_vec();
+        // Flip a byte inside the TBS (subject area) and reparse: the
+        // signature check must now fail.
+        let needle = b"Victim";
+        let pos = der
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        der[pos] ^= 0x20;
+        let tampered = Certificate::parse(&der).unwrap();
+        assert!(tampered.verify_signature(kp.public_key()).is_err());
+    }
+
+    #[test]
+    fn sha1_algorithm_round_trip() {
+        let kp = keypair(40);
+        let (nb, na) = window();
+        let cert = CertificateBuilder::new(
+            DistinguishedName::common_name("Legacy"),
+            DistinguishedName::common_name("Legacy"),
+            nb,
+            na,
+        )
+        .signature_algorithm(SignatureAlgorithm::Sha1WithRsa)
+        .ca(Some(1))
+        .sign(kp.public_key(), &kp)
+        .unwrap();
+        assert_eq!(cert.signature_algorithm, SignatureAlgorithm::Sha1WithRsa);
+        assert_eq!(cert.basic_constraints().unwrap().path_len, Some(1));
+        cert.verify_signature(kp.public_key()).unwrap();
+    }
+
+    #[test]
+    fn validity_window_checks() {
+        let kp = keypair(50);
+        // Mirror the paper's expired Firmaprofesional root: expired Oct 2013.
+        let cert = CertificateBuilder::self_signed_root(
+            DistinguishedName::builder()
+                .common_name("Autoridad de Certificacion Firmaprofesional CIF A62634068")
+                .country("ES")
+                .build(),
+            Time::date(2001, 10, 24).unwrap(),
+            Time::date(2013, 10, 24).unwrap(),
+            &kp,
+            Uint::one(),
+        )
+        .unwrap();
+        let study_time = Time::date(2014, 1, 15).unwrap();
+        assert!(cert.is_expired_at(study_time));
+        assert!(!cert.is_valid_at(study_time));
+        assert!(cert.is_valid_at(Time::date(2013, 10, 24).unwrap())); // inclusive
+        assert!(cert.is_valid_at(Time::date(2005, 6, 1).unwrap()));
+        assert!(!cert.is_valid_at(Time::date(2001, 10, 23).unwrap()));
+    }
+
+    #[test]
+    fn identity_equivalence_across_reissue() {
+        // Re-issuing the same subject+key with a new validity window keeps
+        // the paper's identity equal while the DER differs.
+        let kp = keypair(60);
+        let subject = DistinguishedName::common_name("Reissued Root");
+        let a = CertificateBuilder::self_signed_root(
+            subject.clone(),
+            Time::date(2005, 1, 1).unwrap(),
+            Time::date(2015, 1, 1).unwrap(),
+            &kp,
+            Uint::from_u64(1),
+        )
+        .unwrap();
+        let b = CertificateBuilder::self_signed_root(
+            subject,
+            Time::date(2015, 1, 1).unwrap(),
+            Time::date(2025, 1, 1).unwrap(),
+            &kp,
+            Uint::from_u64(2),
+        )
+        .unwrap();
+        assert_ne!(a.to_der(), b.to_der());
+        assert_ne!(a.fingerprint_sha256(), b.fingerprint_sha256());
+        assert_eq!(a.identity(), b.identity());
+        assert_eq!(a.short_subject_id(), b.short_subject_id());
+    }
+
+    #[test]
+    fn short_subject_id_is_8_hex_chars() {
+        let kp = keypair(70);
+        let (nb, na) = window();
+        let cert = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Sprint Nextel Root Authority"),
+            nb,
+            na,
+            &kp,
+            Uint::one(),
+        )
+        .unwrap();
+        let id = cert.short_subject_id();
+        assert_eq!(id.len(), 8);
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+}

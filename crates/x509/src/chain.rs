@@ -1,0 +1,734 @@
+//! Certificate chain building and verification.
+//!
+//! This is the operation behind the paper's Notary validation numbers
+//! (Tables 3–4, Figure 3): given a leaf certificate, a pool of candidate
+//! intermediates, and a root store, find a signature path from the leaf to
+//! a trust anchor. [`ChainVerifier`] indexes issuers by subject so lookups
+//! are O(1) per step; a naive quadratic builder is kept alongside for the
+//! ablation benchmark (DESIGN.md §5.2).
+
+use crate::cert::Certificate;
+use crate::verify::{check_cert, CertCheckError, CertRole};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tangled_asn1::Time;
+
+/// Why chain building failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// No path from the leaf to any trust anchor exists.
+    NoPathToTrustAnchor,
+    /// A certificate along the only candidate path failed validation.
+    CertCheck(CertCheckError),
+    /// A signature along the path failed to verify.
+    BadSignature,
+    /// The path exceeded the maximum permitted length.
+    PathTooLong,
+    /// A certificate on the path carries a platform-blacklisted key
+    /// (Android 4.4's fraudulent-certificate protection, §2).
+    Blacklisted,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::NoPathToTrustAnchor => write!(f, "no path to a trust anchor"),
+            ChainError::CertCheck(e) => write!(f, "certificate check failed: {e}"),
+            ChainError::BadSignature => write!(f, "signature verification failed on path"),
+            ChainError::PathTooLong => write!(f, "path exceeds maximum depth"),
+            ChainError::Blacklisted => {
+                write!(f, "path contains a platform-blacklisted key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Options controlling path validation.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainOptions {
+    /// Verification time (validity windows are checked against this).
+    pub at: Time,
+    /// Maximum number of certificates in a path, including leaf and root.
+    pub max_depth: usize,
+    /// When false, expiry of the *trust anchor itself* is ignored — this is
+    /// what Android does in practice (the expired Firmaprofesional root in
+    /// AOSP §2 still anchors chains); when true the anchor's window is
+    /// enforced too.
+    pub check_anchor_expiry: bool,
+}
+
+impl ChainOptions {
+    /// Defaults used across the workspace: depth ≤ 8, anchor expiry not
+    /// enforced (Android semantics).
+    pub fn at(at: Time) -> Self {
+        ChainOptions {
+            at,
+            max_depth: 8,
+            check_anchor_expiry: false,
+        }
+    }
+}
+
+/// A successfully validated chain, leaf first, trust anchor last.
+#[derive(Debug, Clone)]
+pub struct VerifiedChain {
+    /// Path from leaf (index 0) to the trust anchor (last).
+    pub path: Vec<Arc<Certificate>>,
+}
+
+impl VerifiedChain {
+    /// The trust anchor this chain terminates in.
+    pub fn anchor(&self) -> &Certificate {
+        self.path.last().expect("chains are non-empty")
+    }
+
+    /// Number of certificates in the chain.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Chains are never empty; provided for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A chain builder holding trust anchors and an intermediate pool.
+#[derive(Debug, Clone, Default)]
+pub struct ChainVerifier {
+    anchors_by_subject: HashMap<String, Vec<Arc<Certificate>>>,
+    intermediates_by_subject: HashMap<String, Vec<Arc<Certificate>>>,
+    blacklisted_keys: std::collections::HashSet<Vec<u8>>,
+    n_anchors: usize,
+    n_intermediates: usize,
+}
+
+impl ChainVerifier {
+    /// An empty verifier (no trust anchors — everything fails).
+    pub fn new() -> Self {
+        ChainVerifier::default()
+    }
+
+    /// Add a trust anchor (root-store member).
+    pub fn add_anchor(&mut self, cert: Arc<Certificate>) {
+        self.anchors_by_subject
+            .entry(cert.subject.to_string())
+            .or_default()
+            .push(cert);
+        self.n_anchors += 1;
+    }
+
+    /// Add a candidate intermediate certificate.
+    pub fn add_intermediate(&mut self, cert: Arc<Certificate>) {
+        self.intermediates_by_subject
+            .entry(cert.subject.to_string())
+            .or_default()
+            .push(cert);
+        self.n_intermediates += 1;
+    }
+
+    /// Blacklist a public key by its modulus bytes — the platform-level
+    /// protection Android 4.4 introduced against known-fraudulent
+    /// certificates (§2 of the paper). Any certificate carrying the key is
+    /// rejected wherever it appears in a path, even when a store anchor
+    /// would otherwise trust it.
+    pub fn blacklist_key(&mut self, key: &tangled_crypto::rsa::RsaPublicKey) {
+        self.blacklisted_keys.insert(key.modulus.to_be_bytes());
+    }
+
+    /// Number of blacklisted keys.
+    pub fn blacklist_len(&self) -> usize {
+        self.blacklisted_keys.len()
+    }
+
+    fn is_blacklisted(&self, cert: &Certificate) -> bool {
+        !self.blacklisted_keys.is_empty()
+            && self
+                .blacklisted_keys
+                .contains(&cert.public_key.modulus.to_be_bytes())
+    }
+
+    /// Number of trust anchors installed.
+    pub fn anchor_count(&self) -> usize {
+        self.n_anchors
+    }
+
+    /// Number of intermediates in the pool.
+    pub fn intermediate_count(&self) -> usize {
+        self.n_intermediates
+    }
+
+    /// Build and verify a chain from `leaf` to any trust anchor.
+    ///
+    /// Depth-first search over issuer candidates; the first fully valid
+    /// path wins. The returned error is the most specific failure seen
+    /// (a signature/validity failure beats [`ChainError::NoPathToTrustAnchor`]).
+    pub fn verify(
+        &self,
+        leaf: &Arc<Certificate>,
+        opts: ChainOptions,
+    ) -> Result<VerifiedChain, ChainError> {
+        check_cert(leaf, opts.at, CertRole::Leaf).map_err(ChainError::CertCheck)?;
+        if self.is_blacklisted(leaf) {
+            return Err(ChainError::Blacklisted);
+        }
+        let mut best_err = ChainError::NoPathToTrustAnchor;
+        let mut path = vec![Arc::clone(leaf)];
+        if let Some(chain) = self.search(&mut path, opts, &mut best_err) {
+            Ok(chain)
+        } else {
+            Err(best_err)
+        }
+    }
+
+    fn search(
+        &self,
+        path: &mut Vec<Arc<Certificate>>,
+        opts: ChainOptions,
+        best_err: &mut ChainError,
+    ) -> Option<VerifiedChain> {
+        let current = Arc::clone(path.last().expect("path non-empty"));
+        if path.len() >= opts.max_depth {
+            *best_err = ChainError::PathTooLong;
+            return None;
+        }
+        let issuer_subject = current.issuer.to_string();
+        // CA certs between a candidate issuer and the leaf = number of
+        // non-leaf certs already on the path.
+        let ca_below = (path.len() - 1) as u32;
+
+        // Try anchors first: shortest chains win and anchors terminate.
+        for anchor in self
+            .anchors_by_subject
+            .get(&issuer_subject)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+        {
+            if self.is_blacklisted(anchor) {
+                *best_err = ChainError::Blacklisted;
+                continue;
+            }
+            // Self-signed leaf that IS an anchor: accept [leaf] if identical.
+            if current.verify_issued_by(anchor).is_err() {
+                *best_err = ChainError::BadSignature;
+                continue;
+            }
+            if opts.check_anchor_expiry {
+                if let Err(e) = check_cert(anchor, opts.at, CertRole::Leaf) {
+                    *best_err = ChainError::CertCheck(e);
+                    continue;
+                }
+            }
+            // Anchors are trusted as CAs by configuration; pathLen still
+            // applies when the anchor carries basicConstraints.
+            if let Some(bc) = anchor.basic_constraints() {
+                if let Some(max) = bc.path_len {
+                    if ca_below > max {
+                        *best_err = ChainError::CertCheck(CertCheckError::PathLenExceeded);
+                        continue;
+                    }
+                }
+            }
+            let mut full = path.clone();
+            full.push(Arc::clone(anchor));
+            return Some(VerifiedChain { path: full });
+        }
+
+        // Then intermediates.
+        if let Some(candidates) = self.intermediates_by_subject.get(&issuer_subject) {
+            for cand in candidates {
+                // Avoid loops: an intermediate may appear once per path.
+                if path.iter().any(|c| Arc::ptr_eq(c, cand) || **c == **cand) {
+                    continue;
+                }
+                if self.is_blacklisted(cand) {
+                    *best_err = ChainError::Blacklisted;
+                    continue;
+                }
+                if let Err(e) = check_cert(cand, opts.at, CertRole::Issuer { ca_certs_below: ca_below }) {
+                    *best_err = ChainError::CertCheck(e);
+                    continue;
+                }
+                if current.verify_issued_by(cand).is_err() {
+                    *best_err = ChainError::BadSignature;
+                    continue;
+                }
+                path.push(Arc::clone(cand));
+                if let Some(found) = self.search(path, opts, best_err) {
+                    return Some(found);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+
+    /// Naive quadratic chain builder retained for the ablation benchmark:
+    /// scans every anchor and intermediate at each step instead of using
+    /// the subject index. Semantics match [`ChainVerifier::verify`].
+    pub fn verify_naive(
+        &self,
+        leaf: &Arc<Certificate>,
+        opts: ChainOptions,
+    ) -> Result<VerifiedChain, ChainError> {
+        check_cert(leaf, opts.at, CertRole::Leaf).map_err(ChainError::CertCheck)?;
+        let anchors: Vec<&Arc<Certificate>> =
+            self.anchors_by_subject.values().flatten().collect();
+        let intermediates: Vec<&Arc<Certificate>> =
+            self.intermediates_by_subject.values().flatten().collect();
+
+        fn go(
+            path: &mut Vec<Arc<Certificate>>,
+            anchors: &[&Arc<Certificate>],
+            intermediates: &[&Arc<Certificate>],
+            opts: ChainOptions,
+        ) -> Option<VerifiedChain> {
+            let current = Arc::clone(path.last().expect("non-empty"));
+            if path.len() >= opts.max_depth {
+                return None;
+            }
+            let ca_below = (path.len() - 1) as u32;
+            for anchor in anchors {
+                if current.issuer != anchor.subject {
+                    continue;
+                }
+                if current.verify_issued_by(anchor).is_err() {
+                    continue;
+                }
+                if opts.check_anchor_expiry
+                    && check_cert(anchor, opts.at, CertRole::Leaf).is_err()
+                {
+                    continue;
+                }
+                let mut full = path.clone();
+                full.push(Arc::clone(anchor));
+                return Some(VerifiedChain { path: full });
+            }
+            for cand in intermediates {
+                if current.issuer != cand.subject {
+                    continue;
+                }
+                if path.iter().any(|c| **c == ***cand) {
+                    continue;
+                }
+                if check_cert(cand, opts.at, CertRole::Issuer { ca_certs_below: ca_below })
+                    .is_err()
+                    || current.verify_issued_by(cand).is_err()
+                {
+                    continue;
+                }
+                path.push(Arc::clone(cand));
+                if let Some(found) = go(path, anchors, intermediates, opts) {
+                    return Some(found);
+                }
+                path.pop();
+            }
+            None
+        }
+
+        let mut path = vec![Arc::clone(leaf)];
+        go(&mut path, &anchors, &intermediates, opts).ok_or(ChainError::NoPathToTrustAnchor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crate::name::DistinguishedName;
+    use tangled_crypto::rsa::RsaKeyPair;
+    use tangled_crypto::{SplitMix64, Uint};
+
+    struct Fixture {
+        root: Arc<Certificate>,
+        intermediate: Arc<Certificate>,
+        leaf: Arc<Certificate>,
+        other_root: Arc<Certificate>,
+    }
+
+    fn nb() -> Time {
+        Time::date(2012, 1, 1).unwrap()
+    }
+    fn na() -> Time {
+        Time::date(2020, 1, 1).unwrap()
+    }
+    fn at() -> Time {
+        Time::date(2014, 2, 1).unwrap()
+    }
+
+    fn fixture() -> Fixture {
+        let root_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(100)).unwrap();
+        let int_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(101)).unwrap();
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(102)).unwrap();
+        let other_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(103)).unwrap();
+
+        let root = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Fixture Root"),
+            nb(),
+            na(),
+            &root_kp,
+            Uint::one(),
+        )
+        .unwrap();
+        let intermediate = CertificateBuilder::new(
+            root.subject.clone(),
+            DistinguishedName::common_name("Fixture Intermediate"),
+            nb(),
+            na(),
+        )
+        .serial(Uint::from_u64(2))
+        .ca(Some(0))
+        .sign(int_kp.public_key(), &root_kp)
+        .unwrap();
+        let leaf = CertificateBuilder::new(
+            intermediate.subject.clone(),
+            DistinguishedName::common_name("www.example.com"),
+            nb(),
+            na(),
+        )
+        .serial(Uint::from_u64(3))
+        .tls_server(vec!["www.example.com".into()])
+        .sign(leaf_kp.public_key(), &int_kp)
+        .unwrap();
+        let other_root = CertificateBuilder::self_signed_root(
+            DistinguishedName::common_name("Unrelated Root"),
+            nb(),
+            na(),
+            &other_kp,
+            Uint::one(),
+        )
+        .unwrap();
+        Fixture {
+            root: Arc::new(root),
+            intermediate: Arc::new(intermediate),
+            leaf: Arc::new(leaf),
+            other_root: Arc::new(other_root),
+        }
+    }
+
+    fn verifier(f: &Fixture) -> ChainVerifier {
+        let mut v = ChainVerifier::new();
+        v.add_anchor(Arc::clone(&f.root));
+        v.add_intermediate(Arc::clone(&f.intermediate));
+        v
+    }
+
+    #[test]
+    fn three_cert_chain_verifies() {
+        let f = fixture();
+        let v = verifier(&f);
+        let chain = v.verify(&f.leaf, ChainOptions::at(at())).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.anchor().subject, f.root.subject);
+        assert_eq!(chain.path[0].subject, f.leaf.subject);
+    }
+
+    #[test]
+    fn direct_anchor_chain() {
+        let f = fixture();
+        let v = verifier(&f);
+        // The intermediate itself chains straight to the root.
+        let chain = v.verify(&f.intermediate, ChainOptions::at(at())).unwrap();
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn untrusted_root_fails() {
+        let f = fixture();
+        let mut v = ChainVerifier::new();
+        v.add_anchor(Arc::clone(&f.other_root));
+        v.add_intermediate(Arc::clone(&f.intermediate));
+        assert_eq!(
+            v.verify(&f.leaf, ChainOptions::at(at())).unwrap_err(),
+            ChainError::NoPathToTrustAnchor
+        );
+    }
+
+    #[test]
+    fn missing_intermediate_fails() {
+        let f = fixture();
+        let mut v = ChainVerifier::new();
+        v.add_anchor(Arc::clone(&f.root));
+        assert!(v.verify(&f.leaf, ChainOptions::at(at())).is_err());
+    }
+
+    #[test]
+    fn expired_leaf_fails() {
+        let f = fixture();
+        let v = verifier(&f);
+        let late = Time::date(2021, 1, 1).unwrap();
+        assert_eq!(
+            v.verify(&f.leaf, ChainOptions::at(late)).unwrap_err(),
+            ChainError::CertCheck(CertCheckError::Expired)
+        );
+    }
+
+    #[test]
+    fn expired_intermediate_fails_with_specific_error() {
+        let root_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(200)).unwrap();
+        let int_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(201)).unwrap();
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(202)).unwrap();
+        let root = Arc::new(
+            CertificateBuilder::self_signed_root(
+                DistinguishedName::common_name("R"),
+                nb(),
+                na(),
+                &root_kp,
+                Uint::one(),
+            )
+            .unwrap(),
+        );
+        // Intermediate already expired at verification time.
+        let inter = Arc::new(
+            CertificateBuilder::new(
+                root.subject.clone(),
+                DistinguishedName::common_name("I"),
+                nb(),
+                Time::date(2013, 1, 1).unwrap(),
+            )
+            .ca(None)
+            .sign(int_kp.public_key(), &root_kp)
+            .unwrap(),
+        );
+        let leaf = Arc::new(
+            CertificateBuilder::new(
+                inter.subject.clone(),
+                DistinguishedName::common_name("L"),
+                nb(),
+                na(),
+            )
+            .tls_server(vec!["l".into()])
+            .sign(leaf_kp.public_key(), &int_kp)
+            .unwrap(),
+        );
+        let mut v = ChainVerifier::new();
+        v.add_anchor(root);
+        v.add_intermediate(inter);
+        assert_eq!(
+            v.verify(&leaf, ChainOptions::at(at())).unwrap_err(),
+            ChainError::CertCheck(CertCheckError::Expired)
+        );
+    }
+
+    #[test]
+    fn expired_anchor_android_vs_strict() {
+        // Android semantics: expired trust anchors still anchor chains.
+        let root_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(210)).unwrap();
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(211)).unwrap();
+        let root = Arc::new(
+            CertificateBuilder::self_signed_root(
+                DistinguishedName::common_name("Firmaprofesional-like"),
+                Time::date(2001, 1, 1).unwrap(),
+                Time::date(2013, 10, 24).unwrap(),
+                &root_kp,
+                Uint::one(),
+            )
+            .unwrap(),
+        );
+        let leaf = Arc::new(
+            CertificateBuilder::new(
+                root.subject.clone(),
+                DistinguishedName::common_name("child"),
+                nb(),
+                na(),
+            )
+            .tls_server(vec!["child".into()])
+            .sign(leaf_kp.public_key(), &root_kp)
+            .unwrap(),
+        );
+        let mut v = ChainVerifier::new();
+        v.add_anchor(root);
+
+        let android = ChainOptions::at(at());
+        assert!(v.verify(&leaf, android).is_ok());
+
+        let strict = ChainOptions {
+            check_anchor_expiry: true,
+            ..android
+        };
+        assert!(v.verify(&leaf, strict).is_err());
+    }
+
+    #[test]
+    fn path_len_zero_blocks_sub_ca() {
+        // Root → intermediate(pathLen=0) → sub-CA → leaf must fail.
+        let root_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(220)).unwrap();
+        let int_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(221)).unwrap();
+        let sub_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(222)).unwrap();
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(223)).unwrap();
+        let root = Arc::new(
+            CertificateBuilder::self_signed_root(
+                DistinguishedName::common_name("R0"),
+                nb(),
+                na(),
+                &root_kp,
+                Uint::one(),
+            )
+            .unwrap(),
+        );
+        let inter = Arc::new(
+            CertificateBuilder::new(root.subject.clone(), DistinguishedName::common_name("I0"), nb(), na())
+                .ca(Some(0))
+                .sign(int_kp.public_key(), &root_kp)
+                .unwrap(),
+        );
+        let sub = Arc::new(
+            CertificateBuilder::new(inter.subject.clone(), DistinguishedName::common_name("S0"), nb(), na())
+                .ca(None)
+                .sign(sub_kp.public_key(), &int_kp)
+                .unwrap(),
+        );
+        let leaf = Arc::new(
+            CertificateBuilder::new(sub.subject.clone(), DistinguishedName::common_name("L0"), nb(), na())
+                .tls_server(vec!["l0".into()])
+                .sign(leaf_kp.public_key(), &sub_kp)
+                .unwrap(),
+        );
+        let mut v = ChainVerifier::new();
+        v.add_anchor(root);
+        v.add_intermediate(inter);
+        v.add_intermediate(sub);
+        let err = v.verify(&leaf, ChainOptions::at(at())).unwrap_err();
+        assert_eq!(err, ChainError::CertCheck(CertCheckError::PathLenExceeded));
+    }
+
+    #[test]
+    fn issuer_cycle_terminates() {
+        // Two CAs that cross-sign each other but never reach an anchor.
+        let a_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(230)).unwrap();
+        let b_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(231)).unwrap();
+        let a_by_b = Arc::new(
+            CertificateBuilder::new(
+                DistinguishedName::common_name("B"),
+                DistinguishedName::common_name("A"),
+                nb(),
+                na(),
+            )
+            .ca(None)
+            .sign(a_kp.public_key(), &b_kp)
+            .unwrap(),
+        );
+        let b_by_a = Arc::new(
+            CertificateBuilder::new(
+                DistinguishedName::common_name("A"),
+                DistinguishedName::common_name("B"),
+                nb(),
+                na(),
+            )
+            .ca(None)
+            .sign(b_kp.public_key(), &a_kp)
+            .unwrap(),
+        );
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(232)).unwrap();
+        let leaf = Arc::new(
+            CertificateBuilder::new(
+                DistinguishedName::common_name("A"),
+                DistinguishedName::common_name("leaf"),
+                nb(),
+                na(),
+            )
+            .tls_server(vec!["leaf".into()])
+            .sign(leaf_kp.public_key(), &a_kp)
+            .unwrap(),
+        );
+        let mut v = ChainVerifier::new();
+        v.add_intermediate(a_by_b);
+        v.add_intermediate(b_by_a);
+        // Must terminate (loop detection) with a failure, not hang.
+        assert!(v.verify(&leaf, ChainOptions::at(at())).is_err());
+    }
+
+    #[test]
+    fn naive_agrees_with_indexed() {
+        let f = fixture();
+        let v = verifier(&f);
+        let opts = ChainOptions::at(at());
+        let fast = v.verify(&f.leaf, opts).unwrap();
+        let slow = v.verify_naive(&f.leaf, opts).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.anchor().subject, slow.anchor().subject);
+        assert!(v.verify_naive(&f.other_root, opts).is_err());
+    }
+
+    #[test]
+    fn blacklisted_leaf_key_rejected() {
+        let f = fixture();
+        let mut v = verifier(&f);
+        // Before blacklisting: verifies.
+        assert!(v.verify(&f.leaf, ChainOptions::at(at())).is_ok());
+        v.blacklist_key(&f.leaf.public_key);
+        assert_eq!(v.blacklist_len(), 1);
+        assert_eq!(
+            v.verify(&f.leaf, ChainOptions::at(at())).unwrap_err(),
+            ChainError::Blacklisted
+        );
+    }
+
+    #[test]
+    fn blacklisted_intermediate_breaks_path() {
+        let f = fixture();
+        let mut v = verifier(&f);
+        v.blacklist_key(&f.intermediate.public_key);
+        let err = v.verify(&f.leaf, ChainOptions::at(at())).unwrap_err();
+        assert_eq!(err, ChainError::Blacklisted);
+        // The intermediate itself (as leaf) is also rejected.
+        assert_eq!(
+            v.verify(&f.intermediate, ChainOptions::at(at())).unwrap_err(),
+            ChainError::Blacklisted
+        );
+    }
+
+    #[test]
+    fn blacklisted_anchor_rejected_even_if_installed() {
+        // The Android 4.4 scenario (§2): a fraudulent CA is in the store
+        // (e.g. injected by a root app) but its key is platform-blacklisted
+        // — chains through it must fail anyway.
+        let rogue_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(240)).unwrap();
+        let leaf_kp = RsaKeyPair::generate(512, &mut SplitMix64::new(241)).unwrap();
+        let rogue = Arc::new(
+            CertificateBuilder::self_signed_root(
+                DistinguishedName::common_name("Fraudulent Google CA"),
+                nb(),
+                na(),
+                &rogue_kp,
+                Uint::one(),
+            )
+            .unwrap(),
+        );
+        let forged = Arc::new(
+            CertificateBuilder::new(
+                rogue.subject.clone(),
+                DistinguishedName::common_name("www.google.com"),
+                nb(),
+                na(),
+            )
+            .tls_server(vec!["www.google.com".into()])
+            .sign(leaf_kp.public_key(), &rogue_kp)
+            .unwrap(),
+        );
+        let mut v = ChainVerifier::new();
+        v.add_anchor(Arc::clone(&rogue));
+        // Without the blacklist the forged chain anchors.
+        assert!(v.verify(&forged, ChainOptions::at(at())).is_ok());
+        // With it, rejected.
+        v.blacklist_key(&rogue.public_key);
+        assert_eq!(
+            v.verify(&forged, ChainOptions::at(at())).unwrap_err(),
+            ChainError::Blacklisted
+        );
+    }
+
+    #[test]
+    fn max_depth_enforced() {
+        let f = fixture();
+        let v = verifier(&f);
+        let opts = ChainOptions {
+            max_depth: 2, // leaf + 1 more — the 3-cert chain can't fit
+            ..ChainOptions::at(at())
+        };
+        let err = v.verify(&f.leaf, opts).unwrap_err();
+        assert_eq!(err, ChainError::PathTooLong);
+    }
+}

@@ -1,0 +1,425 @@
+//! X.509 v3 extensions (RFC 5280 §4.2).
+//!
+//! The paper's trust analysis hinges on a handful of extensions:
+//! `basicConstraints` (is this a CA, and how deep may it issue),
+//! `keyUsage`/`extKeyUsage` (what operations the certificate may perform —
+//! Android famously ignores these scopes for root-store members, which §2 of
+//! the paper calls out), and the key identifiers used for chain building.
+
+use tangled_asn1::{Asn1Error, DerReader, DerWriter, Oid, Tag};
+
+/// `BasicConstraints ::= SEQUENCE { cA BOOLEAN DEFAULT FALSE,
+/// pathLenConstraint INTEGER OPTIONAL }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BasicConstraints {
+    /// Whether the subject is a CA.
+    pub ca: bool,
+    /// Maximum number of intermediate CAs below this one.
+    pub path_len: Option<u32>,
+}
+
+/// KeyUsage bits (RFC 5280 §4.2.1.3). Only the bits this workspace
+/// exercises are named; the rest round-trip through `raw`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsage {
+    /// digitalSignature (bit 0).
+    pub digital_signature: bool,
+    /// keyEncipherment (bit 2).
+    pub key_encipherment: bool,
+    /// keyCertSign (bit 5).
+    pub key_cert_sign: bool,
+    /// cRLSign (bit 6).
+    pub crl_sign: bool,
+}
+
+impl KeyUsage {
+    /// Usage bits typical for a CA certificate.
+    pub fn ca() -> Self {
+        KeyUsage {
+            key_cert_sign: true,
+            crl_sign: true,
+            ..Default::default()
+        }
+    }
+
+    /// Usage bits typical for a TLS server leaf.
+    pub fn tls_server() -> Self {
+        KeyUsage {
+            digital_signature: true,
+            key_encipherment: true,
+            ..Default::default()
+        }
+    }
+
+    fn to_bits(self) -> [bool; 9] {
+        let mut bits = [false; 9];
+        bits[0] = self.digital_signature;
+        bits[2] = self.key_encipherment;
+        bits[5] = self.key_cert_sign;
+        bits[6] = self.crl_sign;
+        bits
+    }
+
+    fn from_bytes(unused: u8, bytes: &[u8]) -> Self {
+        let bit = |i: usize| -> bool {
+            let byte = i / 8;
+            if byte >= bytes.len() {
+                return false;
+            }
+            // The final byte's low `unused` bits are padding.
+            if byte == bytes.len() - 1 && (7 - i % 8) < unused as usize {
+                return false;
+            }
+            bytes[byte] & (0x80 >> (i % 8)) != 0
+        };
+        KeyUsage {
+            digital_signature: bit(0),
+            key_encipherment: bit(2),
+            key_cert_sign: bit(5),
+            crl_sign: bit(6),
+        }
+    }
+}
+
+/// Extended key usage purposes relevant to the paper's Table 4/§5 analysis
+/// (TLS server auth vs code signing vs email — Android does not scope
+/// root-store members by these, Mozilla does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyPurpose {
+    /// id-kp-serverAuth.
+    ServerAuth,
+    /// id-kp-clientAuth.
+    ClientAuth,
+    /// id-kp-codeSigning.
+    CodeSigning,
+    /// id-kp-emailProtection.
+    EmailProtection,
+    /// Any purpose not otherwise modelled.
+    Other(u64),
+}
+
+impl KeyPurpose {
+    fn to_oid(self) -> Oid {
+        match self {
+            KeyPurpose::ServerAuth => Oid::kp_server_auth(),
+            KeyPurpose::ClientAuth => Oid::kp_client_auth(),
+            KeyPurpose::CodeSigning => Oid::kp_code_signing(),
+            KeyPurpose::EmailProtection => Oid::kp_email_protection(),
+            // Private arc for synthetic purposes (FOTA, SUPL, …).
+            KeyPurpose::Other(n) => Oid::new(&[1, 3, 6, 1, 4, 1, 99999, 3, n]),
+        }
+    }
+
+    fn from_oid(oid: &Oid) -> KeyPurpose {
+        if *oid == Oid::kp_server_auth() {
+            KeyPurpose::ServerAuth
+        } else if *oid == Oid::kp_client_auth() {
+            KeyPurpose::ClientAuth
+        } else if *oid == Oid::kp_code_signing() {
+            KeyPurpose::CodeSigning
+        } else if *oid == Oid::kp_email_protection() {
+            KeyPurpose::EmailProtection
+        } else {
+            let arcs = oid.arcs();
+            KeyPurpose::Other(arcs.last().copied().unwrap_or(0))
+        }
+    }
+}
+
+/// A decoded extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extension {
+    /// id-ce-basicConstraints.
+    BasicConstraints(BasicConstraints),
+    /// id-ce-keyUsage.
+    KeyUsage(KeyUsage),
+    /// id-ce-extKeyUsage.
+    ExtendedKeyUsage(Vec<KeyPurpose>),
+    /// id-ce-subjectKeyIdentifier (opaque key hash).
+    SubjectKeyIdentifier(Vec<u8>),
+    /// id-ce-authorityKeyIdentifier (keyIdentifier form only).
+    AuthorityKeyIdentifier(Vec<u8>),
+    /// id-ce-subjectAltName restricted to dNSName entries.
+    SubjectAltName(Vec<String>),
+    /// Any extension this workspace does not interpret; preserved verbatim.
+    Unknown {
+        /// Extension OID.
+        oid: Oid,
+        /// Criticality flag.
+        critical: bool,
+        /// Raw extnValue OCTET STRING contents.
+        value: Vec<u8>,
+    },
+}
+
+impl Extension {
+    /// The extension's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            Extension::BasicConstraints(_) => Oid::basic_constraints(),
+            Extension::KeyUsage(_) => Oid::key_usage(),
+            Extension::ExtendedKeyUsage(_) => Oid::ext_key_usage(),
+            Extension::SubjectKeyIdentifier(_) => Oid::subject_key_identifier(),
+            Extension::AuthorityKeyIdentifier(_) => Oid::authority_key_identifier(),
+            Extension::SubjectAltName(_) => Oid::subject_alt_name(),
+            Extension::Unknown { oid, .. } => oid.clone(),
+        }
+    }
+
+    /// Whether the extension is emitted with the critical flag.
+    fn critical(&self) -> bool {
+        match self {
+            // RFC 5280: basicConstraints and keyUsage SHOULD/MUST be critical
+            // in CA certificates; we always mark them critical.
+            Extension::BasicConstraints(_) | Extension::KeyUsage(_) => true,
+            Extension::Unknown { critical, .. } => *critical,
+            _ => false,
+        }
+    }
+
+    fn write_value(&self, w: &mut DerWriter) {
+        match self {
+            Extension::BasicConstraints(bc) => w.sequence(|w| {
+                if bc.ca {
+                    w.boolean(true); // DEFAULT FALSE is omitted when false
+                }
+                if let Some(len) = bc.path_len {
+                    w.integer_u64(len as u64);
+                }
+            }),
+            Extension::KeyUsage(ku) => w.bit_string_named(&ku.to_bits()),
+            Extension::ExtendedKeyUsage(purposes) => w.sequence(|w| {
+                for p in purposes {
+                    w.oid(&p.to_oid());
+                }
+            }),
+            Extension::SubjectKeyIdentifier(id) => w.octet_string(id),
+            Extension::AuthorityKeyIdentifier(id) => w.sequence(|w| {
+                // keyIdentifier [0] IMPLICIT OCTET STRING
+                w.tlv(Tag::context_primitive(0), id);
+            }),
+            Extension::SubjectAltName(names) => w.sequence(|w| {
+                for name in names {
+                    // dNSName [2] IMPLICIT IA5String
+                    w.tlv(Tag::context_primitive(2), name.as_bytes());
+                }
+            }),
+            Extension::Unknown { value, .. } => w.raw(value),
+        }
+    }
+
+    /// Write the full `Extension` SEQUENCE (oid, critical, OCTET STRING).
+    pub fn write_der(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            w.oid(&self.oid());
+            if self.critical() {
+                w.boolean(true);
+            }
+            let mut inner = DerWriter::new();
+            self.write_value(&mut inner);
+            w.octet_string(&inner.into_bytes());
+        });
+    }
+
+    /// Parse one `Extension` SEQUENCE from a reader.
+    pub fn read_der(r: &mut DerReader<'_>) -> Result<Extension, Asn1Error> {
+        let mut ext = r.read_sequence()?;
+        let oid = ext.read_oid()?;
+        let critical = if ext.peek_tag().ok() == Some(Tag::BOOLEAN) {
+            ext.read_boolean()?
+        } else {
+            false
+        };
+        let value = ext.read_octet_string()?;
+        ext.finish()?;
+
+        let parsed = if oid == Oid::basic_constraints() {
+            let mut r = DerReader::new(value);
+            let mut seq = r.read_sequence()?;
+            let ca = if seq.peek_tag().ok() == Some(Tag::BOOLEAN) {
+                seq.read_boolean()?
+            } else {
+                false
+            };
+            let path_len = if !seq.is_at_end() {
+                Some(seq.read_integer_u64()? as u32)
+            } else {
+                None
+            };
+            seq.finish()?;
+            r.finish()?;
+            Extension::BasicConstraints(BasicConstraints { ca, path_len })
+        } else if oid == Oid::key_usage() {
+            let mut r = DerReader::new(value);
+            let (unused, bytes) = r.read_bit_string()?;
+            r.finish()?;
+            Extension::KeyUsage(KeyUsage::from_bytes(unused, bytes))
+        } else if oid == Oid::ext_key_usage() {
+            let mut r = DerReader::new(value);
+            let mut seq = r.read_sequence()?;
+            let mut purposes = Vec::new();
+            while !seq.is_at_end() {
+                purposes.push(KeyPurpose::from_oid(&seq.read_oid()?));
+            }
+            r.finish()?;
+            Extension::ExtendedKeyUsage(purposes)
+        } else if oid == Oid::subject_key_identifier() {
+            let mut r = DerReader::new(value);
+            let id = r.read_octet_string()?.to_vec();
+            r.finish()?;
+            Extension::SubjectKeyIdentifier(id)
+        } else if oid == Oid::authority_key_identifier() {
+            let mut r = DerReader::new(value);
+            let mut seq = r.read_sequence()?;
+            let mut key_id = Vec::new();
+            // Only the [0] keyIdentifier form is interpreted; issuer/serial
+            // forms are skipped.
+            while !seq.is_at_end() {
+                let (tag, content) = seq.read_tlv()?;
+                if tag == Tag::context_primitive(0) {
+                    key_id = content.to_vec();
+                }
+            }
+            r.finish()?;
+            Extension::AuthorityKeyIdentifier(key_id)
+        } else if oid == Oid::subject_alt_name() {
+            let mut r = DerReader::new(value);
+            let mut seq = r.read_sequence()?;
+            let mut names = Vec::new();
+            while !seq.is_at_end() {
+                let (tag, content) = seq.read_tlv()?;
+                if tag == Tag::context_primitive(2) {
+                    let s = std::str::from_utf8(content)
+                        .map_err(|_| Asn1Error::BadValue("non-UTF8 dNSName"))?;
+                    names.push(s.to_owned());
+                }
+                // Other GeneralName forms are tolerated and skipped.
+            }
+            r.finish()?;
+            Extension::SubjectAltName(names)
+        } else {
+            Extension::Unknown {
+                oid,
+                critical,
+                value: value.to_vec(),
+            }
+        };
+        Ok(parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ext: &Extension) -> Extension {
+        let mut w = DerWriter::new();
+        ext.write_der(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        let parsed = Extension::read_der(&mut r).unwrap();
+        r.finish().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn basic_constraints_round_trip() {
+        for bc in [
+            BasicConstraints { ca: true, path_len: None },
+            BasicConstraints { ca: true, path_len: Some(0) },
+            BasicConstraints { ca: true, path_len: Some(3) },
+            BasicConstraints { ca: false, path_len: None },
+        ] {
+            assert_eq!(round_trip(&Extension::BasicConstraints(bc)), Extension::BasicConstraints(bc));
+        }
+    }
+
+    #[test]
+    fn basic_constraints_default_false_omitted() {
+        // DER requires omitting a BOOLEAN equal to its DEFAULT.
+        let mut w = DerWriter::new();
+        Extension::BasicConstraints(BasicConstraints::default()).write_der(&mut w);
+        let bytes = w.into_bytes();
+        // The inner value must be an empty SEQUENCE: 30 00.
+        assert!(bytes.windows(2).any(|w| w == [0x30, 0x00]));
+    }
+
+    #[test]
+    fn key_usage_round_trip() {
+        for ku in [KeyUsage::ca(), KeyUsage::tls_server(), KeyUsage::default()] {
+            assert_eq!(round_trip(&Extension::KeyUsage(ku)), Extension::KeyUsage(ku));
+        }
+    }
+
+    #[test]
+    fn key_usage_bit_positions() {
+        // keyCertSign = bit 5 → byte 0x04 with 2 unused bits.
+        let ku = KeyUsage { key_cert_sign: true, ..Default::default() };
+        let mut w = DerWriter::new();
+        Extension::KeyUsage(ku).write_der(&mut w);
+        let bytes = w.into_bytes();
+        assert!(bytes.windows(4).any(|w| w == [0x03, 0x02, 0x02, 0x04]));
+    }
+
+    #[test]
+    fn eku_round_trip() {
+        let ext = Extension::ExtendedKeyUsage(vec![
+            KeyPurpose::ServerAuth,
+            KeyPurpose::ClientAuth,
+            KeyPurpose::CodeSigning,
+            KeyPurpose::EmailProtection,
+            KeyPurpose::Other(7),
+        ]);
+        assert_eq!(round_trip(&ext), ext);
+    }
+
+    #[test]
+    fn key_identifier_round_trips() {
+        let ski = Extension::SubjectKeyIdentifier(vec![1, 2, 3, 4]);
+        assert_eq!(round_trip(&ski), ski);
+        let aki = Extension::AuthorityKeyIdentifier(vec![9, 8, 7]);
+        assert_eq!(round_trip(&aki), aki);
+    }
+
+    #[test]
+    fn san_round_trip() {
+        let ext = Extension::SubjectAltName(vec![
+            "www.bankofamerica.com".into(),
+            "mail.google.com".into(),
+        ]);
+        assert_eq!(round_trip(&ext), ext);
+    }
+
+    #[test]
+    fn unknown_extension_preserved() {
+        let ext = Extension::Unknown {
+            oid: Oid::new(&[1, 3, 6, 1, 4, 1, 4444, 1]),
+            critical: true,
+            value: vec![0x04, 0x02, 0xaa, 0xbb], // arbitrary DER payload
+        };
+        assert_eq!(round_trip(&ext), ext);
+    }
+
+    #[test]
+    fn criticality_flags() {
+        // basicConstraints critical, SAN not.
+        let mut w = DerWriter::new();
+        Extension::BasicConstraints(BasicConstraints { ca: true, path_len: None }).write_der(&mut w);
+        assert!(w.into_bytes().windows(3).any(|b| b == [0x01, 0x01, 0xff]));
+
+        let mut w = DerWriter::new();
+        Extension::SubjectAltName(vec!["a.example".into()]).write_der(&mut w);
+        assert!(!w.into_bytes().windows(3).any(|b| b == [0x01, 0x01, 0xff]));
+    }
+
+    #[test]
+    fn key_usage_unused_bits_respected() {
+        // A BIT STRING of one byte with 4 unused bits: only bits 0-3 valid.
+        // Bit 5 (keyCertSign) must therefore read as false even though the
+        // raw byte pattern would set it.
+        let ku = KeyUsage::from_bytes(4, &[0b0000_0100]);
+        assert!(!ku.key_cert_sign);
+        let ku = KeyUsage::from_bytes(2, &[0b0000_0100]);
+        assert!(ku.key_cert_sign);
+    }
+}

@@ -1,0 +1,189 @@
+//! Single-certificate validation policy.
+//!
+//! [`check_cert`] applies the per-certificate checks RFC 5280 path
+//! validation performs at each step: validity window, CA authority
+//! (basicConstraints + keyUsage) for issuing certificates, and path length
+//! budgets. [`chain`](crate::chain) composes these along a path.
+
+use crate::cert::Certificate;
+use tangled_asn1::Time;
+
+/// The role a certificate plays at one step of a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertRole {
+    /// The end-entity certificate.
+    Leaf,
+    /// An intermediate or root issuing certificate with the given number of
+    /// CA certificates *below* it in the path (excluding the leaf).
+    Issuer {
+        /// CA certificates between this one and the leaf.
+        ca_certs_below: u32,
+    },
+}
+
+/// A per-certificate validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertCheckError {
+    /// Certificate not yet valid at the verification time.
+    NotYetValid,
+    /// Certificate expired at the verification time.
+    Expired,
+    /// An issuing certificate lacks `basicConstraints cA=TRUE`.
+    NotACa,
+    /// An issuing certificate has keyUsage without `keyCertSign`.
+    KeyCertSignMissing,
+    /// The `pathLenConstraint` budget is exceeded.
+    PathLenExceeded,
+}
+
+impl std::fmt::Display for CertCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertCheckError::NotYetValid => write!(f, "certificate not yet valid"),
+            CertCheckError::Expired => write!(f, "certificate expired"),
+            CertCheckError::NotACa => write!(f, "issuing certificate is not a CA"),
+            CertCheckError::KeyCertSignMissing => {
+                write!(f, "issuing certificate lacks keyCertSign usage")
+            }
+            CertCheckError::PathLenExceeded => write!(f, "pathLenConstraint exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CertCheckError {}
+
+/// Check one certificate for validity at `at` in the given `role`.
+pub fn check_cert(cert: &Certificate, at: Time, role: CertRole) -> Result<(), CertCheckError> {
+    if at < cert.not_before {
+        return Err(CertCheckError::NotYetValid);
+    }
+    if at > cert.not_after {
+        return Err(CertCheckError::Expired);
+    }
+    if let CertRole::Issuer { ca_certs_below } = role {
+        let bc = cert.basic_constraints();
+        match bc {
+            Some(bc) if bc.ca => {
+                if let Some(max) = bc.path_len {
+                    if ca_certs_below > max {
+                        return Err(CertCheckError::PathLenExceeded);
+                    }
+                }
+            }
+            // v3 issuers must assert cA. (v1 roots without extensions are
+            // grandfathered by the chain layer, which treats configured
+            // trust anchors as CA-capable.)
+            _ => return Err(CertCheckError::NotACa),
+        }
+        if let Some(ku) = cert.key_usage() {
+            if !ku.key_cert_sign {
+                return Err(CertCheckError::KeyCertSignMissing);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crate::extensions::{BasicConstraints, Extension, KeyUsage};
+    use crate::name::DistinguishedName;
+    use tangled_crypto::rsa::RsaKeyPair;
+    use tangled_crypto::{SplitMix64, Uint};
+
+    fn kp() -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut SplitMix64::new(77)).unwrap()
+    }
+
+    fn mk_ca(path_len: Option<u32>) -> Certificate {
+        let kp = kp();
+        CertificateBuilder::new(
+            DistinguishedName::common_name("CA"),
+            DistinguishedName::common_name("CA"),
+            Time::date(2010, 1, 1).unwrap(),
+            Time::date(2020, 1, 1).unwrap(),
+        )
+        .ca(path_len)
+        .sign(kp.public_key(), &kp)
+        .unwrap()
+    }
+
+    #[test]
+    fn window_enforcement() {
+        let ca = mk_ca(None);
+        assert_eq!(
+            check_cert(&ca, Time::date(2009, 12, 31).unwrap(), CertRole::Leaf),
+            Err(CertCheckError::NotYetValid)
+        );
+        assert_eq!(
+            check_cert(&ca, Time::date(2020, 1, 2).unwrap(), CertRole::Leaf),
+            Err(CertCheckError::Expired)
+        );
+        assert_eq!(
+            check_cert(&ca, Time::date(2015, 6, 1).unwrap(), CertRole::Leaf),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn path_len_budget() {
+        let ca = mk_ca(Some(1));
+        let at = Time::date(2015, 1, 1).unwrap();
+        assert_eq!(check_cert(&ca, at, CertRole::Issuer { ca_certs_below: 0 }), Ok(()));
+        assert_eq!(check_cert(&ca, at, CertRole::Issuer { ca_certs_below: 1 }), Ok(()));
+        assert_eq!(
+            check_cert(&ca, at, CertRole::Issuer { ca_certs_below: 2 }),
+            Err(CertCheckError::PathLenExceeded)
+        );
+    }
+
+    #[test]
+    fn non_ca_cannot_issue() {
+        let pair = kp();
+        let leaf = CertificateBuilder::new(
+            DistinguishedName::common_name("X"),
+            DistinguishedName::common_name("X"),
+            Time::date(2010, 1, 1).unwrap(),
+            Time::date(2020, 1, 1).unwrap(),
+        )
+        .tls_server(vec!["x".into()])
+        .sign(pair.public_key(), &pair)
+        .unwrap();
+        let at = Time::date(2015, 1, 1).unwrap();
+        assert_eq!(check_cert(&leaf, at, CertRole::Leaf), Ok(()));
+        assert_eq!(
+            check_cert(&leaf, at, CertRole::Issuer { ca_certs_below: 0 }),
+            Err(CertCheckError::NotACa)
+        );
+    }
+
+    #[test]
+    fn cert_sign_usage_required_for_issuers() {
+        let pair = kp();
+        // cA=TRUE but keyUsage without keyCertSign — malformed CA.
+        let cert = CertificateBuilder::new(
+            DistinguishedName::common_name("BadCA"),
+            DistinguishedName::common_name("BadCA"),
+            Time::date(2010, 1, 1).unwrap(),
+            Time::date(2020, 1, 1).unwrap(),
+        )
+        .extension(Extension::BasicConstraints(BasicConstraints {
+            ca: true,
+            path_len: None,
+        }))
+        .extension(Extension::KeyUsage(KeyUsage::tls_server()))
+        .serial(Uint::from_u64(3))
+        .sign(pair.public_key(), &pair)
+        .unwrap();
+        assert_eq!(
+            check_cert(
+                &cert,
+                Time::date(2015, 1, 1).unwrap(),
+                CertRole::Issuer { ca_certs_below: 0 }
+            ),
+            Err(CertCheckError::KeyCertSignMissing)
+        );
+    }
+}

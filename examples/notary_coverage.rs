@@ -1,0 +1,68 @@
+//! Notary coverage: which roots in a store actually validate traffic —
+//! and which are dead weight you could disable (§5.3, and the Perl et al.
+//! trimming the paper confirms).
+//!
+//! ```text
+//! cargo run --release --example notary_coverage [scale]
+//! ```
+
+use tangled_mass::analysis::figures::figure3_render;
+use tangled_mass::analysis::tables::{table3, table4};
+use tangled_mass::notary::coverage::{progressive_coverage, roots_needed_for};
+use tangled_mass::notary::ecosystem::EcosystemSpec;
+use tangled_mass::notary::{Ecosystem, ValidationIndex};
+use tangled_mass::pki::stores::ReferenceStore;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    eprintln!("generating certificate ecosystem at scale {scale}…");
+    let eco = Ecosystem::generate(&EcosystemSpec::scaled(scale));
+    eprintln!(
+        "{} certificates ({} non-expired), validating…",
+        eco.len(),
+        eco.non_expired()
+    );
+    let idx = ValidationIndex::build(&eco);
+
+    // The §4.2 "any port" service mix.
+    print!("service mix:");
+    for (svc, n) in eco.service_histogram() {
+        print!("  {} {}", svc.label(), n);
+    }
+    println!("\n");
+
+    println!("{}", table3(&idx).render());
+    println!("{}", table4(&idx).render());
+    println!("{}", figure3_render(&idx));
+
+    // The trimming question: how few roots cover almost everything?
+    let aosp44 = ReferenceStore::Aosp44.cached();
+    let counts = idx.counts_for(aosp44.identities().iter());
+    let total_cov = progressive_coverage(&counts)
+        .last()
+        .map(|&(_, c)| c)
+        .unwrap_or(0);
+    println!("AOSP 4.4 trimming analysis ({} anchors):", aosp44.len());
+    for target in [0.50, 0.90, 0.99, 1.0] {
+        let needed = roots_needed_for(&counts, target);
+        println!(
+            "  {:>4.0}% of validated traffic needs only {:>3} roots",
+            target * 100.0,
+            needed
+        );
+    }
+    let dead = counts.iter().filter(|&&c| c == 0).count();
+    println!(
+        "  {} of {} anchors validate nothing at all ({} certs covered in total)",
+        dead,
+        counts.len(),
+        total_cov
+    );
+    println!(
+        "\n\"One could seemingly disable these certificates with little negative \
+         effect on the user experience or TLS functionality.\" — §5.3"
+    );
+}

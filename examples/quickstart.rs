@@ -1,0 +1,85 @@
+//! Quickstart: build root stores, diff them, and inspect trust.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the core API: reference stores (Table 1), the paper's
+//! certificate-identity equivalence, store diffing, and the Android
+//! trust-scoping gap (§2/§8).
+
+use tangled_mass::analysis::tables;
+use tangled_mass::pki::diff::{diff, distinct_count, IdentityMode};
+use tangled_mass::pki::stores::{global_factory, ReferenceStore};
+use tangled_mass::pki::trust::TrustBits;
+
+fn main() {
+    // --- Table 1: the reference stores -----------------------------------
+    println!("{}", tables::table1().render());
+
+    // --- Store diffing: what does AOSP 4.4 add over 4.1? -----------------
+    let aosp41 = ReferenceStore::Aosp41.cached();
+    let aosp44 = ReferenceStore::Aosp44.cached();
+    let d = diff(&aosp41, &aosp44);
+    println!(
+        "AOSP 4.1 → 4.4: +{} anchors, -{} anchors (releases only grow)\n",
+        d.added_count(),
+        d.removed_count()
+    );
+
+    // --- The paper's equivalence: AOSP 4.4 vs Mozilla --------------------
+    let mozilla = ReferenceStore::Mozilla.cached();
+    let d = diff(&mozilla, &aosp44);
+    println!(
+        "AOSP 4.4 ∩ Mozilla: {} equivalent anchors (subject + RSA modulus)",
+        d.common.len()
+    );
+    let all: Vec<_> = aosp44
+        .iter()
+        .chain(mozilla.iter())
+        .map(|a| a.cert.as_ref().clone())
+        .collect();
+    println!(
+        "distinct certs across both stores: {} by bytes, {} by identity",
+        distinct_count(all.iter(), IdentityMode::ByteHash),
+        distinct_count(all.iter(), IdentityMode::SubjectAndModulus),
+    );
+
+    // --- The expired root AOSP still ships (§2) --------------------------
+    let study = tangled_mass::notary::ecosystem::study_time();
+    for anchor in aosp44.iter().filter(|a| a.cert.is_expired_at(study)) {
+        println!(
+            "\nexpired but still trusted: {} (expired {})",
+            anchor.cert.subject, anchor.cert.not_after
+        );
+    }
+
+    // --- Android's missing trust scoping (§8) -----------------------------
+    let mut scoped = aosp44.cloned_as("AOSP 4.4, Mozilla-style scoping");
+    let ids: Vec<_> = scoped.identities().to_vec();
+    for id in &ids {
+        scoped.set_trust(id, TrustBits::tls_only());
+    }
+    let code_signing_trusted = scoped
+        .iter()
+        .filter(|a| a.trust.code_signing)
+        .count();
+    println!(
+        "\nafter applying the paper's scoping recommendation: {} of {} anchors \
+         remain trusted for code signing (stock Android: all of them)",
+        code_signing_trusted,
+        scoped.len()
+    );
+
+    // --- Mint your own CA and chain ---------------------------------------
+    let mut factory = global_factory().lock().expect("factory");
+    let root = factory.root("Quickstart Demo Root CA");
+    let leaf = factory
+        .leaf("Quickstart Demo Root CA", &root, "demo.example.org", 1)
+        .expect("issuance");
+    leaf.verify_issued_by(&root).expect("chain verifies");
+    println!(
+        "\nminted and verified a fresh chain: {} ← {}",
+        leaf.subject, root.subject
+    );
+}

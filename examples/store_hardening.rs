@@ -1,0 +1,66 @@
+//! Store hardening: audit a device, then apply the paper's §8
+//! recommendations — trim dead roots and scope trust Mozilla-style.
+//!
+//! ```text
+//! cargo run --release --example store_hardening
+//! ```
+
+use tangled_mass::analysis::trimming::{self, Weighting};
+use tangled_mass::analysis::Study;
+use tangled_mass::pki::audit::audit;
+use tangled_mass::pki::stores::{global_factory, ReferenceStore};
+use tangled_mass::pki::trust::AnchorSource;
+
+fn main() {
+    eprintln!("generating study…");
+    let study = Study::new(0.25, 0.5);
+    let at = tangled_mass::notary::ecosystem::study_time();
+
+    // --- 1. Audit a suspicious device --------------------------------------
+    let baseline = ReferenceStore::Aosp44.cached().cloned_as("AOSP 4.4");
+    let mut device = baseline.cloned_as("field device");
+    {
+        let mut f = global_factory().lock().expect("factory");
+        device.add_cert(f.root("Deutsche Telekom Root CA 1 [d0dd9b0c]"), AnchorSource::Manufacturer);
+        device.add_cert(f.root("CRAZY HOUSE"), AnchorSource::RootApp);
+    }
+    let report = audit(&baseline, &device, at);
+    println!("{}", report.render());
+
+    // --- 2. Trim dead weight (§5.3 / Perl et al.) ---------------------------
+    for weighting in [Weighting::Certificates, Weighting::Sessions] {
+        let plan = trimming::plan(&baseline, &study.validation, 1.0, weighting);
+        println!(
+            "trim plan ({weighting:?}, keep 100% of coverage): disable {} of {} anchors \
+             ({:.0}% surface reduction), coverage retained {:.1}%",
+            plan.disable.len(),
+            baseline.len(),
+            plan.surface_reduction() * 100.0,
+            plan.retained_fraction() * 100.0
+        );
+    }
+    let aggressive = trimming::plan(&baseline, &study.validation, 0.99, Weighting::Sessions);
+    println!(
+        "aggressive plan (99% of session volume): keep only {} anchors\n",
+        aggressive.keep.len()
+    );
+
+    // --- 3. Scope trust by observed use (§8) --------------------------------
+    let (scoped, scope_report) = trimming::scope_by_observed_use(&baseline, &study.validation);
+    println!(
+        "scoping report for {}:\n  all-purpose anchors: {} → {}\n  \
+         TLS-scoped: {}\n  fully untrusted (dead): {}\n  \
+         TLS coverage: {} → {} (unchanged: scoping by use is free)",
+        scoped.name(),
+        scope_report.all_purpose_before,
+        scope_report.all_purpose_after,
+        scope_report.tls_scoped,
+        scope_report.untrusted,
+        scope_report.tls_coverage_before,
+        scope_report.tls_coverage_after,
+    );
+    println!(
+        "\n\"We recommend enforcing an audited and more strict root store for \
+         Android, per the approaches adopted by Mozilla and iOS.\" — §8"
+    );
+}

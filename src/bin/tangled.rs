@@ -1,0 +1,165 @@
+//! `tangled` — command-line interface to the tangled-mass toolkit.
+//!
+//! ```text
+//! tangled tables  [scale]            print Tables 1–6 (default scale 0.5)
+//! tangled figures [scale]            print Figures 1–3 data summaries
+//! tangled export  [scale]            full result set as JSON on stdout
+//! tangled mkstore <version> <dir>    write an AOSP store as a cacerts dir
+//!                                    (version: 4.1 | 4.2 | 4.3 | 4.4 |
+//!                                     mozilla | ios7)
+//! tangled audit   <dir> <version>    audit an on-disk cacerts directory
+//!                                    against an AOSP baseline
+//! tangled probe                      replay the §7 interception case
+//! ```
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+use tangled_mass::analysis::{export, figures, survey, tables, Study};
+use tangled_mass::asn1::Time;
+use tangled_mass::netalyzr::{Population, PopulationSpec};
+use tangled_mass::pki::audit::audit;
+use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
+use tangled_mass::pki::stores::ReferenceStore;
+use tangled_mass::pki::trust::AnchorSource;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("tables") => cmd_tables(parse_scale(args.get(1))),
+        Some("figures") => cmd_figures(parse_scale(args.get(1))),
+        Some("export") => cmd_export(parse_scale(args.get(1))),
+        Some("mkstore") => cmd_mkstore(args.get(1), args.get(2)),
+        Some("audit") => cmd_audit(args.get(1), args.get(2)),
+        Some("probe") => cmd_probe(),
+        _ => {
+            eprintln!("usage: tangled <tables|figures|export|mkstore|audit|probe> [...]");
+            eprintln!("  tables  [scale]          print Tables 1-6");
+            eprintln!("  figures [scale]          print Figures 1-3 summaries");
+            eprintln!("  export  [scale]          print the result set as JSON");
+            eprintln!("  mkstore <version> <dir>  write a reference store as cacerts files");
+            eprintln!("  audit   <dir> <version>  audit a cacerts directory");
+            eprintln!("  probe                    replay the interception case");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_scale(arg: Option<&String>) -> f64 {
+    arg.and_then(|s| s.parse().ok()).unwrap_or(0.5)
+}
+
+fn parse_store(name: &str) -> Result<ReferenceStore, String> {
+    match name {
+        "4.1" => Ok(ReferenceStore::Aosp41),
+        "4.2" => Ok(ReferenceStore::Aosp42),
+        "4.3" => Ok(ReferenceStore::Aosp43),
+        "4.4" => Ok(ReferenceStore::Aosp44),
+        "mozilla" => Ok(ReferenceStore::Mozilla),
+        "ios7" => Ok(ReferenceStore::Ios7),
+        other => Err(format!("unknown store '{other}' (want 4.1|4.2|4.3|4.4|mozilla|ios7)")),
+    }
+}
+
+fn cmd_tables(scale: f64) -> Result<(), String> {
+    eprintln!("generating study at scale {scale}…");
+    let study = Study::new(scale, scale.max(0.25));
+    println!("{}", tables::dataset_summary(&study.population).render());
+    print!("{}", tables::render_all(&study));
+    Ok(())
+}
+
+fn cmd_figures(scale: f64) -> Result<(), String> {
+    eprintln!("generating study at scale {scale}…");
+    let study = Study::new(scale, scale.max(0.25));
+    println!("{}", figures::figure1_render(&study.population, 20));
+    println!("{}", figures::figure2_render(&study.population, 20));
+    println!("{}", figures::figure3_render(&study.validation));
+    Ok(())
+}
+
+fn cmd_export(scale: f64) -> Result<(), String> {
+    eprintln!("generating study at scale {scale}…");
+    let study = Study::new(scale, scale.max(0.25));
+    let doc = export::export_study(&study);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_mkstore(version: Option<&String>, dir: Option<&String>) -> Result<(), String> {
+    let version = version.ok_or("mkstore needs a store name")?;
+    let dir = dir.ok_or("mkstore needs an output directory")?;
+    let store = parse_store(version)?.cached();
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let files = to_cacerts_pem(&store);
+    for f in &files {
+        let path = std::path::Path::new(dir).join(&f.name);
+        std::fs::write(&path, &f.der).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {} certificates to {dir}", files.len());
+    Ok(())
+}
+
+fn cmd_audit(dir: Option<&String>, version: Option<&String>) -> Result<(), String> {
+    let dir = dir.ok_or("audit needs a cacerts directory")?;
+    let version = version.ok_or("audit needs a baseline store name")?;
+    let baseline = parse_store(version)?.cached();
+
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        if !entry.file_type().map_err(|e| e.to_string())?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let der = std::fs::read(entry.path()).map_err(|e| e.to_string())?;
+        files.push(CacertsFile { name, der });
+    }
+    files.sort_by(|a, b| a.name.cmp(&b.name));
+    let observed = from_cacerts(dir, &files, AnchorSource::Unknown)
+        .map_err(|e| format!("reading {dir}: {e}"))?;
+    let report = audit(
+        &baseline,
+        &observed,
+        Time::date(2014, 2, 1).expect("valid date"),
+    );
+    print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_probe() -> Result<(), String> {
+    println!("{}", tables::table6().render());
+    let pop = Population::generate(&PopulationSpec::scaled(0.1));
+    let victim = survey::nexus7_victim(&pop).ok_or("no Nexus 7 in population")?;
+    let proxied: HashSet<_> = [victim].into_iter().collect();
+    eprintln!(
+        "surveying {} sessions with one proxied device…",
+        pop.sessions.len()
+    );
+    let report = survey::survey(&pop, &proxied);
+    println!(
+        "survey: {} of {} sessions exposed interception ({} device(s))",
+        report.flagged.len(),
+        report.sessions,
+        report.flagged_devices().len()
+    );
+    for f in report.flagged.iter().take(3) {
+        println!(
+            "  session {} on device {:?}: {} targets re-signed by {}",
+            f.session,
+            f.device,
+            f.intercepted_targets,
+            f.interfering_issuer.as_deref().unwrap_or("?")
+        );
+    }
+    Ok(())
+}

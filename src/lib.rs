@@ -1,0 +1,23 @@
+//! `tangled-mass` — facade crate for the full workspace.
+//!
+//! Re-exports every subsystem of the reproduction of *“A Tangled Mass: The
+//! Android Root Certificate Stores”* (CoNEXT 2014) under one roof, so
+//! examples and downstream users can depend on a single crate.
+//!
+//! ```
+//! use tangled_mass::pki::stores::ReferenceStore;
+//!
+//! let aosp44 = ReferenceStore::Aosp44.build();
+//! assert_eq!(aosp44.len(), 150); // Table 1 of the paper
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tangled_asn1 as asn1;
+pub use tangled_core as analysis;
+pub use tangled_crypto as crypto;
+pub use tangled_intercept as intercept;
+pub use tangled_netalyzr as netalyzr;
+pub use tangled_notary as notary;
+pub use tangled_pki as pki;
+pub use tangled_x509 as x509;

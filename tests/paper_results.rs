@@ -1,0 +1,255 @@
+//! Integration: every table and headline statistic of the paper, checked
+//! against the paper's reported values (exact where the quantity is
+//! structural, banded where it is an estimate over the synthetic dataset).
+
+use tangled_mass::analysis::classify::{addition_class_distribution, headline_stats};
+use tangled_mass::analysis::figures::{figure1_summary, figure2, figure2_class_distribution};
+use tangled_mass::analysis::tables;
+use tangled_mass::analysis::Study;
+use tangled_mass::pki::extras::Figure2Class;
+use tangled_mass::pki::vocab::{AndroidVersion, Manufacturer};
+use std::sync::OnceLock;
+
+/// One shared study for the whole test binary (population at half scale,
+/// ecosystem at quarter scale — the smallest sizes that preserve every
+/// calibrated ordering).
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::new(0.5, 0.25))
+}
+
+#[test]
+fn table1_exact() {
+    assert_eq!(
+        tables::table1_data(),
+        vec![
+            ("AOSP 4.1", 139),
+            ("AOSP 4.2", 140),
+            ("AOSP 4.3", 146),
+            ("AOSP 4.4", 150),
+            ("iOS 7", 227),
+            ("Mozilla", 153),
+        ]
+    );
+}
+
+#[test]
+fn table2_structure() {
+    let data = tables::table2_data(&study().population);
+    // Top models in the paper's order (counts scale with the population).
+    let models: Vec<&str> = data.top_models.iter().map(|(m, _)| m.as_str()).collect();
+    assert_eq!(
+        models,
+        vec![
+            "Samsung Galaxy SIV",
+            "Samsung Galaxy SIII",
+            "LG Nexus 4",
+            "LG Nexus 5",
+            "Asus Nexus 7"
+        ]
+    );
+    let mfrs: Vec<&str> = data
+        .top_manufacturers
+        .iter()
+        .map(|(m, _)| m.as_str())
+        .collect();
+    assert_eq!(mfrs[0], "SAMSUNG");
+    assert_eq!(mfrs[1], "LG");
+    assert_eq!(mfrs[2], "ASUS");
+    // Table 2 ordering: Samsung dominates by more than 2×.
+    assert!(data.top_manufacturers[0].1 > 2 * data.top_manufacturers[1].1);
+}
+
+#[test]
+fn table3_ordering_and_near_equality() {
+    let data = tables::table3_data(&study().validation);
+    let get = |name: &str| {
+        data.iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    let mozilla = get("Mozilla");
+    let ios = get("iOS 7");
+    let a41 = get("AOSP 4.1");
+    let a42 = get("AOSP 4.2");
+    let a43 = get("AOSP 4.3");
+    let a44 = get("AOSP 4.4");
+    assert!(mozilla < a41);
+    assert_eq!(a41, a42);
+    assert!(a42 < a43 && a43 < a44 && a44 < ios);
+    assert!((ios - mozilla) as f64 / (mozilla as f64) < 0.05);
+}
+
+#[test]
+fn table4_totals_and_dead_fractions() {
+    let rows = tables::table4_data(&study().validation);
+    let get = |name: &str| rows.iter().find(|r| r.category == name).unwrap();
+
+    // Structural counts (paper / ours where the Figure 2 axis differs).
+    assert_eq!(get("Non AOSP root certs found on Mozilla's").total, 16);
+    assert_eq!(get("AOSP 4.4 and Mozilla root certs").total, 130);
+    assert_eq!(get("AOSP 4.1 certs").total, 139);
+    assert_eq!(get("AOSP 4.4 certs").total, 150);
+    assert_eq!(get("Mozilla root store certs").total, 153);
+    assert_eq!(get("iOS 7 root store certs").total, 227);
+
+    // Dead fractions: paper 72 / 38 / 15 / 22 / 23 / 40 / 22 / 41 %.
+    let band = |name: &str, lo: f64, hi: f64| {
+        let f = get(name).dead_fraction;
+        assert!((lo..=hi).contains(&f), "{name}: {f:.3} not in [{lo},{hi}]");
+    };
+    band("Non AOSP and Non Mozilla root certs", 0.60, 0.85);
+    band("AOSP 4.4 and Mozilla root certs", 0.10, 0.25);
+    band("AOSP 4.4 certs", 0.15, 0.30);
+    band("Aggregated Android root certs", 0.30, 0.50);
+    band("Mozilla root store certs", 0.15, 0.30);
+    band("iOS 7 root store certs", 0.32, 0.50);
+
+    // Orderings the paper's argument rests on.
+    let neither = get("Non AOSP and Non Mozilla root certs").dead_fraction;
+    let shared = get("AOSP 4.4 and Mozilla root certs").dead_fraction;
+    let ios = get("iOS 7 root store certs").dead_fraction;
+    assert!(neither > ios && ios > shared);
+}
+
+#[test]
+fn table5_rooted_cas() {
+    // Table 5 needs the full-scale population for its exact device counts.
+    let pop = tangled_mass::netalyzr::Population::generate(
+        &tangled_mass::netalyzr::PopulationSpec::default(),
+    );
+    let data = tables::table5_data(&pop);
+    let get = |name: &str| {
+        data.iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
+            .unwrap()
+    };
+    assert_eq!(get("CRAZY HOUSE"), 70);
+    assert_eq!(get("MIND OVERFLOW"), 1);
+    assert_eq!(get("USER_X"), 1);
+    assert_eq!(get("CDA/EMAILADDRESS"), 1);
+    assert_eq!(get("CIRRUS, PRIVATE"), 1);
+}
+
+#[test]
+fn table6_exact() {
+    let data = tables::table6_data();
+    assert_eq!(data.intercepted.len(), 12);
+    assert_eq!(data.whitelisted.len(), 9);
+    assert!(data.intercepted.contains(&"www.bankofamerica.com:443".to_owned()));
+    assert!(data.whitelisted.contains(&"supl.google.com:7275".to_owned()));
+    assert!(data.whitelisted.contains(&"orcart.facebook.com:8883".to_owned()));
+    // The same host can be intercepted on one port and whitelisted on
+    // another (orcart.facebook.com).
+    assert!(data.intercepted.contains(&"orcart.facebook.com:443".to_owned()));
+}
+
+#[test]
+fn section5_headlines() {
+    let stats = headline_stats(&study().population);
+    assert!(
+        (0.30..=0.48).contains(&stats.extended_session_fraction),
+        "39% extended, got {:.3}",
+        stats.extended_session_fraction
+    );
+    assert_eq!(stats.devices_missing_certs, 5);
+
+    let dist = addition_class_distribution(&study().population);
+    let get = |c: Figure2Class| dist.get(&c).copied().unwrap_or(0.0);
+    // Paper: 6.7 / 16.2 / 37.1 / 40.0.
+    assert!((0.02..=0.12).contains(&get(Figure2Class::MozillaAndIos7)));
+    assert!((0.08..=0.25).contains(&get(Figure2Class::Ios7)));
+    assert!((0.25..=0.48).contains(&get(Figure2Class::OnlyAndroid)));
+    assert!((0.30..=0.52).contains(&get(Figure2Class::NotRecorded)));
+}
+
+#[test]
+fn section6_headlines() {
+    let stats = headline_stats(&study().population);
+    assert!(
+        (0.18..=0.30).contains(&stats.rooted_session_fraction),
+        "24% rooted, got {:.3}",
+        stats.rooted_session_fraction
+    );
+    assert!(
+        (0.02..=0.11).contains(&stats.rooted_only_share_of_rooted),
+        "~6% rooted-only, got {:.3}",
+        stats.rooted_only_share_of_rooted
+    );
+}
+
+#[test]
+fn figure1_shape() {
+    let summary = figure1_summary(&study().population);
+    let rate = |m: Manufacturer, v: AndroidVersion| {
+        summary
+            .big_bundle_rows
+            .iter()
+            .find(|&&(rm, rv, _)| rm == m && rv == v)
+            .map(|&(_, _, f)| f)
+            .unwrap_or(0.0)
+    };
+    // Heavy rows exceed 40 additions on >10% of sessions.
+    for (m, v) in [
+        (Manufacturer::Htc, AndroidVersion::V4_1),
+        (Manufacturer::Htc, AndroidVersion::V4_2),
+        (Manufacturer::Motorola, AndroidVersion::V4_1),
+        (Manufacturer::Motorola, AndroidVersion::V4_2),
+        (Manufacturer::Lg, AndroidVersion::V4_1),
+        (Manufacturer::Samsung, AndroidVersion::V4_4),
+    ] {
+        assert!(rate(m, v) > 0.10, "{} {} big-bundle rate", m.label(), v.label());
+    }
+    // Near-stock vendors stay below 10 additions (so: no >40 devices).
+    for (m, v) in [
+        (Manufacturer::Motorola, AndroidVersion::V4_3),
+        (Manufacturer::Motorola, AndroidVersion::V4_4),
+        (Manufacturer::Asus, AndroidVersion::V4_2),
+        (Manufacturer::Sony, AndroidVersion::V4_3),
+        (Manufacturer::Huawei, AndroidVersion::V4_1),
+    ] {
+        assert!(rate(m, v) < 0.01, "{} {}", m.label(), v.label());
+    }
+}
+
+#[test]
+fn figure2_narrative() {
+    let cells = figure2(&study().population);
+    let dist = figure2_class_distribution(&cells);
+    let total: f64 = dist.values().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // Certisign on Verizon row (operator-driven addition).
+    assert!(cells.iter().any(|c| {
+        c.row.label() == "VERIZON(US)" && c.cert.contains("Certisign") && c.frequency > 0.1
+    }));
+    // AddTrust on both HTC and Samsung rows (manufacturer-driven).
+    for row in ["HTC 4.1", "SAMSUNG 4.4"] {
+        assert!(
+            cells
+                .iter()
+                .any(|c| c.row.label() == row && c.cert.contains("AddTrust")),
+            "AddTrust missing on {row}"
+        );
+    }
+}
+
+#[test]
+fn all_tables_render() {
+    let s = study();
+    let text = tables::render_all(s);
+    for needle in [
+        "Table 1",
+        "Table 2",
+        "Table 3",
+        "Table 4",
+        "Table 5",
+        "Table 6",
+        "Galaxy SIV",
+        "CRAZY HOUSE",
+        "supl.google.com:7275",
+    ] {
+        assert!(text.contains(needle), "missing {needle}");
+    }
+}

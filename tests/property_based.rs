@@ -1,0 +1,264 @@
+//! Property-based tests (proptest) over the workspace's core data
+//! structures and invariants.
+
+use proptest::prelude::*;
+use tangled_mass::asn1::{DerReader, DerWriter, Oid, Time};
+use tangled_mass::crypto::modular::{lcm, mod_inv, mod_mul, mod_pow};
+use tangled_mass::crypto::Uint;
+use tangled_mass::notary::coverage::{dead_fraction, ecdf, progressive_coverage, roots_needed_for};
+use tangled_mass::pki::diff::{apply, diff, diff_sorted_merge};
+use tangled_mass::pki::factory::CaFactory;
+use tangled_mass::pki::store::RootStore;
+use tangled_mass::pki::trust::AnchorSource;
+use tangled_mass::x509::{Certificate, DistinguishedName};
+
+// ---------------------------------------------------------------------------
+// Big integers: ring axioms and codec round trips.
+// ---------------------------------------------------------------------------
+
+fn arb_uint() -> impl Strategy<Value = Uint> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(|b| Uint::from_be_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uint_add_commutes(a in arb_uint(), b in arb_uint()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn uint_mul_distributes(a in arb_uint(), b in arb_uint(), c in arb_uint()) {
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn uint_div_rem_invariant(a in arb_uint(), b in arb_uint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn uint_bytes_round_trip(a in arb_uint()) {
+        prop_assert_eq!(Uint::from_be_bytes(&a.to_be_bytes()), a.clone());
+        prop_assert_eq!(Uint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn uint_shift_round_trip(a in arb_uint(), n in 0usize..130) {
+        prop_assert_eq!(a.shl(n).shr(n), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_uint(), b in arb_uint()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem(&g).unwrap().is_zero());
+        prop_assert!(b.rem(&g).unwrap().is_zero());
+        // lcm * gcd == a * b
+        prop_assert_eq!(lcm(&a, &b).mul(&g), a.mul(&b));
+    }
+
+    #[test]
+    fn montgomery_agrees_with_fermat(a in 2u64..1_000_000) {
+        // a^(p-1) ≡ 1 (mod p) for prime p not dividing a.
+        let p = Uint::from_u64(1_000_000_007);
+        let a = Uint::from_u64(a);
+        let r = mod_pow(&a, &Uint::from_u64(1_000_000_006), &p).unwrap();
+        prop_assert!(r.is_one());
+    }
+
+    #[test]
+    fn mod_inv_round_trip(a in arb_uint()) {
+        let m = Uint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // prime
+        let a = a.rem(&m).unwrap();
+        prop_assume!(!a.is_zero());
+        let inv = mod_inv(&a, &m).unwrap();
+        prop_assert!(mod_mul(&a, &inv, &m).unwrap().is_one());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DER: encode → decode identity for arbitrary payloads.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn der_octet_string_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut w = DerWriter::new();
+        w.octet_string(&payload);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        prop_assert_eq!(r.read_octet_string().unwrap(), &payload[..]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn der_integer_round_trip(magnitude in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let mut w = DerWriter::new();
+        w.integer_bytes(&magnitude);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        let got = r.read_integer_bytes().unwrap();
+        // Compare as numbers: leading zeros are stripped by the codec.
+        prop_assert_eq!(Uint::from_be_bytes(&got), Uint::from_be_bytes(&magnitude));
+    }
+
+    #[test]
+    fn der_utf8_round_trip(s in "[a-zA-Z0-9 .,=@-]{0,80}") {
+        let mut w = DerWriter::new();
+        w.utf8_string(&s);
+        let bytes = w.into_bytes();
+        let mut r = DerReader::new(&bytes);
+        prop_assert_eq!(r.read_string().unwrap(), s);
+    }
+
+    #[test]
+    fn oid_round_trip(arcs in proptest::collection::vec(0u64..100_000, 1..8)) {
+        let mut full = vec![1u64, 3];
+        full.extend(arcs);
+        let oid = Oid::new(&full);
+        prop_assert_eq!(Oid::from_der_content(&oid.to_der_content()).unwrap(), oid);
+    }
+
+    #[test]
+    fn time_round_trip(secs in 0i64..4_000_000_000) {
+        let t = Time::from_unix(secs);
+        prop_assert_eq!(t.to_unix(), secs);
+        if (1950..2050).contains(&t.year) {
+            let s = t.to_utc_time_string();
+            prop_assert_eq!(Time::parse_utc_time(s.as_bytes()).unwrap(), t);
+        }
+        let s = t.to_generalized_time_string();
+        prop_assert_eq!(Time::parse_generalized_time(s.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn dn_round_trip(cn in "[a-zA-Z0-9 ]{1,40}", org in "[a-zA-Z0-9 ]{0,20}") {
+        let mut b = DistinguishedName::builder().common_name(&cn);
+        if !org.is_empty() {
+            b = b.organization(&org);
+        }
+        let dn = b.build();
+        prop_assert_eq!(DistinguishedName::from_der(&dn.to_der()).unwrap(), dn);
+    }
+
+    #[test]
+    fn corrupted_der_never_panics(mut der in proptest::collection::vec(any::<u8>(), 1..200)) {
+        // Whatever the bytes, parsing must fail cleanly or succeed — never panic.
+        let _ = Certificate::parse(&der);
+        der.insert(0, 0x30);
+        let _ = Certificate::parse(&der);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store diff algebra.
+// ---------------------------------------------------------------------------
+
+fn store_from_indices(name: &str, idx: &[u8]) -> RootStore {
+    let mut f = CaFactory::with_seed(0xD1FF, 512);
+    let mut s = RootStore::new(name);
+    for &i in idx {
+        // Small universe (16 CAs) so stores overlap frequently.
+        s.add_cert(f.root(&format!("Prop CA {}", i % 16)), AnchorSource::Aosp);
+    }
+    s
+}
+
+proptest! {
+    // Store construction costs keygen; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn diff_algebra(a in proptest::collection::vec(any::<u8>(), 0..12),
+                    b in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let sa = store_from_indices("a", &a);
+        let sb = store_from_indices("b", &b);
+
+        // diff(x, x) is the identity.
+        prop_assert!(diff(&sa, &sa).is_identity());
+
+        let d = diff(&sa, &sb);
+        // Partition: every identity of b is either common or added.
+        prop_assert_eq!(d.common.len() + d.added.len(), sb.len());
+        // Every identity of a is either common or removed.
+        prop_assert_eq!(d.common.len() + d.removed.len(), sa.len());
+
+        // apply(a, diff(a,b)) reconstructs b's identity set.
+        let rebuilt = apply(&sa, &d, &sb);
+        prop_assert!(diff(&sb, &rebuilt).is_identity());
+
+        // Hash-join and sorted-merge agree as sets.
+        let m = diff_sorted_merge(&sa, &sb);
+        let set = |v: &[tangled_mass::x509::CertIdentity]| {
+            v.iter().cloned().collect::<std::collections::BTreeSet<_>>()
+        };
+        prop_assert_eq!(set(&d.added), set(&m.added));
+        prop_assert_eq!(set(&d.removed), set(&m.removed));
+        prop_assert_eq!(set(&d.common), set(&m.common));
+
+        // Antisymmetry: swapping stores swaps added/removed.
+        let rev = diff(&sb, &sa);
+        prop_assert_eq!(set(&rev.added), set(&d.removed));
+        prop_assert_eq!(set(&rev.removed), set(&d.added));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage math.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ecdf_invariants(counts in proptest::collection::vec(0u32..10_000, 0..200)) {
+        let points = ecdf(&counts);
+        for w in points.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        if !counts.is_empty() {
+            prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
+            // The y-offset at zero equals the dead fraction.
+            let zero_frac = points.first().filter(|p| p.0 == 0).map_or(0.0, |p| p.1);
+            prop_assert!((zero_frac - dead_fraction(&counts)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn progressive_coverage_invariants(counts in proptest::collection::vec(0u32..10_000, 0..200)) {
+        let curve = progressive_coverage(&counts);
+        prop_assert_eq!(curve.len(), counts.len());
+        // Non-decreasing with diminishing increments.
+        let mut last_gain = u64::MAX;
+        let mut prev = 0u64;
+        for &(_, c) in &curve {
+            let gain = c - prev;
+            prop_assert!(gain <= last_gain);
+            last_gain = gain;
+            prev = c;
+        }
+        // Total equals the plain sum.
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(curve.last().map_or(0, |&(_, c)| c), total);
+    }
+
+    #[test]
+    fn roots_needed_is_monotone(counts in proptest::collection::vec(0u32..1_000, 1..100)) {
+        let n50 = roots_needed_for(&counts, 0.5);
+        let n90 = roots_needed_for(&counts, 0.9);
+        let n100 = roots_needed_for(&counts, 1.0);
+        prop_assert!(n50 <= n90 && n90 <= n100);
+        prop_assert!(n100 <= counts.len());
+    }
+}
