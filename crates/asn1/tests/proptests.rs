@@ -140,6 +140,38 @@ proptest! {
     }
 
     #[test]
+    fn mutated_valid_der_never_panics(
+        v in arb_value(),
+        mutations in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..5),
+    ) {
+        let mut w = DerWriter::new();
+        write(&v, &mut w);
+        let mut bytes = w.into_bytes();
+        prop_assume!(!bytes.is_empty());
+        for (pos_seed, xor) in mutations {
+            let pos = (pos_seed % bytes.len() as u64) as usize;
+            bytes[pos] ^= xor;
+        }
+        // The mutated document may or may not still be valid DER; every
+        // path through the reader must return a Result, never panic.
+        // (The structured `read` helper is not used here: its tag match
+        // is exhaustive only for writer-produced documents.)
+        let mut walker = DerReader::new(&bytes);
+        for _ in 0..16 {
+            if walker.read_tlv().is_err() {
+                break;
+            }
+        }
+        let _ = DerReader::new(&bytes).read_boolean();
+        let _ = DerReader::new(&bytes).read_integer_bytes();
+        let _ = DerReader::new(&bytes).read_oid();
+        let _ = DerReader::new(&bytes).read_string();
+        let _ = DerReader::new(&bytes).read_time();
+        let _ = DerReader::new(&bytes).read_bit_string();
+        let _ = DerReader::new(&bytes).read_sequence();
+    }
+
+    #[test]
     fn truncation_always_detected(v in arb_value()) {
         let mut w = DerWriter::new();
         write(&v, &mut w);

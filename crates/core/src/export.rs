@@ -11,8 +11,9 @@ use crate::study::Study;
 use crate::tables;
 use serde_json::{json, Value};
 
-/// Schema version of the exported document.
-pub const EXPORT_SCHEMA_VERSION: u32 = 1;
+/// Schema version of the exported document. v2 added the `health`
+/// section (fault-injection and quarantine accounting).
+pub const EXPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Export the complete result set of a study.
 pub fn export_study(study: &Study) -> Value {
@@ -100,6 +101,7 @@ pub fn export_study(study: &Study) -> Value {
                     .collect::<Vec<_>>(),
             }))
             .collect::<Vec<_>>(),
+        "health": study.health.to_json(),
         "headlines": {
             "extended_session_fraction": stats.extended_session_fraction,
             "devices_missing_certs": stats.devices_missing_certs,
@@ -139,11 +141,15 @@ mod tests {
             "figure1",
             "figure2",
             "figure3",
+            "health",
             "headlines",
         ] {
             assert!(d.get(key).is_some(), "missing key {key}");
         }
         assert_eq!(d["schema_version"], EXPORT_SCHEMA_VERSION);
+        // A clean study exports an empty, balanced health section.
+        assert_eq!(d["health"]["injected_total"], 0u32);
+        assert_eq!(d["health"]["balanced"], true);
     }
 
     #[test]

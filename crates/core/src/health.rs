@@ -1,0 +1,166 @@
+//! Run-health accounting for degraded studies.
+//!
+//! A degraded run quarantines damaged inputs instead of aborting;
+//! [`RunHealth`] is the ledger that proves nothing was silently dropped.
+//! It counts injected faults per [`tangled_faults::FaultKind`] label and
+//! quarantined units per `(stage, error)` pair, and the two sides must
+//! reconcile: every injected fault corresponds to exactly one quarantined
+//! unit (the injectors are detectable-by-construction), so
+//! [`RunHealth::is_balanced`] holding is the whole pipeline's
+//! graceful-degradation invariant.
+//!
+//! Attribution is by *detection* stage, not injected kind: a TBS bit flip
+//! may surface as a parse error, an inverted window, a dangling issuer, or
+//! a bad signature, so the per-kind and per-stage breakdowns differ while
+//! the totals match.
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Fault accounting for one study run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Injected faults: fault-kind label → count.
+    pub injected: BTreeMap<String, u32>,
+    /// Quarantined units: detection stage → error label → count.
+    pub quarantined: BTreeMap<String, BTreeMap<String, u32>>,
+}
+
+impl RunHealth {
+    /// An empty (healthy) report.
+    pub fn new() -> RunHealth {
+        RunHealth::default()
+    }
+
+    /// Record one injected fault under its kind label.
+    pub fn record_injected(&mut self, kind: &str) {
+        *self.injected.entry(kind.to_owned()).or_default() += 1;
+    }
+
+    /// Record one quarantined unit under its detection stage and error.
+    pub fn record_quarantined(&mut self, stage: &str, error: &str) {
+        *self
+            .quarantined
+            .entry(stage.to_owned())
+            .or_default()
+            .entry(error.to_owned())
+            .or_default() += 1;
+    }
+
+    /// Total faults injected.
+    pub fn injected_total(&self) -> u32 {
+        self.injected.values().sum()
+    }
+
+    /// Total units quarantined.
+    pub fn quarantined_total(&self) -> u32 {
+        self.quarantined.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Does every injected fault account for exactly one quarantined
+    /// unit? True for healthy (zero/zero) runs too.
+    pub fn is_balanced(&self) -> bool {
+        self.injected_total() == self.quarantined_total()
+    }
+
+    /// Render for the export schema (v2 `health` section).
+    pub fn to_json(&self) -> Value {
+        let quarantined: BTreeMap<String, Value> = self
+            .quarantined
+            .iter()
+            .map(|(stage, errors)| (stage.clone(), Value::from(errors.clone())))
+            .collect();
+        json!({
+            "injected_total": self.injected_total(),
+            "quarantined_total": self.quarantined_total(),
+            "balanced": self.is_balanced(),
+            "injected": self.injected.clone(),
+            "quarantined": quarantined,
+        })
+    }
+}
+
+impl std::fmt::Display for RunHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "run health: {} injected, {} quarantined ({})",
+            self.injected_total(),
+            self.quarantined_total(),
+            if self.is_balanced() { "balanced" } else { "UNBALANCED" }
+        )?;
+        for (kind, n) in &self.injected {
+            writeln!(f, "  injected {kind}: {n}")?;
+        }
+        for (stage, errors) in &self.quarantined {
+            for (error, n) in errors {
+                writeln!(f, "  quarantined at {stage} [{error}]: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_balance() {
+        let mut h = RunHealth::new();
+        assert!(h.is_balanced());
+        h.record_injected("der-bit-flip");
+        h.record_injected("der-bit-flip");
+        h.record_injected("empty-entry");
+        assert_eq!(h.injected_total(), 3);
+        assert!(!h.is_balanced());
+        h.record_quarantined("parse", "malformed-der");
+        h.record_quarantined("signature", "bad-signature");
+        h.record_quarantined("parse", "empty-chain");
+        assert_eq!(h.quarantined_total(), 3);
+        assert!(h.is_balanced());
+        assert_eq!(h.injected["der-bit-flip"], 2);
+        assert_eq!(h.quarantined["parse"]["malformed-der"], 1);
+    }
+
+    #[test]
+    fn identical_recordings_compare_equal() {
+        let mk = || {
+            let mut h = RunHealth::new();
+            h.record_injected("pem-armor");
+            h.record_quarantined("cacerts", "pem-armor");
+            h
+        };
+        assert_eq!(mk(), mk());
+        let mut other = mk();
+        other.record_injected("pem-armor");
+        assert_ne!(mk(), other);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = RunHealth::new();
+        h.record_injected("base64-corruption");
+        h.record_quarantined("cacerts", "bad-base64");
+        let v = h.to_json();
+        assert_eq!(v["injected_total"], 1u32);
+        assert_eq!(v["quarantined_total"], 1u32);
+        assert_eq!(v["balanced"], true);
+        assert_eq!(v["injected"]["base64-corruption"], 1u32);
+        assert_eq!(v["quarantined"]["cacerts"]["bad-base64"], 1u32);
+        // Round-trips through text.
+        let text = serde_json::to_string(&v).unwrap();
+        assert_eq!(serde_json::from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn display_mentions_balance() {
+        let mut h = RunHealth::new();
+        h.record_injected("der-truncation");
+        let text = h.to_string();
+        assert!(text.contains("1 injected"));
+        assert!(text.contains("UNBALANCED"));
+        h.record_quarantined("parse", "malformed-der");
+        assert!(h.to_string().contains("balanced"));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod classify;
 pub mod export;
 pub mod figures;
+pub mod health;
 pub mod report;
 pub mod study;
 pub mod survey;

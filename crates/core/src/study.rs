@@ -1,8 +1,23 @@
 //! Study bundle: one dataset shared by every table and figure.
 
+use crate::health::RunHealth;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tangled_faults::{FaultPlan, InjectedFault};
 use tangled_netalyzr::{Population, PopulationSpec};
+use tangled_notary::degrade::RawEcosystem;
 use tangled_notary::ecosystem::EcosystemSpec;
 use tangled_notary::{Ecosystem, NotaryDb, ValidationIndex};
+use tangled_pki::cacerts::{from_cacerts_lenient, to_cacerts_pem};
+use tangled_pki::store::RootStore;
+use tangled_pki::trust::AnchorSource;
+use tangled_x509::CertIdentity;
+
+/// Salt distinguishing the Notary ingest surface under one fault plan.
+const NOTARY_SALT: u64 = 0x6e6f_7461_7279;
+/// Base salt for the per-store cacerts surfaces (xor'd with the store
+/// index so each distinct store degrades independently).
+const CACERTS_SALT: u64 = 0x63_6163_6572_7473;
 
 /// The generated inputs for one run of the paper's analysis.
 pub struct Study {
@@ -14,6 +29,11 @@ pub struct Study {
     pub validation: ValidationIndex,
     /// The Notary record-keeping view.
     pub db: NotaryDb,
+    /// Fault accounting (empty for clean runs).
+    pub health: RunHealth,
+    /// The raw injection ledger (empty for clean runs) — kept alongside
+    /// [`Study::health`] so tests can reconcile the two independently.
+    pub injected: Vec<InjectedFault>,
 }
 
 impl Study {
@@ -23,6 +43,79 @@ impl Study {
     pub fn new(population_scale: f64, ecosystem_scale: f64) -> Study {
         let population = Population::generate(&PopulationSpec::scaled(population_scale));
         let ecosystem = Ecosystem::generate(&EcosystemSpec::scaled(ecosystem_scale));
+        Study::assemble(population, ecosystem, RunHealth::new(), Vec::new())
+    }
+
+    /// Generate a study whose ingest surfaces are degraded by `plan`
+    /// before analysis. Both the Notary collection (as raw wire bytes)
+    /// and every distinct device root store (as a rendered cacerts
+    /// directory) pass through the fault engine; damaged units are
+    /// quarantined by the staged re-ingest and recorded in
+    /// [`Study::health`] instead of aborting the run.
+    pub fn with_faults(
+        population_scale: f64,
+        ecosystem_scale: f64,
+        plan: &FaultPlan,
+    ) -> Study {
+        let mut health = RunHealth::new();
+        let mut injected = Vec::new();
+
+        // Notary: demote to wire form, damage, re-ingest with quarantine.
+        let mut raw = RawEcosystem::from_ecosystem(Ecosystem::generate(&EcosystemSpec::scaled(
+            ecosystem_scale,
+        )));
+        let ledger = plan.degrade(&mut raw, NOTARY_SALT);
+        let (ecosystem, ingest_faults) = raw.into_ecosystem();
+        for fault in &ledger {
+            health.record_injected(fault.kind.label());
+        }
+        for q in &ingest_faults {
+            health.record_quarantined(q.stage.label(), q.error.label());
+        }
+        injected.extend(ledger);
+
+        // Netalyzr: render each distinct store as a cacerts directory,
+        // damage the files, reload leniently, and swap the degraded store
+        // back in. Surviving anchors keep their original provenance and
+        // enablement (the directory format does not carry them).
+        let mut population = Population::generate(&PopulationSpec::scaled(population_scale));
+        let mut replacements = HashMap::new();
+        for (i, store) in population.distinct_stores().iter().enumerate() {
+            let mut files = to_cacerts_pem(store);
+            let ledger = plan.degrade(&mut files, CACERTS_SALT ^ (i as u64));
+            if ledger.is_empty() {
+                continue;
+            }
+            let (loaded, quarantined) =
+                from_cacerts_lenient(store.name(), &files, AnchorSource::Unknown);
+            let survivors: HashSet<CertIdentity> =
+                loaded.identities().iter().cloned().collect();
+            let mut rebuilt = RootStore::new(store.name());
+            for anchor in store.iter() {
+                if survivors.contains(&anchor.identity()) {
+                    rebuilt.add(anchor.clone());
+                }
+            }
+            for fault in &ledger {
+                health.record_injected(fault.kind.label());
+            }
+            for q in &quarantined {
+                health.record_quarantined("cacerts", q.error.label());
+            }
+            injected.extend(ledger);
+            replacements.insert(Arc::as_ptr(store) as usize, Arc::new(rebuilt));
+        }
+        population.replace_stores(&replacements);
+
+        Study::assemble(population, ecosystem, health, injected)
+    }
+
+    fn assemble(
+        population: Population,
+        ecosystem: Ecosystem,
+        health: RunHealth,
+        injected: Vec<InjectedFault>,
+    ) -> Study {
         let validation = ValidationIndex::build(&ecosystem);
         let db = NotaryDb::build(&ecosystem);
         Study {
@@ -30,6 +123,8 @@ impl Study {
             ecosystem,
             validation,
             db,
+            health,
+            injected,
         }
     }
 
@@ -56,5 +151,39 @@ mod tests {
         assert!(!s.ecosystem.is_empty());
         assert!(s.validation.validated_total() > 0);
         assert!(s.db.unique_certs() == s.ecosystem.len());
+        assert!(s.health.is_balanced());
+        assert!(s.injected.is_empty());
+    }
+
+    #[test]
+    fn zero_rate_fault_study_matches_clean() {
+        let clean = Study::new(0.05, 0.02);
+        let plan = FaultPlan::new(1);
+        let faulted = Study::with_faults(0.05, 0.02, &plan);
+        assert_eq!(faulted.ecosystem.len(), clean.ecosystem.len());
+        assert_eq!(
+            faulted.population.devices.len(),
+            clean.population.devices.len()
+        );
+        assert!(faulted.injected.is_empty());
+        assert_eq!(faulted.health, RunHealth::new());
+    }
+
+    #[test]
+    fn faulted_study_reconciles_and_keeps_metadata() {
+        let plan = FaultPlan::new(404).with_rate(0.05);
+        let s = Study::with_faults(0.05, 0.02, &plan);
+        assert!(!s.injected.is_empty(), "5% over both surfaces should hit");
+        assert!(s.health.is_balanced(), "{}", s.health);
+        assert_eq!(s.health.injected_total() as usize, s.injected.len());
+        // Survivor anchors keep their provenance: sources beyond Unknown
+        // still appear across the degraded population.
+        let mut sources = std::collections::HashSet::new();
+        for d in &s.population.devices {
+            for a in d.store.iter() {
+                sources.insert(a.source);
+            }
+        }
+        assert!(sources.contains(&AnchorSource::Aosp));
     }
 }

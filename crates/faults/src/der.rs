@@ -1,0 +1,265 @@
+//! Byte-level DER surgery.
+//!
+//! These helpers damage a certificate's DER encoding in ways that are
+//! *guaranteed detectable* by the staged ingest checks: truncation and
+//! tag mangling always break parsing; TBS bit flips either break parsing
+//! or invalidate the signature (the flipped bit is inside the signed
+//! region); signature corruption leaves parsing intact and fails
+//! verification; validity inversion swaps the two `Time` TLVs in place so
+//! the certificate still parses but carries `notBefore > notAfter`.
+//!
+//! The walker understands exactly the DER subset [`tangled_x509`] emits:
+//! low-tag-number form, definite lengths. Anything else makes the
+//! structure-dependent injectors decline (return `None`/`false`) rather
+//! than guess.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Parse one TLV header at `at`: `(header_len, content_len)`.
+fn header(der: &[u8], at: usize) -> Option<(usize, usize)> {
+    let tag = *der.get(at)?;
+    if tag & 0x1F == 0x1F {
+        return None; // high tag numbers never occur in our encodings
+    }
+    let first = *der.get(at + 1)?;
+    if first < 0x80 {
+        return Some((2, first as usize));
+    }
+    let n = (first & 0x7F) as usize;
+    if n == 0 || n > 4 {
+        return None; // indefinite or absurd
+    }
+    let mut len = 0usize;
+    for i in 0..n {
+        len = (len << 8) | *der.get(at + 2 + i)? as usize;
+    }
+    Some((2 + n, len))
+}
+
+/// Full byte range of the TLV starting at `at`.
+fn tlv_range(der: &[u8], at: usize) -> Option<Range<usize>> {
+    let (h, c) = header(der, at)?;
+    let end = at.checked_add(h)?.checked_add(c)?;
+    if end > der.len() {
+        return None;
+    }
+    Some(at..end)
+}
+
+/// Byte range of the `tbsCertificate` TLV (the signed region).
+pub fn tbs_range(der: &[u8]) -> Option<Range<usize>> {
+    if der.first() != Some(&0x30) {
+        return None;
+    }
+    let (outer_header, _) = header(der, 0)?;
+    let tbs = tlv_range(der, outer_header)?;
+    if der.get(tbs.start) != Some(&0x30) {
+        return None;
+    }
+    Some(tbs)
+}
+
+/// Byte ranges of the two `Time` TLVs inside the validity SEQUENCE.
+pub fn validity_ranges(der: &[u8]) -> Option<(Range<usize>, Range<usize>)> {
+    let tbs = tbs_range(der)?;
+    let (tbs_header, _) = header(der, tbs.start)?;
+    let mut at = tbs.start + tbs_header;
+
+    // Optional [0] EXPLICIT version.
+    if der.get(at) == Some(&0xA0) {
+        at = tlv_range(der, at)?.end;
+    }
+    // serialNumber INTEGER, signature AlgorithmIdentifier, issuer Name.
+    for expected in [0x02u8, 0x30, 0x30] {
+        if der.get(at) != Some(&expected) {
+            return None;
+        }
+        at = tlv_range(der, at)?.end;
+    }
+    // validity SEQUENCE { notBefore, notAfter }.
+    if der.get(at) != Some(&0x30) {
+        return None;
+    }
+    let validity = tlv_range(der, at)?;
+    let (vh, _) = header(der, validity.start)?;
+    let not_before = tlv_range(der, validity.start + vh)?;
+    let not_after = tlv_range(der, not_before.end)?;
+    if not_after.end > validity.end {
+        return None;
+    }
+    Some((not_before, not_after))
+}
+
+/// Truncate to a random strict, non-empty prefix. Always breaks parsing:
+/// the outer SEQUENCE's declared length exceeds the remaining input.
+pub fn truncate(der: &mut Vec<u8>, rng: &mut StdRng) {
+    if der.len() > 1 {
+        let keep = rng.gen_range(1..der.len());
+        der.truncate(keep);
+    } else {
+        der.clear();
+    }
+}
+
+/// Smash a structural tag byte — the outer SEQUENCE or the TBS SEQUENCE,
+/// chosen at random. Either way the certificate no longer parses.
+pub fn mangle_tag(der: &mut [u8], rng: &mut StdRng) {
+    let at = if rng.gen_bool(0.5) {
+        0
+    } else {
+        tbs_range(der).map(|r| r.start).unwrap_or(0)
+    };
+    if let Some(b) = der.get_mut(at) {
+        // SEQUENCE (0x30) → SET (0x31): still a valid TLV, wrong type.
+        *b = if *b == 0x30 { 0x31 } else { 0x30 };
+    }
+}
+
+/// Flip one random bit inside the signed TBS region. The result either
+/// fails to parse or parses to a certificate whose signature no longer
+/// verifies (the signature covers every TBS byte). Returns `false` when
+/// the TBS region cannot be located.
+pub fn flip_tbs_bit(der: &mut [u8], rng: &mut StdRng) -> bool {
+    let Some(range) = tbs_range(der) else {
+        return false;
+    };
+    let pos = rng.gen_range(range.start..range.end);
+    let bit = rng.gen_range(0u32..8);
+    der[pos] ^= 1 << bit;
+    true
+}
+
+/// Corrupt a byte near the end of the encoding — inside the signature
+/// BIT STRING content. Parsing survives; verification cannot.
+pub fn break_signature(der: &mut [u8], rng: &mut StdRng) {
+    if der.is_empty() {
+        return;
+    }
+    let tail = der.len().min(8);
+    let pos = der.len() - 1 - rng.gen_range(0..tail);
+    der[pos] ^= 0xFF;
+}
+
+/// Swap the notBefore/notAfter TLVs in place. For any certificate with a
+/// proper (non-degenerate) window this yields `notBefore > notAfter`
+/// while remaining structurally valid DER. Returns `false` when the
+/// validity SEQUENCE cannot be located.
+pub fn invert_validity(der: &mut Vec<u8>) -> bool {
+    let Some((nb, na)) = validity_ranges(der) else {
+        return false;
+    };
+    let mut swapped = Vec::with_capacity(der.len());
+    swapped.extend_from_slice(&der[..nb.start]);
+    swapped.extend_from_slice(&der[na.clone()]);
+    swapped.extend_from_slice(&der[nb.end..na.start]);
+    swapped.extend_from_slice(&der[nb]);
+    swapped.extend_from_slice(&der[na.end..]);
+    *der = swapped;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tangled_pki::factory::CaFactory;
+    use tangled_x509::Certificate;
+
+    fn sample() -> Vec<u8> {
+        let mut f = CaFactory::new();
+        f.root("DER Surgery CA").to_der().to_vec()
+    }
+
+    #[test]
+    fn ranges_locate_real_structures() {
+        let der = sample();
+        let tbs = tbs_range(&der).unwrap();
+        assert_eq!(tbs.start, header(&der, 0).unwrap().0);
+        let cert = Certificate::parse(&der).unwrap();
+        assert_eq!(&der[tbs.clone()], cert.tbs_bytes());
+        let (nb, na) = validity_ranges(&der).unwrap();
+        assert!(tbs.contains(&nb.start) && tbs.contains(&na.start));
+        assert!(nb.end <= na.start);
+    }
+
+    #[test]
+    fn truncation_always_breaks_parse() {
+        let der = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut cut = der.clone();
+            truncate(&mut cut, &mut rng);
+            assert!(cut.len() < der.len());
+            assert!(Certificate::parse(&cut).is_err());
+        }
+    }
+
+    #[test]
+    fn tag_mangle_always_breaks_parse() {
+        let der = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let mut bad = der.clone();
+            mangle_tag(&mut bad, &mut rng);
+            assert!(Certificate::parse(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn tbs_flip_breaks_parse_or_signature() {
+        let der = sample();
+        let cert = Certificate::parse(&der).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..80 {
+            let mut bad = der.clone();
+            assert!(flip_tbs_bit(&mut bad, &mut rng));
+            match Certificate::parse(&bad) {
+                Err(_) => {}
+                Ok(parsed) => {
+                    // Self-signed sample: verify against the (possibly
+                    // also corrupted) embedded key must fail.
+                    assert!(
+                        parsed.verify_issued_by(&cert).is_err(),
+                        "flipped TBS still verified"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_break_parses_but_never_verifies() {
+        let der = sample();
+        let cert = Certificate::parse(&der).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let mut bad = der.clone();
+            break_signature(&mut bad, &mut rng);
+            let parsed = Certificate::parse(&bad).unwrap();
+            assert!(parsed.verify_issued_by(&cert).is_err());
+        }
+    }
+
+    #[test]
+    fn validity_inversion_swaps_window() {
+        let mut der = sample();
+        let before = Certificate::parse(&der).unwrap();
+        assert!(invert_validity(&mut der));
+        let after = Certificate::parse(&der).unwrap();
+        assert_eq!(after.not_before, before.not_after);
+        assert_eq!(after.not_after, before.not_before);
+        assert!(after.not_before > after.not_after);
+    }
+
+    #[test]
+    fn surgery_declines_on_garbage() {
+        assert!(tbs_range(&[]).is_none());
+        assert!(tbs_range(&[0x04, 0x01, 0xFF]).is_none());
+        assert!(validity_ranges(&[0x30, 0x00]).is_none());
+        let mut junk = vec![0xAAu8; 6];
+        assert!(!invert_validity(&mut junk));
+        assert!(!flip_tbs_bit(&mut junk, &mut StdRng::seed_from_u64(0)));
+    }
+}

@@ -208,6 +208,41 @@ impl Population {
             .collect::<std::collections::HashSet<_>>()
             .len()
     }
+
+    /// The distinct root stores of the population, in first-use order.
+    /// Devices with identical firmware composition share one
+    /// [`std::sync::Arc`]`<RootStore>`, so this is far smaller than the
+    /// device list — it is the unit set a fault plan degrades.
+    pub fn distinct_stores(&self) -> Vec<std::sync::Arc<tangled_pki::store::RootStore>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut stores = Vec::new();
+        for d in &self.devices {
+            let key = std::sync::Arc::as_ptr(&d.store) as usize;
+            if seen.insert(key) {
+                stores.push(std::sync::Arc::clone(&d.store));
+            }
+        }
+        stores
+    }
+
+    /// Swap device stores wholesale: every device whose current store is
+    /// keyed in `replacements` (by [`std::sync::Arc::as_ptr`] address)
+    /// switches to the mapped store. Sessions reference devices by id, so
+    /// the swap propagates to every analysis downstream.
+    pub fn replace_stores(
+        &mut self,
+        replacements: &std::collections::HashMap<
+            usize,
+            std::sync::Arc<tangled_pki::store::RootStore>,
+        >,
+    ) {
+        for d in &mut self.devices {
+            let key = std::sync::Arc::as_ptr(&d.store) as usize;
+            if let Some(new_store) = replacements.get(&key) {
+                d.store = std::sync::Arc::clone(new_store);
+            }
+        }
+    }
 }
 
 /// Geometric-ish session count with mean ≈ 4.16 (heavy tail: a few devices
@@ -372,6 +407,38 @@ mod tests {
         assert_eq!(by_model["LG Nexus 4"], 1_331);
         assert_eq!(by_model["LG Nexus 5"], 1_010);
         assert_eq!(by_model["Asus Nexus 7"], 832);
+    }
+
+    #[test]
+    fn stores_are_shared_and_replaceable() {
+        let mut pop = small();
+        let stores = pop.distinct_stores();
+        assert!(
+            stores.len() < pop.devices.len() / 2,
+            "firmware sharing should collapse the store set ({} stores, {} devices)",
+            stores.len(),
+            pop.devices.len()
+        );
+        // Replace the first distinct store with an empty stand-in.
+        let victim = std::sync::Arc::as_ptr(&stores[0]) as usize;
+        let affected = pop
+            .devices
+            .iter()
+            .filter(|d| std::sync::Arc::as_ptr(&d.store) as usize == victim)
+            .count();
+        assert!(affected >= 1);
+        let mut map = std::collections::HashMap::new();
+        let empty = std::sync::Arc::new(tangled_pki::store::RootStore::new("swapped"));
+        map.insert(victim, std::sync::Arc::clone(&empty));
+        pop.replace_stores(&map);
+        let swapped = pop
+            .devices
+            .iter()
+            .filter(|d| std::sync::Arc::ptr_eq(&d.store, &empty))
+            .count();
+        assert_eq!(swapped, affected);
+        // Untouched stores keep their identity.
+        assert_eq!(pop.distinct_stores().len(), stores.len());
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Raw (wire-format) view of the Notary collection, with staged,
+//! quarantining re-ingest.
+//!
+//! The real Notary sees certificates as bytes off the network, not as
+//! parsed structures — and some of those bytes are garbage. This module
+//! models that boundary: [`RawEcosystem`] demotes every observed chain to
+//! its DER bytes, implements [`Corruptor`] so a
+//! [`FaultPlan`](tangled_faults::FaultPlan) can damage it, and
+//! [`RawEcosystem::into_ecosystem`] re-ingests the bytes through staged
+//! checks that *skip and record* every damaged chain instead of
+//! panicking:
+//!
+//! 1. **parse** — empty chains and DER that does not parse;
+//! 2. **duplicate** — byte-identical chains already ingested;
+//! 3. **validity** — inverted windows (`notBefore > notAfter`; plain
+//!    expiry is a legitimate population feature, not damage);
+//! 4. **structure** — issuer-graph damage: a certificate presented as its
+//!    own issuer, cycles, and presented issuers that do not match;
+//! 5. **signature** — chains whose leaf no longer verifies against its
+//!    presented (or self-) issuer. Only run where an issuer key is
+//!    available: single wild private-CA leaves are unverifiable at
+//!    ingest, so injectors never target them with signature damage.
+//!
+//! Every injector in the [`Corruptor`] impl is constrained to be caught
+//! by one of these stages, so a quarantine ledger reconciles 1:1 with the
+//! injection ledger — the invariant `tests/degraded_run.rs` checks
+//! end-to-end.
+
+use crate::ecosystem::{Ecosystem, NotaryCert, Service};
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+use tangled_faults::{der, Corruptor, FaultKind, InjectedFault};
+use tangled_x509::Certificate;
+
+/// One observed chain as raw bytes: what the collection pipeline holds
+/// before any parsing happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawNotaryCert {
+    /// Presented chain, leaf first, each link as DER.
+    pub chain: Vec<Vec<u8>>,
+    /// Session volume attributed to the certificate.
+    pub sessions: u64,
+    /// Service the certificate was observed on.
+    pub service: Service,
+}
+
+/// Where in the staged ingest a chain was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IngestStage {
+    /// Byte-level parsing.
+    Parse,
+    /// Byte-identical re-observation.
+    Duplicate,
+    /// Validity-window sanity.
+    Validity,
+    /// Issuer-graph sanity.
+    Structure,
+    /// Cryptographic verification.
+    Signature,
+}
+
+impl IngestStage {
+    /// Stable label for health-report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            IngestStage::Parse => "parse",
+            IngestStage::Duplicate => "duplicate",
+            IngestStage::Validity => "validity",
+            IngestStage::Structure => "structure",
+            IngestStage::Signature => "signature",
+        }
+    }
+}
+
+/// Why a chain was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IngestErrorKind {
+    /// The chain holds no certificates at all.
+    EmptyChain,
+    /// A link's DER does not parse.
+    MalformedDer,
+    /// A byte-identical chain was already ingested.
+    DuplicateChain,
+    /// A link carries `notBefore > notAfter`.
+    InvertedWindow,
+    /// A certificate is presented as its own (adjacent) issuer.
+    SelfLoop,
+    /// A certificate repeats non-adjacently in the chain.
+    IssuerCycle,
+    /// An adjacent presented issuer's subject does not match.
+    DanglingIssuer,
+    /// The leaf's signature fails against its presented or self issuer.
+    BadSignature,
+}
+
+impl IngestErrorKind {
+    /// Stable label for health-report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            IngestErrorKind::EmptyChain => "empty-chain",
+            IngestErrorKind::MalformedDer => "malformed-der",
+            IngestErrorKind::DuplicateChain => "duplicate-chain",
+            IngestErrorKind::InvertedWindow => "inverted-window",
+            IngestErrorKind::SelfLoop => "self-loop",
+            IngestErrorKind::IssuerCycle => "issuer-cycle",
+            IngestErrorKind::DanglingIssuer => "dangling-issuer",
+            IngestErrorKind::BadSignature => "bad-signature",
+        }
+    }
+}
+
+/// One chain the staged ingest refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestFault {
+    /// Label of the rejected chain (`chain-<index>`).
+    pub target: String,
+    /// The stage that rejected it.
+    pub stage: IngestStage,
+    /// The classification it was rejected under.
+    pub error: IngestErrorKind,
+}
+
+/// The whole collection in wire form: degradable chains plus the parsed
+/// side-structures the faults never target.
+pub struct RawEcosystem {
+    /// All observed chains as bytes.
+    pub certs: Vec<RawNotaryCert>,
+    /// Intermediate pool, passed through untouched.
+    pub intermediates: Vec<Arc<Certificate>>,
+    /// Universe roots, passed through untouched.
+    pub universe_roots: Vec<Arc<Certificate>>,
+}
+
+impl RawEcosystem {
+    /// Demote a generated ecosystem to its wire form.
+    pub fn from_ecosystem(eco: Ecosystem) -> RawEcosystem {
+        RawEcosystem {
+            certs: eco
+                .certs
+                .iter()
+                .map(|c| RawNotaryCert {
+                    chain: c.chain.iter().map(|l| l.to_der().to_vec()).collect(),
+                    sessions: c.sessions,
+                    service: c.service,
+                })
+                .collect(),
+            intermediates: eco.intermediates,
+            universe_roots: eco.universe_roots,
+        }
+    }
+
+    /// Re-ingest the bytes through the staged checks. Damaged chains are
+    /// skipped and recorded; survivors become the returned [`Ecosystem`].
+    pub fn into_ecosystem(self) -> (Ecosystem, Vec<IngestFault>) {
+        let mut certs = Vec::with_capacity(self.certs.len());
+        let mut faults = Vec::new();
+        let mut seen: HashSet<Vec<Vec<u8>>> = HashSet::new();
+        for (index, raw) in self.certs.into_iter().enumerate() {
+            let target = format!("chain-{index}");
+            match ingest_chain(&raw, &mut seen) {
+                Ok(chain) => certs.push(NotaryCert {
+                    chain,
+                    sessions: raw.sessions,
+                    service: raw.service,
+                }),
+                Err((stage, error)) => faults.push(IngestFault {
+                    target,
+                    stage,
+                    error,
+                }),
+            }
+        }
+        (
+            Ecosystem {
+                certs,
+                intermediates: self.intermediates,
+                universe_roots: self.universe_roots,
+            },
+            faults,
+        )
+    }
+}
+
+/// Run one raw chain through every stage. `Err` carries the first stage
+/// that rejected it.
+fn ingest_chain(
+    raw: &RawNotaryCert,
+    seen: &mut HashSet<Vec<Vec<u8>>>,
+) -> Result<Vec<Arc<Certificate>>, (IngestStage, IngestErrorKind)> {
+    use IngestErrorKind as E;
+    use IngestStage as S;
+
+    // 1. Parse.
+    if raw.chain.is_empty() {
+        return Err((S::Parse, E::EmptyChain));
+    }
+    let mut parsed = Vec::with_capacity(raw.chain.len());
+    for link in &raw.chain {
+        match Certificate::parse(link) {
+            Ok(cert) => parsed.push(Arc::new(cert)),
+            Err(_) => return Err((S::Parse, E::MalformedDer)),
+        }
+    }
+
+    // 2. Duplicate (byte-identical full chain).
+    if !seen.insert(raw.chain.clone()) {
+        return Err((S::Duplicate, E::DuplicateChain));
+    }
+
+    // 3. Validity: inverted windows only — expiry is legitimate.
+    for cert in &parsed {
+        if cert.not_before > cert.not_after {
+            return Err((S::Validity, E::InvertedWindow));
+        }
+    }
+
+    // 4. Structure.
+    for pair in raw.chain.windows(2) {
+        if pair[0] == pair[1] {
+            return Err((S::Structure, E::SelfLoop));
+        }
+    }
+    for (i, link) in raw.chain.iter().enumerate() {
+        if raw.chain[i + 1..].iter().skip(1).any(|later| later == link) {
+            return Err((S::Structure, E::IssuerCycle));
+        }
+    }
+    for pair in parsed.windows(2) {
+        if pair[0].issuer.to_der() != pair[1].subject.to_der() {
+            return Err((S::Structure, E::DanglingIssuer));
+        }
+    }
+
+    // 5. Signature — only where an issuer key is present at ingest.
+    if parsed.len() >= 2 {
+        if parsed[0].verify_issued_by(&parsed[1]).is_err() {
+            return Err((S::Signature, E::BadSignature));
+        }
+    } else if parsed[0].is_self_issued() && parsed[0].verify_issued_by(&parsed[0]).is_err() {
+        return Err((S::Signature, E::BadSignature));
+    }
+
+    Ok(parsed)
+}
+
+/// Is this unit's leaf verifiable at ingest (so signature damage is
+/// guaranteed detectable)?
+fn verifiable(unit: &RawNotaryCert) -> bool {
+    if unit.chain.len() >= 2 {
+        return true;
+    }
+    match Certificate::parse(&unit.chain[0]) {
+        Ok(cert) => cert.is_self_issued(),
+        Err(_) => false,
+    }
+}
+
+impl Corruptor for RawEcosystem {
+    fn unit_count(&self) -> usize {
+        self.certs.len()
+    }
+
+    fn supported(&self, index: usize) -> Vec<FaultKind> {
+        let unit = &self.certs[index];
+        if unit.chain.is_empty() {
+            return Vec::new();
+        }
+        let mut kinds = vec![
+            FaultKind::DerTruncation,
+            FaultKind::DerTagMangle,
+            FaultKind::ValidityInversion,
+            FaultKind::IssuerSelfLoop,
+            FaultKind::EmptyEntry,
+            FaultKind::DuplicateEntry,
+        ];
+        if self.certs.len() >= 2 {
+            kinds.push(FaultKind::IssuerDangling);
+        }
+        if unit.chain.len() >= 2 {
+            kinds.push(FaultKind::IssuerCycle);
+        }
+        if verifiable(unit) {
+            kinds.push(FaultKind::SignatureBreak);
+        }
+        // Bit flips need an issuer whose key is *independent* of the
+        // flipped bytes: a flip inside a self-signed cert's name can turn
+        // `is_self_issued` off and dodge the signature stage entirely.
+        if unit.chain.len() >= 2 {
+            kinds.push(FaultKind::DerBitFlip);
+        }
+        kinds
+    }
+
+    fn inject(&mut self, index: usize, kind: FaultKind, rng: &mut StdRng) -> Option<InjectedFault> {
+        let target = format!("chain-{index}");
+        let n = self.certs.len();
+        match kind {
+            FaultKind::DerTruncation => der::truncate(&mut self.certs[index].chain[0], rng),
+            FaultKind::DerTagMangle => der::mangle_tag(&mut self.certs[index].chain[0], rng),
+            FaultKind::DerBitFlip => {
+                if !der::flip_tbs_bit(&mut self.certs[index].chain[0], rng) {
+                    return None;
+                }
+            }
+            FaultKind::SignatureBreak => der::break_signature(&mut self.certs[index].chain[0], rng),
+            FaultKind::ValidityInversion => {
+                if !der::invert_validity(&mut self.certs[index].chain[0]) {
+                    return None;
+                }
+            }
+            FaultKind::IssuerSelfLoop => {
+                // Present the leaf as its own issuer: adjacent repeat.
+                let leaf = self.certs[index].chain[0].clone();
+                self.certs[index].chain.insert(1, leaf);
+            }
+            FaultKind::IssuerCycle => {
+                // [leaf, issuer] → [leaf, issuer, leaf]: non-adjacent repeat.
+                if self.certs[index].chain.len() < 2 {
+                    return None;
+                }
+                let leaf = self.certs[index].chain[0].clone();
+                self.certs[index].chain.push(leaf);
+            }
+            FaultKind::IssuerDangling => {
+                // Borrow another unit's leaf as this chain's presented
+                // issuer: its subject is a server name, never this leaf's
+                // issuer CA, so the adjacency check always trips.
+                let mut donor = (index + 1) % n;
+                while donor != index && self.certs[donor].chain.is_empty() {
+                    donor = (donor + 1) % n;
+                }
+                if donor == index {
+                    return None;
+                }
+                let foreign = self.certs[donor].chain[0].clone();
+                let chain = &mut self.certs[index].chain;
+                if chain.len() >= 2 {
+                    chain[1] = foreign;
+                } else {
+                    chain.push(foreign);
+                }
+            }
+            FaultKind::EmptyEntry => self.certs[index].chain.clear(),
+            FaultKind::DuplicateEntry => {
+                let copy = self.certs[index].clone();
+                self.certs.push(copy);
+            }
+            _ => return None,
+        }
+        Some(InjectedFault { kind, target })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecosystem::EcosystemSpec;
+    use tangled_faults::FaultPlan;
+
+    fn small_raw() -> RawEcosystem {
+        RawEcosystem::from_ecosystem(Ecosystem::generate(&EcosystemSpec::scaled(0.02)))
+    }
+
+    #[test]
+    fn clean_round_trip_preserves_everything() {
+        let eco = Ecosystem::generate(&EcosystemSpec::scaled(0.02));
+        let count = eco.len();
+        let leaf0 = eco.certs[0].leaf().to_der().to_vec();
+        let (back, faults) = RawEcosystem::from_ecosystem(eco).into_ecosystem();
+        assert!(faults.is_empty(), "clean ecosystem quarantined: {faults:?}");
+        assert_eq!(back.len(), count);
+        assert_eq!(back.certs[0].leaf().to_der(), &leaf0[..]);
+    }
+
+    #[test]
+    fn every_injected_fault_is_quarantined_exactly_once() {
+        let mut raw = small_raw();
+        let before = raw.certs.len();
+        let ledger = FaultPlan::new(20_001).with_rate(0.3).degrade(&mut raw, 0);
+        assert!(ledger.len() > 20, "rate 0.3 should hit plenty of units");
+        let after = raw.certs.len();
+        let (eco, faults) = raw.into_ecosystem();
+        assert_eq!(
+            faults.len(),
+            ledger.len(),
+            "quarantine must reconcile 1:1 with injection"
+        );
+        assert_eq!(eco.len() + faults.len(), after);
+        let duplicates = ledger
+            .iter()
+            .filter(|f| f.kind == FaultKind::DuplicateEntry)
+            .count();
+        assert_eq!(after, before + duplicates);
+    }
+
+    #[test]
+    fn each_kind_lands_in_its_stage() {
+        use FaultKind as K;
+        use IngestStage as S;
+        let cases: &[(K, &[S])] = &[
+            (K::DerTruncation, &[S::Parse]),
+            (K::DerTagMangle, &[S::Parse]),
+            (K::EmptyEntry, &[S::Parse]),
+            (K::DuplicateEntry, &[S::Duplicate]),
+            (K::ValidityInversion, &[S::Validity]),
+            (K::IssuerSelfLoop, &[S::Structure]),
+            (K::IssuerCycle, &[S::Structure]),
+            (K::IssuerDangling, &[S::Structure]),
+            // A TBS flip can surface at any stage up to signature.
+            (K::DerBitFlip, &[S::Parse, S::Validity, S::Structure, S::Signature]),
+            (K::SignatureBreak, &[S::Signature]),
+        ];
+        for (kind, stages) in cases {
+            let mut raw = small_raw();
+            let ledger = FaultPlan::new(7)
+                .with_rate(1.0)
+                .only(&[*kind])
+                .degrade(&mut raw, 0);
+            let (_, faults) = raw.into_ecosystem();
+            assert_eq!(faults.len(), ledger.len(), "{kind}: ledger mismatch");
+            assert!(!faults.is_empty(), "{kind}: no faults landed");
+            for f in &faults {
+                assert!(
+                    stages.contains(&f.stage),
+                    "{kind} detected at unexpected stage {:?}",
+                    f.stage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_damage_never_targets_unverifiable_units() {
+        let raw = small_raw();
+        for (i, unit) in raw.certs.iter().enumerate() {
+            let kinds = raw.supported(i);
+            let has_sig = kinds.contains(&FaultKind::SignatureBreak);
+            assert_eq!(has_sig, verifiable(unit), "unit {i}");
+            let leaf = Certificate::parse(&unit.chain[0]).unwrap();
+            if unit.chain.len() == 1 && !leaf.is_self_issued() {
+                assert!(!has_sig, "private-CA single {i} must skip signature faults");
+            }
+            // Bit flips are reserved for chains with an independent issuer.
+            assert_eq!(
+                kinds.contains(&FaultKind::DerBitFlip),
+                unit.chain.len() >= 2,
+                "unit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let run = || {
+            let mut raw = small_raw();
+            let ledger = FaultPlan::new(5).with_rate(0.2).degrade(&mut raw, 9);
+            let (eco, faults) = raw.into_ecosystem();
+            let ders: Vec<Vec<u8>> = eco
+                .certs
+                .iter()
+                .map(|c| c.leaf().to_der().to_vec())
+                .collect();
+            (ledger, faults, ders)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod coverage;
 pub mod db;
+pub mod degrade;
 pub mod ecosystem;
 pub mod validate;
 

@@ -150,6 +150,124 @@ pub fn from_cacerts(
     Ok(store)
 }
 
+/// How one cacerts file failed to load. Unlike [`CacertsError`], which
+/// aborts a strict read, these are *quarantine* classifications: the
+/// lenient loader records one per damaged file and keeps going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreLoadError {
+    /// File name violates the `xxxxxxxx.n` convention.
+    BadName,
+    /// The file has no contents at all.
+    EmptyFile,
+    /// PEM armor or Base64 body damage (the file routed through the PEM
+    /// decoder and failed there).
+    Pem(tangled_x509::pem::PemError),
+    /// Armor was fine (or absent) but the DER inside does not parse.
+    MalformedDer,
+    /// Parsed, but the file name's hash prefix does not match the
+    /// certificate's subject.
+    HashMismatch,
+    /// Byte-identical certificate already loaded from an earlier file.
+    DuplicateDer,
+}
+
+impl StoreLoadError {
+    /// Stable label for health-report keys.
+    pub fn label(&self) -> &'static str {
+        use tangled_x509::pem::PemError;
+        match self {
+            StoreLoadError::BadName => "bad-name",
+            StoreLoadError::EmptyFile => "empty-file",
+            StoreLoadError::Pem(PemError::MissingHeader | PemError::MissingFooter) => "pem-armor",
+            StoreLoadError::Pem(_) => "bad-base64",
+            StoreLoadError::MalformedDer => "malformed-der",
+            StoreLoadError::HashMismatch => "hash-mismatch",
+            StoreLoadError::DuplicateDer => "duplicate-der",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreLoadError::Pem(e) => write!(f, "pem damage: {e}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+impl std::error::Error for StoreLoadError {}
+
+/// One file the lenient loader refused, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedFile {
+    /// The offending file's name.
+    pub file: String,
+    /// The classification it was quarantined under.
+    pub error: StoreLoadError,
+}
+
+/// Classify a single cacerts file, returning the parsed certificate or
+/// the quarantine reason. Never panics, whatever the bytes.
+fn load_file(file: &CacertsFile) -> Result<Certificate, StoreLoadError> {
+    let valid_name = file.name.len() >= 10
+        && file.name.as_bytes()[8] == b'.'
+        && file.name[..8].bytes().all(|b| b.is_ascii_hexdigit())
+        && file.name[9..].bytes().all(|b| b.is_ascii_digit());
+    if !valid_name {
+        return Err(StoreLoadError::BadName);
+    }
+    if file.der.is_empty() {
+        return Err(StoreLoadError::EmptyFile);
+    }
+    let cert = if file.der.starts_with(b"-----BEGIN") {
+        // Non-UTF-8 armor cannot contain a findable header.
+        let text = std::str::from_utf8(&file.der)
+            .map_err(|_| StoreLoadError::Pem(tangled_x509::pem::PemError::MissingHeader))?;
+        let der =
+            tangled_x509::pem::decode("CERTIFICATE", text).map_err(StoreLoadError::Pem)?;
+        Certificate::parse(&der).map_err(|_| StoreLoadError::MalformedDer)?
+    } else {
+        Certificate::parse(&file.der).map_err(|_| StoreLoadError::MalformedDer)?
+    };
+    if subject_hash(&cert) != file.name[..8] {
+        return Err(StoreLoadError::HashMismatch);
+    }
+    Ok(cert)
+}
+
+/// Parse a cacerts directory, skipping and recording every file that
+/// fails instead of aborting. Returns the store built from the healthy
+/// files plus the quarantine ledger, in file order.
+pub fn from_cacerts_lenient(
+    name: &str,
+    files: &[CacertsFile],
+    source: AnchorSource,
+) -> (RootStore, Vec<QuarantinedFile>) {
+    let mut store = RootStore::new(name);
+    let mut quarantined = Vec::new();
+    let mut seen_der: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    for file in files {
+        match load_file(file) {
+            Ok(cert) => {
+                if !seen_der.insert(cert.to_der().to_vec()) {
+                    quarantined.push(QuarantinedFile {
+                        file: file.name.clone(),
+                        error: StoreLoadError::DuplicateDer,
+                    });
+                    continue;
+                }
+                store.add_cert(Arc::new(cert), source);
+            }
+            Err(error) => quarantined.push(QuarantinedFile {
+                file: file.name.clone(),
+                error,
+            }),
+        }
+    }
+    (store, quarantined)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +363,133 @@ mod tests {
         assert_eq!(d.added.len(), 1);
         assert!(d.added[0].subject.contains("CRAZY HOUSE"));
         assert!(d.removed.is_empty());
+    }
+
+    // ---- lenient loading / quarantine ------------------------------------
+
+    fn pem_sample(n: usize) -> Vec<CacertsFile> {
+        let mut f = CaFactory::new();
+        let mut store = RootStore::new("lenient-sample");
+        for i in 0..n {
+            store.add_cert(f.root(&format!("Lenient CA {i}")), AnchorSource::Aosp);
+        }
+        to_cacerts_pem(&store)
+    }
+
+    #[test]
+    fn lenient_empty_directory() {
+        let (store, quarantined) =
+            from_cacerts_lenient("empty", &[], AnchorSource::Aosp);
+        assert_eq!(store.len(), 0);
+        assert!(quarantined.is_empty());
+    }
+
+    #[test]
+    fn lenient_truncated_pem_is_quarantined() {
+        let mut files = pem_sample(3);
+        // Chop the file mid-body: the footer disappears.
+        let keep = files[1].der.len() / 2;
+        files[1].der.truncate(keep);
+        let (store, q) = from_cacerts_lenient("t", &files, AnchorSource::Aosp);
+        assert_eq!(store.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].file, files[1].name);
+        assert_eq!(
+            q[0].error,
+            StoreLoadError::Pem(tangled_x509::pem::PemError::MissingFooter)
+        );
+    }
+
+    #[test]
+    fn lenient_bad_base64_padding_is_quarantined() {
+        let mut files = pem_sample(2);
+        // Delete one body character: length is no longer a multiple of 4.
+        let pos = files[0]
+            .der
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        files[0].der.remove(pos);
+        let (store, q) = from_cacerts_lenient("p", &files, AnchorSource::Aosp);
+        assert_eq!(store.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].error.label(), "bad-base64");
+    }
+
+    #[test]
+    fn lenient_non_certificate_contents_are_quarantined() {
+        let mut files = pem_sample(1);
+        files.push(CacertsFile {
+            name: "0123abcd.0".into(),
+            der: b"not a certificate at all".to_vec(),
+        });
+        files.push(CacertsFile {
+            name: "4567ef01.0".into(),
+            der: vec![0x30, 0x82, 0xFF, 0xFF, 0x01, 0x02],
+        });
+        let (store, q) = from_cacerts_lenient("n", &files, AnchorSource::Aosp);
+        assert_eq!(store.len(), 1);
+        assert_eq!(q.len(), 2);
+        assert!(q.iter().all(|e| e.error == StoreLoadError::MalformedDer));
+    }
+
+    #[test]
+    fn lenient_empty_file_and_bad_name_are_quarantined() {
+        let mut files = pem_sample(1);
+        files.push(CacertsFile {
+            name: "89ab23cd.1".into(),
+            der: Vec::new(),
+        });
+        files.push(CacertsFile {
+            name: "README".into(),
+            der: b"-----BEGIN CERTIFICATE-----\n".to_vec(),
+        });
+        let (store, q) = from_cacerts_lenient("e", &files, AnchorSource::Aosp);
+        assert_eq!(store.len(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].error, StoreLoadError::EmptyFile);
+        assert_eq!(q[1].error, StoreLoadError::BadName);
+    }
+
+    #[test]
+    fn lenient_duplicate_der_is_quarantined_once() {
+        let mut files = pem_sample(2);
+        let mut copy = files[0].clone();
+        copy.name = format!("{}.7", &files[0].name[..8]);
+        files.push(copy);
+        let (store, q) = from_cacerts_lenient("d", &files, AnchorSource::Aosp);
+        assert_eq!(store.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].error, StoreLoadError::DuplicateDer);
+        assert!(q[0].file.ends_with(".7"));
+    }
+
+    #[test]
+    fn lenient_never_panics_on_byte_garbage() {
+        // A grab-bag of hostile inputs; the loader must classify, not die.
+        let hostile: Vec<CacertsFile> = vec![
+            CacertsFile { name: "00000000.0".into(), der: vec![0xFF; 3] },
+            CacertsFile { name: "00000000.1".into(), der: b"-----BEGIN".to_vec() },
+            CacertsFile {
+                name: "00000000.2".into(),
+                der: b"-----BEGIN CERTIFICATE-----\n\xFF\xFE\n-----END CERTIFICATE-----\n"
+                    .to_vec(),
+            },
+            CacertsFile { name: "..".into(), der: vec![] },
+            CacertsFile { name: "00000000.3".into(), der: vec![0x30] },
+        ];
+        let (store, q) = from_cacerts_lenient("h", &hostile, AnchorSource::Unknown);
+        assert_eq!(store.len(), 0);
+        assert_eq!(q.len(), hostile.len());
+    }
+
+    #[test]
+    fn lenient_clean_directory_matches_strict() {
+        let files = pem_sample(4);
+        let strict = from_cacerts("s", &files, AnchorSource::Aosp).unwrap();
+        let (lenient, q) = from_cacerts_lenient("l", &files, AnchorSource::Aosp);
+        assert!(q.is_empty());
+        assert_eq!(strict.identities(), lenient.identities());
     }
 }

@@ -159,7 +159,7 @@ impl RootStore {
 }
 
 /// Serializable snapshot entry (hex DER keeps snapshots self-contained).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoreSnapshotEntry {
     /// Subject string.
     pub subject: String,
@@ -172,12 +172,72 @@ pub struct StoreSnapshotEntry {
 }
 
 /// Serializable snapshot of a whole store.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoreSnapshot {
     /// Store display name.
     pub name: String,
     /// Anchors in insertion order.
     pub anchors: Vec<StoreSnapshotEntry>,
+}
+
+impl serde_json::Serialize for StoreSnapshotEntry {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "subject": self.subject.as_str(),
+            "source": self.source.as_str(),
+            "enabled": self.enabled,
+            "der_hex": self.der_hex.as_str(),
+        })
+    }
+}
+
+impl serde_json::Deserialize for StoreSnapshotEntry {
+    fn from_json_value(value: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(StoreSnapshotEntry {
+            subject: snapshot_field(value, "subject")?,
+            source: snapshot_field(value, "source")?,
+            enabled: value["enabled"]
+                .as_bool()
+                .ok_or_else(|| serde_json::Error::msg("missing boolean field `enabled`"))?,
+            der_hex: snapshot_field(value, "der_hex")?,
+        })
+    }
+}
+
+impl serde_json::Serialize for StoreSnapshot {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "name": self.name.as_str(),
+            "anchors": self
+                .anchors
+                .iter()
+                .map(serde_json::Serialize::to_json_value)
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+impl serde_json::Deserialize for StoreSnapshot {
+    fn from_json_value(value: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let anchors = value["anchors"]
+            .as_array()
+            .ok_or_else(|| serde_json::Error::msg("missing array field `anchors`"))?
+            .iter()
+            .map(serde_json::Deserialize::from_json_value)
+            .collect::<Result<Vec<StoreSnapshotEntry>, _>>()?;
+        Ok(StoreSnapshot {
+            name: snapshot_field(value, "name")?,
+            anchors,
+        })
+    }
+}
+
+/// Required string field of a snapshot object.
+fn snapshot_field(value: &serde_json::Value, key: &str) -> Result<String, serde_json::Error> {
+    value[key]
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| serde_json::Error::msg(format!("missing string field `{key}`")))
 }
 
 /// Errors reconstructing a store from a snapshot.

@@ -71,17 +71,91 @@ impl ChainOptions {
     }
 }
 
+/// A certificate path that is non-empty *by construction*: the leaf is a
+/// dedicated field, not element zero of a vector, so `last()`/`leaf()`
+/// are total functions and no "chains are non-empty" invariant has to be
+/// asserted at runtime.
+#[derive(Debug, Clone)]
+pub struct ChainPath {
+    head: Arc<Certificate>,
+    tail: Vec<Arc<Certificate>>,
+}
+
+impl ChainPath {
+    /// A path holding just the leaf.
+    pub fn new(leaf: Arc<Certificate>) -> ChainPath {
+        ChainPath {
+            head: leaf,
+            tail: Vec::new(),
+        }
+    }
+
+    /// The leaf the path starts from.
+    pub fn leaf(&self) -> &Arc<Certificate> {
+        &self.head
+    }
+
+    /// The certificate furthest from the leaf. Total — there is always at
+    /// least the leaf.
+    pub fn last(&self) -> &Arc<Certificate> {
+        self.tail.last().unwrap_or(&self.head)
+    }
+
+    /// Extend the path away from the leaf.
+    pub fn push(&mut self, cert: Arc<Certificate>) {
+        self.tail.push(cert);
+    }
+
+    /// Retract the most recent extension. The leaf itself cannot be
+    /// popped: a path never becomes empty.
+    pub fn pop(&mut self) -> Option<Arc<Certificate>> {
+        self.tail.pop()
+    }
+
+    /// Number of certificates on the path (≥ 1).
+    pub fn len(&self) -> usize {
+        1 + self.tail.len()
+    }
+
+    /// Paths are never empty; provided for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate leaf first.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Certificate>> {
+        std::iter::once(&self.head).chain(self.tail.iter())
+    }
+
+    /// Indexed access (0 = leaf).
+    pub fn get(&self, index: usize) -> Option<&Arc<Certificate>> {
+        if index == 0 {
+            Some(&self.head)
+        } else {
+            self.tail.get(index - 1)
+        }
+    }
+}
+
+impl std::ops::Index<usize> for ChainPath {
+    type Output = Arc<Certificate>;
+
+    fn index(&self, index: usize) -> &Arc<Certificate> {
+        self.get(index).expect("chain path index out of bounds")
+    }
+}
+
 /// A successfully validated chain, leaf first, trust anchor last.
 #[derive(Debug, Clone)]
 pub struct VerifiedChain {
     /// Path from leaf (index 0) to the trust anchor (last).
-    pub path: Vec<Arc<Certificate>>,
+    pub path: ChainPath,
 }
 
 impl VerifiedChain {
     /// The trust anchor this chain terminates in.
     pub fn anchor(&self) -> &Certificate {
-        self.path.last().expect("chains are non-empty")
+        self.path.last()
     }
 
     /// Number of certificates in the chain.
@@ -175,7 +249,7 @@ impl ChainVerifier {
             return Err(ChainError::Blacklisted);
         }
         let mut best_err = ChainError::NoPathToTrustAnchor;
-        let mut path = vec![Arc::clone(leaf)];
+        let mut path = ChainPath::new(Arc::clone(leaf));
         if let Some(chain) = self.search(&mut path, opts, &mut best_err) {
             Ok(chain)
         } else {
@@ -185,11 +259,11 @@ impl ChainVerifier {
 
     fn search(
         &self,
-        path: &mut Vec<Arc<Certificate>>,
+        path: &mut ChainPath,
         opts: ChainOptions,
         best_err: &mut ChainError,
     ) -> Option<VerifiedChain> {
-        let current = Arc::clone(path.last().expect("path non-empty"));
+        let current = Arc::clone(path.last());
         if path.len() >= opts.max_depth {
             *best_err = ChainError::PathTooLong;
             return None;
@@ -280,12 +354,12 @@ impl ChainVerifier {
             self.intermediates_by_subject.values().flatten().collect();
 
         fn go(
-            path: &mut Vec<Arc<Certificate>>,
+            path: &mut ChainPath,
             anchors: &[&Arc<Certificate>],
             intermediates: &[&Arc<Certificate>],
             opts: ChainOptions,
         ) -> Option<VerifiedChain> {
-            let current = Arc::clone(path.last().expect("non-empty"));
+            let current = Arc::clone(path.last());
             if path.len() >= opts.max_depth {
                 return None;
             }
@@ -328,7 +402,7 @@ impl ChainVerifier {
             None
         }
 
-        let mut path = vec![Arc::clone(leaf)];
+        let mut path = ChainPath::new(Arc::clone(leaf));
         go(&mut path, &anchors, &intermediates, opts).ok_or(ChainError::NoPathToTrustAnchor)
     }
 }
@@ -718,6 +792,30 @@ mod tests {
             v.verify(&forged, ChainOptions::at(at())).unwrap_err(),
             ChainError::Blacklisted
         );
+    }
+
+    #[test]
+    fn chain_path_is_never_empty() {
+        let f = fixture();
+        let mut p = ChainPath::new(Arc::clone(&f.leaf));
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(Arc::ptr_eq(p.last(), &f.leaf));
+        assert!(p.pop().is_none(), "the leaf must not be poppable");
+        p.push(Arc::clone(&f.intermediate));
+        p.push(Arc::clone(&f.root));
+        assert_eq!(p.len(), 3);
+        assert!(Arc::ptr_eq(p.last(), &f.root));
+        assert!(Arc::ptr_eq(&p[0], &f.leaf));
+        assert!(Arc::ptr_eq(&p[2], &f.root));
+        assert!(p.get(3).is_none());
+        let subjects: Vec<_> = p.iter().map(|c| c.subject.to_string()).collect();
+        assert_eq!(subjects.len(), 3);
+        assert!(subjects[0].contains("www.example.com"));
+        assert!(p.pop().is_some());
+        assert!(p.pop().is_some());
+        assert!(p.pop().is_none());
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

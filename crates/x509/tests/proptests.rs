@@ -7,7 +7,25 @@ use tangled_asn1::Time;
 use tangled_crypto::rsa::{RsaKeyPair, SignatureAlgorithm};
 use tangled_crypto::{SplitMix64, Uint};
 use tangled_x509::extensions::{BasicConstraints, Extension, KeyPurpose, KeyUsage};
+use tangled_x509::pem;
 use tangled_x509::{Certificate, CertificateBuilder, DistinguishedName};
+
+/// A fixed self-signed certificate for the PEM corruption properties.
+fn pem_target() -> &'static Certificate {
+    static CERT: OnceLock<Certificate> = OnceLock::new();
+    CERT.get_or_init(|| {
+        let kp = &keys()[0];
+        CertificateBuilder::new(
+            DistinguishedName::common_name("PEM Target CA"),
+            DistinguishedName::common_name("PEM Target CA"),
+            Time::date(2010, 1, 1).unwrap(),
+            Time::date(2020, 1, 1).unwrap(),
+        )
+        .ca(None)
+        .sign(kp.public_key(), kp)
+        .unwrap()
+    })
+}
 
 /// A small fixed key pool: key generation is the expensive step and the
 /// properties under test do not depend on key variety.
@@ -129,6 +147,65 @@ proptest! {
             } else {
                 prop_assert!(parsed.verify_signature(kp.public_key()).is_err());
             }
+        }
+    }
+
+    #[test]
+    fn pem_fuzz_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // Arbitrary (possibly non-UTF-8) input through every PEM entry
+        // point: each must return a Result, never panic.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = pem::base64_decode(&text);
+        let _ = pem::decode("CERTIFICATE", &text);
+        let _ = pem::decode_certificate(&text);
+        let _ = pem::decode_certificates(&text);
+    }
+
+    #[test]
+    fn corrupted_armor_always_rejected(
+        in_footer in any::<bool>(),
+        offset_seed in any::<u64>(),
+        replacement in "[!-+/-~]{1}",
+    ) {
+        // Mangle one character of the BEGIN or END armor label of a valid
+        // PEM document: decode must fail, never panic, never succeed.
+        let text = pem::encode_certificate(pem_target());
+        let marker = if in_footer { "-----END " } else { "-----BEGIN " };
+        let label_at = text.find(marker).unwrap() + marker.len();
+        let offset = (offset_seed % "CERTIFICATE".len() as u64) as usize;
+        let target = label_at + offset;
+        let repl = replacement.chars().next().unwrap();
+        prop_assume!(text.as_bytes()[target] != repl as u8);
+        let mut bytes = text.into_bytes();
+        bytes[target] = repl as u8;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        prop_assert!(pem::decode("CERTIFICATE", &corrupted).is_err());
+        prop_assert!(pem::decode_certificate(&corrupted).is_err());
+    }
+
+    #[test]
+    fn mutated_pem_body_never_validates_silently(
+        pos_seed in any::<u64>(),
+        replacement in "[A-Za-z0-9+/]{1}",
+    ) {
+        // Swap one base64 body character for a different one: the decoded
+        // DER differs, so the result must be an error or a certificate
+        // that is not the original. Never a panic.
+        let cert = pem_target();
+        let text = pem::encode_certificate(cert);
+        let body_start = text.find('\n').unwrap() + 1;
+        let body_end = text.find("-----END").unwrap();
+        let body_positions: Vec<usize> = (body_start..body_end)
+            .filter(|&i| !text.as_bytes()[i].is_ascii_whitespace())
+            .collect();
+        let pos = body_positions[(pos_seed % body_positions.len() as u64) as usize];
+        let repl = replacement.chars().next().unwrap();
+        prop_assume!(text.as_bytes()[pos] != repl as u8);
+        let mut bytes = text.into_bytes();
+        bytes[pos] = repl as u8;
+        let corrupted = String::from_utf8(bytes).unwrap();
+        if let Ok(parsed) = pem::decode_certificate(&corrupted) {
+            prop_assert_ne!(&parsed, cert);
         }
     }
 

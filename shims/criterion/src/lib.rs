@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the tiny subset the workspace's benches use: [`black_box`],
+//! the [`Criterion`] builder (`sample_size`, `warm_up_time`,
+//! `measurement_time`, `configure_from_args`), [`Criterion::bench_function`]
+//! with a [`Bencher`] exposing `iter`, and [`Criterion::final_summary`].
+//! Measurement is plain wall-clock timing: it reports mean time per
+//! iteration per sample, without criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque to
+/// the optimizer.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs one benchmark's closure and accumulates timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target_samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then recording samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so the sample
+        // loop can batch fast routines.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Pick a batch size aiming for measurement_time across all samples.
+        let per_sample = self.measurement / self.target_samples.max(1) as u32;
+        let batch = if per_iter.is_zero() {
+            1_000
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean_per_iter(&self) -> Option<Duration> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let iters = self.iters_per_sample * self.samples.len() as u64;
+        Some(total / iters.max(1) as u32)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    completed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            completed: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness takes no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            target_samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        match bencher.mean_per_iter() {
+            Some(mean) => println!("bench: {name:<50} {mean:>12.2?}/iter"),
+            None => println!("bench: {name:<50} (no samples)"),
+        }
+        self.completed += 1;
+        self
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("bench: {} benchmark(s) completed", self.completed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .configure_from_args();
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs) + 1
+            })
+        });
+        c.final_summary();
+        assert!(runs > 0);
+    }
+}

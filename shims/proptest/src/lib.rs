@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of proptest this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! range and character-class strategies, `collection::vec`, `option::of`,
+//! tuple strategies, and the `proptest!`/`prop_assert*`/`prop_oneof!`
+//! macros. Generation is deterministic (fixed runner seed) and there is
+//! **no shrinking** — a failing case reports its message and stops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// becomes a plain test that runs the body for the configured number of
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_functions!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_functions!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands the function list inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($param:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        // Single-parameter tests expand to a one-element closure pattern
+        // `|(x)|`; the parentheses are load-bearing for the multi-param
+        // case, so silence the lint rather than special-case the arity.
+        #[allow(unused_parens)]
+        fn $name() {
+            let strategy = ($($strat),+);
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            let outcome = runner.run(&strategy, |($($param),+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_functions!(($config) $($rest)*);
+    };
+}
+
+/// Assert inside a property test; failure fails the case (and the test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: `{left:?}`"),
+            ));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds; rejected cases are
+/// regenerated rather than counted as failures.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform (or weighted, with `weight => strategy`) choice among arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(any::<u8>(), 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0u8..10, 10u8..20), c in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[A-Za-z0-9 .-]{1,48}") {
+            prop_assert!(!s.is_empty() && s.len() <= 48);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || c == ' ' || c == '.' || c == '-'));
+        }
+
+        #[test]
+        fn oneof_and_recursion(n in recursive_depth()) {
+            prop_assert!(n <= 3);
+        }
+
+        #[test]
+        fn assume_filters(v in 0u8..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    /// Depth marker strategy: leaves are 0, each recursion level adds one.
+    fn recursive_depth() -> BoxedStrategy<u32> {
+        let leaf = Just(0u32);
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|d| d + 1),
+                Just(0u32),
+            ]
+        })
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4));
+        let result = runner.run(&(0u8..4), |_| Err(TestCaseError::fail("boom")));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let strat = crate::collection::vec(any::<u64>(), 3..6);
+        let mut collected = Vec::new();
+        for _ in 0..2 {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+            let mut values = Vec::new();
+            runner
+                .run(&strat, |v| {
+                    values.push(v);
+                    Ok(())
+                })
+                .unwrap();
+            collected.push(values);
+        }
+        assert_eq!(collected[0], collected[1]);
+    }
+}

@@ -1,0 +1,29 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy producing `Option<T>` from a strategy for `T`.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Bias toward Some, as upstream does: the interesting values live
+        // in the inner strategy.
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` three quarters of the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,115 @@
+//! Deterministic test runner: drives a strategy for N cases.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+
+/// Per-test configuration (the `cases` knob is the one that matters).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// The inputs were rejected (`prop_assume!`); the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a strategy/closure pair until the configured number of cases pass.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Fixed RNG seed: runs are deterministic across invocations.
+    const SEED: u64 = 0x7072_6f70_7465_7374; // "proptest"
+
+    /// Build a runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(Self::SEED),
+        }
+    }
+
+    /// Run `test` against values from `strategy`. Returns the failure
+    /// message of the first failing case, if any.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        // Generous reject budget, matching upstream's spirit: a test that
+        // filters out nearly everything should fail loudly, not spin.
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        return Err(format!(
+                            "too many rejected cases ({rejected}) before {} passes",
+                            self.config.cases
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(format!("case {} failed: {msg}", passed + 1));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of serde_json this workspace uses: the
+//! [`Value`] model, the [`json!`] macro, [`to_string`] /
+//! [`to_string_pretty`] / [`from_str`], and a pair of lightweight
+//! [`Serialize`] / [`Deserialize`] traits (value-based, no derive) that
+//! types implement by hand. Float serialization keeps a decimal point on
+//! integral floats so every document round-trips to an equal [`Value`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod text;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error carrying `message`.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a JSON [`Value`] (hand-written, no derive).
+pub trait Serialize {
+    /// The JSON form of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON [`Value`] (hand-written, no derive).
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from its JSON form.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Serialize compactly.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    text::write_compact(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    text::write_pretty(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+/// Parse a JSON document into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = text::parse(input)?;
+    T::from_json_value(&value)
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        text::write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Build a [`Value`] from JSON-looking syntax with interpolated Rust
+/// expressions, as in serde_json.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Internal tt-muncher behind [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays: accumulate elements into [$($elems:expr,)*] -----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- objects: munch key tokens, then the value after ':' -----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    // ----- primary forms -----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object(::std::collections::BTreeMap::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = ::std::collections::BTreeMap::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn macro_builds_nested_documents() {
+        let xs: Vec<Value> = vec![json!([1, 0.5]), json!([2, 1.0])];
+        let classes: BTreeMap<String, f64> =
+            [("a".to_owned(), 0.25), ("b".to_owned(), 0.75)].into();
+        let doc = json!({
+            "version": 2u32,
+            "name": "tangled",
+            "empty_list": [],
+            "empty_map": {},
+            "nested": { "flag": true, "missing": null },
+            "pairs": xs,
+            "classes": classes,
+            "inline": [1, "two", 3.5, false],
+        });
+        assert_eq!(doc["version"], 2u32);
+        assert_eq!(doc["name"], "tangled");
+        assert_eq!(doc["nested"]["flag"], true);
+        assert!(doc["nested"]["missing"].is_null());
+        assert!(doc["missing_key"].is_null());
+        assert_eq!(doc["pairs"][1][0], 2);
+        assert_eq!(doc["pairs"][1][1].as_f64(), Some(1.0));
+        assert_eq!(doc["classes"]["b"].as_f64(), Some(0.75));
+        assert_eq!(doc["inline"][1], "two");
+    }
+
+    #[test]
+    fn round_trip_preserves_equality() {
+        let doc = json!({
+            "ints": [0, 1, 150, 18446744073709551615u64, -42],
+            "floats": [0.0, 1.0, 0.125, 4.16, 1e-5],
+            "strings": ["", "with \"quotes\"", "line\nbreak", "päivää"],
+            "nested": { "deep": [{ "leaf": null }] },
+        });
+        let compact = to_string(&doc).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, doc);
+        let pretty = to_string_pretty(&doc).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, doc);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = to_string(&json!({ "x": 1.0 })).unwrap();
+        assert_eq!(text, r#"{"x":1.0}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["x"], 1.0);
+        assert!(back["x"].as_u64().is_none());
+    }
+
+    #[test]
+    fn integers_and_floats_are_distinct() {
+        assert_ne!(json!(1), json!(1.0));
+        assert_eq!(json!(5).as_u64(), Some(5));
+        assert_eq!(json!(-5).as_i64(), Some(-5));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "[1] trailing",
+            "{\"a\": }",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = json!("tab\there \"and\" back\\slash\u{1}");
+        let text = to_string(&original).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+}

@@ -16,6 +16,7 @@
 pub use tangled_asn1 as asn1;
 pub use tangled_core as analysis;
 pub use tangled_crypto as crypto;
+pub use tangled_faults as faults;
 pub use tangled_intercept as intercept;
 pub use tangled_netalyzr as netalyzr;
 pub use tangled_notary as notary;
