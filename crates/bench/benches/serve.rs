@@ -1,0 +1,85 @@
+//! Serving-path benchmark: cached vs uncached `validate` through the
+//! trustd service.
+//!
+//! Two identical services handle the same request stream; one with the
+//! default memo-cache capacity (every repeat is a ChainKey lookup), one
+//! with the cache disabled (every request runs full path construction and
+//! signature verification). The printed ratio is the measured value of
+//! the serving cache.
+//!
+//! ```text
+//! cargo bench --bench serve
+//! ```
+
+use criterion::{black_box, Criterion};
+use tangled_bench::criterion;
+use tangled_intercept::origin::OriginServers;
+use tangled_intercept::policy::Target;
+use tangled_trustd::wire::Request;
+use tangled_trustd::{TrustService, DEFAULT_CACHE_CAPACITY};
+
+fn main() {
+    let mut c: Criterion = criterion();
+    bench_validate(&mut c);
+    c.final_summary();
+}
+
+/// The request stream: every Table 6 origin chain against every AOSP
+/// profile — 84 distinct (profile, chain) keys, replayed repeatedly so
+/// the warm cache answers from memory.
+fn requests() -> Vec<Request> {
+    let origin = OriginServers::for_table6();
+    let mut targets: Vec<Target> = origin.targets().cloned().collect();
+    targets.sort_by_key(|t| t.to_string());
+    let profiles = ["AOSP 4.1", "AOSP 4.2", "AOSP 4.3", "AOSP 4.4"];
+    let mut out = Vec::new();
+    for profile in profiles {
+        for t in &targets {
+            out.push(Request::Validate {
+                profile: profile.to_owned(),
+                chain: origin
+                    .chain(t)
+                    .expect("table 6 chain")
+                    .iter()
+                    .map(|c| c.to_der().to_vec())
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let reqs = requests();
+
+    let cached = TrustService::new(DEFAULT_CACHE_CAPACITY);
+    let uncached = TrustService::new(0);
+    // Warm both services once so setup work (store builds) is excluded
+    // and the cached service's memo is populated.
+    for req in &reqs {
+        cached.handle(req);
+        uncached.handle(req);
+    }
+
+    c.bench_function("serve/validate_cached", |b| {
+        b.iter(|| {
+            for req in &reqs {
+                black_box(cached.handle(req));
+            }
+        })
+    });
+    c.bench_function("serve/validate_uncached", |b| {
+        b.iter(|| {
+            for req in &reqs {
+                black_box(uncached.handle(req));
+            }
+        })
+    });
+
+    let (hits, misses) = cached.stats().cache_counts();
+    println!(
+        "serve: warm cache answered {hits} of {} validate calls ({misses} misses)",
+        hits + misses
+    );
+    assert!(hits > 0, "warm service must serve from cache");
+}

@@ -10,7 +10,7 @@ use crate::ecosystem::{study_time, Ecosystem};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tangled_pki::store::RootStore;
-use tangled_x509::{CertIdentity, ChainOptions, ChainVerifier};
+use tangled_x509::{CertIdentity, ChainKey, ChainOptions, ChainVerifier};
 
 /// Per-root validation tallies over the Notary population.
 pub struct ValidationIndex {
@@ -54,8 +54,10 @@ impl ValidationIndex {
         let mut validated_total = 0u32;
         let mut total_non_expired = 0u32;
         let mut total_sessions = 0u64;
-        // (issuer, presented-chain-length) → anchor identity shortcut.
-        let mut memo: HashMap<(String, usize), Option<CertIdentity>> = HashMap::new();
+        // Issuer-class shortcut: all leaves sharing an issuer and
+        // presented-chain length anchor identically ([`ChainKey`] is the
+        // same memo key the trustd serving cache uses).
+        let mut memo: HashMap<ChainKey, Option<CertIdentity>> = HashMap::new();
 
         for cert in &eco.certs {
             let leaf = cert.leaf();
@@ -65,7 +67,7 @@ impl ValidationIndex {
             total_non_expired += 1;
             total_sessions += cert.sessions;
 
-            let memo_key = (leaf.issuer.to_string(), cert.chain.len());
+            let memo_key = ChainKey::issuer_class(leaf, cert.chain.len());
             let anchor = if memoise {
                 if let Some(hit) = memo.get(&memo_key) {
                     hit.clone()

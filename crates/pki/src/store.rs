@@ -159,7 +159,7 @@ impl RootStore {
 }
 
 /// Serializable snapshot entry (hex DER keeps snapshots self-contained).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreSnapshotEntry {
     /// Subject string.
     pub subject: String,
@@ -172,7 +172,7 @@ pub struct StoreSnapshotEntry {
 }
 
 /// Serializable snapshot of a whole store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreSnapshot {
     /// Store display name.
     pub name: String,

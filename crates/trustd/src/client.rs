@@ -1,0 +1,80 @@
+//! A small blocking client for the trustd wire protocol.
+
+use crate::wire::{self, FrameError, Request, Response, WireError};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server broke the wire protocol.
+    Protocol(WireError),
+    /// The server closed the connection instead of replying.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Wire(e) => ClientError::Protocol(e),
+        }
+    }
+}
+
+/// One connection to a trustd server.
+pub struct TrustClient {
+    stream: TcpStream,
+}
+
+impl TrustClient {
+    /// Connect once.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TrustClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TrustClient { stream })
+    }
+
+    /// Connect with retries until `deadline` elapses — for racing a
+    /// server that is still binding (CI loadgen smoke).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        deadline: Duration,
+    ) -> io::Result<TrustClient> {
+        let started = Instant::now();
+        loop {
+            match TrustClient::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if started.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send a request, wait for the reply.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.call_raw(&req.encode())
+    }
+
+    /// Send raw frame bytes (protocol-fault tests), wait for the reply.
+    pub fn call_raw(&mut self, body: &[u8]) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.stream, body).map_err(ClientError::Io)?;
+        let frame = wire::read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
+        Response::decode(&frame).map_err(ClientError::Protocol)
+    }
+}

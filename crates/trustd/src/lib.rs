@@ -1,0 +1,45 @@
+//! trustd: a concurrent trust-decision query service over the
+//! root-store corpus.
+//!
+//! The analysis crates answer trust questions in batch — build a study,
+//! run it, read the tables. `trustd` turns the same decision machinery
+//! into a long-lived query service: a multi-threaded TCP server (std
+//! only, no async runtime) speaking a length-prefixed JSON protocol with
+//! four request types mirroring the paper's four measurement angles:
+//!
+//! * `validate` — chain validation against a named device store profile
+//!   (§4's per-store validation counts, one chain at a time);
+//! * `classify` — extra-root classification per the Figure 2 taxonomy;
+//! * `audit` — cacerts snapshot diff against an AOSP baseline (§5);
+//! * `probe` — interception verdict for a presented chain (§7).
+//!
+//! Three properties carry over from the batch pipeline:
+//!
+//! * **Determinism** — the service is a pure function of its request
+//!   sequence (modulo latency numbers), so a seeded replay through the
+//!   server must match the same requests handled offline, byte for byte.
+//! * **Graceful degradation** — malformed wire input is quarantined
+//!   under the PR-1 `(stage, error)` vocabulary and answered with a
+//!   classified `error` reply; connections are not dropped for bad
+//!   *messages*, only for unrecoverable *framing* faults.
+//! * **Shared substrate** — verification memoisation uses the same
+//!   [`tangled_x509::ChainKey`] as the batch validation counter; store
+//!   profiles are plain [`tangled_pki::store::RootStore`] snapshots.
+
+pub mod cache;
+pub mod client;
+pub mod index;
+pub mod replay;
+pub mod server;
+pub mod service;
+pub mod stats;
+pub mod wire;
+
+pub use cache::LruCache;
+pub use client::{ClientError, TrustClient};
+pub use index::{StoreIndex, StoreProfile};
+pub use replay::{offline_verdicts, replay, ReplayOutcome, ReplaySpec};
+pub use server::TrustServer;
+pub use service::{TrustService, DEFAULT_CACHE_CAPACITY};
+pub use stats::ServiceStats;
+pub use wire::{ChainVerdict, FrameError, Request, Response, WireError, MAX_FRAME};

@@ -1,0 +1,253 @@
+//! Deterministic load generation over the Netalyzr population.
+//!
+//! [`queries`] derives a reproducible request mix from a seeded
+//! [`Population`]: every session validates an origin chain against its
+//! device's AOSP profile, with classify/audit/probe requests interleaved
+//! on fixed session strides. The same [`ReplaySpec`] therefore produces
+//! the same requests in the same order every time — which is what lets
+//! the loadgen CLI assert that served verdicts are *byte-identical* to
+//! [`offline_verdicts`] computed without any server at all.
+
+use crate::client::{ClientError, TrustClient};
+use crate::service::{profile_for_version, TrustService, DEFAULT_CACHE_CAPACITY};
+use crate::wire::{ChainVerdict, Request, Response};
+use serde_json::Value;
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+use tangled_intercept::origin::OriginServers;
+use tangled_intercept::policy::Target;
+use tangled_netalyzr::{Population, PopulationSpec};
+use tangled_pki::cacerts::to_cacerts_pem;
+
+/// The paper's full session count (scale 1.0).
+const FULL_SESSIONS: f64 = 15_970.0;
+
+/// What to replay.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplaySpec {
+    /// Population seed.
+    pub seed: u64,
+    /// Number of sessions to replay.
+    pub sessions: usize,
+}
+
+impl ReplaySpec {
+    /// A spec with the default seed.
+    pub fn new(seed: u64, sessions: usize) -> ReplaySpec {
+        ReplaySpec { seed, sessions }
+    }
+}
+
+/// The outcome of one replay run.
+pub struct ReplayOutcome {
+    /// Canonical verdict strings, one per request, in request order.
+    pub verdicts: Vec<String>,
+    /// Requests sent.
+    pub requests: usize,
+    /// `error` responses with stage `wire` (protocol errors).
+    pub wire_errors: usize,
+    /// Wall-clock time spent replaying.
+    pub elapsed: Duration,
+    /// The server's stats document, fetched after the replay.
+    pub stats: Value,
+}
+
+/// Generate the population for a spec: scaled so at least `sessions`
+/// sessions exist (the generator's per-manufacturer rounding can
+/// undershoot a naive scale).
+pub fn population(spec: &ReplaySpec) -> Population {
+    let scale = ((spec.sessions as f64 / FULL_SESSIONS) * 1.25).clamp(0.02, 1.0);
+    Population::generate(&PopulationSpec {
+        seed: spec.seed,
+        scale,
+    })
+}
+
+/// The deterministic request mix for a population: per session, a
+/// `validate` of an origin chain against the device's AOSP profile; every
+/// 4th session additionally classifies the device's first extra root,
+/// every 8th audits the device's cacerts snapshot, every 16th probes.
+pub fn queries(pop: &Population, spec: &ReplaySpec) -> Vec<Request> {
+    let origin = OriginServers::for_table6();
+    let mut targets: Vec<Target> = origin.targets().cloned().collect();
+    targets.sort_by_key(|t| t.to_string());
+
+    let chain_for = |t: &Target| -> Vec<Vec<u8>> {
+        origin
+            .chain(t)
+            .expect("table 6 target has a chain")
+            .iter()
+            .map(|c| c.to_der().to_vec())
+            .collect()
+    };
+
+    let mut out = Vec::new();
+    for session in pop.sessions.iter().take(spec.sessions) {
+        let device = pop.device_of(session);
+        let profile = profile_for_version(device.os_version).to_owned();
+        let target = &targets[session.index as usize % targets.len()];
+        out.push(Request::Validate {
+            profile: profile.clone(),
+            chain: chain_for(target),
+        });
+        if session.index % 4 == 1 {
+            if let Some(extra) = device.additional_certs().first() {
+                out.push(Request::Classify {
+                    cert: extra.cert.to_der().to_vec(),
+                });
+            }
+        }
+        if session.index % 8 == 2 {
+            out.push(Request::Audit {
+                baseline: device.os_version.label().to_owned(),
+                files: to_cacerts_pem(&device.store),
+            });
+        }
+        if session.index % 16 == 5 {
+            out.push(Request::Probe {
+                profile,
+                target: target.to_string(),
+                chain: chain_for(target),
+                pinned: false,
+            });
+        }
+    }
+    out
+}
+
+/// The canonical (comparison) form of a response. Excludes the `cached`
+/// flag — a verdict must not depend on whether the memo cache answered.
+pub fn canonical(resp: &Response) -> String {
+    match resp {
+        Response::Validate { verdict, .. } => match verdict {
+            ChainVerdict::Trusted { anchor, chain_len } => {
+                format!("validate/trusted/{anchor}/{chain_len}")
+            }
+            ChainVerdict::Untrusted { error } => format!("validate/untrusted/{error}"),
+        },
+        Response::Classify { class, profiles } => {
+            format!("classify/{class}/{}", profiles.join(","))
+        }
+        Response::Audit {
+            risk,
+            added,
+            removed,
+            findings,
+            quarantined,
+        } => format!(
+            "audit/{risk}/+{added}/-{removed}/f{findings}/q{}",
+            quarantined.len()
+        ),
+        Response::Probe { verdict } => format!("probe/{verdict}"),
+        Response::Swap {
+            profile, anchors, ..
+        } => format!("swap/{profile}/{anchors}"),
+        Response::Stats(_) => "stats".to_owned(),
+        Response::Error { stage, error } => format!("error/{stage}/{error}"),
+    }
+}
+
+/// Compute the replay's expected verdicts with no server involved: build
+/// a local [`TrustService`] and run every request through
+/// [`TrustService::handle`] directly.
+pub fn offline_verdicts(spec: &ReplaySpec) -> Vec<String> {
+    let service = TrustService::new(DEFAULT_CACHE_CAPACITY);
+    let pop = population(spec);
+    queries(&pop, spec)
+        .iter()
+        .map(|req| canonical(&service.handle(req)))
+        .collect()
+}
+
+/// Replay a spec against a live server.
+pub fn replay(
+    addr: impl ToSocketAddrs + Clone,
+    spec: &ReplaySpec,
+) -> Result<ReplayOutcome, ClientError> {
+    let mut client = TrustClient::connect_retry(addr, Duration::from_secs(5))
+        .map_err(ClientError::Io)?;
+    let pop = population(spec);
+    let requests = queries(&pop, spec);
+
+    let started = Instant::now();
+    let mut verdicts = Vec::with_capacity(requests.len());
+    let mut wire_errors = 0usize;
+    for req in &requests {
+        let resp = client.call(req)?;
+        if matches!(&resp, Response::Error { stage, .. } if stage == "wire") {
+            wire_errors += 1;
+        }
+        verdicts.push(canonical(&resp));
+    }
+    let elapsed = started.elapsed();
+
+    let stats = match client.call(&Request::Stats)? {
+        Response::Stats(doc) => doc,
+        other => {
+            return Err(ClientError::Protocol(crate::wire::WireError::BadRequest(
+                if matches!(other, Response::Error { .. }) {
+                    "stats request refused"
+                } else {
+                    "unexpected stats reply"
+                },
+            )))
+        }
+    };
+
+    Ok(ReplayOutcome {
+        requests: requests.len(),
+        verdicts,
+        wire_errors,
+        elapsed,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_mix_is_deterministic_and_covers_kinds() {
+        let spec = ReplaySpec::new(2014, 120);
+        let pop = population(&spec);
+        assert!(
+            pop.sessions.len() >= spec.sessions,
+            "population undershoots: {} < {}",
+            pop.sessions.len(),
+            spec.sessions
+        );
+        let a = queries(&pop, &spec);
+        let b = queries(&population(&spec), &spec);
+        assert_eq!(a, b, "same spec, same queries");
+        assert!(a.len() >= spec.sessions);
+        let kinds: std::collections::BTreeSet<&str> =
+            a.iter().map(|r| r.kind()).collect();
+        assert!(kinds.contains("validate"));
+        assert!(kinds.contains("audit"));
+        assert!(kinds.contains("probe"));
+    }
+
+    #[test]
+    fn offline_verdicts_are_reproducible() {
+        let spec = ReplaySpec::new(7, 40);
+        assert_eq!(offline_verdicts(&spec), offline_verdicts(&spec));
+    }
+
+    #[test]
+    fn canonical_ignores_cached_flag() {
+        let verdict = ChainVerdict::Trusted {
+            anchor: "CN=R".into(),
+            chain_len: 2,
+        };
+        let cold = Response::Validate {
+            verdict: verdict.clone(),
+            cached: false,
+        };
+        let warm = Response::Validate {
+            verdict,
+            cached: true,
+        };
+        assert_eq!(canonical(&cold), canonical(&warm));
+    }
+}

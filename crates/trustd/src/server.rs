@@ -1,0 +1,213 @@
+//! The TCP front-end: std-only listener plus worker thread pool.
+//!
+//! An accept thread feeds connections into an `mpsc` channel; N worker
+//! threads drain it, each running the frame loop for one connection at a
+//! time. Workers poll a stop flag between read-timeout ticks, so
+//! [`TrustServer::shutdown`] converges without killing in-flight
+//! requests.
+//!
+//! Protocol failures follow the quarantine discipline, not the
+//! drop-the-connection one: an undecodable *message* gets an `error`
+//! reply and the connection lives on; only an unrecoverable *framing*
+//! fault (oversized header, mid-frame truncation) closes the stream,
+//! after a best-effort error reply — either way the fault is recorded in
+//! the service's health ledger first.
+
+use crate::service::TrustService;
+use crate::wire::{self, FrameError, Request};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks in `read` before polling the stop flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// A running trustd server.
+pub struct TrustServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TrustServer {
+    /// Bind `addr` and start `workers` worker threads (minimum 1).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<TrustService>,
+        workers: usize,
+    ) -> io::Result<TrustServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || worker_loop(&rx, &service, &stop))
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` closes the channel; workers drain and exit.
+        });
+
+        Ok(TrustServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, finish queued connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop: it blocks in `accept`, so poke it with a
+        // throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    service: &Arc<TrustService>,
+    stop: &Arc<AtomicBool>,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("receiver poisoned");
+            match guard.recv_timeout(READ_TICK) {
+                Ok(stream) => Some(stream),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(stream, service, stop),
+            None if stop.load(Ordering::SeqCst) => break,
+            None => continue,
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &Arc<TrustService>,
+    stop: &Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(None) => break,
+            Ok(Some(body)) => {
+                let reply = match Request::decode(&body) {
+                    Ok(req) => service.handle(&req),
+                    // Bad message, good framing: classify, reply, carry on.
+                    Err(e) => service.record_wire_fault(&e),
+                };
+                if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+                    break;
+                }
+            }
+            Err(FrameError::Io(e)) if wire::is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(FrameError::Io(_)) => break,
+            Err(FrameError::Wire(e)) => {
+                // Framing is gone; we cannot find the next frame boundary.
+                let reply = service.record_wire_fault(&e);
+                let _ = wire::write_frame(&mut stream, &reply.encode());
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TrustClient;
+    use crate::wire::Response;
+
+    #[test]
+    fn server_round_trips_and_shuts_down() {
+        let service = Arc::new(TrustService::new(16));
+        let server =
+            TrustServer::bind("127.0.0.1:0", Arc::clone(&service), 2).expect("bind");
+        let addr = server.local_addr();
+
+        let mut client = TrustClient::connect(addr).expect("connect");
+        match client.call(&Request::Stats).expect("stats call") {
+            Response::Stats(doc) => {
+                assert!(doc["served"].as_object().is_some() || doc["served"].is_null());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(client);
+        server.shutdown();
+        assert_eq!(service.stats().served_total(), 1);
+    }
+
+    #[test]
+    fn malformed_message_keeps_connection_alive() {
+        let service = Arc::new(TrustService::new(16));
+        let server =
+            TrustServer::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind");
+        let mut client = TrustClient::connect(server.local_addr()).expect("connect");
+
+        // Valid frame, invalid message → classified error, same socket.
+        let resp = client.call_raw(b"this is not json").expect("raw call");
+        assert_eq!(
+            resp,
+            Response::Error {
+                stage: "wire".into(),
+                error: "bad-json".into()
+            }
+        );
+        // The connection still serves real requests afterwards.
+        match client.call(&Request::Stats).expect("stats after fault") {
+            Response::Stats(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        assert_eq!(service.stats().quarantined_total(), 1);
+    }
+}

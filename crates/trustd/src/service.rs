@@ -1,0 +1,522 @@
+//! The trust-decision service: request dispatch over the store index.
+//!
+//! [`TrustService::handle`] is the whole protocol — the TCP server is
+//! just framing around it, which is what lets the loopback tests and the
+//! loadgen client assert byte-identical verdicts between the served and
+//! offline paths: both run this exact function.
+//!
+//! Validation verdicts are memoised in a bounded LRU keyed by
+//! `(profile, epoch, ChainKey)`. The epoch component makes profile swaps
+//! self-invalidating: a swap bumps the epoch, so every stale entry simply
+//! stops being reachable and ages out of the LRU.
+
+use crate::cache::LruCache;
+use crate::index::StoreIndex;
+use crate::stats::ServiceStats;
+use crate::wire::{ChainVerdict, Request, Response, WireError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tangled_core::classify::class_index;
+use tangled_intercept::detect::{probe, Verdict};
+use tangled_intercept::origin::OriginServers;
+use tangled_intercept::policy::Target;
+use tangled_pki::audit::audit;
+use tangled_pki::cacerts::from_cacerts_lenient;
+use tangled_pki::extras::Figure2Class;
+use tangled_pki::store::RootStore;
+use tangled_pki::stores::ReferenceStore;
+use tangled_pki::trust::AnchorSource;
+use tangled_pki::vocab::AndroidVersion;
+use tangled_x509::{Certificate, CertIdentity, ChainError, ChainKey, ChainOptions};
+
+/// Memo-cache key: the verdict depends on the store (profile + epoch)
+/// and the presented chain, nothing else.
+type MemoKey = (String, u64, ChainKey);
+
+/// Default memo-cache capacity.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// The trust-decision service.
+pub struct TrustService {
+    index: StoreIndex,
+    cache: Mutex<LruCache<MemoKey, ChainVerdict>>,
+    classes: HashMap<CertIdentity, Figure2Class>,
+    expected_issuer: CertIdentity,
+    stats: ServiceStats,
+}
+
+impl TrustService {
+    /// A service over the six reference profiles with the given memo
+    /// capacity (0 disables caching).
+    pub fn new(cache_capacity: usize) -> TrustService {
+        TrustService {
+            index: StoreIndex::with_reference_profiles(),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            classes: class_index(),
+            expected_issuer: OriginServers::for_table6().issuer_identity(),
+            stats: ServiceStats::new(),
+        }
+    }
+
+    /// The service's counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The store index (test introspection).
+    pub fn index(&self) -> &StoreIndex {
+        &self.index
+    }
+
+    /// Handle one request, recording counters and latency.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let resp = self.dispatch(req);
+        let errored = matches!(resp, Response::Error { .. });
+        self.stats.record_request(
+            req.kind(),
+            started.elapsed().as_micros() as u64,
+            errored,
+        );
+        resp
+    }
+
+    /// Record a framing/decode failure in the quarantine ledger and build
+    /// the error reply the connection handler sends back.
+    pub fn record_wire_fault(&self, err: &WireError) -> Response {
+        self.stats.record_quarantined("wire", err.label());
+        Response::Error {
+            stage: "wire".to_owned(),
+            error: err.label().to_owned(),
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req {
+            Request::Validate { profile, chain } => self.validate(profile, chain),
+            Request::Classify { cert } => self.classify(cert),
+            Request::Audit { baseline, files } => self.audit(baseline, files),
+            Request::Probe {
+                profile,
+                target,
+                chain,
+                pinned,
+            } => self.probe(profile, target, chain, *pinned),
+            Request::Swap { profile, snapshot } => self.swap(profile, snapshot),
+            Request::Stats => Response::Stats(self.stats.to_json()),
+        }
+    }
+
+    fn validate(&self, profile: &str, chain: &[Vec<u8>]) -> Response {
+        let Some(profile) = self.index.profile(profile) else {
+            return error("validate", "unknown-profile");
+        };
+        if chain.is_empty() {
+            self.stats.record_quarantined("validate", "empty-chain");
+            return error("validate", "empty-chain");
+        }
+        let Some(certs) = parse_chain(chain) else {
+            self.stats.record_quarantined("validate", "malformed-der");
+            return error("validate", "malformed-der");
+        };
+
+        let key: MemoKey = (
+            profile.name.clone(),
+            profile.epoch,
+            ChainKey::exact(certs.iter().map(Arc::as_ref)),
+        );
+        if let Some(verdict) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.stats.record_cache(true);
+            return Response::Validate {
+                verdict,
+                cached: true,
+            };
+        }
+        self.stats.record_cache(false);
+
+        // Preloaded anchors, per-request intermediates.
+        let mut verifier = (*profile.anchors).clone();
+        for link in &certs[1..] {
+            verifier.add_intermediate(Arc::clone(link));
+        }
+        let opts = ChainOptions::at(tangled_intercept::study_time());
+        let verdict = match verifier.verify(&certs[0], opts) {
+            Ok(path) => ChainVerdict::Trusted {
+                anchor: path.anchor().subject.to_string(),
+                chain_len: path.len(),
+            },
+            Err(e) => ChainVerdict::Untrusted {
+                error: chain_error_label(&e).to_owned(),
+            },
+        };
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, verdict.clone());
+        Response::Validate {
+            verdict,
+            cached: false,
+        }
+    }
+
+    fn classify(&self, cert: &[u8]) -> Response {
+        let Ok(cert) = Certificate::parse(cert) else {
+            self.stats.record_quarantined("classify", "malformed-der");
+            return error("classify", "malformed-der");
+        };
+        let id = cert.identity();
+        let profiles = self.index.member_of(&id);
+        let class = if profiles.iter().any(|p| p.starts_with("AOSP")) {
+            "aosp"
+        } else {
+            match self.classes.get(&id) {
+                Some(Figure2Class::MozillaAndIos7) => "mozilla+ios7",
+                Some(Figure2Class::Ios7) => "ios7",
+                Some(Figure2Class::OnlyAndroid) => "only-android",
+                Some(Figure2Class::NotRecorded) | None => "not-recorded",
+            }
+        };
+        Response::Classify {
+            class: class.to_owned(),
+            profiles,
+        }
+    }
+
+    fn audit(
+        &self,
+        baseline: &str,
+        files: &[tangled_pki::cacerts::CacertsFile],
+    ) -> Response {
+        let Some(reference) = reference_store(baseline) else {
+            return error("audit", "unknown-baseline");
+        };
+        let (observed, quarantined) =
+            from_cacerts_lenient("observed", files, AnchorSource::Unknown);
+        for q in &quarantined {
+            self.stats.record_quarantined("cacerts", q.error.label());
+        }
+        let report = audit(
+            &reference.cached(),
+            &observed,
+            tangled_intercept::study_time(),
+        );
+        Response::Audit {
+            risk: report.risk.label().to_owned(),
+            added: report.diff.added_count(),
+            removed: report.diff.removed_count(),
+            findings: report.findings.len(),
+            quarantined: quarantined
+                .into_iter()
+                .map(|q| (q.file, q.error.label().to_owned()))
+                .collect(),
+        }
+    }
+
+    fn probe(
+        &self,
+        profile: &str,
+        target: &str,
+        chain: &[Vec<u8>],
+        pinned: bool,
+    ) -> Response {
+        let Some(profile) = self.index.profile(profile) else {
+            return error("probe", "unknown-profile");
+        };
+        let Some(target) = Target::parse(target) else {
+            return error("probe", "bad-target");
+        };
+        let Some(certs) = parse_chain(chain) else {
+            self.stats.record_quarantined("probe", "malformed-der");
+            return error("probe", "malformed-der");
+        };
+        let report = probe(
+            &target,
+            &certs,
+            &profile.store,
+            &self.expected_issuer,
+            pinned,
+        );
+        Response::Probe {
+            verdict: verdict_label(&report.verdict),
+        }
+    }
+
+    fn swap(
+        &self,
+        profile: &str,
+        snapshot: &tangled_pki::store::StoreSnapshot,
+    ) -> Response {
+        let store = match RootStore::from_snapshot(snapshot) {
+            Ok(store) => store,
+            Err(_) => {
+                self.stats.record_quarantined("swap", "bad-snapshot");
+                return error("swap", "bad-snapshot");
+            }
+        };
+        let anchors = store.len();
+        let installed = self.index.install(profile, Arc::new(store));
+        Response::Swap {
+            profile: installed.name,
+            epoch: installed.epoch,
+            anchors,
+        }
+    }
+}
+
+fn error(stage: &str, label: &str) -> Response {
+    Response::Error {
+        stage: stage.to_owned(),
+        error: label.to_owned(),
+    }
+}
+
+fn parse_chain(chain: &[Vec<u8>]) -> Option<Vec<Arc<Certificate>>> {
+    chain
+        .iter()
+        .map(|der| Certificate::parse(der).ok().map(Arc::new))
+        .collect()
+}
+
+/// Stable label for a chain-verification failure.
+pub fn chain_error_label(e: &ChainError) -> &'static str {
+    match e {
+        ChainError::NoPathToTrustAnchor => "no-path",
+        ChainError::CertCheck(_) => "cert-check",
+        ChainError::BadSignature => "bad-signature",
+        ChainError::PathTooLong => "path-too-long",
+        ChainError::Blacklisted => "blacklisted",
+    }
+}
+
+/// Stable label for a probe verdict.
+pub fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Clean => "clean".to_owned(),
+        Verdict::UntrustedChain { presented_issuer } => {
+            format!("untrusted-chain({presented_issuer})")
+        }
+        Verdict::UnexpectedAnchor { anchor } => {
+            format!("unexpected-anchor({})", anchor.subject)
+        }
+        Verdict::PinViolation => "pin-violation".to_owned(),
+        Verdict::NoChain => "no-chain".to_owned(),
+    }
+}
+
+/// Resolve a baseline name to a reference store; accepts both the short
+/// CLI form (`"4.4"`, `"mozilla"`) and the canonical profile name.
+pub fn reference_store(name: &str) -> Option<ReferenceStore> {
+    match name {
+        "4.1" | "AOSP 4.1" => Some(ReferenceStore::Aosp41),
+        "4.2" | "AOSP 4.2" => Some(ReferenceStore::Aosp42),
+        "4.3" | "AOSP 4.3" => Some(ReferenceStore::Aosp43),
+        "4.4" | "AOSP 4.4" => Some(ReferenceStore::Aosp44),
+        "mozilla" | "Mozilla" => Some(ReferenceStore::Mozilla),
+        "ios7" | "iOS 7" => Some(ReferenceStore::Ios7),
+        _ => None,
+    }
+}
+
+/// The canonical profile name for an Android version (`"AOSP 4.4"`).
+pub fn profile_for_version(v: AndroidVersion) -> &'static str {
+    ReferenceStore::for_version(v).name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_pki::cacerts::to_cacerts_pem;
+
+    fn origin_chain(host: &str) -> Vec<Vec<u8>> {
+        let origin = OriginServers::for_table6();
+        let t = Target::parse(host).expect("valid target");
+        origin
+            .chain(&t)
+            .expect("table 6 target")
+            .iter()
+            .map(|c| c.to_der().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn validate_hits_cache_on_repeat() {
+        let svc = TrustService::new(64);
+        let req = Request::Validate {
+            profile: "AOSP 4.4".into(),
+            chain: origin_chain("gmail.com:443"),
+        };
+        let first = svc.handle(&req);
+        let second = svc.handle(&req);
+        match (&first, &second) {
+            (
+                Response::Validate {
+                    verdict: v1,
+                    cached: false,
+                },
+                Response::Validate {
+                    verdict: v2,
+                    cached: true,
+                },
+            ) => {
+                assert_eq!(v1, v2);
+                assert!(matches!(v1, ChainVerdict::Trusted { .. }), "{v1:?}");
+            }
+            other => panic!("expected miss then hit, got {other:?}"),
+        }
+        assert_eq!(svc.stats().cache_counts(), (1, 1));
+    }
+
+    #[test]
+    fn validate_rejects_bad_input_into_quarantine() {
+        let svc = TrustService::new(64);
+        let empty = svc.handle(&Request::Validate {
+            profile: "AOSP 4.4".into(),
+            chain: vec![],
+        });
+        assert_eq!(
+            empty,
+            Response::Error {
+                stage: "validate".into(),
+                error: "empty-chain".into()
+            }
+        );
+        let garbage = svc.handle(&Request::Validate {
+            profile: "AOSP 4.4".into(),
+            chain: vec![vec![0xde, 0xad]],
+        });
+        assert_eq!(
+            garbage,
+            Response::Error {
+                stage: "validate".into(),
+                error: "malformed-der".into()
+            }
+        );
+        let unknown = svc.handle(&Request::Validate {
+            profile: "CyanogenMod".into(),
+            chain: vec![vec![0x30]],
+        });
+        assert_eq!(
+            unknown,
+            Response::Error {
+                stage: "validate".into(),
+                error: "unknown-profile".into()
+            }
+        );
+        // Two quarantined inputs (the unknown profile is an error, not a
+        // quarantine — the input itself was never inspected).
+        assert_eq!(svc.stats().quarantined_total(), 2);
+    }
+
+    #[test]
+    fn classify_separates_aosp_from_extras() {
+        let svc = TrustService::new(0);
+        let aosp_store = ReferenceStore::Aosp44.cached();
+        let aosp_der = aosp_store.enabled_certificates()[0].to_der().to_vec();
+        match svc.handle(&Request::Classify { cert: aosp_der }) {
+            Response::Classify { class, profiles } => {
+                assert_eq!(class, "aosp");
+                assert!(profiles.iter().any(|p| p == "AOSP 4.4"), "{profiles:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_quarantines_damaged_files() {
+        let svc = TrustService::new(0);
+        let mut files = to_cacerts_pem(&ReferenceStore::Aosp44.cached());
+        files[0].der = Vec::new(); // destroy one file
+        match svc.handle(&Request::Audit {
+            baseline: "4.4".into(),
+            files,
+        }) {
+            Response::Audit {
+                risk,
+                removed,
+                quarantined,
+                ..
+            } => {
+                // The destroyed file reads as a removal; risk reflects a
+                // user-modified store.
+                assert_eq!(removed, 1);
+                assert_eq!(quarantined.len(), 1);
+                assert_eq!(quarantined[0].1, "empty-file");
+                assert!(!risk.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.stats().quarantined_total(), 1);
+    }
+
+    #[test]
+    fn probe_clean_chain() {
+        let svc = TrustService::new(0);
+        match svc.handle(&Request::Probe {
+            profile: "AOSP 4.4".into(),
+            target: "gmail.com:443".into(),
+            chain: origin_chain("gmail.com:443"),
+            pinned: false,
+        }) {
+            Response::Probe { verdict } => assert_eq!(verdict, "clean"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_invalidates_cached_verdicts_via_epoch() {
+        let svc = TrustService::new(64);
+        let chain = origin_chain("www.chase.com:443");
+        let req = Request::Validate {
+            profile: "AOSP 4.4".into(),
+            chain: chain.clone(),
+        };
+        svc.handle(&req); // miss, fills cache
+        svc.handle(&req); // hit
+        assert_eq!(svc.stats().cache_counts(), (1, 1));
+
+        // Swap the profile to an empty store: the old cache key is dead.
+        let empty = RootStore::new("empty");
+        let resp = svc.handle(&Request::Swap {
+            profile: "AOSP 4.4".into(),
+            snapshot: empty.snapshot(),
+        });
+        match resp {
+            Response::Swap { anchors, epoch, .. } => {
+                assert_eq!(anchors, 0);
+                assert!(epoch > 6, "epoch advances past the 6 preloads");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match svc.handle(&req) {
+            Response::Validate { verdict, cached } => {
+                assert!(!cached, "epoch change forces a fresh verification");
+                assert_eq!(
+                    verdict,
+                    ChainVerdict::Untrusted {
+                        error: "no-path".into()
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_request_reports_counters() {
+        let svc = TrustService::new(16);
+        svc.handle(&Request::Validate {
+            profile: "AOSP 4.4".into(),
+            chain: origin_chain("gmail.com:443"),
+        });
+        let resp = svc.handle(&Request::Stats);
+        match resp {
+            Response::Stats(doc) => {
+                assert_eq!(doc["served"]["validate"], 1u64);
+                assert_eq!(doc["cache"]["misses"], 1u64);
+                assert!(doc["latency_us"]["validate"]["p50_us"].as_u64().is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-request-type service counters.
+//!
+//! One mutex-guarded ledger: requests served and errored per request
+//! kind, memo-cache hits/misses, quarantined inputs in the PR-1
+//! [`RunHealth`] vocabulary (stage → error label → count), and a
+//! log₂-bucketed latency histogram per kind for p50/p99.
+//!
+//! Latency is wall-clock and therefore nondeterministic; everything else
+//! is a pure function of the request sequence. The determinism tests
+//! compare [`ServiceStats::counters_fingerprint`], which excludes the
+//! histograms.
+
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use tangled_core::health::RunHealth;
+
+/// Log₂-bucketed latency histogram (microseconds).
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` µs, bucket 0 also absorbs sub-µs
+/// samples; 40 buckets reach ~12 days, far beyond any request.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 40],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; 40],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&mut self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The lower bound (µs) of the bucket holding the `p`-th percentile
+    /// sample, `p` in 0..=100. Zero when empty.
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the percentile sample, 1-based, ceil(p/100 * count).
+        let rank = ((p as u64) * self.count).div_ceil(100);
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        0
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    served: BTreeMap<String, u64>,
+    errors: BTreeMap<String, u64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    health: RunHealth,
+    latency: BTreeMap<String, LatencyHistogram>,
+}
+
+/// Thread-safe service counters.
+#[derive(Default)]
+pub struct ServiceStats {
+    inner: Mutex<StatsInner>,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> ServiceStats {
+        ServiceStats::default()
+    }
+
+    /// Record one request of `kind`, its latency, and whether it resolved
+    /// to an error response.
+    pub fn record_request(&self, kind: &str, micros: u64, errored: bool) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        *inner.served.entry(kind.to_owned()).or_default() += 1;
+        if errored {
+            *inner.errors.entry(kind.to_owned()).or_default() += 1;
+        }
+        inner.latency.entry(kind.to_owned()).or_default().record(micros);
+    }
+
+    /// Record a memo-cache hit or miss.
+    pub fn record_cache(&self, hit: bool) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        if hit {
+            inner.cache_hits += 1;
+        } else {
+            inner.cache_misses += 1;
+        }
+    }
+
+    /// Record one quarantined input under `(stage, label)` — the PR-1
+    /// graceful-degradation vocabulary.
+    pub fn record_quarantined(&self, stage: &str, label: &str) {
+        self.inner
+            .lock()
+            .expect("stats poisoned")
+            .health
+            .record_quarantined(stage, label);
+    }
+
+    /// Total requests served (all kinds).
+    pub fn served_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("stats poisoned")
+            .served
+            .values()
+            .sum()
+    }
+
+    /// Memo-cache (hits, misses).
+    pub fn cache_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("stats poisoned");
+        (inner.cache_hits, inner.cache_misses)
+    }
+
+    /// Total quarantined inputs.
+    pub fn quarantined_total(&self) -> u32 {
+        self.inner
+            .lock()
+            .expect("stats poisoned")
+            .health
+            .quarantined_total()
+    }
+
+    /// A deterministic digest of every counter *except* latency (which is
+    /// wall-clock): same request sequence → same fingerprint.
+    pub fn counters_fingerprint(&self) -> String {
+        let inner = self.inner.lock().expect("stats poisoned");
+        let mut out = String::new();
+        for (kind, n) in &inner.served {
+            out.push_str(&format!("served:{kind}={n};"));
+        }
+        for (kind, n) in &inner.errors {
+            out.push_str(&format!("errors:{kind}={n};"));
+        }
+        out.push_str(&format!(
+            "cache={}/{};",
+            inner.cache_hits, inner.cache_misses
+        ));
+        for (stage, errors) in &inner.health.quarantined {
+            for (label, n) in errors {
+                out.push_str(&format!("quarantined:{stage}/{label}={n};"));
+            }
+        }
+        out
+    }
+
+    /// The full stats document served on a `stats` request.
+    pub fn to_json(&self) -> Value {
+        let inner = self.inner.lock().expect("stats poisoned");
+        let latency: BTreeMap<String, Value> = inner
+            .latency
+            .iter()
+            .map(|(kind, h)| {
+                (
+                    kind.clone(),
+                    json!({
+                        "count": h.count(),
+                        "p50_us": h.percentile(50),
+                        "p99_us": h.percentile(99),
+                    }),
+                )
+            })
+            .collect();
+        json!({
+            "served": inner.served.clone(),
+            "errors": inner.errors.clone(),
+            "cache": {
+                "hits": inner.cache_hits,
+                "misses": inner.cache_misses,
+            },
+            "health": inner.health.to_json(),
+            "latency_us": latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_track_buckets() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile(50), 0, "empty histogram");
+        // 99 fast samples (~4 µs), one slow (~4096 µs).
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(4096);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50), 4);
+        assert_eq!(h.percentile(99), 4);
+        assert_eq!(h.percentile(100), 4096);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.percentile(100), 1u64 << 39);
+    }
+
+    #[test]
+    fn counters_accumulate_and_fingerprint_excludes_latency() {
+        let mk = |latency: u64| {
+            let s = ServiceStats::new();
+            s.record_request("validate", latency, false);
+            s.record_request("validate", latency * 2, false);
+            s.record_request("audit", latency, true);
+            s.record_cache(true);
+            s.record_cache(false);
+            s.record_quarantined("wire", "bad-json");
+            s
+        };
+        let a = mk(5);
+        let b = mk(5000);
+        assert_eq!(a.counters_fingerprint(), b.counters_fingerprint());
+        assert_eq!(a.served_total(), 3);
+        assert_eq!(a.cache_counts(), (1, 1));
+        assert_eq!(a.quarantined_total(), 1);
+        let fp = a.counters_fingerprint();
+        assert!(fp.contains("served:validate=2;"), "{fp}");
+        assert!(fp.contains("errors:audit=1;"), "{fp}");
+        assert!(fp.contains("quarantined:wire/bad-json=1;"), "{fp}");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let s = ServiceStats::new();
+        s.record_request("probe", 12, false);
+        s.record_cache(true);
+        s.record_quarantined("cacerts", "malformed-der");
+        let v = s.to_json();
+        assert_eq!(v["served"]["probe"], 1u64);
+        assert_eq!(v["cache"]["hits"], 1u64);
+        assert_eq!(v["health"]["quarantined"]["cacerts"]["malformed-der"], 1u32);
+        assert_eq!(v["latency_us"]["probe"]["count"], 1u64);
+        assert!(v["latency_us"]["probe"]["p99_us"].as_u64().is_some());
+    }
+}

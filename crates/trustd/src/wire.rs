@@ -1,0 +1,754 @@
+//! The `trustd` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON. Frames are bounded by [`MAX_FRAME`]; anything larger is
+//! rejected before allocation. Certificate bytes travel as standard Base64
+//! (the same alphabet as PEM bodies), store snapshots reuse the
+//! [`StoreSnapshot`] JSON schema of `tangled-pki`.
+//!
+//! Malformed input is a *classified* failure, not a dropped connection:
+//! every decode error carries a stable [`WireError::label`] that the
+//! server records in its quarantine ledger — the PR-1 graceful-degradation
+//! vocabulary extended to the serving path.
+
+use serde_json::{json, Value};
+use std::io::{self, Read, Write};
+use tangled_pki::cacerts::CacertsFile;
+use tangled_pki::store::StoreSnapshot;
+use tangled_x509::pem::{base64_decode, base64_encode};
+
+/// Maximum frame size in bytes (header excluded). Large enough for a full
+/// 150-anchor cacerts snapshot, small enough to bound per-connection
+/// memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame or message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The declared frame length exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// The peer closed the connection mid-frame.
+    Truncated,
+    /// The frame body is not valid UTF-8 JSON.
+    BadJson,
+    /// The JSON parsed but is not a well-formed message.
+    BadRequest(&'static str),
+}
+
+impl WireError {
+    /// Stable quarantine label (health-ledger key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireError::Oversized { .. } => "oversized-frame",
+            WireError::Truncated => "truncated-frame",
+            WireError::BadJson => "bad-json",
+            WireError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::BadJson => write!(f, "frame body is not valid JSON"),
+            WireError::BadRequest(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A frame-layer failure: transport error or protocol violation.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (including read timeouts).
+    Io(io::Error),
+    /// The peer violated the framing protocol.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Is this I/O error a read-timeout (the server's idle poll tick)?
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fill `buf` completely. `Ok(false)` means clean EOF before the first
+/// byte (only legal when `at_boundary`); EOF mid-buffer is
+/// [`WireError::Truncated`]. A read timeout with nothing buffered
+/// propagates as [`FrameError::Io`] so the caller can poll a stop flag; a
+/// timeout *mid-frame* keeps waiting (bounded by `stall_budget` ticks).
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<bool, FrameError> {
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    // 200 timeout ticks ≈ tens of seconds at the server's poll interval —
+    // a stalled peer cannot pin a worker forever.
+    let stall_budget = 200u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Ok(false)
+                } else {
+                    Err(FrameError::Wire(WireError::Truncated))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 && at_boundary {
+                    return Err(FrameError::Io(e));
+                }
+                stalls += 1;
+                if stalls > stall_budget {
+                    return Err(FrameError::Wire(WireError::Truncated));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    if !read_full(r, &mut header, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Wire(WireError::Oversized { len }));
+    }
+    let mut body = vec![0u8; len];
+    read_full(r, &mut body, false)?;
+    Ok(Some(body))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A query to the trust service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Validate a presented chain (leaf first) against a named store
+    /// profile.
+    Validate {
+        /// Store profile name (e.g. `"AOSP 4.4"`).
+        profile: String,
+        /// DER certificates, leaf first, intermediates after.
+        chain: Vec<Vec<u8>>,
+    },
+    /// Classify a root certificate per the paper's extra-root taxonomy.
+    Classify {
+        /// DER certificate.
+        cert: Vec<u8>,
+    },
+    /// Audit a cacerts snapshot against an AOSP baseline
+    /// (damaged files are quarantined, not fatal).
+    Audit {
+        /// Baseline store name (`"4.4"` or `"AOSP 4.4"`).
+        baseline: String,
+        /// The snapshot's files.
+        files: Vec<CacertsFile>,
+    },
+    /// Interception verdict for a presented chain on a target.
+    Probe {
+        /// Store profile the probing device runs.
+        profile: String,
+        /// Probed endpoint, `host:port`.
+        target: String,
+        /// Presented DER chain, leaf first.
+        chain: Vec<Vec<u8>>,
+        /// Does the client app pin the expected issuer?
+        pinned: bool,
+    },
+    /// Install or replace a store profile (bumps its epoch).
+    Swap {
+        /// Profile name to (re)install.
+        profile: String,
+        /// The new store contents.
+        snapshot: StoreSnapshot,
+    },
+    /// Fetch the server's counters.
+    Stats,
+}
+
+impl Request {
+    /// The request-type tag (stats key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Validate { .. } => "validate",
+            Request::Classify { .. } => "classify",
+            Request::Audit { .. } => "audit",
+            Request::Probe { .. } => "probe",
+            Request::Swap { .. } => "swap",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// JSON form.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Validate { profile, chain } => json!({
+                "type": "validate",
+                "profile": profile.as_str(),
+                "chain": encode_chain(chain),
+            }),
+            Request::Classify { cert } => json!({
+                "type": "classify",
+                "cert": base64_encode(cert),
+            }),
+            Request::Audit { baseline, files } => json!({
+                "type": "audit",
+                "baseline": baseline.as_str(),
+                "files": files
+                    .iter()
+                    .map(|f| json!({
+                        "name": f.name.as_str(),
+                        "body": base64_encode(&f.der),
+                    }))
+                    .collect::<Vec<_>>(),
+            }),
+            Request::Probe {
+                profile,
+                target,
+                chain,
+                pinned,
+            } => json!({
+                "type": "probe",
+                "profile": profile.as_str(),
+                "target": target.as_str(),
+                "chain": encode_chain(chain),
+                "pinned": *pinned,
+            }),
+            Request::Swap { profile, snapshot } => json!({
+                "type": "swap",
+                "profile": profile.as_str(),
+                "snapshot": serde_json::Serialize::to_json_value(snapshot),
+            }),
+            Request::Stats => json!({ "type": "stats" }),
+        }
+    }
+
+    /// Parse a request from its JSON form.
+    pub fn from_value(v: &Value) -> Result<Request, WireError> {
+        match str_field(v, "type")? {
+            "validate" => Ok(Request::Validate {
+                profile: str_field(v, "profile")?.to_owned(),
+                chain: decode_chain(v.get("chain"))?,
+            }),
+            "classify" => Ok(Request::Classify {
+                cert: decode_blob(v.get("cert"))?,
+            }),
+            "audit" => {
+                let files = v
+                    .get("files")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing files array"))?
+                    .iter()
+                    .map(|f| {
+                        Ok(CacertsFile {
+                            name: str_field(f, "name")?.to_owned(),
+                            der: decode_blob(f.get("body"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok(Request::Audit {
+                    baseline: str_field(v, "baseline")?.to_owned(),
+                    files,
+                })
+            }
+            "probe" => Ok(Request::Probe {
+                profile: str_field(v, "profile")?.to_owned(),
+                target: str_field(v, "target")?.to_owned(),
+                chain: decode_chain(v.get("chain"))?,
+                pinned: v
+                    .get("pinned")
+                    .and_then(Value::as_bool)
+                    .ok_or(WireError::BadRequest("missing pinned flag"))?,
+            }),
+            "swap" => {
+                let snap = v
+                    .get("snapshot")
+                    .ok_or(WireError::BadRequest("missing snapshot"))?;
+                let snapshot: StoreSnapshot =
+                    serde_json::Deserialize::from_json_value(snap)
+                        .map_err(|_| WireError::BadRequest("malformed snapshot"))?;
+                Ok(Request::Swap {
+                    profile: str_field(v, "profile")?.to_owned(),
+                    snapshot,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            _ => Err(WireError::BadRequest("unknown request type")),
+        }
+    }
+
+    /// Serialize to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(&self.to_value())
+            .expect("request serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Parse frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        Request::from_value(&parse_body(body)?)
+    }
+}
+
+/// The trust decision a `validate` request resolves to. Cache-friendly:
+/// the *hit/miss* marker lives on the response, not here, so one cached
+/// verdict answers any number of requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainVerdict {
+    /// The chain anchors in the profile's store.
+    Trusted {
+        /// Subject of the anchoring trust anchor.
+        anchor: String,
+        /// Full path length, leaf to anchor inclusive.
+        chain_len: usize,
+    },
+    /// No acceptable path exists.
+    Untrusted {
+        /// Stable failure label (`no-path`, `bad-signature`, …).
+        error: String,
+    },
+}
+
+/// A reply from the trust service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Validate result.
+    Validate {
+        /// The verdict.
+        verdict: ChainVerdict,
+        /// Served from the memo cache?
+        cached: bool,
+    },
+    /// Classify result.
+    Classify {
+        /// Taxonomy class (`aosp`, `mozilla+ios7`, `ios7`, `only-android`,
+        /// `not-recorded`).
+        class: String,
+        /// Profiles whose store contains this identity (sorted).
+        profiles: Vec<String>,
+    },
+    /// Audit result.
+    Audit {
+        /// Rolled-up risk label.
+        risk: String,
+        /// Additions vs the baseline.
+        added: usize,
+        /// Removals vs the baseline.
+        removed: usize,
+        /// Total findings.
+        findings: usize,
+        /// Snapshot files refused by the lenient loader: (file, label).
+        quarantined: Vec<(String, String)>,
+    },
+    /// Probe result.
+    Probe {
+        /// Canonical verdict string (`clean`, `pin-violation`, …).
+        verdict: String,
+    },
+    /// Swap result.
+    Swap {
+        /// The profile installed.
+        profile: String,
+        /// Its new epoch.
+        epoch: u64,
+        /// Anchors in the installed store.
+        anchors: usize,
+    },
+    /// Stats document (free-form JSON).
+    Stats(Value),
+    /// A classified failure; `stage` is `wire` for framing/decode errors,
+    /// otherwise the request type that rejected its input.
+    Error {
+        /// Which stage refused the input.
+        stage: String,
+        /// Stable error label.
+        error: String,
+    },
+}
+
+impl Response {
+    /// JSON form.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Validate { verdict, cached } => match verdict {
+                ChainVerdict::Trusted { anchor, chain_len } => json!({
+                    "type": "validate",
+                    "verdict": "trusted",
+                    "anchor": anchor.as_str(),
+                    "chain_len": *chain_len as u64,
+                    "cached": *cached,
+                }),
+                ChainVerdict::Untrusted { error } => json!({
+                    "type": "validate",
+                    "verdict": "untrusted",
+                    "error": error.as_str(),
+                    "cached": *cached,
+                }),
+            },
+            Response::Classify { class, profiles } => json!({
+                "type": "classify",
+                "class": class.as_str(),
+                "profiles": profiles.iter().map(String::as_str).collect::<Vec<_>>(),
+            }),
+            Response::Audit {
+                risk,
+                added,
+                removed,
+                findings,
+                quarantined,
+            } => json!({
+                "type": "audit",
+                "risk": risk.as_str(),
+                "added": *added as u64,
+                "removed": *removed as u64,
+                "findings": *findings as u64,
+                "quarantined": quarantined
+                    .iter()
+                    .map(|(file, label)| json!({
+                        "file": file.as_str(),
+                        "error": label.as_str(),
+                    }))
+                    .collect::<Vec<_>>(),
+            }),
+            Response::Probe { verdict } => json!({
+                "type": "probe",
+                "verdict": verdict.as_str(),
+            }),
+            Response::Swap {
+                profile,
+                epoch,
+                anchors,
+            } => json!({
+                "type": "swap",
+                "profile": profile.as_str(),
+                "epoch": *epoch,
+                "anchors": *anchors as u64,
+            }),
+            Response::Stats(doc) => json!({
+                "type": "stats",
+                "stats": doc.clone(),
+            }),
+            Response::Error { stage, error } => json!({
+                "type": "error",
+                "stage": stage.as_str(),
+                "error": error.as_str(),
+            }),
+        }
+    }
+
+    /// Parse a response from its JSON form.
+    pub fn from_value(v: &Value) -> Result<Response, WireError> {
+        match str_field(v, "type")? {
+            "validate" => {
+                let cached = v
+                    .get("cached")
+                    .and_then(Value::as_bool)
+                    .ok_or(WireError::BadRequest("missing cached flag"))?;
+                let verdict = match str_field(v, "verdict")? {
+                    "trusted" => ChainVerdict::Trusted {
+                        anchor: str_field(v, "anchor")?.to_owned(),
+                        chain_len: usize_field(v, "chain_len")?,
+                    },
+                    "untrusted" => ChainVerdict::Untrusted {
+                        error: str_field(v, "error")?.to_owned(),
+                    },
+                    _ => return Err(WireError::BadRequest("unknown verdict")),
+                };
+                Ok(Response::Validate { verdict, cached })
+            }
+            "classify" => Ok(Response::Classify {
+                class: str_field(v, "class")?.to_owned(),
+                profiles: v
+                    .get("profiles")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing profiles"))?
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .map(str::to_owned)
+                            .ok_or(WireError::BadRequest("non-string profile"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "audit" => Ok(Response::Audit {
+                risk: str_field(v, "risk")?.to_owned(),
+                added: usize_field(v, "added")?,
+                removed: usize_field(v, "removed")?,
+                findings: usize_field(v, "findings")?,
+                quarantined: v
+                    .get("quarantined")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing quarantined"))?
+                    .iter()
+                    .map(|q| {
+                        Ok((
+                            str_field(q, "file")?.to_owned(),
+                            str_field(q, "error")?.to_owned(),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+            }),
+            "probe" => Ok(Response::Probe {
+                verdict: str_field(v, "verdict")?.to_owned(),
+            }),
+            "swap" => Ok(Response::Swap {
+                profile: str_field(v, "profile")?.to_owned(),
+                epoch: v
+                    .get("epoch")
+                    .and_then(Value::as_u64)
+                    .ok_or(WireError::BadRequest("missing epoch"))?,
+                anchors: usize_field(v, "anchors")?,
+            }),
+            "stats" => Ok(Response::Stats(
+                v.get("stats")
+                    .cloned()
+                    .ok_or(WireError::BadRequest("missing stats document"))?,
+            )),
+            "error" => Ok(Response::Error {
+                stage: str_field(v, "stage")?.to_owned(),
+                error: str_field(v, "error")?.to_owned(),
+            }),
+            _ => Err(WireError::BadRequest("unknown response type")),
+        }
+    }
+
+    /// Serialize to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(&self.to_value())
+            .expect("response serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Parse frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        Response::from_value(&parse_body(body)?)
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, WireError> {
+    let text = std::str::from_utf8(body).map_err(|_| WireError::BadJson)?;
+    serde_json::from_str(text).map_err(|_| WireError::BadJson)
+}
+
+fn str_field<'a>(v: &'a Value, key: &'static str) -> Result<&'a str, WireError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or(WireError::BadRequest("missing string field"))
+}
+
+fn usize_field(v: &Value, key: &'static str) -> Result<usize, WireError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or(WireError::BadRequest("missing integer field"))
+}
+
+fn encode_chain(chain: &[Vec<u8>]) -> Vec<Value> {
+    chain
+        .iter()
+        .map(|der| Value::from(base64_encode(der)))
+        .collect()
+}
+
+fn decode_chain(v: Option<&Value>) -> Result<Vec<Vec<u8>>, WireError> {
+    v.and_then(Value::as_array)
+        .ok_or(WireError::BadRequest("missing chain array"))?
+        .iter()
+        .map(|blob| decode_blob(Some(blob)))
+        .collect()
+}
+
+fn decode_blob(v: Option<&Value>) -> Result<Vec<u8>, WireError> {
+    let text = v
+        .and_then(Value::as_str)
+        .ok_or(WireError::BadRequest("missing base64 blob"))?;
+    base64_decode(text).map_err(|_| WireError::BadRequest("invalid base64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(FrameError::Wire(WireError::Oversized { len })) => {
+                assert_eq!(len, u32::MAX as usize);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Writing oversized frames is refused too.
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_detected() {
+        // EOF inside the header.
+        let mut r = Cursor::new(vec![0u8, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Wire(WireError::Truncated))
+        ));
+        // EOF inside the body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"1234");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let reqs = vec![
+            Request::Validate {
+                profile: "AOSP 4.4".into(),
+                chain: vec![vec![0x30, 0x03, 1, 2, 3], vec![0xff]],
+            },
+            Request::Classify { cert: vec![1, 2, 3] },
+            Request::Audit {
+                baseline: "4.1".into(),
+                files: vec![CacertsFile {
+                    name: "00aabbcc.0".into(),
+                    der: b"-----BEGIN CERTIFICATE-----".to_vec(),
+                }],
+            },
+            Request::Probe {
+                profile: "Mozilla".into(),
+                target: "gmail.com:443".into(),
+                chain: vec![],
+                pinned: true,
+            },
+            Request::Stats,
+        ];
+        for req in reqs {
+            let back = Request::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_json_round_trips() {
+        let resps = vec![
+            Response::Validate {
+                verdict: ChainVerdict::Trusted {
+                    anchor: "CN=Root".into(),
+                    chain_len: 3,
+                },
+                cached: true,
+            },
+            Response::Validate {
+                verdict: ChainVerdict::Untrusted {
+                    error: "no-path".into(),
+                },
+                cached: false,
+            },
+            Response::Classify {
+                class: "ios7".into(),
+                profiles: vec!["iOS 7".into()],
+            },
+            Response::Audit {
+                risk: "stock".into(),
+                added: 0,
+                removed: 1,
+                findings: 2,
+                quarantined: vec![("x.0".into(), "malformed-der".into())],
+            },
+            Response::Probe {
+                verdict: "clean".into(),
+            },
+            Response::Swap {
+                profile: "device".into(),
+                epoch: 7,
+                anchors: 150,
+            },
+            Response::Stats(json!({"served": {"validate": 3u64}})),
+            Response::Error {
+                stage: "wire".into(),
+                error: "bad-json".into(),
+            },
+        ];
+        for resp in resps {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_classified() {
+        assert_eq!(
+            Request::decode(b"\xff\xfe").unwrap_err().label(),
+            "bad-json"
+        );
+        assert_eq!(Request::decode(b"[1,2]").unwrap_err().label(), "bad-request");
+        assert_eq!(
+            Request::decode(br#"{"type":"warp"}"#).unwrap_err().label(),
+            "bad-request"
+        );
+        assert_eq!(
+            Request::decode(br#"{"type":"validate","profile":"x","chain":["!!"]}"#)
+                .unwrap_err()
+                .label(),
+            "bad-request"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the trustd wire protocol: encode/decode round
+//! trips over randomized messages, frame-layer bounds, and
+//! never-panicking decoders on arbitrary bytes.
+
+use proptest::prelude::*;
+use tangled_pki::cacerts::CacertsFile;
+use tangled_trustd::wire::{
+    read_frame, write_frame, ChainVerdict, FrameError, Request, Response, WireError,
+    MAX_FRAME,
+};
+
+fn arb_blob() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..64)
+}
+
+fn arb_chain() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(arb_blob(), 0..4)
+}
+
+fn arb_name() -> BoxedStrategy<String> {
+    "[A-Za-z0-9 ._:/-]{0,32}".boxed()
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_name(), arb_chain())
+            .prop_map(|(profile, chain)| Request::Validate { profile, chain }),
+        arb_blob().prop_map(|cert| Request::Classify { cert }),
+        (
+            arb_name(),
+            proptest::collection::vec(
+                ("[0-9a-f]{8}", 0u8..10, arb_blob()).prop_map(|(hash, n, der)| {
+                    CacertsFile {
+                        name: format!("{hash}.{n}"),
+                        der,
+                    }
+                }),
+                0..4,
+            ),
+        )
+            .prop_map(|(baseline, files)| Request::Audit { baseline, files }),
+        (arb_name(), arb_name(), arb_chain(), any::<bool>()).prop_map(
+            |(profile, target, chain, pinned)| Request::Probe {
+                profile,
+                target,
+                chain,
+                pinned,
+            }
+        ),
+        Just(Request::Stats),
+    ]
+}
+
+fn arb_verdict() -> impl Strategy<Value = ChainVerdict> {
+    prop_oneof![
+        (arb_name(), 1usize..8).prop_map(|(anchor, chain_len)| ChainVerdict::Trusted {
+            anchor,
+            chain_len,
+        }),
+        arb_name().prop_map(|error| ChainVerdict::Untrusted { error }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (arb_verdict(), any::<bool>())
+            .prop_map(|(verdict, cached)| Response::Validate { verdict, cached }),
+        (arb_name(), proptest::collection::vec(arb_name(), 0..4))
+            .prop_map(|(class, profiles)| Response::Classify { class, profiles }),
+        (
+            arb_name(),
+            0usize..200,
+            0usize..200,
+            0usize..400,
+            proptest::collection::vec((arb_name(), arb_name()), 0..4),
+        )
+            .prop_map(|(risk, added, removed, findings, quarantined)| {
+                Response::Audit {
+                    risk,
+                    added,
+                    removed,
+                    findings,
+                    quarantined,
+                }
+            }),
+        arb_name().prop_map(|verdict| Response::Probe { verdict }),
+        (arb_name(), any::<u64>(), 0usize..200).prop_map(|(profile, epoch, anchors)| {
+            Response::Swap {
+                profile,
+                epoch,
+                anchors,
+            }
+        }),
+        (arb_name(), arb_name())
+            .prop_map(|(stage, error)| Response::Error { stage, error }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_round_trips(req in arb_request()) {
+        let body = req.encode();
+        prop_assert!(body.len() <= MAX_FRAME, "encoded request fits a frame");
+        let back = Request::decode(&body);
+        prop_assert_eq!(back.as_ref().ok(), Some(&req), "decode({:?})", req);
+    }
+
+    #[test]
+    fn response_encode_decode_round_trips(resp in arb_response()) {
+        let body = resp.encode();
+        prop_assert!(body.len() <= MAX_FRAME, "encoded response fits a frame");
+        let back = Response::decode(&body);
+        prop_assert_eq!(back.as_ref().ok(), Some(&resp), "decode({:?})", resp);
+    }
+
+    #[test]
+    fn framed_request_survives_the_stream(req in arb_request()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.encode()).expect("bounded frame");
+        let mut cursor = std::io::Cursor::new(buf);
+        let body = read_frame(&mut cursor).expect("readable").expect("one frame");
+        prop_assert_eq!(Request::decode(&body).ok(), Some(req));
+        // And the stream is cleanly exhausted.
+        prop_assert!(read_frame(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(bytes in arb_blob()) {
+        // Whatever the bytes, decoding returns a classified error or a
+        // message — it never panics.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u64..u32::MAX as u64 - MAX_FRAME as u64) {
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let mut buf = len.to_be_bytes().to_vec();
+        // Any amount of trailing data: the header alone must reject.
+        buf.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut std::io::Cursor::new(buf)) {
+            Err(FrameError::Wire(WireError::Oversized { len: seen })) => {
+                prop_assert_eq!(seen, len as usize);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+}

@@ -12,6 +12,69 @@ use crate::verify::{check_cert, CertCheckError, CertRole};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tangled_asn1::Time;
+use tangled_crypto::sha256::sha256;
+
+/// Memoisation key for chain-validation results.
+///
+/// Two granularities share this one type so every cache in the workspace
+/// keys verification work the same way:
+///
+/// * [`ChainKey::exact`] fingerprints a *presented chain* — leaf plus
+///   intermediates, order-sensitive, byte-exact. Two requests carrying the
+///   same certificates produce the same key, so a verification memo keyed
+///   on it may replay the earlier outcome without re-running signatures.
+/// * [`ChainKey::issuer_class`] collapses all leaves that share an issuer
+///   and presented-chain length into one key — the Notary validation
+///   shortcut: every leaf of one CA anchors identically, so one
+///   verification answers for the whole class.
+///
+/// The two constructors are domain-separated; an exact key never collides
+/// with an issuer-class key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainKey([u8; 32]);
+
+impl ChainKey {
+    /// Byte-exact fingerprint of a presented chain (leaf first).
+    pub fn exact<'a, I>(certs: I) -> ChainKey
+    where
+        I: IntoIterator<Item = &'a Certificate>,
+    {
+        let mut data = Vec::with_capacity(16 + 32 * 4);
+        data.extend_from_slice(b"chain-key/exact\0");
+        for cert in certs {
+            data.extend_from_slice(&cert.fingerprint_sha256());
+        }
+        ChainKey(sha256(&data))
+    }
+
+    /// Issuer-class fingerprint: one key per (leaf issuer, presented-chain
+    /// length) equivalence class.
+    pub fn issuer_class(leaf: &Certificate, presented_len: usize) -> ChainKey {
+        let mut data = Vec::with_capacity(64);
+        data.extend_from_slice(b"chain-key/issuer\0");
+        data.extend_from_slice(leaf.issuer.to_string().as_bytes());
+        data.push(0);
+        data.extend_from_slice(&(presented_len as u64).to_be_bytes());
+        ChainKey(sha256(&data))
+    }
+
+    /// The raw 32-byte digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase-hex rendering (stable across runs — suitable for logs
+    /// and wire stats).
+    pub fn to_hex(&self) -> String {
+        tangled_crypto::sha256::hex(&self.0)
+    }
+}
+
+impl std::fmt::Debug for ChainKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChainKey({})", &self.to_hex()[..16])
+    }
+}
 
 /// Why chain building failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -816,6 +879,43 @@ mod tests {
         assert!(p.pop().is_some());
         assert!(p.pop().is_none());
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn chain_key_distinguishes_chains_and_constructors() {
+        let f = fixture();
+        let full = [&*f.leaf, &*f.intermediate];
+        let k1 = ChainKey::exact(full);
+        let k2 = ChainKey::exact(full);
+        assert_eq!(k1, k2, "same chain, same key");
+        assert_ne!(
+            k1,
+            ChainKey::exact([&*f.leaf]),
+            "dropping the intermediate changes the key"
+        );
+        assert_ne!(
+            k1,
+            ChainKey::exact([&*f.intermediate, &*f.leaf]),
+            "order matters"
+        );
+        // Domain separation between the two constructors.
+        assert_ne!(k1, ChainKey::issuer_class(&f.leaf, 2));
+        // Issuer-class keys collapse same-issuer leaves…
+        assert_eq!(
+            ChainKey::issuer_class(&f.leaf, 2),
+            ChainKey::issuer_class(&f.leaf, 2)
+        );
+        // …but separate by presented length and by issuer.
+        assert_ne!(
+            ChainKey::issuer_class(&f.leaf, 2),
+            ChainKey::issuer_class(&f.leaf, 3)
+        );
+        assert_ne!(
+            ChainKey::issuer_class(&f.leaf, 2),
+            ChainKey::issuer_class(&f.intermediate, 2)
+        );
+        assert_eq!(k1.to_hex().len(), 64);
+        assert_eq!(format!("{k1:?}").len(), "ChainKey(".len() + 16 + 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod verify;
 
 pub use builder::CertificateBuilder;
 pub use cert::{CertIdentity, Certificate};
-pub use chain::{ChainError, ChainOptions, ChainPath, ChainVerifier, VerifiedChain};
+pub use chain::{ChainError, ChainKey, ChainOptions, ChainPath, ChainVerifier, VerifiedChain};
 pub use name::DistinguishedName;
 
 use tangled_asn1::Asn1Error;

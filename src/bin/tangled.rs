@@ -10,10 +10,18 @@
 //! tangled audit   <dir> <version>    audit an on-disk cacerts directory
 //!                                    against an AOSP baseline
 //! tangled probe                      replay the §7 interception case
+//! tangled serve   <addr>             run the trustd query server
+//! tangled loadgen <addr> [--sessions N] [--seed S]
+//!                                    replay a seeded population against a
+//!                                    server and verify the verdicts
 //! ```
+//!
+//! Usage errors (unknown subcommand, malformed arguments) exit with
+//! status 2; runtime failures exit with status 1.
 
 use std::collections::HashSet;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tangled_mass::analysis::{export, figures, survey, tables, Study};
 use tangled_mass::asn1::Time;
 use tangled_mass::netalyzr::{Population, PopulationSpec};
@@ -21,41 +29,90 @@ use tangled_mass::pki::audit::audit;
 use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
 use tangled_mass::pki::trust::AnchorSource;
+use tangled_mass::trustd::{
+    offline_verdicts, replay, ReplaySpec, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
+};
+
+/// How a command failed: a usage error (exit 2) or a runtime failure
+/// (exit 1).
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Failure(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Failure(msg.to_owned())
+    }
+}
+
+fn usage() -> String {
+    [
+        "usage: tangled <tables|figures|export|mkstore|audit|probe|serve|loadgen> [...]",
+        "  tables  [scale]          print Tables 1-6",
+        "  figures [scale]          print Figures 1-3 summaries",
+        "  export  [scale]          print the result set as JSON",
+        "  mkstore <version> <dir>  write a reference store as cacerts files",
+        "  audit   <dir> <version>  audit a cacerts directory",
+        "  probe                    replay the interception case",
+        "  serve   <addr>           run the trustd query server",
+        "  loadgen <addr> [--sessions N] [--seed S]",
+        "                           replay a seeded population against a server",
+    ]
+    .join("\n")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("tables") => cmd_tables(parse_scale(args.get(1))),
-        Some("figures") => cmd_figures(parse_scale(args.get(1))),
-        Some("export") => cmd_export(parse_scale(args.get(1))),
+        Some("tables") => parse_scale(args.get(1)).and_then(cmd_tables),
+        Some("figures") => parse_scale(args.get(1)).and_then(cmd_figures),
+        Some("export") => parse_scale(args.get(1)).and_then(cmd_export),
         Some("mkstore") => cmd_mkstore(args.get(1), args.get(2)),
         Some("audit") => cmd_audit(args.get(1), args.get(2)),
         Some("probe") => cmd_probe(),
-        _ => {
-            eprintln!("usage: tangled <tables|figures|export|mkstore|audit|probe> [...]");
-            eprintln!("  tables  [scale]          print Tables 1-6");
-            eprintln!("  figures [scale]          print Figures 1-3 summaries");
-            eprintln!("  export  [scale]          print the result set as JSON");
-            eprintln!("  mkstore <version> <dir>  write a reference store as cacerts files");
-            eprintln!("  audit   <dir> <version>  audit a cacerts directory");
-            eprintln!("  probe                    replay the interception case");
-            return ExitCode::from(2);
-        }
+        Some("serve") => cmd_serve(args.get(1)),
+        Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}'\n{}",
+            usage()
+        ))),
+        None => Err(CliError::Usage(usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failure(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn parse_scale(arg: Option<&String>) -> f64 {
-    arg.and_then(|s| s.parse().ok()).unwrap_or(0.5)
+/// Parse an optional scale argument strictly: absent → 0.5; present but
+/// non-numeric, non-finite, or ≤ 0 → usage error.
+fn parse_scale(arg: Option<&String>) -> Result<f64, CliError> {
+    let Some(text) = arg else {
+        return Ok(0.5);
+    };
+    match text.parse::<f64>() {
+        Ok(scale) if scale.is_finite() && scale > 0.0 => Ok(scale),
+        _ => Err(CliError::Usage(format!(
+            "invalid scale '{text}': want a number > 0"
+        ))),
+    }
 }
 
-fn parse_store(name: &str) -> Result<ReferenceStore, String> {
+fn parse_store(name: &str) -> Result<ReferenceStore, CliError> {
     match name {
         "4.1" => Ok(ReferenceStore::Aosp41),
         "4.2" => Ok(ReferenceStore::Aosp42),
@@ -63,11 +120,13 @@ fn parse_store(name: &str) -> Result<ReferenceStore, String> {
         "4.4" => Ok(ReferenceStore::Aosp44),
         "mozilla" => Ok(ReferenceStore::Mozilla),
         "ios7" => Ok(ReferenceStore::Ios7),
-        other => Err(format!("unknown store '{other}' (want 4.1|4.2|4.3|4.4|mozilla|ios7)")),
+        other => Err(CliError::Usage(format!(
+            "unknown store '{other}' (want 4.1|4.2|4.3|4.4|mozilla|ios7)"
+        ))),
     }
 }
 
-fn cmd_tables(scale: f64) -> Result<(), String> {
+fn cmd_tables(scale: f64) -> Result<(), CliError> {
     eprintln!("generating study at scale {scale}…");
     let study = Study::new(scale, scale.max(0.25));
     println!("{}", tables::dataset_summary(&study.population).render());
@@ -75,7 +134,7 @@ fn cmd_tables(scale: f64) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_figures(scale: f64) -> Result<(), String> {
+fn cmd_figures(scale: f64) -> Result<(), CliError> {
     eprintln!("generating study at scale {scale}…");
     let study = Study::new(scale, scale.max(0.25));
     println!("{}", figures::figure1_render(&study.population, 20));
@@ -84,7 +143,7 @@ fn cmd_figures(scale: f64) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(scale: f64) -> Result<(), String> {
+fn cmd_export(scale: f64) -> Result<(), CliError> {
     eprintln!("generating study at scale {scale}…");
     let study = Study::new(scale, scale.max(0.25));
     let doc = export::export_study(&study);
@@ -95,9 +154,9 @@ fn cmd_export(scale: f64) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mkstore(version: Option<&String>, dir: Option<&String>) -> Result<(), String> {
-    let version = version.ok_or("mkstore needs a store name")?;
-    let dir = dir.ok_or("mkstore needs an output directory")?;
+fn cmd_mkstore(version: Option<&String>, dir: Option<&String>) -> Result<(), CliError> {
+    let version = version.ok_or_else(|| CliError::Usage("mkstore needs a store name".into()))?;
+    let dir = dir.ok_or_else(|| CliError::Usage("mkstore needs an output directory".into()))?;
     let store = parse_store(version)?.cached();
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     let files = to_cacerts_pem(&store);
@@ -109,9 +168,10 @@ fn cmd_mkstore(version: Option<&String>, dir: Option<&String>) -> Result<(), Str
     Ok(())
 }
 
-fn cmd_audit(dir: Option<&String>, version: Option<&String>) -> Result<(), String> {
-    let dir = dir.ok_or("audit needs a cacerts directory")?;
-    let version = version.ok_or("audit needs a baseline store name")?;
+fn cmd_audit(dir: Option<&String>, version: Option<&String>) -> Result<(), CliError> {
+    let dir = dir.ok_or_else(|| CliError::Usage("audit needs a cacerts directory".into()))?;
+    let version =
+        version.ok_or_else(|| CliError::Usage("audit needs a baseline store name".into()))?;
     let baseline = parse_store(version)?.cached();
 
     let mut files = Vec::new();
@@ -136,7 +196,7 @@ fn cmd_audit(dir: Option<&String>, version: Option<&String>) -> Result<(), Strin
     Ok(())
 }
 
-fn cmd_probe() -> Result<(), String> {
+fn cmd_probe() -> Result<(), CliError> {
     println!("{}", tables::table6().render());
     let pop = Population::generate(&PopulationSpec::scaled(0.1));
     let victim = survey::nexus7_victim(&pop).ok_or("no Nexus 7 in population")?;
@@ -161,5 +221,103 @@ fn cmd_probe() -> Result<(), String> {
             f.interfering_issuer.as_deref().unwrap_or("?")
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(addr: Option<&String>) -> Result<(), CliError> {
+    let addr = addr.ok_or_else(|| {
+        CliError::Usage("serve needs a listen address (e.g. 127.0.0.1:7433)".into())
+    })?;
+    eprintln!("loading reference store profiles…");
+    let service = Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let server = TrustServer::bind(addr.as_str(), service, workers)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    // Flushed line the loadgen smoke test greps for.
+    println!("trustd listening on {} ({workers} workers)", server.local_addr());
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
+    let addr = addr
+        .ok_or_else(|| CliError::Usage("loadgen needs a server address".into()))?
+        .clone();
+    let mut sessions = 100usize;
+    let mut seed = 2014u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| {
+            v.cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--sessions" => {
+                let v = value(it.next())?;
+                sessions = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --sessions '{v}': want an integer > 0"))
+                })?;
+                if sessions == 0 {
+                    return Err(CliError::Usage("--sessions must be > 0".into()));
+                }
+            }
+            "--seed" => {
+                let v = value(it.next())?;
+                seed = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --seed '{v}': want an unsigned integer"))
+                })?;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown loadgen flag '{other}'")));
+            }
+        }
+    }
+
+    let spec = ReplaySpec::new(seed, sessions);
+    eprintln!("computing offline verdicts for seed {seed}, {sessions} sessions…");
+    let expected = offline_verdicts(&spec);
+    eprintln!("replaying {} requests against {addr}…", expected.len());
+    let outcome = replay(addr.as_str(), &spec).map_err(|e| format!("replay: {e}"))?;
+
+    let throughput = outcome.requests as f64 / outcome.elapsed.as_secs_f64().max(1e-9);
+    let hits = outcome.stats["cache"]["hits"].as_u64().unwrap_or(0);
+    let misses = outcome.stats["cache"]["misses"].as_u64().unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "loadgen: {} requests in {:.3}s ({throughput:.0} req/s)",
+        outcome.requests,
+        outcome.elapsed.as_secs_f64()
+    );
+    println!(
+        "loadgen: cache hit rate {:.1}% ({hits} hits / {misses} misses)",
+        hit_rate * 100.0
+    );
+    println!("loadgen: protocol errors: {}", outcome.wire_errors);
+
+    if outcome.wire_errors > 0 {
+        return Err(format!("{} protocol errors", outcome.wire_errors).into());
+    }
+    if outcome.verdicts != expected {
+        let diverged = outcome
+            .verdicts
+            .iter()
+            .zip(&expected)
+            .position(|(got, want)| got != want);
+        return Err(format!(
+            "served verdicts diverge from the offline study (first at request {:?})",
+            diverged
+        )
+        .into());
+    }
+    println!("loadgen: verdicts match the offline study exactly");
     Ok(())
 }

@@ -21,4 +21,5 @@ pub use tangled_intercept as intercept;
 pub use tangled_netalyzr as netalyzr;
 pub use tangled_notary as notary;
 pub use tangled_pki as pki;
+pub use tangled_trustd as trustd;
 pub use tangled_x509 as x509;
