@@ -3,6 +3,7 @@
 use crate::health::RunHealth;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use tangled_exec::ExecPool;
 use tangled_faults::{FaultPlan, InjectedFault};
 use tangled_netalyzr::{Population, PopulationSpec};
 use tangled_notary::degrade::RawEcosystem;
@@ -77,14 +78,18 @@ impl Study {
         // Netalyzr: render each distinct store as a cacerts directory,
         // damage the files, reload leniently, and swap the degraded store
         // back in. Surviving anchors keep their original provenance and
-        // enablement (the directory format does not carry them).
+        // enablement (the directory format does not carry them). Each
+        // store's degradation is salted by its *index* in the distinct-
+        // store list (stable across runs and pool widths), so the units
+        // parallelise freely; ledgers merge back in index order, keeping
+        // the health tallies and the injection ledger deterministic.
         let mut population = Population::generate(&PopulationSpec::scaled(population_scale));
-        let mut replacements = HashMap::new();
-        for (i, store) in population.distinct_stores().iter().enumerate() {
+        let stores = population.distinct_stores();
+        let outcomes = ExecPool::current().par_map_indexed(&stores, |i, store| {
             let mut files = to_cacerts_pem(store);
             let ledger = plan.degrade(&mut files, CACERTS_SALT ^ (i as u64));
             if ledger.is_empty() {
-                continue;
+                return None;
             }
             let (loaded, quarantined) =
                 from_cacerts_lenient(store.name(), &files, AnchorSource::Unknown);
@@ -96,6 +101,13 @@ impl Study {
                     rebuilt.add(anchor.clone());
                 }
             }
+            Some((store.name().to_owned(), rebuilt, ledger, quarantined))
+        });
+        let mut replacements = HashMap::new();
+        for outcome in outcomes {
+            let Some((name, rebuilt, ledger, quarantined)) = outcome else {
+                continue;
+            };
             for fault in &ledger {
                 health.record_injected(fault.kind.label());
             }
@@ -103,7 +115,9 @@ impl Study {
                 health.record_quarantined("cacerts", q.error.label());
             }
             injected.extend(ledger);
-            replacements.insert(Arc::as_ptr(store) as usize, Arc::new(rebuilt));
+            // Keyed by store name — stable run-to-run, unlike the Arc
+            // allocation address this map used to key on.
+            replacements.insert(name, Arc::new(rebuilt));
         }
         population.replace_stores(&replacements);
 

@@ -1,0 +1,196 @@
+//! Lock-striped hash maps for cross-shard memoisation.
+//!
+//! A [`StripedMap`] spreads entries over N independently locked stripes by
+//! key hash, so shards running on different threads rarely contend even
+//! when they share one memo. The map is *value-deterministic*: callers
+//! must only insert values that are pure functions of their key (chain
+//! verdicts, signature checks). Under that contract, which thread computes
+//! an entry first — the only racy thing here — cannot be observed in any
+//! result, and a compute race at worst duplicates work, never corrupts it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default stripe count: comfortably above any realistic pool width.
+pub const DEFAULT_STRIPES: usize = 64;
+
+/// A lock-striped concurrent memo map.
+pub struct StripedMap<K, V> {
+    stripes: Vec<Mutex<HashMap<K, V>>>,
+    /// Per-stripe entry cap; a stripe at the cap is cleared before the next
+    /// insert (epoch-style bound for long-lived process-wide memos).
+    stripe_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V: Clone> StripedMap<K, V> {
+    /// A map with `stripes` stripes (minimum 1) and no entry bound.
+    pub fn new(stripes: usize) -> StripedMap<K, V> {
+        StripedMap::bounded(stripes, usize::MAX)
+    }
+
+    /// A map whose stripes each hold at most `stripe_cap` entries; a full
+    /// stripe is flushed wholesale before admitting the next entry.
+    pub fn bounded(stripes: usize, stripe_cap: usize) -> StripedMap<K, V> {
+        StripedMap {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripe_cap: stripe_cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe_for(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.stripes[(hasher.finish() as usize) % self.stripes.len()]
+    }
+
+    /// Look up `key`, or compute it with `make` and cache the result.
+    ///
+    /// The stripe lock is *not* held while `make` runs, so an expensive
+    /// computation never blocks unrelated keys; two threads racing on the
+    /// same key may both compute, and the first insert wins (identical
+    /// values by the purity contract, so the winner is unobservable).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, make: F) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = make();
+        let mut stripe = self.stripe_for(&key).lock().expect("stripe poisoned");
+        if stripe.len() >= self.stripe_cap && !stripe.contains_key(&key) {
+            stripe.clear();
+        }
+        stripe.entry(key).or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Look up `key` without computing.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let stripe = self.stripe_for(key).lock().expect("stripe poisoned");
+        let hit = stripe.get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Insert (or overwrite) an entry directly.
+    pub fn insert(&self, key: K, value: V) {
+        let mut stripe = self.stripe_for(&key).lock().expect("stripe poisoned");
+        if stripe.len() >= self.stripe_cap && !stripe.contains_key(&key) {
+            stripe.clear();
+        }
+        stripe.insert(key, value);
+    }
+
+    /// Total entries across stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when no stripe holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Lifetime (lookup hits, compute misses). Lookups that miss without
+    /// computing (plain [`StripedMap::get`]) count in neither.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("stripe poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn memoises_and_counts() {
+        let map: StripedMap<u32, u32> = StripedMap::new(8);
+        let computes = AtomicUsize::new(0);
+        let make = |x: u32| {
+            computes.fetch_add(1, Ordering::SeqCst);
+            x * 2
+        };
+        assert_eq!(map.get_or_insert_with(21, || make(21)), 42);
+        assert_eq!(map.get_or_insert_with(21, || make(21)), 42);
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "second call hits");
+        assert_eq!(map.len(), 1);
+        let (hits, misses) = map.counters();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_fill_is_consistent() {
+        let map: StripedMap<u64, u64> = StripedMap::new(16);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let map = &map;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let got = map.get_or_insert_with(i, || i * i);
+                        assert_eq!(got, i * i, "thread {t} read a torn value");
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 500);
+        for i in 0..500 {
+            assert_eq!(map.get(&i), Some(i * i));
+        }
+    }
+
+    #[test]
+    fn bounded_stripes_flush_at_cap() {
+        // One stripe, cap 4: the fifth distinct key flushes the stripe.
+        let map: StripedMap<u32, u32> = StripedMap::bounded(1, 4);
+        for i in 0..4 {
+            map.insert(i, i);
+        }
+        assert_eq!(map.len(), 4);
+        map.insert(99, 99);
+        assert_eq!(map.len(), 1, "cap flush keeps only the newcomer");
+        assert_eq!(map.get(&99), Some(99));
+        // Existing keys update in place without flushing.
+        map.insert(99, 100);
+        assert_eq!(map.get(&99), Some(100));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_every_stripe() {
+        let map: StripedMap<u32, u32> = StripedMap::new(4);
+        for i in 0..64 {
+            map.insert(i, i);
+        }
+        assert!(!map.is_empty());
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.stripe_count(), 4);
+    }
+}

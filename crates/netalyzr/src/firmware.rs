@@ -155,6 +155,23 @@ impl FirmwareCache {
     }
 }
 
+/// Draw the number of additional certificates a device of this
+/// (manufacturer, version) cell carries. This is the *only* random step of
+/// firmware composition — splitting it out lets the population generator
+/// run the draws on per-device sub-RNGs in parallel and materialise the
+/// stores afterwards through the shared cache in device order.
+pub fn draw_addition_count(mfr: Manufacturer, ver: AndroidVersion, rng: &mut StdRng) -> usize {
+    let profile = row_profile(mfr, ver);
+    let roll: f64 = rng.gen();
+    if roll < profile.p_none {
+        0
+    } else if roll < profile.p_none + profile.p_big {
+        rng.gen_range(profile.big_range.0..=profile.big_range.1)
+    } else {
+        rng.gen_range(profile.small_range.0..=profile.small_range.1)
+    }
+}
+
 /// Compose (or fetch) the firmware store for a device.
 ///
 /// `rng` drives the addition-count draw; the *set* of extras for a given
@@ -168,16 +185,22 @@ pub fn compose(
     op: Operator,
     rng: &mut StdRng,
 ) -> Arc<RootStore> {
-    let profile = row_profile(mfr, ver);
-    let roll: f64 = rng.gen();
-    let count = if roll < profile.p_none {
-        0
-    } else if roll < profile.p_none + profile.p_big {
-        rng.gen_range(profile.big_range.0..=profile.big_range.1)
-    } else {
-        rng.gen_range(profile.small_range.0..=profile.small_range.1)
-    };
+    let count = draw_addition_count(mfr, ver, rng);
+    compose_with_count(index, cache, mfr, ver, op, count)
+}
 
+/// Materialise the firmware store for an already-drawn addition count.
+/// Pure in its arguments (no RNG): callers that pre-draw counts in
+/// parallel feed them through here sequentially for deterministic
+/// [`Arc`]-sharing of identical images.
+pub fn compose_with_count(
+    index: &ExtrasIndex,
+    cache: &mut FirmwareCache,
+    mfr: Manufacturer,
+    ver: AndroidVersion,
+    op: Operator,
+    count: usize,
+) -> Arc<RootStore> {
     if count == 0 {
         return ReferenceStore::for_version(ver).cached();
     }
@@ -189,12 +212,26 @@ pub fn compose(
         return Arc::clone(store);
     }
 
+    // The name carries a digest of the chosen extras set: two images of
+    // the same version and count can differ by operator-contributed
+    // extras, and downstream fault plans address stores *by name*, so
+    // every distinct composition needs a distinct name.
+    let mut fp = Vec::with_capacity(8 + chosen.len() * 8);
+    fp.extend_from_slice(ver.label().as_bytes());
+    for &i in &chosen {
+        fp.extend_from_slice(&(i as u64).to_be_bytes());
+    }
+    let h = tangled_crypto::sha256::sha256(&fp);
     let base = ReferenceStore::for_version(ver).cached();
     let mut store = base.cloned_as(&format!(
-        "{} {} firmware (+{})",
+        "{} {} firmware (+{}) [{:02x}{:02x}{:02x}{:02x}]",
         mfr.label(),
         ver.label(),
-        count
+        count,
+        h[0],
+        h[1],
+        h[2],
+        h[3]
     ));
     {
         let mut factory = global_factory().lock().expect("factory poisoned");

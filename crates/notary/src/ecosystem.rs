@@ -16,6 +16,7 @@ use tangled_pki::stores::{
 };
 use tangled_crypto::rsa::RsaKeyPair;
 use tangled_crypto::Uint;
+use tangled_exec::ExecPool;
 use tangled_x509::{Certificate, CertificateBuilder, DistinguishedName};
 
 /// The study instant every validation in the workspace uses
@@ -238,8 +239,23 @@ pub struct Ecosystem {
 }
 
 impl Ecosystem {
-    /// Generate the ecosystem for a spec.
+    /// Generate the ecosystem for a spec on the ambient [`ExecPool`].
     pub fn generate(spec: &EcosystemSpec) -> Ecosystem {
+        Self::generate_with_pool(spec, &ExecPool::current())
+    }
+
+    /// Generate the ecosystem for a spec on an explicit pool.
+    ///
+    /// Generation is split into two phases so the output is bit-identical
+    /// at any pool width. Phase A walks the plan *sequentially*, consuming
+    /// the spec's RNG stream in exactly the order the original single-pass
+    /// loop did (session and service draws are the only RNG uses) and
+    /// resolving every issuer through the CA factory; it emits one
+    /// [`LeafJob`] per certificate. Phase B — the RSA leaf-signing that
+    /// dominates wall time — is pure per-job work with no RNG and no shared
+    /// state, so [`ExecPool::par_map_indexed`] signs the jobs in parallel
+    /// and reassembles them in index order.
+    pub fn generate_with_pool(spec: &EcosystemSpec, pool: &ExecPool) -> Ecosystem {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let plan = issuance_plan();
         let mut factory = global_factory().lock().expect("factory poisoned");
@@ -251,10 +267,12 @@ impl Ecosystem {
             .collect();
 
         let cat = catalogue();
-        let mut certs = Vec::new();
+        let mut jobs: Vec<LeafJob> = Vec::new();
         let mut intermediates = Vec::new();
         let mut serial = 10_000u64;
 
+        // Phase A: sequential planning. Factory mutations and RNG draws
+        // happen here, in the exact order of the original loop.
         for entry in &plan {
             let root = if entry.is_extra {
                 let extra = cat
@@ -276,6 +294,7 @@ impl Ecosystem {
             } else {
                 (Arc::clone(&root), entry.key_name.clone())
             };
+            let issuer_kp = factory.keypair(&issuer_key_name);
 
             let n = scale_count(entry.leaves, spec.scale);
             for i in 0..n {
@@ -285,20 +304,20 @@ impl Ecosystem {
                 // small CAs keep all leaves valid so the calibrated
                 // ordering of Table 3 stays deterministic.
                 let expired = entry.leaves > 10 && i % 7 == 3;
-                let leaf = issue_leaf(
-                    &issuer_cert,
-                    &factory.keypair(&issuer_key_name),
-                    &leaf_keys[(serial % leaf_keys.len() as u64) as usize],
-                    &format!("www.site-{serial}.example.org"),
-                    serial,
-                    expired,
-                );
-                let mut chain = vec![leaf];
-                if entry.via_intermediate {
-                    chain.push(Arc::clone(&issuer_cert));
-                }
-                certs.push(NotaryCert {
-                    chain,
+                jobs.push(LeafJob {
+                    kind: LeafKind::Issued {
+                        issuer: Arc::clone(&issuer_cert),
+                        issuer_kp: Arc::clone(&issuer_kp),
+                        leaf_kp: Arc::clone(
+                            &leaf_keys[(serial % leaf_keys.len() as u64) as usize],
+                        ),
+                        domain: format!("www.site-{serial}.example.org"),
+                        serial,
+                        expired,
+                        presented_issuer: entry
+                            .via_intermediate
+                            .then(|| Arc::clone(&issuer_cert)),
+                    },
                     sessions: draw_sessions(&mut rng),
                     service: draw_service(&mut rng),
                 });
@@ -309,47 +328,65 @@ impl Ecosystem {
         let wild = scale_count(WILD_LEAVES, spec.scale);
         for w in 0..wild {
             serial += 1;
-            let leaf = if w % 2 == 0 {
+            let kind = if w % 2 == 0 {
                 // Self-signed server certificate.
-                let kp = &leaf_keys[(w % leaf_keys.len() as u32) as usize];
-                let domain = format!("self-signed-{serial}.internal");
-                Arc::new(
-                    CertificateBuilder::new(
-                        DistinguishedName::common_name(&domain),
-                        DistinguishedName::common_name(&domain),
-                        Time::date(2012, 1, 1).expect("valid"),
-                        Time::date(2016, 1, 1).expect("valid"),
-                    )
-                    .serial(Uint::from_u64(serial))
-                    .tls_server(vec![domain.clone()])
-                    .sign(kp.public_key(), kp)
-                    .expect("self-signed issuance"),
-                )
+                LeafKind::SelfSigned {
+                    kp: Arc::clone(&leaf_keys[(w % leaf_keys.len() as u32) as usize]),
+                    domain: format!("self-signed-{serial}.internal"),
+                    serial,
+                }
             } else {
                 // Private corporate CA the public stores do not carry.
                 let ca_name = format!("Private Corp CA {:02}", w as usize % WILD_PRIVATE_CAS);
                 let ca = factory.root(&ca_name);
-                issue_leaf(
-                    &ca,
-                    &factory.keypair(&ca_name),
-                    &leaf_keys[(w % leaf_keys.len() as u32) as usize],
-                    &format!("intranet-{serial}.corp.example"),
+                let ca_kp = factory.keypair(&ca_name);
+                LeafKind::Issued {
+                    issuer: ca,
+                    issuer_kp: ca_kp,
+                    leaf_kp: Arc::clone(&leaf_keys[(w % leaf_keys.len() as u32) as usize]),
+                    domain: format!("intranet-{serial}.corp.example"),
                     serial,
-                    false,
-                )
+                    expired: false,
+                    presented_issuer: None,
+                }
             };
-            certs.push(NotaryCert {
-                chain: vec![leaf],
+            jobs.push(LeafJob {
+                kind,
                 sessions: draw_sessions(&mut rng),
                 service: draw_service(&mut rng),
             });
         }
+        drop(factory);
+
+        // Phase B: parallel signing. Each job is self-contained (issuer
+        // cert, keys, domain, serial all resolved in phase A), so signing
+        // order cannot affect the bytes produced; results come back in
+        // job-index order.
+        let leaves = pool.par_map_indexed(&jobs, |_, job| sign_job(&job.kind));
+        let certs: Vec<NotaryCert> = jobs
+            .iter()
+            .zip(leaves)
+            .map(|(job, leaf)| {
+                let mut chain = vec![leaf];
+                if let LeafKind::Issued {
+                    presented_issuer: Some(inter),
+                    ..
+                } = &job.kind
+                {
+                    chain.push(Arc::clone(inter));
+                }
+                NotaryCert {
+                    chain,
+                    sessions: job.sessions,
+                    service: job.service,
+                }
+            })
+            .collect();
 
         // Universe roots: every reference-store member, deduplicated by
         // identity (the re-issued pairs share one identity).
         let mut seen = std::collections::HashSet::new();
         let mut universe_roots = Vec::new();
-        drop(factory);
         for rs in tangled_pki::stores::ReferenceStore::ALL {
             for anchor in rs.cached().iter() {
                 if seen.insert(anchor.identity()) {
@@ -404,6 +441,60 @@ impl Ecosystem {
             .iter()
             .filter(|c| c.leaf().is_valid_at(study_time()))
             .count()
+    }
+}
+
+/// A fully-resolved certificate to mint: everything the signing phase
+/// needs, with no RNG and no factory access left.
+struct LeafJob {
+    kind: LeafKind,
+    sessions: u64,
+    service: Service,
+}
+
+enum LeafKind {
+    /// CA-issued leaf; `presented_issuer` is the intermediate to include
+    /// in the presented chain (when issued via one).
+    Issued {
+        issuer: Arc<Certificate>,
+        issuer_kp: Arc<RsaKeyPair>,
+        leaf_kp: Arc<RsaKeyPair>,
+        domain: String,
+        serial: u64,
+        expired: bool,
+        presented_issuer: Option<Arc<Certificate>>,
+    },
+    /// Self-signed server certificate.
+    SelfSigned {
+        kp: Arc<RsaKeyPair>,
+        domain: String,
+        serial: u64,
+    },
+}
+
+fn sign_job(kind: &LeafKind) -> Arc<Certificate> {
+    match kind {
+        LeafKind::Issued {
+            issuer,
+            issuer_kp,
+            leaf_kp,
+            domain,
+            serial,
+            expired,
+            ..
+        } => issue_leaf(issuer, issuer_kp, leaf_kp, domain, *serial, *expired),
+        LeafKind::SelfSigned { kp, domain, serial } => Arc::new(
+            CertificateBuilder::new(
+                DistinguishedName::common_name(domain),
+                DistinguishedName::common_name(domain),
+                Time::date(2012, 1, 1).expect("valid"),
+                Time::date(2016, 1, 1).expect("valid"),
+            )
+            .serial(Uint::from_u64(*serial))
+            .tls_server(vec![domain.clone()])
+            .sign(kp.public_key(), kp)
+            .expect("self-signed issuance"),
+        ),
     }
 }
 
@@ -524,6 +615,20 @@ mod tests {
         for (x, y) in a.certs.iter().zip(&b.certs) {
             assert_eq!(x.leaf().to_der(), y.leaf().to_der());
             assert_eq!(x.sessions, y.sessions);
+        }
+    }
+
+    #[test]
+    fn generation_is_pool_width_invariant() {
+        let spec = EcosystemSpec::scaled(0.02);
+        let seq = Ecosystem::generate_with_pool(&spec, &ExecPool::with_threads(1));
+        let par = Ecosystem::generate_with_pool(&spec, &ExecPool::with_threads(8));
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.certs.iter().zip(&par.certs) {
+            assert_eq!(a.leaf().to_der(), b.leaf().to_der());
+            assert_eq!(a.chain.len(), b.chain.len());
+            assert_eq!(a.sessions, b.sessions);
+            assert_eq!(a.service, b.service);
         }
     }
 

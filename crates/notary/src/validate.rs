@@ -6,9 +6,11 @@
 //! real [`tangled_x509::chain::ChainVerifier`] against the universe of
 //! known roots; the per-root tallies are then cheap set lookups per store.
 
-use crate::ecosystem::{study_time, Ecosystem};
+use crate::ecosystem::{study_time, Ecosystem, NotaryCert};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+use tangled_exec::{fixed_shard_count, shard_range, ExecPool, StripedMap};
 use tangled_pki::store::RootStore;
 use tangled_x509::{CertIdentity, ChainKey, ChainOptions, ChainVerifier};
 
@@ -26,20 +28,44 @@ impl ValidationIndex {
     /// Validate every non-expired Notary certificate against the universe
     /// of roots and tally by anchoring root identity.
     ///
-    /// A memoised issuer→anchor shortcut collapses the per-leaf work for
-    /// the common case (all leaves of one CA anchor identically); the
-    /// ablation benchmark compares it against re-verifying every chain.
+    /// The population is cut into a fixed number of contiguous shards
+    /// (independent of thread count) and the shards are validated on the
+    /// ambient [`ExecPool`], sharing a lock-striped issuer→anchor memo: all
+    /// leaves of one CA anchor identically ([`ChainKey`] is the same memo
+    /// key the trustd serving cache uses), so whichever shard reaches an
+    /// issuer class first pays for the chain build and every other shard
+    /// replays the verdict. Anchoring is a pure function of the key, so the
+    /// fill-order race is unobservable in results — tallies merge in shard
+    /// order and the index is bit-identical at any thread count.
     pub fn build(eco: &Ecosystem) -> ValidationIndex {
-        Self::build_inner(eco, true)
+        Self::build_inner(eco, true, &ExecPool::current()).0
     }
 
     /// As [`ValidationIndex::build`] but without the issuer memoisation —
     /// every chain runs full path construction and signature verification.
     pub fn build_unmemoised(eco: &Ecosystem) -> ValidationIndex {
-        Self::build_inner(eco, false)
+        Self::build_inner(eco, false, &ExecPool::current()).0
     }
 
-    fn build_inner(eco: &Ecosystem, memoise: bool) -> ValidationIndex {
+    /// As [`ValidationIndex::build`] but on an explicit pool — the
+    /// determinism tests pin widths without touching process-global state.
+    pub fn build_with_pool(eco: &Ecosystem, pool: &ExecPool) -> ValidationIndex {
+        Self::build_inner(eco, true, pool).0
+    }
+
+    /// As [`ValidationIndex::build`], additionally returning the per-shard
+    /// build latencies in microseconds (ascending shard order). `tangled
+    /// stats` summarises these as p50/p99; the timings are observational
+    /// and do not influence the index.
+    pub fn build_with_latencies(eco: &Ecosystem) -> (ValidationIndex, Vec<u64>) {
+        Self::build_inner(eco, true, &ExecPool::current())
+    }
+
+    fn build_inner(
+        eco: &Ecosystem,
+        memoise: bool,
+        pool: &ExecPool,
+    ) -> (ValidationIndex, Vec<u64>) {
         let mut verifier = ChainVerifier::new();
         for root in &eco.universe_roots {
             verifier.add_anchor(Arc::clone(root));
@@ -47,60 +73,56 @@ impl ValidationIndex {
         for inter in &eco.intermediates {
             verifier.add_intermediate(Arc::clone(inter));
         }
+        let verifier = verifier;
         let opts = ChainOptions::at(study_time());
 
+        let memo: StripedMap<ChainKey, Option<CertIdentity>> =
+            StripedMap::new(tangled_exec::DEFAULT_STRIPES);
+
+        let shards = fixed_shard_count(eco.certs.len());
+        let ranges: Vec<_> = (0..shards)
+            .map(|s| shard_range(eco.certs.len(), shards, s))
+            .collect();
+        let tallies = pool.par_map_indexed(&ranges, |_, range| {
+            tally_shard(
+                &eco.certs[range.clone()],
+                &verifier,
+                opts,
+                memoise.then_some(&memo),
+            )
+        });
+
+        // Merge in ascending shard order. Every field is an order-
+        // insensitive sum over disjoint certificate ranges, so the result
+        // is bit-identical to the single-pass sequential tally.
         let mut per_root: HashMap<CertIdentity, u32> = HashMap::new();
         let mut per_root_sessions: HashMap<CertIdentity, u64> = HashMap::new();
         let mut validated_total = 0u32;
         let mut total_non_expired = 0u32;
         let mut total_sessions = 0u64;
-        // Issuer-class shortcut: all leaves sharing an issuer and
-        // presented-chain length anchor identically ([`ChainKey`] is the
-        // same memo key the trustd serving cache uses).
-        let mut memo: HashMap<ChainKey, Option<CertIdentity>> = HashMap::new();
-
-        for cert in &eco.certs {
-            let leaf = cert.leaf();
-            if !leaf.is_valid_at(study_time()) {
-                continue;
+        let mut latencies = Vec::with_capacity(tallies.len());
+        for t in tallies {
+            for (id, n) in t.per_root {
+                *per_root.entry(id).or_default() += n;
             }
-            total_non_expired += 1;
-            total_sessions += cert.sessions;
-
-            let memo_key = ChainKey::issuer_class(leaf, cert.chain.len());
-            let anchor = if memoise {
-                if let Some(hit) = memo.get(&memo_key) {
-                    hit.clone()
-                } else {
-                    let computed = verifier
-                        .verify(leaf, opts)
-                        .ok()
-                        .map(|chain| chain.anchor().identity());
-                    memo.insert(memo_key, computed.clone());
-                    computed
-                }
-            } else {
-                verifier
-                    .verify(leaf, opts)
-                    .ok()
-                    .map(|chain| chain.anchor().identity())
-            };
-
-            if let Some(anchor_id) = anchor {
-                *per_root.entry(anchor_id.clone()).or_default() += 1;
-                *per_root_sessions.entry(anchor_id).or_default() += cert.sessions;
-                validated_total += 1;
+            for (id, n) in t.per_root_sessions {
+                *per_root_sessions.entry(id).or_default() += n;
             }
+            validated_total += t.validated_total;
+            total_non_expired += t.total_non_expired;
+            total_sessions += t.total_sessions;
+            latencies.push(t.micros);
         }
 
-        ValidationIndex {
+        let index = ValidationIndex {
             per_root,
             per_root_sessions,
             validated_total,
             total_non_expired,
             total: eco.certs.len() as u32,
             total_sessions,
-        }
+        };
+        (index, latencies)
     }
 
     /// Certificates a single root (by identity) validates.
@@ -179,6 +201,59 @@ impl ValidationIndex {
     }
 }
 
+/// Partial tallies over one contiguous shard of the population.
+#[derive(Default)]
+struct ShardTally {
+    per_root: HashMap<CertIdentity, u32>,
+    per_root_sessions: HashMap<CertIdentity, u64>,
+    validated_total: u32,
+    total_non_expired: u32,
+    total_sessions: u64,
+    micros: u64,
+}
+
+fn tally_shard(
+    certs: &[NotaryCert],
+    verifier: &ChainVerifier,
+    opts: ChainOptions,
+    memo: Option<&StripedMap<ChainKey, Option<CertIdentity>>>,
+) -> ShardTally {
+    let started = Instant::now();
+    let mut tally = ShardTally::default();
+    for cert in certs {
+        let leaf = cert.leaf();
+        if !leaf.is_valid_at(study_time()) {
+            continue;
+        }
+        tally.total_non_expired += 1;
+        tally.total_sessions += cert.sessions;
+
+        let anchor = match memo {
+            Some(memo) => memo.get_or_insert_with(
+                ChainKey::issuer_class(leaf, cert.chain.len()),
+                || {
+                    verifier
+                        .verify(leaf, opts)
+                        .ok()
+                        .map(|chain| chain.anchor().identity())
+                },
+            ),
+            None => verifier
+                .verify(leaf, opts)
+                .ok()
+                .map(|chain| chain.anchor().identity()),
+        };
+
+        if let Some(anchor_id) = anchor {
+            *tally.per_root.entry(anchor_id.clone()).or_default() += 1;
+            *tally.per_root_sessions.entry(anchor_id).or_default() += cert.sessions;
+            tally.validated_total += 1;
+        }
+    }
+    tally.micros = started.elapsed().as_micros() as u64;
+    tally
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +296,31 @@ mod tests {
         let frac = idx.validated_total() as f64 / idx.total_non_expired() as f64;
         // Paper: ~744k of ~1M non-expired ≈ 74 %.
         assert!((0.6..0.9).contains(&frac), "coverage {frac:.3}");
+    }
+
+    #[test]
+    fn sharded_build_is_width_invariant() {
+        let eco = Ecosystem::generate(&EcosystemSpec::scaled(0.02));
+        let base = ValidationIndex::build_with_pool(&eco, &ExecPool::with_threads(1));
+        for width in [2, 3, 8] {
+            let idx = ValidationIndex::build_with_pool(&eco, &ExecPool::with_threads(width));
+            assert_eq!(idx.validated_total(), base.validated_total(), "width {width}");
+            assert_eq!(idx.total_non_expired(), base.total_non_expired());
+            assert_eq!(idx.total_sessions(), base.total_sessions());
+            for rs in ReferenceStore::ALL {
+                let store = rs.cached();
+                assert_eq!(idx.store_count(&store), base.store_count(&store));
+                assert_eq!(idx.store_sessions(&store), base.store_sessions(&store));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_latencies_cover_every_shard() {
+        let eco = Ecosystem::generate(&EcosystemSpec::scaled(0.02));
+        let (idx, latencies) = ValidationIndex::build_with_latencies(&eco);
+        assert_eq!(latencies.len(), fixed_shard_count(eco.certs.len()));
+        assert!(idx.validated_total() > 0);
     }
 
     #[test]

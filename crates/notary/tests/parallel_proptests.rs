@@ -1,0 +1,40 @@
+//! Property tests for the sharded validation build.
+//!
+//! The tentpole claim of the parallel execution layer is that sharding and
+//! the lock-striped chain memo are *unobservable* in results: the memoised
+//! parallel build must agree with the unmemoised sequential reference at
+//! any pool width and on any ecosystem. Ecosystem generation is expensive,
+//! so the case count is small; each case varies the RNG seed and the pool
+//! width.
+
+use proptest::prelude::*;
+use tangled_exec::ExecPool;
+use tangled_notary::ecosystem::{Ecosystem, EcosystemSpec};
+use tangled_notary::validate::ValidationIndex;
+use tangled_pki::stores::ReferenceStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_memoised_build_agrees_with_unmemoised(
+        seed_offset in 0u64..4,
+        width in 1usize..8,
+    ) {
+        let spec = EcosystemSpec {
+            seed: 66_000_000 + seed_offset,
+            scale: 0.01,
+        };
+        let eco = Ecosystem::generate(&spec);
+        let fast = ValidationIndex::build_with_pool(&eco, &ExecPool::with_threads(width));
+        let slow = ValidationIndex::build_unmemoised(&eco);
+        prop_assert_eq!(fast.validated_total(), slow.validated_total());
+        prop_assert_eq!(fast.total_non_expired(), slow.total_non_expired());
+        prop_assert_eq!(fast.total_sessions(), slow.total_sessions());
+        for rs in ReferenceStore::ALL {
+            let store = rs.cached();
+            prop_assert_eq!(fast.store_count(&store), slow.store_count(&store));
+            prop_assert_eq!(fast.store_sessions(&store), slow.store_sessions(&store));
+        }
+    }
+}

@@ -61,10 +61,22 @@ impl StoreIndex {
 
     /// An index preloaded with all six reference stores (the four AOSP
     /// releases, Mozilla, iOS 7), each under its canonical name.
+    ///
+    /// The per-store anchor verifiers (the expensive part of a profile
+    /// install) are built in parallel on the ambient
+    /// [`tangled_exec::ExecPool`]; installs then publish sequentially in
+    /// [`ReferenceStore::ALL`] order, so profile epochs are identical at
+    /// any thread count.
     pub fn with_reference_profiles() -> StoreIndex {
         let index = StoreIndex::new(DEFAULT_SHARDS);
-        for rs in ReferenceStore::ALL {
-            index.install(rs.name(), rs.cached());
+        let stores: Vec<(&'static str, Arc<RootStore>)> = ReferenceStore::ALL
+            .into_iter()
+            .map(|rs| (rs.name(), rs.cached()))
+            .collect();
+        let verifiers = tangled_exec::ExecPool::current()
+            .par_map_indexed(&stores, |_, (_, store)| build_anchor_verifier(store));
+        for ((name, store), verifier) in stores.into_iter().zip(verifiers) {
+            index.install_with_verifier(name, store, Arc::new(verifier));
         }
         index
     }
@@ -72,15 +84,24 @@ impl StoreIndex {
     /// Install (or replace) a profile, bumping the global epoch. Returns
     /// the installed profile.
     pub fn install(&self, name: &str, store: Arc<RootStore>) -> StoreProfile {
+        let verifier = build_anchor_verifier(&store);
+        self.install_with_verifier(name, store, Arc::new(verifier))
+    }
+
+    /// As [`StoreIndex::install`] with a pre-built verifier — callers that
+    /// construct verifiers in parallel publish them through here, keeping
+    /// the epoch sequence a property of publish order alone.
+    pub fn install_with_verifier(
+        &self,
+        name: &str,
+        store: Arc<RootStore>,
+        anchors: Arc<ChainVerifier>,
+    ) -> StoreProfile {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        let mut verifier = ChainVerifier::new();
-        for cert in store.enabled_certificates() {
-            verifier.add_anchor(cert);
-        }
         let profile = StoreProfile {
             name: name.to_owned(),
             store: Arc::clone(&store),
-            anchors: Arc::new(verifier),
+            anchors,
             epoch,
         };
 
@@ -152,6 +173,15 @@ impl StoreIndex {
         id.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
+}
+
+/// Build a verifier over a store's enabled anchors.
+fn build_anchor_verifier(store: &RootStore) -> ChainVerifier {
+    let mut verifier = ChainVerifier::new();
+    for cert in store.enabled_certificates() {
+        verifier.add_anchor(cert);
+    }
+    verifier
 }
 
 #[cfg(test)]

@@ -41,5 +41,5 @@ pub use index::{StoreIndex, StoreProfile};
 pub use replay::{offline_verdicts, replay, ReplayOutcome, ReplaySpec};
 pub use server::TrustServer;
 pub use service::{TrustService, DEFAULT_CACHE_CAPACITY};
-pub use stats::ServiceStats;
+pub use stats::{LatencyHistogram, ServiceStats};
 pub use wire::{ChainVerdict, FrameError, Request, Response, WireError, MAX_FRAME};

@@ -228,10 +228,18 @@ impl Certificate {
     }
 
     /// Verify this certificate's signature against an issuer public key.
+    ///
+    /// Consults the process-wide [`crate::sigmemo`] first: identical
+    /// verifications (same issuer key, same signed bytes) run the RSA
+    /// arithmetic once per process, however many stores or profiles
+    /// re-anchor the certificate.
     pub fn verify_signature(&self, issuer_key: &RsaPublicKey) -> Result<(), X509Error> {
-        issuer_key
-            .verify(self.signature_algorithm, &self.tbs_raw, &self.signature)
-            .map_err(X509Error::Crypto)
+        crate::sigmemo::verify_memoised(
+            issuer_key,
+            self.signature_algorithm,
+            &self.tbs_raw,
+            &self.signature,
+        )
     }
 
     /// Verify that `issuer_cert` signed this certificate (names must chain

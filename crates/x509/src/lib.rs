@@ -26,12 +26,14 @@ pub mod chain;
 pub mod extensions;
 pub mod name;
 pub mod pem;
+pub mod sigmemo;
 pub mod verify;
 
 pub use builder::CertificateBuilder;
 pub use cert::{CertIdentity, Certificate};
 pub use chain::{ChainError, ChainKey, ChainOptions, ChainPath, ChainVerifier, VerifiedChain};
 pub use name::DistinguishedName;
+pub use sigmemo::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
 use tangled_asn1::Asn1Error;
 use tangled_crypto::CryptoError;

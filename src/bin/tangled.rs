@@ -14,24 +14,41 @@
 //! tangled loadgen <addr> [--sessions N] [--seed S]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts
+//! tangled stats   [scale]            pipeline statistics: validation-index
+//!                                    build latency p50/p99, memo counters
+//! tangled bench-study [scale] [--out FILE]
+//!                                    time the study stages at 1 thread and
+//!                                    the ambient width; write BENCH_study.json
 //! ```
+//!
+//! The global `--threads N` flag (or `TANGLED_THREADS`) pins the
+//! execution-pool width for any subcommand; results are bit-identical at
+//! every width.
 //!
 //! Usage errors (unknown subcommand, malformed arguments) exit with
 //! status 2; runtime failures exit with status 1.
 
+use serde_json::json;
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 use tangled_mass::analysis::{export, figures, survey, tables, Study};
 use tangled_mass::asn1::Time;
+use tangled_mass::exec::{set_thread_override, thread_count};
+use tangled_mass::faults::FaultPlan;
 use tangled_mass::netalyzr::{Population, PopulationSpec};
+use tangled_mass::notary::ecosystem::EcosystemSpec;
+use tangled_mass::notary::{Ecosystem, ValidationIndex};
 use tangled_mass::pki::audit::audit;
 use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
 use tangled_mass::pki::trust::AnchorSource;
 use tangled_mass::trustd::{
-    offline_verdicts, replay, ReplaySpec, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
+    offline_verdicts, replay, LatencyHistogram, ReplaySpec, StoreIndex, TrustServer, TrustService,
+    DEFAULT_CACHE_CAPACITY,
 };
+use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
 /// How a command failed: a usage error (exit 2) or a runtime failure
 /// (exit 1).
@@ -54,7 +71,7 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled <tables|figures|export|mkstore|audit|probe|serve|loadgen> [...]",
+        "usage: tangled [--threads N] <tables|figures|export|mkstore|audit|probe|serve|loadgen|stats|bench-study> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
@@ -64,13 +81,39 @@ fn usage() -> String {
         "  serve   <addr>           run the trustd query server",
         "  loadgen <addr> [--sessions N] [--seed S]",
         "                           replay a seeded population against a server",
+        "  stats   [scale]          validation-index build p50/p99 + memo counters",
+        "  bench-study [scale] [--out FILE]",
+        "                           time study stages vs 1 thread; write BENCH_study.json",
+        "global: --threads N        pin the execution-pool width (or TANGLED_THREADS)",
     ]
     .join("\n")
 }
 
+/// Strip a global `--threads N` flag (anywhere in the argument list) and
+/// apply it as the pool-width override.
+fn extract_threads(args: &mut Vec<String>) -> Result<(), CliError> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    if pos + 1 >= args.len() {
+        return Err(CliError::Usage("--threads needs a value".into()));
+    }
+    let value = args[pos + 1].clone();
+    let threads: usize = value
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| {
+            CliError::Usage(format!("invalid --threads '{value}': want an integer > 0"))
+        })?;
+    args.drain(pos..=pos + 1);
+    tangled_mass::exec::set_thread_override(Some(threads));
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = extract_threads(&mut args).and_then(|()| match args.first().map(String::as_str) {
         Some("tables") => parse_scale(args.get(1)).and_then(cmd_tables),
         Some("figures") => parse_scale(args.get(1)).and_then(cmd_figures),
         Some("export") => parse_scale(args.get(1)).and_then(cmd_export),
@@ -79,12 +122,14 @@ fn main() -> ExitCode {
         Some("probe") => cmd_probe(),
         Some("serve") => cmd_serve(args.get(1)),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
+        Some("stats") => parse_scale(args.get(1)).and_then(cmd_stats),
+        Some("bench-study") => cmd_bench_study(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown subcommand '{other}'\n{}",
             usage()
         ))),
         None => Err(CliError::Usage(usage())),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
@@ -319,5 +364,155 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .into());
     }
     println!("loadgen: verdicts match the offline study exactly");
+    Ok(())
+}
+
+fn cmd_stats(scale: f64) -> Result<(), CliError> {
+    let threads = thread_count();
+    let eco_scale = scale.max(0.25);
+    eprintln!("generating ecosystem at scale {eco_scale} ({threads} threads)…");
+    let eco = Ecosystem::generate(&EcosystemSpec::scaled(eco_scale));
+    sig_memo_clear();
+    let (idx, latencies) = ValidationIndex::build_with_latencies(&eco);
+    let mut hist = LatencyHistogram::default();
+    for &us in &latencies {
+        hist.record(us);
+    }
+    let (hits, misses) = sig_memo_counters();
+    println!("stats: threads {threads}");
+    println!(
+        "stats: ecosystem {} certificates ({} non-expired)",
+        idx.total(),
+        idx.total_non_expired()
+    );
+    println!(
+        "stats: validation-index build: {} shards, shard latency p50 {} us / p99 {} us",
+        latencies.len(),
+        hist.percentile(50),
+        hist.percentile(99)
+    );
+    println!(
+        "stats: validated {} of {} non-expired certificates",
+        idx.validated_total(),
+        idx.total_non_expired()
+    );
+    println!(
+        "stats: signature memo: {hits} hits / {misses} misses ({} entries)",
+        sig_memo_len()
+    );
+    Ok(())
+}
+
+/// Run `f` and return (result, wall seconds).
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+fn cmd_bench_study(rest: &[String]) -> Result<(), CliError> {
+    let mut scale = 0.25f64;
+    let mut out = String::from("BENCH_study.json");
+    let mut it = rest.iter();
+    let mut scale_seen = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage("--out needs a value".into()))?;
+            }
+            text if !text.starts_with("--") && !scale_seen => {
+                scale = match text.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => s,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "invalid scale '{text}': want a number > 0"
+                        )))
+                    }
+                };
+                scale_seen = true;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown bench-study flag '{other}'")));
+            }
+        }
+    }
+
+    let threads = thread_count();
+    let eco_scale = scale.max(0.25);
+    let eco_spec = EcosystemSpec::scaled(eco_scale);
+    let pop_spec = PopulationSpec::scaled(scale);
+    eprintln!("bench-study: scale {scale}, comparing 1 thread vs {threads}…");
+
+    // Warm-up primes the process-wide CA factory (one-time RSA key
+    // minting) so the stage timings measure pipeline work, not keygen.
+    let _ = timed(|| Ecosystem::generate(&eco_spec));
+    let _ = timed(|| Population::generate(&pop_spec));
+
+    let mut stages = Vec::new();
+    let mut record = |name: &str, t1: f64, tn: f64| {
+        let speedup = t1 / tn.max(1e-9);
+        eprintln!("  {name}: {t1:.3}s @1 -> {tn:.3}s @{threads} ({speedup:.2}x)");
+        stages.push(json!({
+            "stage": name,
+            "seconds_1thread": t1,
+            "seconds": tn,
+            "speedup": speedup,
+        }));
+    };
+
+    // Each stage runs once pinned to 1 thread and once at the ambient
+    // width; the signature memo is cleared before every timed run so both
+    // measure the same cold-verification work.
+    set_thread_override(Some(1));
+    sig_memo_clear();
+    let (_, e1) = timed(|| Ecosystem::generate(&eco_spec));
+    set_thread_override(Some(threads));
+    sig_memo_clear();
+    let (eco, en) = timed(|| Ecosystem::generate(&eco_spec));
+    record("ecosystem_generate", e1, en);
+
+    set_thread_override(Some(1));
+    sig_memo_clear();
+    let (_, v1) = timed(|| ValidationIndex::build(&eco));
+    set_thread_override(Some(threads));
+    sig_memo_clear();
+    let (_, vn) = timed(|| ValidationIndex::build(&eco));
+    record("validation_build", v1, vn);
+
+    set_thread_override(Some(1));
+    let (_, p1) = timed(|| Population::generate(&pop_spec));
+    set_thread_override(Some(threads));
+    let (_, pn) = timed(|| Population::generate(&pop_spec));
+    record("population_generate", p1, pn);
+
+    let plan = FaultPlan::new(404).with_rate(0.05);
+    set_thread_override(Some(1));
+    sig_memo_clear();
+    let (_, f1) = timed(|| Study::with_faults(scale, eco_scale, &plan));
+    set_thread_override(Some(threads));
+    sig_memo_clear();
+    let (_, fn_) = timed(|| Study::with_faults(scale, eco_scale, &plan));
+    record("with_faults", f1, fn_);
+
+    set_thread_override(Some(1));
+    let (_, t1) = timed(StoreIndex::with_reference_profiles);
+    set_thread_override(Some(threads));
+    let (_, tn) = timed(StoreIndex::with_reference_profiles);
+    record("trustd_preload", t1, tn);
+    set_thread_override(None);
+
+    let doc = json!({
+        "benchmark": "study-pipeline",
+        "scale": scale,
+        "ecosystem_scale": eco_scale,
+        "threads": threads,
+        "stages": stages,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(&out, format!("{rendered}\n")).map_err(|e| e.to_string())?;
+    println!("bench-study: wrote {out}");
     Ok(())
 }

@@ -15,6 +15,7 @@
 
 pub use tangled_asn1 as asn1;
 pub use tangled_core as analysis;
+pub use tangled_exec as exec;
 pub use tangled_crypto as crypto;
 pub use tangled_faults as faults;
 pub use tangled_intercept as intercept;
