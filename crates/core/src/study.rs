@@ -58,6 +58,8 @@ impl Study {
         ecosystem_scale: f64,
         plan: &FaultPlan,
     ) -> Study {
+        let span = tangled_obs::trace::span_start("study.with_faults", plan.seed, 0, &[]);
+        let started = std::time::Instant::now();
         let mut health = RunHealth::new();
         let mut injected = Vec::new();
 
@@ -121,7 +123,56 @@ impl Study {
         }
         population.replace_stores(&replacements);
 
-        Study::assemble(population, ecosystem, health, injected)
+        // The health ledger is deterministic (index-ordered merges over
+        // salted, width-independent degradation), so replaying it into the
+        // trace — sorted maps, sequential code — keeps the log
+        // byte-identical at any pool width.
+        for (kind, n) in &health.injected {
+            tangled_obs::trace::point(
+                "study.with_faults",
+                span,
+                &[
+                    ("injected_kind", serde_json::Value::from(kind.as_str())),
+                    ("count", serde_json::Value::from(*n)),
+                ],
+            );
+        }
+        for (stage, errors) in &health.quarantined {
+            for (label, n) in errors {
+                tangled_obs::trace::quarantine(
+                    "study.with_faults",
+                    span,
+                    stage,
+                    label,
+                    u64::from(*n),
+                );
+            }
+        }
+        tangled_obs::registry::add("study.injected", u64::from(health.injected_total()));
+        tangled_obs::registry::add(
+            "study.quarantined",
+            u64::from(health.quarantined_total()),
+        );
+        tangled_obs::registry::observe(
+            "study.with_faults.us",
+            started.elapsed().as_micros() as u64,
+        );
+        let study = Study::assemble(population, ecosystem, health, injected);
+        tangled_obs::trace::span_end(
+            "study.with_faults",
+            span,
+            &[
+                (
+                    "injected",
+                    serde_json::Value::from(u64::from(study.health.injected_total())),
+                ),
+                (
+                    "quarantined",
+                    serde_json::Value::from(u64::from(study.health.quarantined_total())),
+                ),
+            ],
+        );
+        study
     }
 
     fn assemble(

@@ -124,6 +124,12 @@ impl ExecPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // Pool telemetry goes to the metrics registry only: call counts and
+        // widths are scheduling facts, which the deterministic trace log
+        // must never observe.
+        tangled_obs::registry::add("exec.par_map.calls", 1);
+        tangled_obs::registry::add("exec.par_map.items", items.len() as u64);
+        tangled_obs::registry::gauge_set("exec.pool.width", self.threads as i64);
         if self.threads == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }

@@ -118,6 +118,8 @@ impl Population {
     /// firmware stores sequentially in device order through the shared
     /// cache, which pins down which devices share a store [`std::sync::Arc`].
     pub fn generate_with_pool(spec: &PopulationSpec, pool: &ExecPool) -> Population {
+        let span = tangled_obs::trace::span_start("netalyzr.population", spec.seed, 0, &[]);
+        let started = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let index = ExtrasIndex::new();
         let mut cache = FirmwareCache::new();
@@ -174,6 +176,14 @@ impl Population {
                 remaining -= k;
             }
         }
+
+        // Phase A fixed the device plans; the count is seed-derived and
+        // safe to trace before the parallel phase begins.
+        tangled_obs::trace::point(
+            "netalyzr.population",
+            span,
+            &[("devices_planned", serde_json::Value::from(plans.len() as u64))],
+        );
 
         // Phase B: per-device attribute draws on split sub-RNGs. Each
         // device's stream depends only on (seed, device index), so the
@@ -239,7 +249,27 @@ impl Population {
             }
         }
 
-        Population { devices, sessions }
+        let population = Population { devices, sessions };
+        tangled_obs::registry::add("netalyzr.population.runs", 1);
+        tangled_obs::registry::observe(
+            "netalyzr.population.us",
+            started.elapsed().as_micros() as u64,
+        );
+        tangled_obs::trace::span_end(
+            "netalyzr.population",
+            span,
+            &[
+                (
+                    "devices",
+                    serde_json::Value::from(population.devices.len() as u64),
+                ),
+                (
+                    "sessions",
+                    serde_json::Value::from(population.sessions.len() as u64),
+                ),
+            ],
+        );
+        population
     }
 
     /// The device a session ran on.

@@ -256,6 +256,8 @@ impl Ecosystem {
     /// state, so [`ExecPool::par_map_indexed`] signs the jobs in parallel
     /// and reassembles them in index order.
     pub fn generate_with_pool(spec: &EcosystemSpec, pool: &ExecPool) -> Ecosystem {
+        let span = tangled_obs::trace::span_start("notary.ecosystem", spec.seed, 0, &[]);
+        let started = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let plan = issuance_plan();
         let mut factory = global_factory().lock().expect("factory poisoned");
@@ -358,6 +360,14 @@ impl Ecosystem {
         }
         drop(factory);
 
+        // Phase A is over: the job list is fixed, so its size is a pure
+        // function of the spec and safe to trace.
+        tangled_obs::trace::point(
+            "notary.ecosystem",
+            span,
+            &[("jobs", serde_json::Value::from(jobs.len() as u64))],
+        );
+
         // Phase B: parallel signing. Each job is self-contained (issuer
         // cert, keys, domain, serial all resolved in phase A), so signing
         // order cannot affect the bytes produced; results come back in
@@ -405,11 +415,32 @@ impl Ecosystem {
             }
         }
 
-        Ecosystem {
+        let eco = Ecosystem {
             certs,
             intermediates,
             universe_roots,
-        }
+        };
+        tangled_obs::registry::add("notary.ecosystem.runs", 1);
+        tangled_obs::registry::observe(
+            "notary.ecosystem.us",
+            started.elapsed().as_micros() as u64,
+        );
+        tangled_obs::trace::span_end(
+            "notary.ecosystem",
+            span,
+            &[
+                ("certs", serde_json::Value::from(eco.certs.len() as u64)),
+                (
+                    "intermediates",
+                    serde_json::Value::from(eco.intermediates.len() as u64),
+                ),
+                (
+                    "universe_roots",
+                    serde_json::Value::from(eco.universe_roots.len() as u64),
+                ),
+            ],
+        );
+        eco
     }
 
     /// Total unique certificates observed.

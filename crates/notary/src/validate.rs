@@ -66,6 +66,16 @@ impl ValidationIndex {
         memoise: bool,
         pool: &ExecPool,
     ) -> (ValidationIndex, Vec<u64>) {
+        // Shard boundaries depend on the cert count alone, so the span and
+        // its per-shard point events are width-invariant; only the timings
+        // (registry histograms) vary run to run.
+        let span = tangled_obs::trace::span_start(
+            "notary.validate",
+            eco.certs.len() as u64,
+            0,
+            &[("certs", serde_json::Value::from(eco.certs.len() as u64))],
+        );
+        let started = Instant::now();
         let mut verifier = ChainVerifier::new();
         for root in &eco.universe_roots {
             verifier.add_anchor(Arc::clone(root));
@@ -101,7 +111,7 @@ impl ValidationIndex {
         let mut total_non_expired = 0u32;
         let mut total_sessions = 0u64;
         let mut latencies = Vec::with_capacity(tallies.len());
-        for t in tallies {
+        for (s, t) in tallies.into_iter().enumerate() {
             for (id, n) in t.per_root {
                 *per_root.entry(id).or_default() += n;
             }
@@ -111,6 +121,18 @@ impl ValidationIndex {
             validated_total += t.validated_total;
             total_non_expired += t.total_non_expired;
             total_sessions += t.total_sessions;
+            // Emitted from the index-ordered merge, never from the shard
+            // closure: per-shard counts are width-invariant, per-shard
+            // latency is not — the latter goes to the registry only.
+            tangled_obs::trace::point(
+                "notary.validate",
+                span,
+                &[
+                    ("shard", serde_json::Value::from(s as u64)),
+                    ("validated", serde_json::Value::from(t.validated_total)),
+                ],
+            );
+            tangled_obs::registry::observe("notary.validate.shard_us", t.micros);
             latencies.push(t.micros);
         }
 
@@ -122,6 +144,22 @@ impl ValidationIndex {
             total: eco.certs.len() as u32,
             total_sessions,
         };
+        tangled_obs::registry::add("notary.validate.runs", 1);
+        tangled_obs::registry::observe(
+            "notary.validate.us",
+            started.elapsed().as_micros() as u64,
+        );
+        tangled_obs::trace::span_end(
+            "notary.validate",
+            span,
+            &[
+                ("validated", serde_json::Value::from(index.validated_total)),
+                (
+                    "non_expired",
+                    serde_json::Value::from(index.total_non_expired),
+                ),
+            ],
+        );
         (index, latencies)
     }
 

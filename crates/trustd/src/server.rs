@@ -8,20 +8,29 @@
 //!
 //! Protocol failures follow the quarantine discipline, not the
 //! drop-the-connection one: an undecodable *message* gets an `error`
-//! reply and the connection lives on; only an unrecoverable *framing*
-//! fault (oversized header, mid-frame truncation) closes the stream,
-//! after a best-effort error reply — either way the fault is recorded in
-//! the service's health ledger first.
+//! reply and the connection lives on. An *oversized* frame is recoverable
+//! too — its header declares exactly where the next frame boundary is, so
+//! the worker drains the declared body (bounded, same stall budget as a
+//! read), replies with the classified error, and keeps serving. Only
+//! mid-frame truncation, where the boundary is genuinely lost, closes the
+//! stream after a best-effort error reply — either way the fault is
+//! recorded in the service's health ledger first.
+//!
+//! Every connection runs under a `trustd.conn` observability span and the
+//! accept/worker path maintains `trustd.conn.*` registry gauges, so a
+//! loaded server can be read from its metrics dump.
 
 use crate::service::TrustService;
-use crate::wire::{self, FrameError, Request};
+use crate::wire::{self, FrameError, Request, WireError};
+use serde_json::Value;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tangled_obs::{registry as metrics, trace};
 
 /// How long a worker blocks in `read` before polling the stop flag.
 const READ_TICK: Duration = Duration::from_millis(50);
@@ -65,6 +74,8 @@ impl TrustServer {
                 }
                 match stream {
                     Ok(stream) => {
+                        metrics::add("trustd.conn.accepted", 1);
+                        metrics::gauge_add("trustd.conn.queued", 1);
                         if tx.send(stream).is_err() {
                             break;
                         }
@@ -118,7 +129,10 @@ fn worker_loop(
             }
         };
         match stream {
-            Some(stream) => handle_connection(stream, service, stop),
+            Some(stream) => {
+                metrics::gauge_add("trustd.conn.queued", -1);
+                handle_connection(stream, service, stop);
+            }
             None if stop.load(Ordering::SeqCst) => break,
             None => continue,
         }
@@ -130,6 +144,15 @@ fn handle_connection(
     service: &Arc<TrustService>,
     stop: &Arc<AtomicBool>,
 ) {
+    // Monotonic connection index: the span unit for live tracing. (Live
+    // serving is inherently scheduling-dependent, so these spans are not
+    // part of the pipeline's byte-identical trace contract.)
+    static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+    let conn = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let span = trace::span_start("trustd.conn", 0, conn, &[]);
+    metrics::gauge_add("trustd.conn.active", 1);
+    let mut served = 0u64;
+
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_nodelay(true);
     loop {
@@ -137,9 +160,15 @@ fn handle_connection(
             Ok(None) => break,
             Ok(Some(body)) => {
                 let reply = match Request::decode(&body) {
-                    Ok(req) => service.handle(&req),
+                    Ok(req) => {
+                        served += 1;
+                        service.handle(&req)
+                    }
                     // Bad message, good framing: classify, reply, carry on.
-                    Err(e) => service.record_wire_fault(&e),
+                    Err(e) => {
+                        record_wire_trace(span, &e);
+                        service.record_wire_fault(&e)
+                    }
                 };
                 if wire::write_frame(&mut stream, &reply.encode()).is_err() {
                     break;
@@ -152,13 +181,38 @@ fn handle_connection(
             }
             Err(FrameError::Io(_)) => break,
             Err(FrameError::Wire(e)) => {
-                // Framing is gone; we cannot find the next frame boundary.
+                record_wire_trace(span, &e);
                 let reply = service.record_wire_fault(&e);
-                let _ = wire::write_frame(&mut stream, &reply.encode());
-                break;
+                if let WireError::Oversized { len } = e {
+                    // The rejected header still declares the body length,
+                    // so the next frame boundary is known: drain the
+                    // oversized body (bounded scratch, same stall budget
+                    // as a read), reply, and keep serving the connection.
+                    if wire::drain_frame_body(&mut stream, len).is_err() {
+                        let _ = wire::write_frame(&mut stream, &reply.encode());
+                        break;
+                    }
+                    if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+                        break;
+                    }
+                } else {
+                    // Truncation: the boundary is genuinely lost.
+                    let _ = wire::write_frame(&mut stream, &reply.encode());
+                    break;
+                }
             }
         }
     }
+
+    metrics::gauge_add("trustd.conn.active", -1);
+    trace::span_end("trustd.conn", span, &[("served", Value::from(served))]);
+}
+
+/// Record a wire fault into the metrics registry and, when a trace is
+/// live, as a quarantine event on the connection span.
+fn record_wire_trace(span: u64, e: &WireError) {
+    metrics::add("trustd.wire_faults", 1);
+    trace::quarantine("trustd.conn", span, "wire", e.label(), 1);
 }
 
 #[cfg(test)]
@@ -207,6 +261,41 @@ mod tests {
             Response::Stats(_) => {}
             other => panic!("unexpected {other:?}"),
         }
+        server.shutdown();
+        assert_eq!(service.stats().quarantined_total(), 1);
+    }
+
+    #[test]
+    fn oversized_frame_resyncs_connection() {
+        use std::io::Write as _;
+
+        let service = Arc::new(TrustService::new(16));
+        let server =
+            TrustServer::bind("127.0.0.1:0", Arc::clone(&service), 1).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+        // Hand-rolled oversized frame (the client refuses to build one):
+        // header declares MAX_FRAME + 1 bytes, body follows in full.
+        let len = wire::MAX_FRAME + 1;
+        stream.write_all(&(len as u32).to_be_bytes()).unwrap();
+        stream.write_all(&vec![0x42u8; len]).unwrap();
+        // Followed, on the same socket, by a well-formed request.
+        wire::write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+
+        // First reply: the classified oversized-frame error.
+        let body = wire::read_frame(&mut stream).unwrap().expect("error reply");
+        match Response::decode(&body).unwrap() {
+            Response::Error { stage, error } => {
+                assert_eq!(stage, "wire");
+                assert_eq!(error, "oversized-frame");
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
+        // Second reply: the stats answer — the connection survived the
+        // oversized frame instead of being dropped.
+        let body = wire::read_frame(&mut stream).unwrap().expect("stats reply");
+        assert!(matches!(Response::decode(&body).unwrap(), Response::Stats(_)));
+
         server.shutdown();
         assert_eq!(service.stats().quarantined_total(), 1);
     }

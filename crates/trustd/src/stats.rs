@@ -14,58 +14,13 @@ use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use tangled_core::health::RunHealth;
+use tangled_obs::registry as metrics;
 
-/// Log₂-bucketed latency histogram (microseconds).
-///
+/// Log₂-bucketed latency histogram (microseconds) — the generalised
+/// [`tangled_obs::Log2Histogram`], kept under its historical name here.
 /// Bucket `i` covers `[2^i, 2^(i+1))` µs, bucket 0 also absorbs sub-µs
 /// samples; 40 buckets reach ~12 days, far beyond any request.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 40],
-    count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: [0; 40],
-            count: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one sample.
-    pub fn record(&mut self, micros: u64) {
-        let bucket = (64 - micros.leading_zeros()).saturating_sub(1) as usize;
-        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
-        self.count += 1;
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The lower bound (µs) of the bucket holding the `p`-th percentile
-    /// sample, `p` in 0..=100. Zero when empty.
-    pub fn percentile(&self, p: u8) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        // Rank of the percentile sample, 1-based, ceil(p/100 * count).
-        let rank = ((p as u64) * self.count).div_ceil(100);
-        let rank = rank.max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        0
-    }
-}
+pub use tangled_obs::Log2Histogram as LatencyHistogram;
 
 #[derive(Default)]
 struct StatsInner {
@@ -90,7 +45,9 @@ impl ServiceStats {
     }
 
     /// Record one request of `kind`, its latency, and whether it resolved
-    /// to an error response.
+    /// to an error response. Mirrored into the process-wide metrics
+    /// registry (`trustd.requests.<kind>`, `trustd.request_us`) so a
+    /// `--metrics-dump` covers the serving path too.
     pub fn record_request(&self, kind: &str, micros: u64, errored: bool) {
         let mut inner = self.inner.lock().expect("stats poisoned");
         *inner.served.entry(kind.to_owned()).or_default() += 1;
@@ -98,6 +55,9 @@ impl ServiceStats {
             *inner.errors.entry(kind.to_owned()).or_default() += 1;
         }
         inner.latency.entry(kind.to_owned()).or_default().record(micros);
+        drop(inner);
+        metrics::add(&format!("trustd.requests.{kind}"), 1);
+        metrics::observe("trustd.request_us", micros);
     }
 
     /// Record a memo-cache hit or miss.
@@ -108,6 +68,15 @@ impl ServiceStats {
         } else {
             inner.cache_misses += 1;
         }
+        drop(inner);
+        metrics::add(
+            if hit {
+                "trustd.cache.hits"
+            } else {
+                "trustd.cache.misses"
+            },
+            1,
+        );
     }
 
     /// Record one quarantined input under `(stage, label)` — the PR-1
@@ -118,6 +87,7 @@ impl ServiceStats {
             .expect("stats poisoned")
             .health
             .record_quarantined(stage, label);
+        metrics::add("trustd.quarantined", 1);
     }
 
     /// Total requests served (all kinds).
@@ -204,7 +174,7 @@ mod tests {
 
     #[test]
     fn histogram_percentiles_track_buckets() {
-        let mut h = LatencyHistogram::default();
+        let h = LatencyHistogram::default();
         assert_eq!(h.percentile(50), 0, "empty histogram");
         // 99 fast samples (~4 µs), one slow (~4096 µs).
         for _ in 0..99 {
@@ -219,7 +189,7 @@ mod tests {
 
     #[test]
     fn histogram_handles_extremes() {
-        let mut h = LatencyHistogram::default();
+        let h = LatencyHistogram::default();
         h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.percentile(50), 0);

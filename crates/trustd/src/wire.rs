@@ -93,11 +93,19 @@ pub fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// How many *consecutive* idle timeout ticks a mid-frame read tolerates
+/// before the peer is declared dead. 200 ticks ≈ tens of seconds at the
+/// server's poll interval — a stalled peer cannot pin a worker forever,
+/// but any progress resets the clock, so a slow-but-live peer is never
+/// misclassified as truncated.
+const STALL_BUDGET: u32 = 200;
+
 /// Fill `buf` completely. `Ok(false)` means clean EOF before the first
 /// byte (only legal when `at_boundary`); EOF mid-buffer is
 /// [`WireError::Truncated`]. A read timeout with nothing buffered
 /// propagates as [`FrameError::Io`] so the caller can poll a stop flag; a
-/// timeout *mid-frame* keeps waiting (bounded by `stall_budget` ticks).
+/// timeout *mid-frame* keeps waiting (bounded by [`STALL_BUDGET`]
+/// consecutive idle ticks).
 fn read_full(
     r: &mut impl Read,
     buf: &mut [u8],
@@ -105,9 +113,6 @@ fn read_full(
 ) -> Result<bool, FrameError> {
     let mut filled = 0usize;
     let mut stalls = 0u32;
-    // 200 timeout ticks ≈ tens of seconds at the server's poll interval —
-    // a stalled peer cannot pin a worker forever.
-    let stall_budget = 200u32;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -117,14 +122,17 @@ fn read_full(
                     Err(FrameError::Wire(WireError::Truncated))
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) if is_timeout(&e) => {
                 if filled == 0 && at_boundary {
                     return Err(FrameError::Io(e));
                 }
                 stalls += 1;
-                if stalls > stall_budget {
+                if stalls > STALL_BUDGET {
                     return Err(FrameError::Wire(WireError::Truncated));
                 }
             }
@@ -148,6 +156,37 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut body = vec![0u8; len];
     read_full(r, &mut body, false)?;
     Ok(Some(body))
+}
+
+/// Discard exactly `len` body bytes from the stream, leaving it at the
+/// next frame boundary. An oversized header is a *recoverable* protocol
+/// violation: the peer declared exactly where the next frame starts, so
+/// the server can reject the frame yet keep the connection. Stalls are
+/// bounded the same way as [`read_full`] ([`STALL_BUDGET`] consecutive
+/// idle ticks); EOF mid-drain is [`WireError::Truncated`].
+pub fn drain_frame_body(r: &mut impl Read, len: usize) -> Result<(), FrameError> {
+    let mut scratch = [0u8; 4096];
+    let mut remaining = len;
+    let mut stalls = 0u32;
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        match r.read(&mut scratch[..want]) {
+            Ok(0) => return Err(FrameError::Wire(WireError::Truncated)),
+            Ok(n) => {
+                remaining -= n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > STALL_BUDGET {
+                    return Err(FrameError::Wire(WireError::Truncated));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
 }
 
 /// Write one frame.
@@ -653,6 +692,102 @@ mod tests {
         buf.extend_from_slice(b"1234");
         assert!(matches!(
             read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Wire(WireError::Truncated))
+        ));
+    }
+
+    /// Yields its body one byte at a time, reporting `WouldBlock` between
+    /// every byte — a slow-but-live peer. The total stall count far
+    /// exceeds [`STALL_BUDGET`], but no two stalls are consecutive, so a
+    /// correct (consecutive-stall) budget never fires. The first read
+    /// succeeds immediately: `read_full` treats a timeout with nothing
+    /// buffered at a boundary as an idle poll tick, not a stall.
+    struct TricklingReader {
+        data: Vec<u8>,
+        pos: usize,
+        stall_next: bool,
+    }
+
+    impl Read for TricklingReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.stall_next {
+                self.stall_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.stall_next = true;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn trickling_peer_is_not_misclassified_as_truncated() {
+        // Body longer than the stall budget: a *cumulative* stall counter
+        // would trip partway through; the consecutive counter must not.
+        let body = vec![0x2a; STALL_BUDGET as usize + 100];
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let mut r = TricklingReader {
+            data: framed,
+            pos: 0,
+            stall_next: false,
+        };
+        let got = read_frame(&mut r).expect("slow peer still delivers").unwrap();
+        assert_eq!(got, body);
+    }
+
+    /// Delivers a few bytes, then stalls forever.
+    struct StalledReader {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StalledReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.data.len() {
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                return Ok(1);
+            }
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"))
+        }
+    }
+
+    #[test]
+    fn dead_stall_mid_frame_still_bounded() {
+        // Header promises 8 bytes; only 4 arrive, then silence. The stall
+        // budget must still declare the frame truncated.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&8u32.to_be_bytes());
+        framed.extend_from_slice(b"1234");
+        let mut r = StalledReader {
+            data: framed,
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn drain_frame_body_resynchronises_the_stream() {
+        // 10 000 junk bytes (an oversized frame's declared body), then a
+        // valid frame: draining must land exactly on the boundary.
+        let mut buf = vec![0xeeu8; 10_000];
+        write_frame(&mut buf, b"after").unwrap();
+        let mut r = Cursor::new(buf);
+        drain_frame_body(&mut r, 10_000).expect("drain succeeds");
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"after".to_vec()));
+
+        // EOF before the declared length is truncation.
+        let mut short = Cursor::new(vec![0u8; 9]);
+        assert!(matches!(
+            drain_frame_body(&mut short, 10),
             Err(FrameError::Wire(WireError::Truncated))
         ));
     }

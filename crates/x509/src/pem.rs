@@ -60,7 +60,15 @@ pub fn base64_encode(data: &[u8]) -> String {
     out
 }
 
-/// Decode Base64, ignoring ASCII whitespace.
+/// Decode canonical Base64, ignoring ASCII whitespace.
+///
+/// Canonical means exactly the encodings [`base64_encode`] produces:
+/// `=` padding may appear only in the final group, and the unused
+/// low-order bits of a padded final group must be zero. Both checks are
+/// load-bearing — without them distinct wire texts alias to the same
+/// bytes (`"AB=="` would decode like `"AA=="`, `"AA==QUJD"` would decode
+/// at all), and the fault engine's damaged-input accounting relies on
+/// one text mapping to one certificate.
 pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
     fn val(c: u8) -> Result<u32, PemError> {
         match c {
@@ -79,16 +87,26 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
     if !compact.len().is_multiple_of(4) {
         return Err(PemError::BadPadding);
     }
-    let mut out = Vec::with_capacity(compact.len() / 4 * 3);
-    for group in compact.chunks(4) {
+    let groups = compact.len() / 4;
+    let mut out = Vec::with_capacity(groups * 3);
+    for (g, group) in compact.chunks(4).enumerate() {
         let pad = group.iter().rev().take_while(|&&c| c == b'=').count();
         if pad > 2 || group[..4 - pad].contains(&b'=') {
+            return Err(PemError::BadPadding);
+        }
+        // Padding is only legal in the final group.
+        if pad > 0 && g + 1 != groups {
             return Err(PemError::BadPadding);
         }
         let mut triple = 0u32;
         for (i, &c) in group.iter().enumerate() {
             let v = if c == b'=' { 0 } else { val(c)? };
             triple |= v << (18 - 6 * i);
+        }
+        // The bits a padded group does not emit must be zero, or two
+        // distinct texts decode to the same bytes.
+        if (pad == 2 && triple & 0xFFFF != 0) || (pad == 1 && triple & 0xFF != 0) {
+            return Err(PemError::BadPadding);
         }
         out.push((triple >> 16) as u8);
         if pad < 2 {
@@ -184,6 +202,28 @@ mod tests {
         assert_eq!(base64_decode("A==="), Err(PemError::BadPadding));
         // Whitespace anywhere is fine.
         assert_eq!(base64_decode("Zm9v\nYmFy\t ").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn base64_rejects_non_canonical_padding_position() {
+        // '=' padding in a non-final group used to decode silently.
+        assert_eq!(base64_decode("AA==QUJD"), Err(PemError::BadPadding));
+        assert_eq!(base64_decode("Zg==Zg=="), Err(PemError::BadPadding));
+        assert_eq!(base64_decode("Zm8=QUJD"), Err(PemError::BadPadding));
+        // Final-group padding stays legal.
+        assert_eq!(base64_decode("QUJDAA==").unwrap(), b"ABC\0");
+    }
+
+    #[test]
+    fn base64_rejects_nonzero_trailing_bits() {
+        // "AB==" used to alias to "AA==" (B's low bits discarded).
+        assert_eq!(base64_decode("AB=="), Err(PemError::BadPadding));
+        assert_eq!(base64_decode("Zm9="), Err(PemError::BadPadding));
+        assert_eq!(base64_decode("//=="), Err(PemError::BadPadding));
+        // The canonical spellings of the same payloads still decode.
+        assert_eq!(base64_decode("AA==").unwrap(), vec![0]);
+        assert_eq!(base64_decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(base64_decode("/w==").unwrap(), vec![0xff]);
     }
 
     #[test]

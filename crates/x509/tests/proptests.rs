@@ -259,4 +259,47 @@ proptest! {
             prop_assert_eq!(reparsed.extended_key_usage().unwrap(), &purposes[..]);
         }
     }
+
+    #[test]
+    fn base64_round_trips_canonically(
+        data in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let encoded = pem::base64_encode(&data);
+        let decoded = pem::base64_decode(&encoded).expect("canonical encoding decodes");
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn base64_rejects_nonzero_trailing_bits_everywhere(
+        data in proptest::collection::vec(any::<u8>(), 1..96),
+        extra in 1u8..4,
+    ) {
+        // Canonical encodings zero the bits the padding discards (4 bits
+        // under `==`, 2 under `=`). OR-ing any of them back in yields a
+        // distinct encoding of the same bytes, which must be rejected.
+        prop_assume!(data.len() % 3 != 0);
+        const ALPHABET: &[u8; 64] =
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        let mut bytes = pem::base64_encode(&data).into_bytes();
+        let pad = bytes.iter().filter(|&&b| b == b'=').count();
+        let pos = bytes.iter().rposition(|&b| b != b'=').unwrap();
+        let val = ALPHABET.iter().position(|&a| a == bytes[pos]).unwrap() as u8;
+        let mask = if pad == 2 { extra } else { extra & 0x03 };
+        bytes[pos] = ALPHABET[(val | mask) as usize];
+        let corrupted = String::from_utf8(bytes).unwrap();
+        prop_assert!(pem::base64_decode(&corrupted).is_err());
+    }
+
+    #[test]
+    fn base64_rejects_padding_before_final_group(
+        head in proptest::collection::vec(any::<u8>(), 1..48),
+        tail in proptest::collection::vec(any::<u8>(), 1..48),
+    ) {
+        // Splicing a padded group in front of more data puts `=` in a
+        // non-final group: only ever produced by concatenating encodings,
+        // never by encoding, so decode must reject it.
+        prop_assume!(head.len() % 3 != 0);
+        let spliced = format!("{}{}", pem::base64_encode(&head), pem::base64_encode(&tail));
+        prop_assert!(pem::base64_decode(&spliced).is_err());
+    }
 }

@@ -14,8 +14,13 @@
 //! tangled loadgen <addr> [--sessions N] [--seed S]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts
-//! tangled stats   [scale]            pipeline statistics: validation-index
-//!                                    build latency p50/p99, memo counters
+//! tangled stats   [scale]            pipeline statistics: per-stage
+//!                                    latency p50/p99, memo counters, the
+//!                                    trustd serving path, metrics dump
+//! tangled trace   <out.jsonl> [scale]
+//!                                    run a faulted study under the obs
+//!                                    trace, validate the event log against
+//!                                    the schema, write it as JSONL
 //! tangled bench-study [scale] [--out FILE]
 //!                                    time the study stages at 1 thread and
 //!                                    the ambient width; write BENCH_study.json
@@ -23,7 +28,9 @@
 //!
 //! The global `--threads N` flag (or `TANGLED_THREADS`) pins the
 //! execution-pool width for any subcommand; results are bit-identical at
-//! every width.
+//! every width — including the `trace` event log, whose bytes are part of
+//! the determinism contract. The global `--metrics-dump` flag prints the
+//! process-wide metrics registry to stderr after any subcommand.
 //!
 //! Usage errors (unknown subcommand, malformed arguments) exit with
 //! status 2; runtime failures exit with status 1.
@@ -43,10 +50,11 @@ use tangled_mass::notary::{Ecosystem, ValidationIndex};
 use tangled_mass::pki::audit::audit;
 use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
+use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
 use tangled_mass::trustd::{
-    offline_verdicts, replay, LatencyHistogram, ReplaySpec, StoreIndex, TrustServer, TrustService,
-    DEFAULT_CACHE_CAPACITY,
+    offline_verdicts, replay, LatencyHistogram, ReplaySpec, Request, StoreIndex, TrustServer,
+    TrustService, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -71,7 +79,7 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled [--threads N] <tables|figures|export|mkstore|audit|probe|serve|loadgen|stats|bench-study> [...]",
+        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|serve|loadgen|stats|trace|bench-study> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
@@ -81,10 +89,15 @@ fn usage() -> String {
         "  serve   <addr>           run the trustd query server",
         "  loadgen <addr> [--sessions N] [--seed S]",
         "                           replay a seeded population against a server",
-        "  stats   [scale]          validation-index build p50/p99 + memo counters",
+        "  stats   [scale]          per-stage latency p50/p99, memo counters,",
+        "                           trustd serving path, metrics dump",
+        "  trace   <out.jsonl> [scale]",
+        "                           run a faulted study under the obs trace and",
+        "                           write the schema-validated event log",
         "  bench-study [scale] [--out FILE]",
         "                           time study stages vs 1 thread; write BENCH_study.json",
         "global: --threads N        pin the execution-pool width (or TANGLED_THREADS)",
+        "global: --metrics-dump     print the metrics registry to stderr on exit",
     ]
     .join("\n")
 }
@@ -111,8 +124,18 @@ fn extract_threads(args: &mut Vec<String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Strip a global `--metrics-dump` flag (anywhere in the argument list).
+fn extract_metrics_dump(args: &mut Vec<String>) -> bool {
+    let Some(pos) = args.iter().position(|a| a == "--metrics-dump") else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_dump = extract_metrics_dump(&mut args);
     let result = extract_threads(&mut args).and_then(|()| match args.first().map(String::as_str) {
         Some("tables") => parse_scale(args.get(1)).and_then(cmd_tables),
         Some("figures") => parse_scale(args.get(1)).and_then(cmd_figures),
@@ -123,6 +146,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(args.get(1)),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
         Some("stats") => parse_scale(args.get(1)).and_then(cmd_stats),
+        Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("bench-study") => cmd_bench_study(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown subcommand '{other}'\n{}",
@@ -130,6 +154,9 @@ fn main() -> ExitCode {
         ))),
         None => Err(CliError::Usage(usage())),
     });
+    if metrics_dump {
+        eprint!("{}", obs::registry().dump_text());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
@@ -370,15 +397,43 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
 fn cmd_stats(scale: f64) -> Result<(), CliError> {
     let threads = thread_count();
     let eco_scale = scale.max(0.25);
-    eprintln!("generating ecosystem at scale {eco_scale} ({threads} threads)…");
-    let eco = Ecosystem::generate(&EcosystemSpec::scaled(eco_scale));
+
+    // Run every pipeline stage once: a faulted study exercises ecosystem
+    // generation, population synthesis, fault injection/quarantine, and —
+    // via assembly — the validation index, each recording into the obs
+    // registry as it goes.
+    eprintln!("generating faulted study at scale {scale} ({threads} threads)…");
     sig_memo_clear();
-    let (idx, latencies) = ValidationIndex::build_with_latencies(&eco);
-    let mut hist = LatencyHistogram::default();
+    let plan = FaultPlan::new(404).with_rate(0.05);
+    let study = Study::with_faults(scale, eco_scale, &plan);
+
+    // Re-build the index with per-shard latencies for the p50/p99 lines.
+    let (idx, latencies) = ValidationIndex::build_with_latencies(&study.ecosystem);
+    let hist = LatencyHistogram::default();
     for &us in &latencies {
         hist.record(us);
     }
+
+    // Exercise the trustd serving path in-process: one classify over an
+    // AOSP anchor, then the stats document — enough to populate the
+    // per-kind request counters without a socket.
+    let service = TrustService::new(DEFAULT_CACHE_CAPACITY);
+    let anchor_der = ReferenceStore::Aosp44
+        .cached()
+        .iter()
+        .next()
+        .map(|a| a.cert.to_der().to_vec())
+        .ok_or("AOSP 4.4 reference store is empty")?;
+    let _ = service.handle(&Request::Classify { cert: anchor_der });
+    let _ = service.handle(&Request::Stats);
+
+    // The signature memo keeps its own counters; mirror them into the
+    // registry as gauges so the dump is one coherent document.
     let (hits, misses) = sig_memo_counters();
+    obs::registry::gauge_set("x509.sigmemo.hits", hits as i64);
+    obs::registry::gauge_set("x509.sigmemo.misses", misses as i64);
+    obs::registry::gauge_set("x509.sigmemo.entries", sig_memo_len() as i64);
+
     println!("stats: threads {threads}");
     println!(
         "stats: ecosystem {} certificates ({} non-expired)",
@@ -397,8 +452,57 @@ fn cmd_stats(scale: f64) -> Result<(), CliError> {
         idx.total_non_expired()
     );
     println!(
+        "stats: faults: {} injected, {} quarantined",
+        study.health.injected_total(),
+        study.health.quarantined_total()
+    );
+    println!(
+        "stats: trustd: served {} requests in-process, fingerprint '{}'",
+        service.stats().served_total(),
+        service.stats().counters_fingerprint()
+    );
+    println!(
         "stats: signature memo: {hits} hits / {misses} misses ({} entries)",
         sig_memo_len()
+    );
+    println!("stats: metrics registry:");
+    print!("{}", obs::registry().dump_text());
+    Ok(())
+}
+
+fn cmd_trace(out: Option<&String>, scale: Option<&String>) -> Result<(), CliError> {
+    let out = out.ok_or_else(|| CliError::Usage("trace needs an output path".into()))?;
+    let scale = parse_scale(scale)?;
+    let eco_scale = scale.max(0.25);
+    let threads = thread_count();
+
+    // One faulted study covers every traced stage: ecosystem generation,
+    // population synthesis, fault injection (with quarantine events), and
+    // the validation index built during assembly.
+    eprintln!("tracing faulted study at scale {scale} ({threads} threads)…");
+    obs::trace::begin(2014);
+    sig_memo_clear();
+    let plan = FaultPlan::new(404).with_rate(0.05);
+    let study = Study::with_faults(scale, eco_scale, &plan);
+    let lines = obs::trace::finish().ok_or("trace was not collected")?;
+
+    let summary = obs::validate_lines(&lines)
+        .map_err(|e| format!("emitted trace violates the schema: {e}"))?;
+    let mut body = lines.join("\n");
+    body.push('\n');
+    std::fs::write(out, body).map_err(|e| format!("writing {out}: {e}"))?;
+
+    let stages: Vec<&str> = summary.stages.iter().map(String::as_str).collect();
+    println!(
+        "trace: {} events, {} spans, {} quarantined unit(s) -> {out}",
+        summary.events, summary.spans, summary.quarantined
+    );
+    println!("trace: stages: {}", stages.join(", "));
+    println!(
+        "trace: study: {} certs, {} sessions, {} fault(s) injected",
+        study.ecosystem.len(),
+        study.population.sessions.len(),
+        study.health.injected_total()
     );
     Ok(())
 }

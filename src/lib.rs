@@ -20,6 +20,7 @@ pub use tangled_crypto as crypto;
 pub use tangled_faults as faults;
 pub use tangled_intercept as intercept;
 pub use tangled_netalyzr as netalyzr;
+pub use tangled_obs as obs;
 pub use tangled_notary as notary;
 pub use tangled_pki as pki;
 pub use tangled_trustd as trustd;

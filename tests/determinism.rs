@@ -7,11 +7,17 @@
 //! 8 threads and asserts the schema-v2 JSON export, every rendered paper
 //! table, and all figure summaries are byte-identical.
 //!
-//! The thread override is process-global, so this binary holds exactly one
-//! test.
+//! The observability trace rides under the same contract: each width's run
+//! collects the obs event log, which must validate against the trace
+//! schema and be byte-identical to every other width's log.
+//!
+//! The thread override and the trace sink are process-global, so this
+//! binary holds exactly one test.
 
 use tangled_mass::analysis::{export, figures, tables, Study};
 use tangled_mass::exec::set_thread_override;
+use tangled_mass::faults::FaultPlan;
+use tangled_mass::obs;
 
 fn render_everything(study: &Study) -> (String, String) {
     let doc = export::export_study(study);
@@ -29,16 +35,23 @@ fn render_everything(study: &Study) -> (String, String) {
 
 #[test]
 fn full_study_is_bit_identical_across_thread_counts() {
+    let plan = FaultPlan::new(404).with_rate(0.05);
     let mut runs = Vec::new();
     for threads in [1usize, 2, 8] {
         set_thread_override(Some(threads));
+        // Collect the obs trace around the pipeline: the full study plus a
+        // small faulted study, so the log covers ecosystem generation,
+        // validation, population synthesis, and the fault/quarantine path.
+        obs::trace::begin(2014);
         let study = Study::full();
-        runs.push((threads, render_everything(&study)));
+        let _faulted = Study::with_faults(0.05, 0.02, &plan);
+        let trace = obs::trace::finish().expect("trace was active");
+        runs.push((threads, render_everything(&study), trace));
     }
     set_thread_override(None);
 
-    let (_, (json_base, text_base)) = &runs[0];
-    for (threads, (json, text)) in &runs[1..] {
+    let (_, (json_base, text_base), trace_base) = &runs[0];
+    for (threads, (json, text), trace) in &runs[1..] {
         assert_eq!(
             json, json_base,
             "schema-v2 export differs between 1 and {threads} threads"
@@ -47,5 +60,27 @@ fn full_study_is_bit_identical_across_thread_counts() {
             text, text_base,
             "rendered tables/figures differ between 1 and {threads} threads"
         );
+        assert_eq!(
+            trace, trace_base,
+            "obs trace differs between 1 and {threads} threads"
+        );
     }
+
+    let summary = obs::validate_lines(trace_base).expect("trace validates against schema");
+    for stage in [
+        "notary.ecosystem",
+        "notary.validate",
+        "netalyzr.population",
+        "study.with_faults",
+    ] {
+        assert!(
+            summary.stages.contains(stage),
+            "trace is missing pipeline stage '{stage}': {:?}",
+            summary.stages
+        );
+    }
+    assert!(
+        summary.quarantined > 0,
+        "faulted study should emit quarantine events"
+    );
 }
