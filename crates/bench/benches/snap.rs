@@ -1,0 +1,68 @@
+//! Snapshot persistence benchmarks (DESIGN.md §12).
+//!
+//! The number the subsystem exists for: cold-generating a study from the
+//! seed versus loading the same study back from a snapshot file. Encode
+//! and journal-append rates ride along so regressions in the wire format
+//! show up without a profiler.
+
+use criterion::black_box;
+use tangled_bench::criterion;
+use tangled_core::Study;
+use tangled_exec::ExecPool;
+use tangled_pki::stores::ReferenceStore;
+use tangled_snap::{decode_study, encode_study, Journal, Snapshot, SwapRecord};
+
+fn main() {
+    let mut c = criterion();
+
+    let scale = 0.25;
+    let study = Study::new(scale, scale);
+    let bytes = encode_study(&study, &ExecPool::current());
+    println!(
+        "snapshot at scale {scale}: {} bytes, {} section-body bytes",
+        bytes.len(),
+        Snapshot::parse(bytes.clone())
+            .expect("own bytes parse")
+            .entries()
+            .iter()
+            .map(|e| e.len)
+            .sum::<u64>()
+    );
+
+    // The headline comparison: cold generate vs snapshot load.
+    c.bench_function("snap/cold_generate", |b| {
+        b.iter(|| black_box(Study::new(scale, scale).population.devices.len()))
+    });
+    c.bench_function("snap/load", |b| {
+        b.iter(|| {
+            let snap = Snapshot::parse(bytes.clone()).expect("parses");
+            black_box(decode_study(&snap).expect("decodes").population.devices.len())
+        })
+    });
+
+    // Encode at width 1 vs 4: the section bodies shard over the pool.
+    for width in [1usize, 4] {
+        let pool = ExecPool::with_threads(width);
+        c.bench_function(&format!("snap/encode_{width}t"), |b| {
+            b.iter(|| black_box(encode_study(&study, &pool).len()))
+        });
+    }
+
+    // Journal append+fsync rate, the cost a trustd swap pays up front.
+    let dir = std::env::temp_dir().join("tangled-bench-snap");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("bench-{}.jrn", std::process::id()));
+    let record = SwapRecord {
+        profile: "bench".into(),
+        epoch: 1,
+        store: ReferenceStore::Mozilla.cached().snapshot(),
+    };
+    c.bench_function("snap/journal_append_fsync", |b| {
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _, _) = Journal::open(path.to_str().unwrap()).expect("opens");
+        b.iter(|| journal.append(black_box(&record)).expect("appends"))
+    });
+    let _ = std::fs::remove_file(&path);
+
+    c.final_summary();
+}

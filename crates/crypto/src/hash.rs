@@ -1,0 +1,117 @@
+//! Shared non-cryptographic hashing primitives.
+//!
+//! Three subsystems independently grew the same two constructions: the
+//! observability layer derives span IDs from an FNV-1a fold, the exec
+//! layer splits seeds through a SplitMix64 finalizer, and the PKI extras
+//! catalogue keys its synthetic draws on an FNV-1a string hash. This
+//! module is the single home for both primitives; the snapshot container
+//! also uses [`fnv1a`] for its section and journal-frame checksums, so
+//! every checksum in the workspace is one implementation, not three.
+//!
+//! Neither function is cryptographic. They are deterministic, platform-
+//! independent mixers for IDs, seeds and corruption *detection* (not
+//! corruption *resistance*) — tamper-evidence comes from nothing in this
+//! workspace.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// The golden-ratio increment SplitMix64 advances by (2^64 / φ).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// Feed byte slices in any chunking — the digest depends only on the
+/// concatenated stream, so `update(a); update(b)` equals `update(ab)`.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Fold `bytes` into the running state.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a 64-bit digest of one byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// The SplitMix64 output finalizer: a bijective avalanche over one word.
+///
+/// This is the mixing half of [`crate::rng::SplitMix64`] without the
+/// golden-ratio state advance; callers that want independent streams add
+/// their own multiples of [`GOLDEN_GAMMA`] before mixing.
+pub fn mix64(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"tangled").update(b" ").update(b"mass");
+        assert_eq!(h.finish(), fnv1a(b"tangled mass"));
+    }
+
+    #[test]
+    fn mix64_matches_splitmix_stream() {
+        // Advancing the RNG by one gamma and finalizing is exactly what
+        // SplitMix64::next_u64 does; the two must agree forever.
+        let mut rng = crate::rng::SplitMix64::new(2014);
+        for step in 1..=8u64 {
+            let direct = mix64(2014u64.wrapping_add(GOLDEN_GAMMA.wrapping_mul(step)));
+            assert_eq!(rng.next_u64(), direct, "step {step}");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // 0 is the mixer's (only interesting) fixed point — callers always
+        // pre-add a gamma multiple. Nearby nonzero inputs must scatter.
+        assert_eq!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+        let (a, b) = (mix64(1), mix64(3));
+        assert!((a ^ b).count_ones() > 16, "single-bit flip must avalanche");
+    }
+}

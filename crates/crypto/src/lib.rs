@@ -11,7 +11,10 @@
 //! * RSA key generation, PKCS#1 v1.5 signing and verification ([`rsa`]),
 //! * SHA-1 and SHA-256 ([`sha1`], [`sha256`]) and HMAC ([`hmac`]),
 //! * a small deterministic PRNG ([`rng::SplitMix64`]) so key generation is
-//!   reproducible from a seed.
+//!   reproducible from a seed,
+//! * the workspace's shared non-cryptographic hashes ([`hash`]): FNV-1a
+//!   (span IDs, catalogue keys, snapshot checksums) and the SplitMix64
+//!   finalizer (seed splitting).
 //!
 //! Keys default to 512 bits in tests and 1024 bits in examples: large enough
 //! to exercise every code path (multi-limb arithmetic, normalization in
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod hash;
 pub mod hmac;
 pub mod modular;
 pub mod prime;

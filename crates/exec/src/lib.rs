@@ -76,11 +76,8 @@ pub fn thread_count() -> usize {
 /// platforms, and — crucially — a pure function of `(seed, index)`, so a
 /// unit draws the same stream no matter which thread runs it.
 pub fn split_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    use tangled_crypto::hash::{mix64, GOLDEN_GAMMA};
+    mix64(seed.wrapping_add(GOLDEN_GAMMA.wrapping_mul(index.wrapping_add(1))))
 }
 
 /// A fixed-width scoped-thread pool.

@@ -237,6 +237,37 @@ impl ValidationIndex {
     pub fn total(&self) -> u32 {
         self.total
     }
+
+    /// The raw per-root validation tallies (Figure 3's data).
+    pub fn per_root(&self) -> &HashMap<CertIdentity, u32> {
+        &self.per_root
+    }
+
+    /// The raw per-root session-volume tallies.
+    pub fn per_root_sessions(&self) -> &HashMap<CertIdentity, u64> {
+        &self.per_root_sessions
+    }
+
+    /// Reassemble an index from persisted tallies — the inverse of the
+    /// accessors above, used by the snapshot reader so a warm start never
+    /// re-validates the ecosystem.
+    pub fn from_parts(
+        per_root: HashMap<CertIdentity, u32>,
+        per_root_sessions: HashMap<CertIdentity, u64>,
+        validated_total: u32,
+        total_non_expired: u32,
+        total: u32,
+        total_sessions: u64,
+    ) -> ValidationIndex {
+        ValidationIndex {
+            per_root,
+            per_root_sessions,
+            validated_total,
+            total_non_expired,
+            total,
+            total_sessions,
+        }
+    }
 }
 
 /// Partial tallies over one contiguous shard of the population.

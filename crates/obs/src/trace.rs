@@ -29,20 +29,15 @@ pub const EVENT_KINDS: [&str; 5] =
     ["run_start", "span_start", "span_end", "point", "quarantine"];
 
 /// Derive the deterministic span ID for a work unit: FNV-1a over the
-/// stage name, mixed with the seed and unit index through a
-/// SplitMix64-style finalizer. A pure function of its arguments.
+/// stage name, mixed with the seed and unit index through the SplitMix64
+/// finalizer (both from the shared [`tangled_crypto::hash`] module). A
+/// pure function of its arguments.
 pub fn span_id(seed: u64, stage: &str, unit: u64) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in stage.as_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    let mut z = h
-        ^ seed.rotate_left(32)
-        ^ unit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    let h = tangled_crypto::hash::fnv1a(stage.as_bytes());
+    tangled_crypto::hash::mix64(
+        h ^ seed.rotate_left(32)
+            ^ unit.wrapping_mul(tangled_crypto::hash::GOLDEN_GAMMA),
+    )
 }
 
 /// Render a span ID the way the event log does: 16 lowercase hex chars.

@@ -376,14 +376,12 @@ fn installers_for(name: &str, hint: &str) -> Vec<(Figure2Row, f64)> {
     }
 }
 
-/// Small deterministic string hash (FNV-1a over name and hint).
+/// Small deterministic string hash: shared FNV-1a over name, a NUL
+/// separator, and hint.
 fn fxhash(name: &str, hint: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes().chain([0]).chain(hint.bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    let mut h = tangled_crypto::hash::Fnv1a::new();
+    h.update(name.as_bytes()).update(&[0]).update(hint.as_bytes());
+    h.finish()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,335 @@
+//! The trustd swap journal: an append-only write-ahead log.
+//!
+//! File layout: the 8-byte magic `TNGLJRN1`, then zero or more frames.
+//! Each frame is
+//!
+//! ```text
+//! | body len u32 LE | fnv1a(body) u64 LE | body (JSON)  |
+//! ```
+//!
+//! where the body is one serialized [`SwapRecord`] — the profile name,
+//! the epoch the swap produced, and the full [`StoreSnapshot`] that was
+//! installed. [`Journal::append`] writes the frame and then `fsync`s
+//! before returning, and trustd only publishes the new store *after*
+//! append returns — write-ahead order, so every epoch the live index
+//! ever served is on disk.
+//!
+//! Recovery distinguishes two kinds of damage:
+//!
+//! * a **torn tail** — the file ends mid-frame (a crash between write
+//!   and sync, or a frame header that is garbage/implausibly long). The
+//!   incomplete bytes are truncated away and replay proceeds with every
+//!   frame before them; [`Recovery`] reports what was dropped.
+//! * a **corrupt interior** — a complete frame whose body fails its
+//!   checksum or does not parse. That is not a crash artifact, it is
+//!   data loss; recovery hard-fails with a classified [`SnapError`].
+
+use crate::SnapError;
+use std::io::{Read, Write};
+use tangled_crypto::hash::fnv1a;
+use tangled_pki::store::StoreSnapshot;
+
+/// The journal file magic.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"TNGLJRN1";
+
+/// Frame header size: body length (u32) plus checksum (u64).
+const FRAME_HEADER: usize = 12;
+
+/// Upper bound on a frame body. Real swap bodies are a few KiB of JSON;
+/// a declared length beyond this is a garbage header, treated as a torn
+/// tail rather than an allocation request.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One journalled swap: what was installed and the epoch it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapRecord {
+    /// The profile the store was installed under.
+    pub profile: String,
+    /// The index epoch the install produced.
+    pub epoch: u64,
+    /// The full store content that was installed.
+    pub store: StoreSnapshot,
+}
+
+impl serde_json::Serialize for SwapRecord {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "profile": self.profile.as_str(),
+            "epoch": self.epoch,
+            "store": self.store.to_json_value(),
+        })
+    }
+}
+
+impl serde_json::Deserialize for SwapRecord {
+    fn from_json_value(value: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let profile = value["profile"]
+            .as_str()
+            .ok_or_else(|| serde_json::Error::msg("missing string field `profile`"))?
+            .to_owned();
+        let epoch = value["epoch"]
+            .as_u64()
+            .ok_or_else(|| serde_json::Error::msg("missing integer field `epoch`"))?;
+        let store = StoreSnapshot::from_json_value(&value["store"])?;
+        Ok(SwapRecord {
+            profile,
+            epoch,
+            store,
+        })
+    }
+}
+
+/// What [`Journal::open`] had to do to make the file consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Recovery {
+    /// A torn final frame was truncated away.
+    pub truncated: bool,
+    /// Bytes dropped by the truncation.
+    pub dropped_bytes: u64,
+}
+
+/// An open journal, positioned for appends.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Open (creating if absent) a journal, returning the replayable
+    /// records and what recovery did.
+    ///
+    /// A new or empty file gets the magic written and synced. An
+    /// existing file is scanned frame by frame: a torn tail is truncated
+    /// (crash recovery), a complete-but-corrupt frame is a hard error.
+    pub fn open(path: &str) -> Result<(Journal, Vec<SwapRecord>, Recovery), SnapError> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+
+        if data.is_empty() {
+            file.write_all(&JOURNAL_MAGIC)?;
+            file.sync_data()?;
+            return Ok((Journal { file }, Vec::new(), Recovery::default()));
+        }
+        if data.len() < JOURNAL_MAGIC.len() || data[..8] != JOURNAL_MAGIC {
+            return Err(SnapError::BadJournalMagic);
+        }
+
+        let mut records = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        let mut recovery = Recovery::default();
+        while pos < data.len() {
+            let remaining = data.len() - pos;
+            let frame = parse_frame(&data[pos..]);
+            match frame {
+                Ok((record, consumed)) => {
+                    records.push(record);
+                    pos += consumed;
+                }
+                Err(FrameError::Torn) => {
+                    // A crash mid-append: drop the incomplete tail and
+                    // keep everything before it.
+                    recovery.truncated = true;
+                    recovery.dropped_bytes = remaining as u64;
+                    file.set_len(pos as u64)?;
+                    file.sync_data()?;
+                    tangled_obs::registry::add("journal.torn_tails", 1);
+                    break;
+                }
+                Err(FrameError::Fatal(e)) => return Err(e),
+            }
+        }
+        Ok((Journal { file }, records, recovery))
+    }
+
+    /// Frame, append and fsync one swap. Returns only after the bytes
+    /// are durable — callers install the store *after* this returns.
+    pub fn append(&mut self, record: &SwapRecord) -> Result<(), SnapError> {
+        let body = serde_json::to_string(record)
+            .expect("swap record serializes")
+            .into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        tangled_obs::registry::add("journal.appends", 1);
+        Ok(())
+    }
+}
+
+enum FrameError {
+    /// The bytes end mid-frame (or the header is garbage): crash tail.
+    Torn,
+    /// A complete frame is corrupt: unrecoverable.
+    Fatal(SnapError),
+}
+
+/// Parse one frame from the front of `buf`, returning the record and
+/// the bytes consumed.
+fn parse_frame(buf: &[u8]) -> Result<(SwapRecord, usize), FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::Torn);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(FrameError::Torn);
+    }
+    let checksum = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let end = FRAME_HEADER + len as usize;
+    if buf.len() < end {
+        return Err(FrameError::Torn);
+    }
+    let body = &buf[FRAME_HEADER..end];
+    if fnv1a(body) != checksum {
+        return Err(FrameError::Fatal(SnapError::ChecksumMismatch {
+            section: "journal",
+        }));
+    }
+    let text = std::str::from_utf8(body).map_err(|_| {
+        FrameError::Fatal(SnapError::Malformed {
+            section: "journal",
+            detail: "frame body is not utf-8",
+        })
+    })?;
+    let record: SwapRecord = serde_json::from_str(text).map_err(|_| {
+        FrameError::Fatal(SnapError::Malformed {
+            section: "journal",
+            detail: "frame body is not a swap record",
+        })
+    })?;
+    Ok((record, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_pki::factory::CaFactory;
+    use tangled_pki::store::RootStore;
+    use tangled_pki::trust::AnchorSource;
+
+    fn sample_record(epoch: u64) -> SwapRecord {
+        let mut f = CaFactory::new();
+        let mut store = RootStore::new(&format!("journal test {epoch}"));
+        store.add_cert(f.root(&format!("Journal CA {epoch}")), AnchorSource::User);
+        SwapRecord {
+            profile: "user".into(),
+            epoch,
+            store: store.snapshot(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> String {
+        let dir = std::env::temp_dir().join("tangled-snap-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.jrn", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let path = temp_path("replay");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, records, rec) = Journal::open(&path).unwrap();
+            assert!(records.is_empty());
+            assert!(!rec.truncated);
+            for epoch in 7..10 {
+                j.append(&sample_record(epoch)).unwrap();
+            }
+        }
+        let (_, records, rec) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(!rec.truncated);
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(records[0].store.name, "journal test 7");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_replay() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _, _) = Journal::open(&path).unwrap();
+            j.append(&sample_record(7)).unwrap();
+            j.append(&sample_record(8)).unwrap();
+        }
+        // Tear the final frame: chop bytes off the end of the file.
+        let data = std::fs::read(&path).unwrap();
+        let full = data.len();
+        std::fs::write(&path, &data[..full - 20]).unwrap();
+
+        let (_, records, rec) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the intact frame survives");
+        assert_eq!(records[0].epoch, 7);
+        assert!(rec.truncated);
+        assert!(rec.dropped_bytes > 0);
+        // The truncation is durable: a second open sees a clean file.
+        let (_, records, rec) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(!rec.truncated);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_header_counts_as_torn() {
+        let path = temp_path("garbage-header");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _, _) = Journal::open(&path).unwrap();
+            j.append(&sample_record(7)).unwrap();
+        }
+        // Append a frame header declaring an implausible length.
+        let mut data = std::fs::read(&path).unwrap();
+        let clean = data.len();
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&[0xAB; 30]);
+        std::fs::write(&path, &data).unwrap();
+
+        let (_, records, rec) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(rec.truncated);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_fatal_not_truncated() {
+        let path = temp_path("interior");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _, _) = Journal::open(&path).unwrap();
+            j.append(&sample_record(7)).unwrap();
+            j.append(&sample_record(8)).unwrap();
+        }
+        // Flip a byte inside the *first* frame's body.
+        let mut data = std::fs::read(&path).unwrap();
+        data[8 + FRAME_HEADER + 5] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+
+        let err = Journal::open(&path).unwrap_err();
+        assert_eq!(err.label(), "checksum-mismatch");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_classified() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAJRNL extra bytes").unwrap();
+        assert_eq!(
+            Journal::open(&path).unwrap_err(),
+            SnapError::BadJournalMagic
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,775 @@
+//! Encoding and decoding a whole [`Study`] through the container.
+//!
+//! The corpus section stores every certificate's exact DER once; every
+//! other section references certificates by corpus index, so the
+//! `Arc`-sharing structure of the live objects (chains, store anchors,
+//! universe roots) is rebuilt on load by parsing each blob exactly once.
+//! The corpus order is the first-encounter order of one canonical walk
+//! (Notary chains, intermediates, universe roots, then store anchors),
+//! which is a pure function of the study — no pointer values, clocks or
+//! RNG — so the emitted file is byte-identical run to run and at any
+//! encoding pool width: sections encode in parallel on the ambient
+//! [`ExecPool`] but each section's bytes depend only on the study, and
+//! [`crate::container::assemble`] lays them out in fixed id order.
+//!
+//! What the snapshot deliberately does *not* carry: the [`NotaryDb`]
+//! (rebuilt from the decoded ecosystem — it is a cheap derived view) and
+//! the raw fault-injection ledger (`Study::injected`; the aggregated
+//! `RunHealth` section preserves everything the export schema reads).
+
+use crate::container::{assemble, SectionId, Snapshot};
+use crate::wire::{put_bytes, put_str, put_varint, put_varint_i64, Cursor};
+use crate::SnapError;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tangled_asn1::Time;
+use tangled_core::health::RunHealth;
+use tangled_core::Study;
+use tangled_exec::ExecPool;
+use tangled_netalyzr::device::{Device, DeviceId};
+use tangled_netalyzr::session::{NetworkKind, Session};
+use tangled_netalyzr::Population;
+use tangled_notary::ecosystem::{Ecosystem, NotaryCert, Service};
+use tangled_notary::{NotaryDb, ValidationIndex};
+use tangled_pki::store::RootStore;
+use tangled_pki::stores::ReferenceStore;
+use tangled_pki::trust::{AnchorSource, TrustAnchor, TrustBits};
+use tangled_pki::vocab::{AndroidVersion, Manufacturer, Operator};
+use tangled_x509::{CertIdentity, Certificate};
+use tangled_crypto::Uint;
+
+/// What a write produced — the CLI's report.
+pub struct SnapSummary {
+    /// Total file size.
+    pub bytes: usize,
+    /// Per-section `(name, body length, checksum)` rows in file order.
+    pub sections: Vec<(&'static str, u64, u64)>,
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags. Explicit, exhaustive, and frozen: these are file format.
+// ---------------------------------------------------------------------------
+
+fn service_tag(s: Service) -> u8 {
+    match s {
+        Service::Https => 0,
+        Service::Smtp => 1,
+        Service::Imap => 2,
+        Service::Xmpp => 3,
+        Service::Other => 4,
+    }
+}
+
+fn service_from(tag: u8) -> Option<Service> {
+    Service::ALL.into_iter().find(|&s| service_tag(s) == tag)
+}
+
+fn source_tag(s: AnchorSource) -> u8 {
+    match s {
+        AnchorSource::Aosp => 0,
+        AnchorSource::Manufacturer => 1,
+        AnchorSource::Operator => 2,
+        AnchorSource::User => 3,
+        AnchorSource::RootApp => 4,
+        AnchorSource::Unknown => 5,
+    }
+}
+
+const ALL_SOURCES: [AnchorSource; 6] = [
+    AnchorSource::Aosp,
+    AnchorSource::Manufacturer,
+    AnchorSource::Operator,
+    AnchorSource::User,
+    AnchorSource::RootApp,
+    AnchorSource::Unknown,
+];
+
+fn source_from(tag: u8) -> Option<AnchorSource> {
+    ALL_SOURCES.into_iter().find(|&s| source_tag(s) == tag)
+}
+
+fn trust_tag(t: TrustBits) -> u8 {
+    u8::from(t.tls_server) | (u8::from(t.email) << 1) | (u8::from(t.code_signing) << 2)
+}
+
+fn trust_from(tag: u8) -> Option<TrustBits> {
+    if tag > 7 {
+        return None;
+    }
+    Some(TrustBits {
+        tls_server: tag & 1 != 0,
+        email: tag & 2 != 0,
+        code_signing: tag & 4 != 0,
+    })
+}
+
+const ALL_MANUFACTURERS: [Manufacturer; 11] = [
+    Manufacturer::Samsung,
+    Manufacturer::Lg,
+    Manufacturer::Asus,
+    Manufacturer::Htc,
+    Manufacturer::Motorola,
+    Manufacturer::Sony,
+    Manufacturer::Huawei,
+    Manufacturer::Lenovo,
+    Manufacturer::Compal,
+    Manufacturer::Pantech,
+    Manufacturer::Other,
+];
+
+fn manufacturer_tag(m: Manufacturer) -> u8 {
+    ALL_MANUFACTURERS
+        .iter()
+        .position(|&x| x == m)
+        .expect("manufacturer enumerated") as u8
+}
+
+fn manufacturer_from(tag: u8) -> Option<Manufacturer> {
+    ALL_MANUFACTURERS.get(tag as usize).copied()
+}
+
+fn version_tag(v: AndroidVersion) -> u8 {
+    AndroidVersion::ALL
+        .iter()
+        .position(|&x| x == v)
+        .expect("version enumerated") as u8
+}
+
+fn version_from(tag: u8) -> Option<AndroidVersion> {
+    AndroidVersion::ALL.get(tag as usize).copied()
+}
+
+const ALL_OPERATORS: [Operator; 13] = [
+    Operator::ThreeUk,
+    Operator::AttUs,
+    Operator::BouyguesFr,
+    Operator::EeUk,
+    Operator::FreeFr,
+    Operator::OrangeFr,
+    Operator::SfrFr,
+    Operator::SprintUs,
+    Operator::TmobileUs,
+    Operator::TelstraAu,
+    Operator::VerizonUs,
+    Operator::VodafoneDe,
+    Operator::Other,
+];
+
+fn operator_tag(o: Operator) -> u8 {
+    ALL_OPERATORS
+        .iter()
+        .position(|&x| x == o)
+        .expect("operator enumerated") as u8
+}
+
+fn operator_from(tag: u8) -> Option<Operator> {
+    ALL_OPERATORS.get(tag as usize).copied()
+}
+
+fn network_tag(n: NetworkKind) -> u8 {
+    match n {
+        NetworkKind::Wifi => 0,
+        NetworkKind::Cellular => 1,
+    }
+}
+
+fn network_from(tag: u8) -> Option<NetworkKind> {
+    match tag {
+        0 => Some(NetworkKind::Wifi),
+        1 => Some(NetworkKind::Cellular),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: first-encounter walk over every certificate the study holds.
+// ---------------------------------------------------------------------------
+
+/// Deduplicated DER corpus plus the bytes→index map sections encode with.
+struct Corpus<'a> {
+    ders: Vec<&'a [u8]>,
+    index: HashMap<&'a [u8], u32>,
+}
+
+impl<'a> Corpus<'a> {
+    fn intern(&mut self, cert: &'a Certificate) -> u32 {
+        let der = cert.to_der();
+        if let Some(&i) = self.index.get(der) {
+            return i;
+        }
+        let i = self.ders.len() as u32;
+        self.ders.push(der);
+        self.index.insert(der, i);
+        i
+    }
+
+    fn of(&self, cert: &Certificate) -> u32 {
+        *self
+            .index
+            .get(cert.to_der())
+            .expect("every certificate was interned by the walk")
+    }
+}
+
+/// The canonical certificate walk. Any cert reachable from the study
+/// must be interned here, in an order that is a pure function of the
+/// study's contents.
+fn build_corpus<'a>(study: &'a Study, stores: &'a [Arc<RootStore>]) -> Corpus<'a> {
+    let mut corpus = Corpus {
+        ders: Vec::new(),
+        index: HashMap::new(),
+    };
+    for nc in &study.ecosystem.certs {
+        for cert in &nc.chain {
+            corpus.intern(cert);
+        }
+    }
+    for cert in &study.ecosystem.intermediates {
+        corpus.intern(cert);
+    }
+    for cert in &study.ecosystem.universe_roots {
+        corpus.intern(cert);
+    }
+    for store in stores {
+        for anchor in store.iter() {
+            corpus.intern(&anchor.cert);
+        }
+    }
+    corpus
+}
+
+/// The store list a snapshot carries: the six reference profiles first
+/// (in [`ReferenceStore::ALL`] order — trustd's warm start depends on
+/// this), then every distinct device store, in first-device order.
+///
+/// Stores are deduplicated by `Arc` identity, **not** by name: the §5.2
+/// sprinkle clones a firmware store per device under the shared name
+/// "<firmware> (+unusual)", so same-named stores can hold different
+/// anchors. Pointer identity is safe for determinism because the dedup
+/// outcome depends only on the population's (deterministic) Arc-sharing
+/// structure, never on the pointer values themselves. Returns the list
+/// plus a pointer-keyed index used to wire devices to table slots.
+fn store_list(population: &Population) -> (Vec<Arc<RootStore>>, HashMap<usize, u32>) {
+    let mut list: Vec<Arc<RootStore>> =
+        ReferenceStore::ALL.into_iter().map(|rs| rs.cached()).collect();
+    let mut index: HashMap<usize, u32> = list
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (Arc::as_ptr(s) as usize, i as u32))
+        .collect();
+    for d in &population.devices {
+        let key = Arc::as_ptr(&d.store) as usize;
+        if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(key) {
+            slot.insert(list.len() as u32);
+            list.push(Arc::clone(&d.store));
+        }
+    }
+    (list, index)
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders. Each returns one body; all are pure functions of the
+// study (plus the corpus map), so they parallelise freely.
+// ---------------------------------------------------------------------------
+
+fn encode_meta(study: &Study, corpus: &Corpus<'_>, stores: &[Arc<RootStore>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, corpus.ders.len() as u64);
+    put_varint(&mut out, study.ecosystem.certs.len() as u64);
+    put_varint(&mut out, study.ecosystem.intermediates.len() as u64);
+    put_varint(&mut out, study.ecosystem.universe_roots.len() as u64);
+    put_varint(&mut out, stores.len() as u64);
+    put_varint(&mut out, study.population.devices.len() as u64);
+    put_varint(&mut out, study.population.sessions.len() as u64);
+    put_varint(&mut out, u64::from(study.validation.validated_total()));
+    out
+}
+
+fn encode_corpus(corpus: &Corpus<'_>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, corpus.ders.len() as u64);
+    for der in &corpus.ders {
+        put_bytes(&mut out, der);
+    }
+    out
+}
+
+fn encode_ecosystem(eco: &Ecosystem, corpus: &Corpus<'_>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, eco.certs.len() as u64);
+    for nc in &eco.certs {
+        put_varint(&mut out, nc.chain.len() as u64);
+        for cert in &nc.chain {
+            put_varint(&mut out, u64::from(corpus.of(cert)));
+        }
+        put_varint(&mut out, nc.sessions);
+        out.push(service_tag(nc.service));
+    }
+    put_varint(&mut out, eco.intermediates.len() as u64);
+    for cert in &eco.intermediates {
+        put_varint(&mut out, u64::from(corpus.of(cert)));
+    }
+    put_varint(&mut out, eco.universe_roots.len() as u64);
+    for cert in &eco.universe_roots {
+        put_varint(&mut out, u64::from(corpus.of(cert)));
+    }
+    out
+}
+
+fn encode_stores(stores: &[Arc<RootStore>], corpus: &Corpus<'_>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, stores.len() as u64);
+    for store in stores {
+        put_str(&mut out, store.name());
+        put_varint(&mut out, store.len() as u64);
+        for anchor in store.iter() {
+            put_varint(&mut out, u64::from(corpus.of(&anchor.cert)));
+            out.push(source_tag(anchor.source));
+            out.push(u8::from(anchor.enabled));
+            out.push(trust_tag(anchor.trust));
+        }
+    }
+    out
+}
+
+fn put_identity(out: &mut Vec<u8>, id: &CertIdentity) {
+    put_str(out, &id.subject);
+    put_bytes(out, &id.modulus.to_be_bytes());
+}
+
+fn encode_population(pop: &Population, store_index: &HashMap<usize, u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, pop.devices.len() as u64);
+    for d in &pop.devices {
+        put_varint(&mut out, u64::from(d.id.0));
+        put_str(&mut out, &d.model);
+        out.push(manufacturer_tag(d.manufacturer));
+        out.push(version_tag(d.os_version));
+        out.push(operator_tag(d.operator));
+        out.push(u8::from(d.rooted));
+        let store = store_index
+            .get(&(Arc::as_ptr(&d.store) as usize))
+            .expect("device store is in the store list");
+        put_varint(&mut out, u64::from(*store));
+        put_varint(&mut out, d.removed_aosp.len() as u64);
+        for id in &d.removed_aosp {
+            put_identity(&mut out, id);
+        }
+    }
+    put_varint(&mut out, pop.sessions.len() as u64);
+    for s in &pop.sessions {
+        put_varint(&mut out, u64::from(s.index));
+        put_varint(&mut out, u64::from(s.device.0));
+        put_varint_i64(&mut out, s.at.to_unix());
+        out.push(network_tag(s.network));
+    }
+    out
+}
+
+fn encode_validation(validation: &ValidationIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, u64::from(validation.validated_total()));
+    put_varint(&mut out, u64::from(validation.total_non_expired()));
+    put_varint(&mut out, u64::from(validation.total()));
+    put_varint(&mut out, validation.total_sessions());
+
+    // Union of both tally keyrings, sorted canonically so the section
+    // bytes never depend on HashMap iteration order.
+    let mut ids: Vec<&CertIdentity> = validation
+        .per_root()
+        .keys()
+        .chain(validation.per_root_sessions().keys())
+        .collect();
+    ids.sort_by(|a, b| {
+        (&a.subject, a.modulus.to_be_bytes()).cmp(&(&b.subject, b.modulus.to_be_bytes()))
+    });
+    ids.dedup_by(|a, b| a == b);
+    put_varint(&mut out, ids.len() as u64);
+    for id in ids {
+        put_identity(&mut out, id);
+        put_varint(&mut out, u64::from(validation.root_count(id)));
+        put_varint(&mut out, validation.root_sessions(id));
+    }
+    out
+}
+
+fn encode_health(health: &RunHealth) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, health.injected.len() as u64);
+    for (kind, n) in &health.injected {
+        put_str(&mut out, kind);
+        put_varint(&mut out, u64::from(*n));
+    }
+    put_varint(&mut out, health.quarantined.len() as u64);
+    for (stage, errors) in &health.quarantined {
+        put_str(&mut out, stage);
+        put_varint(&mut out, errors.len() as u64);
+        for (label, n) in errors {
+            put_str(&mut out, label);
+            put_varint(&mut out, u64::from(*n));
+        }
+    }
+    out
+}
+
+/// Encode a study into container bytes, sharding section encoding over
+/// `pool`. The output is byte-identical at every pool width.
+pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
+    let (stores, store_index) = store_list(&study.population);
+    let corpus = build_corpus(study, &stores);
+
+    let ids = SectionId::ALL;
+    let bodies = pool.par_map_indexed(&ids, |_, id| match id {
+        SectionId::Meta => encode_meta(study, &corpus, &stores),
+        SectionId::Corpus => encode_corpus(&corpus),
+        SectionId::Ecosystem => encode_ecosystem(&study.ecosystem, &corpus),
+        SectionId::Stores => encode_stores(&stores, &corpus),
+        SectionId::Population => encode_population(&study.population, &store_index),
+        SectionId::Validation => encode_validation(&study.validation),
+        SectionId::Health => encode_health(&study.health),
+    });
+    let sections: Vec<(SectionId, Vec<u8>)> = ids.into_iter().zip(bodies).collect();
+    assemble(&sections)
+}
+
+/// Write a study snapshot to `path` on the ambient pool, returning the
+/// per-section summary.
+pub fn write_study(study: &Study, path: &str) -> Result<SnapSummary, SnapError> {
+    let started = std::time::Instant::now();
+    let bytes = encode_study(study, &ExecPool::current());
+    std::fs::write(path, &bytes)?;
+    let snap = Snapshot::parse(bytes).expect("own output parses");
+    tangled_obs::registry::add("snap.writes", 1);
+    tangled_obs::registry::observe("snap.write.us", started.elapsed().as_micros() as u64);
+    Ok(SnapSummary {
+        bytes: snap.size(),
+        sections: snap
+            .entries()
+            .iter()
+            .map(|e| {
+                let name = SectionId::ALL
+                    .into_iter()
+                    .find(|s| s.tag() == e.tag)
+                    .map(SectionId::name)
+                    .unwrap_or("unknown");
+                (name, e.len, e.checksum)
+            })
+            .collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+/// Parse every corpus blob once, in parallel, yielding shared `Arc`s in
+/// corpus-index order.
+fn decode_corpus(snap: &Snapshot) -> Result<Vec<Arc<Certificate>>, SnapError> {
+    let body = snap.section(SectionId::Corpus)?;
+    let mut c = Cursor::new(body, "corpus");
+    let count = c.count()?;
+    let mut ders = Vec::with_capacity(count);
+    for _ in 0..count {
+        ders.push(c.bytes()?);
+    }
+    c.finish()?;
+    let parsed = ExecPool::current().par_map_indexed(&ders, |_, der| {
+        Certificate::parse(der).map(Arc::new)
+    });
+    parsed
+        .into_iter()
+        .map(|r| {
+            r.map_err(|_| SnapError::Malformed {
+                section: "corpus",
+                detail: "certificate fails to parse",
+            })
+        })
+        .collect()
+}
+
+fn cert_at<'a>(
+    corpus: &'a [Arc<Certificate>],
+    index: u64,
+    c: &Cursor<'_>,
+) -> Result<&'a Arc<Certificate>, SnapError> {
+    corpus
+        .get(index as usize)
+        .ok_or_else(|| c.malformed("corpus index out of range"))
+}
+
+fn decode_ecosystem(
+    snap: &Snapshot,
+    corpus: &[Arc<Certificate>],
+) -> Result<Ecosystem, SnapError> {
+    let body = snap.section(SectionId::Ecosystem)?;
+    let mut c = Cursor::new(body, "ecosystem");
+    let n_certs = c.count()?;
+    let mut certs = Vec::with_capacity(n_certs);
+    for _ in 0..n_certs {
+        let chain_len = c.count()?;
+        if chain_len == 0 {
+            return Err(c.malformed("empty chain"));
+        }
+        let mut chain = Vec::with_capacity(chain_len);
+        for _ in 0..chain_len {
+            let idx = c.varint()?;
+            chain.push(Arc::clone(cert_at(corpus, idx, &c)?));
+        }
+        let sessions = c.varint()?;
+        let service = service_from(c.u8()?).ok_or_else(|| c.malformed("bad service tag"))?;
+        certs.push(NotaryCert {
+            chain,
+            sessions,
+            service,
+        });
+    }
+    let n_inter = c.count()?;
+    let mut intermediates = Vec::with_capacity(n_inter);
+    for _ in 0..n_inter {
+        let idx = c.varint()?;
+        intermediates.push(Arc::clone(cert_at(corpus, idx, &c)?));
+    }
+    let n_universe = c.count()?;
+    let mut universe_roots = Vec::with_capacity(n_universe);
+    for _ in 0..n_universe {
+        let idx = c.varint()?;
+        universe_roots.push(Arc::clone(cert_at(corpus, idx, &c)?));
+    }
+    c.finish()?;
+    Ok(Ecosystem {
+        certs,
+        intermediates,
+        universe_roots,
+    })
+}
+
+fn decode_stores_inner(
+    snap: &Snapshot,
+    corpus: &[Arc<Certificate>],
+) -> Result<Vec<Arc<RootStore>>, SnapError> {
+    let body = snap.section(SectionId::Stores)?;
+    let mut c = Cursor::new(body, "stores");
+    let n_stores = c.count()?;
+    let mut stores = Vec::with_capacity(n_stores);
+    for _ in 0..n_stores {
+        let name = c.str()?;
+        let n_anchors = c.count()?;
+        let mut store = RootStore::new(&name);
+        for _ in 0..n_anchors {
+            let idx = c.varint()?;
+            let cert = Arc::clone(cert_at(corpus, idx, &c)?);
+            let source = source_from(c.u8()?).ok_or_else(|| c.malformed("bad source tag"))?;
+            let enabled = c.u8()? != 0;
+            let trust = trust_from(c.u8()?).ok_or_else(|| c.malformed("bad trust tag"))?;
+            let mut anchor = TrustAnchor::new(cert, source);
+            anchor.enabled = enabled;
+            anchor.trust = trust;
+            if !store.add(anchor) {
+                return Err(c.malformed("duplicate anchor identity in store"));
+            }
+        }
+        stores.push(Arc::new(store));
+    }
+    c.finish()?;
+    Ok(stores)
+}
+
+/// Decode just the root stores of a snapshot (the trustd warm-start
+/// path: no population or ecosystem materialisation). The first six
+/// entries are the reference profiles in [`ReferenceStore::ALL`] order.
+pub fn decode_stores(snap: &Snapshot) -> Result<Vec<Arc<RootStore>>, SnapError> {
+    let corpus = decode_corpus(snap)?;
+    decode_stores_inner(snap, &corpus)
+}
+
+fn read_identity(c: &mut Cursor<'_>) -> Result<CertIdentity, SnapError> {
+    let subject = c.str()?;
+    let modulus = Uint::from_be_bytes(c.bytes()?);
+    Ok(CertIdentity { subject, modulus })
+}
+
+fn decode_population(
+    snap: &Snapshot,
+    stores: &[Arc<RootStore>],
+) -> Result<Population, SnapError> {
+    let body = snap.section(SectionId::Population)?;
+    let mut c = Cursor::new(body, "population");
+    let n_devices = c.count()?;
+    let mut devices = Vec::with_capacity(n_devices);
+    for _ in 0..n_devices {
+        let id = DeviceId(u32::try_from(c.varint()?).map_err(|_| c.malformed("device id"))?);
+        let model = c.str()?;
+        let manufacturer =
+            manufacturer_from(c.u8()?).ok_or_else(|| c.malformed("bad manufacturer tag"))?;
+        let os_version = version_from(c.u8()?).ok_or_else(|| c.malformed("bad version tag"))?;
+        let operator = operator_from(c.u8()?).ok_or_else(|| c.malformed("bad operator tag"))?;
+        let rooted = c.u8()? != 0;
+        let store_idx = c.varint()? as usize;
+        let store = stores
+            .get(store_idx)
+            .ok_or_else(|| c.malformed("store index out of range"))?;
+        let n_removed = c.count()?;
+        let mut removed_aosp = Vec::with_capacity(n_removed);
+        for _ in 0..n_removed {
+            removed_aosp.push(read_identity(&mut c)?);
+        }
+        devices.push(Device {
+            id,
+            model,
+            manufacturer,
+            os_version,
+            operator,
+            rooted,
+            store: Arc::clone(store),
+            removed_aosp,
+        });
+    }
+    let n_sessions = c.count()?;
+    let mut sessions = Vec::with_capacity(n_sessions);
+    for _ in 0..n_sessions {
+        let index = u32::try_from(c.varint()?).map_err(|_| c.malformed("session index"))?;
+        let device =
+            DeviceId(u32::try_from(c.varint()?).map_err(|_| c.malformed("session device"))?);
+        if device.0 as usize >= devices.len() {
+            return Err(c.malformed("session device out of range"));
+        }
+        let at = Time::from_unix(c.varint_i64()?);
+        let network = network_from(c.u8()?).ok_or_else(|| c.malformed("bad network tag"))?;
+        sessions.push(Session {
+            index,
+            device,
+            at,
+            network,
+        });
+    }
+    c.finish()?;
+    Ok(Population { devices, sessions })
+}
+
+fn decode_validation(snap: &Snapshot) -> Result<ValidationIndex, SnapError> {
+    let body = snap.section(SectionId::Validation)?;
+    let mut c = Cursor::new(body, "validation");
+    let validated_total =
+        u32::try_from(c.varint()?).map_err(|_| c.malformed("validated_total"))?;
+    let total_non_expired =
+        u32::try_from(c.varint()?).map_err(|_| c.malformed("total_non_expired"))?;
+    let total = u32::try_from(c.varint()?).map_err(|_| c.malformed("total"))?;
+    let total_sessions = c.varint()?;
+    let n = c.count()?;
+    let mut per_root = HashMap::with_capacity(n);
+    let mut per_root_sessions = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let id = read_identity(&mut c)?;
+        let count = u32::try_from(c.varint()?).map_err(|_| c.malformed("root count"))?;
+        let sessions = c.varint()?;
+        if count > 0 {
+            per_root.insert(id.clone(), count);
+        }
+        if sessions > 0 {
+            per_root_sessions.insert(id, sessions);
+        }
+    }
+    c.finish()?;
+    Ok(ValidationIndex::from_parts(
+        per_root,
+        per_root_sessions,
+        validated_total,
+        total_non_expired,
+        total,
+        total_sessions,
+    ))
+}
+
+fn decode_health(snap: &Snapshot) -> Result<RunHealth, SnapError> {
+    let body = snap.section(SectionId::Health)?;
+    let mut c = Cursor::new(body, "health");
+    let mut health = RunHealth::new();
+    let n_injected = c.count()?;
+    for _ in 0..n_injected {
+        let kind = c.str()?;
+        let count = u32::try_from(c.varint()?).map_err(|_| c.malformed("injected count"))?;
+        *health.injected.entry(kind).or_default() += count;
+    }
+    let n_stages = c.count()?;
+    for _ in 0..n_stages {
+        let stage = c.str()?;
+        let n_labels = c.count()?;
+        let entry = health.quarantined.entry(stage).or_default();
+        for _ in 0..n_labels {
+            let label = c.str()?;
+            let count =
+                u32::try_from(c.varint()?).map_err(|_| c.malformed("quarantined count"))?;
+            *entry.entry(label).or_default() += count;
+        }
+    }
+    c.finish()?;
+    Ok(health)
+}
+
+/// Decode a full study from a parsed container.
+///
+/// The corpus is parsed once (in parallel); chains, store anchors and
+/// universe roots all share those `Arc`s, and devices share their
+/// store's `Arc` by store index — the live object graph's sharing
+/// structure survives the round trip. The [`NotaryDb`] is rebuilt from
+/// the decoded ecosystem; the raw injection ledger is not persisted, so
+/// `injected` is empty on a loaded study (its aggregate, the health
+/// section, is).
+pub fn decode_study(snap: &Snapshot) -> Result<Study, SnapError> {
+    let started = std::time::Instant::now();
+    let corpus = decode_corpus(snap)?;
+    let ecosystem = decode_ecosystem(snap, &corpus)?;
+    let stores = decode_stores_inner(snap, &corpus)?;
+    let population = decode_population(snap, &stores)?;
+    let validation = decode_validation(snap)?;
+    let health = decode_health(snap)?;
+    let db = NotaryDb::build(&ecosystem);
+    tangled_obs::registry::add("snap.loads", 1);
+    tangled_obs::registry::observe("snap.load.us", started.elapsed().as_micros() as u64);
+    Ok(Study {
+        population,
+        ecosystem,
+        validation,
+        db,
+        health,
+        injected: Vec::new(),
+    })
+}
+
+/// Open a snapshot file and decode the study it holds.
+pub fn load_study(path: &str) -> Result<Study, SnapError> {
+    decode_study(&Snapshot::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tags_round_trip_exhaustively() {
+        for s in Service::ALL {
+            assert_eq!(service_from(service_tag(s)), Some(s));
+        }
+        for s in ALL_SOURCES {
+            assert_eq!(source_from(source_tag(s)), Some(s));
+        }
+        for m in ALL_MANUFACTURERS {
+            assert_eq!(manufacturer_from(manufacturer_tag(m)), Some(m));
+        }
+        for v in AndroidVersion::ALL {
+            assert_eq!(version_from(version_tag(v)), Some(v));
+        }
+        for o in ALL_OPERATORS {
+            assert_eq!(operator_from(operator_tag(o)), Some(o));
+        }
+        for t in 0..=7u8 {
+            assert_eq!(trust_tag(trust_from(t).unwrap()), t);
+        }
+        assert_eq!(trust_from(8), None);
+        assert_eq!(service_from(9), None);
+        assert_eq!(network_from(2), None);
+        for n in [NetworkKind::Wifi, NetworkKind::Cellular] {
+            assert_eq!(network_from(network_tag(n)), Some(n));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Primitive binary encoding: LEB128 varints, zigzag, framed byte
+//! strings, and a bounds-checked cursor.
+//!
+//! Everything the container stores goes through these helpers, so the
+//! hostile-input guarantees concentrate here: every read is bounds-
+//! checked against the section body, varints are capped at ten bytes,
+//! and declared counts are sanity-checked against the bytes that remain
+//! (each record costs at least one byte), so a corrupted count can never
+//! drive an allocation beyond the file's own size.
+
+use crate::SnapError;
+
+/// Append `v` as an LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Append a signed value, zigzag-folded into a varint.
+pub fn put_varint_i64(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A bounds-checked reader over one section body.
+///
+/// `section` names the body being decoded; it becomes the `section`
+/// field of every [`SnapError`] the cursor raises.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8], section: &'static str) -> Cursor<'a> {
+        Cursor {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(&self) -> SnapError {
+        SnapError::Truncated {
+            context: self.section,
+        }
+    }
+
+    /// The section name errors are attributed to.
+    pub fn malformed(&self, detail: &'static str) -> SnapError {
+        SnapError::Malformed {
+            section: self.section,
+            detail,
+        }
+    }
+
+    /// Take exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(self.truncated());
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// One LEB128 varint (at most ten bytes).
+    pub fn varint(&mut self) -> Result<u64, SnapError> {
+        let mut value = 0u64;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7f);
+            if shift == 9 && bits > 1 {
+                return Err(self.malformed("varint overflows u64"));
+            }
+            value |= bits << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(self.malformed("varint longer than ten bytes"))
+    }
+
+    /// One zigzag-folded signed varint.
+    pub fn varint_i64(&mut self) -> Result<i64, SnapError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// A declared record count: a varint checked against the remaining
+    /// bytes so hostile counts cannot drive huge allocations.
+    pub fn count(&mut self) -> Result<usize, SnapError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(self.malformed("record count exceeds section size"));
+        }
+        Ok(n as usize)
+    }
+
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.varint()?;
+        if len > self.remaining() as u64 {
+            return Err(self.truncated());
+        }
+        self.take(len as usize)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let bytes = self.bytes()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| self.malformed("invalid utf-8 in string"))
+    }
+
+    /// Assert the body is fully consumed (sections carry no slack).
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(self.malformed("trailing bytes after last record"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut c = Cursor::new(&buf, "test");
+            assert_eq!(c.varint().unwrap(), v);
+            c.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed_values() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1_390_000_000] {
+            let mut buf = Vec::new();
+            put_varint_i64(&mut buf, v);
+            let mut c = Cursor::new(&buf, "test");
+            assert_eq!(c.varint_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn strings_and_bytes_round_trip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "AOSP 4.4");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.str().unwrap(), "AOSP 4.4");
+        assert_eq!(c.bytes().unwrap(), &[1, 2, 3]);
+        c.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_inputs_classify_not_panic() {
+        // Truncated varint.
+        let mut c = Cursor::new(&[0x80], "test");
+        assert_eq!(c.varint(), Err(SnapError::Truncated { context: "test" }));
+        // Overlong varint.
+        let mut c = Cursor::new(&[0x80; 11], "test");
+        assert_eq!(c.varint().unwrap_err().label(), "malformed-record");
+        // Varint overflowing 64 bits.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x7f);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.varint().unwrap_err().label(), "malformed-record");
+        // Byte string longer than the body.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.bytes().unwrap_err().label(), "truncated");
+        // Count larger than the remaining bytes.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.count().unwrap_err().label(), "malformed-record");
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut c = Cursor::new(&buf, "test");
+        assert_eq!(c.str().unwrap_err().label(), "malformed-record");
+    }
+}

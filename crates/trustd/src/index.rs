@@ -176,7 +176,7 @@ impl StoreIndex {
 }
 
 /// Build a verifier over a store's enabled anchors.
-fn build_anchor_verifier(store: &RootStore) -> ChainVerifier {
+pub(crate) fn build_anchor_verifier(store: &RootStore) -> ChainVerifier {
     let mut verifier = ChainVerifier::new();
     for cert in store.enabled_certificates() {
         verifier.add_anchor(cert);

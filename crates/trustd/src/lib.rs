@@ -33,6 +33,7 @@ pub mod replay;
 pub mod server;
 pub mod service;
 pub mod stats;
+pub mod warm;
 pub mod wire;
 
 pub use cache::LruCache;
@@ -42,4 +43,5 @@ pub use replay::{offline_verdicts, replay, ReplayOutcome, ReplaySpec};
 pub use server::TrustServer;
 pub use service::{TrustService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{LatencyHistogram, ServiceStats};
+pub use warm::{index_from_snapshot, replay_journal};
 pub use wire::{ChainVerdict, FrameError, Request, Response, WireError, MAX_FRAME};

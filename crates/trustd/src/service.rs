@@ -44,19 +44,37 @@ pub struct TrustService {
     classes: HashMap<CertIdentity, Figure2Class>,
     expected_issuer: CertIdentity,
     stats: ServiceStats,
+    /// Write-ahead swap journal. The mutex also serialises swaps, which
+    /// is what makes the epoch recorded in each frame the epoch the
+    /// install actually produces.
+    journal: Mutex<Option<tangled_snap::Journal>>,
 }
 
 impl TrustService {
     /// A service over the six reference profiles with the given memo
     /// capacity (0 disables caching).
     pub fn new(cache_capacity: usize) -> TrustService {
+        TrustService::with_index(StoreIndex::with_reference_profiles(), cache_capacity)
+    }
+
+    /// A service over an already-populated index — the warm-start path:
+    /// the caller builds the index from a snapshot (and replays a journal
+    /// into it) before serving begins.
+    pub fn with_index(index: StoreIndex, cache_capacity: usize) -> TrustService {
         TrustService {
-            index: StoreIndex::with_reference_profiles(),
+            index,
             cache: Mutex::new(LruCache::new(cache_capacity)),
             classes: class_index(),
             expected_issuer: OriginServers::for_table6().issuer_identity(),
             stats: ServiceStats::new(),
+            journal: Mutex::new(None),
         }
+    }
+
+    /// Attach a swap journal. Every subsequent accepted `swap` is framed,
+    /// appended and fsync'd *before* the store install publishes.
+    pub fn attach_journal(&self, journal: tangled_snap::Journal) {
+        *self.journal.lock().expect("journal poisoned") = Some(journal);
     }
 
     /// The service's counters.
@@ -255,7 +273,26 @@ impl TrustService {
             }
         };
         let anchors = store.len();
+
+        // Write-ahead order: holding the journal lock serialises swaps,
+        // so `current_epoch + 1` is exactly the epoch the install below
+        // will produce; the frame is durable before the store publishes.
+        // If the journal cannot be written the swap is refused — a swap
+        // the journal does not record would be lost by a restart.
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        if let Some(j) = journal.as_mut() {
+            let record = tangled_snap::SwapRecord {
+                profile: profile.to_owned(),
+                epoch: self.index.current_epoch() + 1,
+                store: snapshot.clone(),
+            };
+            if let Err(e) = j.append(&record) {
+                self.stats.record_quarantined("swap", e.label());
+                return error("swap", "journal-io");
+            }
+        }
         let installed = self.index.install(profile, Arc::new(store));
+        drop(journal);
         Response::Swap {
             profile: installed.name,
             epoch: installed.epoch,

@@ -1,0 +1,118 @@
+//! Warm start: rebuild the store index from a snapshot and a journal.
+//!
+//! A cold trustd start generates the six reference stores from scratch
+//! (certificate synthesis plus verifier builds). A warm start instead
+//! loads them from a study snapshot and then replays the swap journal,
+//! reproducing the exact epoch sequence the previous process served:
+//! the reference profiles install as epochs 1–6 in [`ReferenceStore::ALL`]
+//! order — identical to [`StoreIndex::with_reference_profiles`] — and
+//! each journalled swap re-installs at the epoch its frame recorded.
+//! Any divergence is a classified [`SnapError::EpochMismatch`], not a
+//! silently different server.
+
+use crate::index::{build_anchor_verifier, StoreIndex, DEFAULT_SHARDS};
+use std::sync::Arc;
+use tangled_pki::store::RootStore;
+use tangled_pki::stores::ReferenceStore;
+use tangled_snap::{decode_stores, SnapError, Snapshot, SwapRecord};
+
+/// Build a reference-profile index from a study snapshot.
+///
+/// The snapshot's store section leads with the six reference profiles;
+/// they are selected *by canonical name* (so extra device stores in the
+/// section are ignored) and installed in [`ReferenceStore::ALL`] order,
+/// yielding epochs 1–6 exactly as a cold start would. Anchor verifiers
+/// build in parallel on the ambient pool; installs publish sequentially.
+pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
+    let snap = Snapshot::open(path)?;
+    let stores = decode_stores(&snap)?;
+    let mut picked = Vec::with_capacity(ReferenceStore::ALL.len());
+    for rs in ReferenceStore::ALL {
+        let store = stores
+            .iter()
+            .find(|s| s.name() == rs.name())
+            .ok_or(SnapError::Malformed {
+                section: "stores",
+                detail: "snapshot lacks a reference profile",
+            })?;
+        picked.push((rs.name(), Arc::clone(store)));
+    }
+    let verifiers = tangled_exec::ExecPool::current()
+        .par_map_indexed(&picked, |_, (_, store)| build_anchor_verifier(store));
+    let index = StoreIndex::new(DEFAULT_SHARDS);
+    for ((name, store), verifier) in picked.into_iter().zip(verifiers) {
+        index.install_with_verifier(name, store, Arc::new(verifier));
+    }
+    tangled_obs::registry::add("trustd.warm_starts", 1);
+    Ok(index)
+}
+
+/// Replay journalled swaps over a freshly warm-started index.
+///
+/// Each record re-installs its store snapshot under its profile name and
+/// must land on the epoch recorded at append time; the journal and
+/// snapshot belong to one server history, and a mismatch means they were
+/// mixed from different ones.
+pub fn replay_journal(index: &StoreIndex, records: &[SwapRecord]) -> Result<(), SnapError> {
+    for record in records {
+        let store = RootStore::from_snapshot(&record.store).map_err(|_| SnapError::Malformed {
+            section: "journal",
+            detail: "journalled store fails to reconstruct",
+        })?;
+        let installed = index.install(&record.profile, Arc::new(store));
+        if installed.epoch != record.epoch {
+            return Err(SnapError::EpochMismatch {
+                recorded: record.epoch,
+                produced: installed.epoch,
+            });
+        }
+    }
+    tangled_obs::registry::add("journal.replayed", records.len() as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_detects_epoch_divergence() {
+        let index = StoreIndex::with_reference_profiles();
+        let store = ReferenceStore::Aosp44.cached();
+        let record = SwapRecord {
+            profile: "device".into(),
+            epoch: 42, // a cold index's next epoch is 7, not 42
+            store: store.snapshot(),
+        };
+        let err = replay_journal(&index, &[record]).unwrap_err();
+        assert_eq!(
+            err,
+            SnapError::EpochMismatch {
+                recorded: 42,
+                produced: 7
+            }
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_epochs() {
+        let index = StoreIndex::with_reference_profiles();
+        let store = ReferenceStore::Mozilla.cached();
+        let records = vec![
+            SwapRecord {
+                profile: "device".into(),
+                epoch: 7,
+                store: store.snapshot(),
+            },
+            SwapRecord {
+                profile: "AOSP 4.4".into(),
+                epoch: 8,
+                store: store.snapshot(),
+            },
+        ];
+        replay_journal(&index, &records).unwrap();
+        assert_eq!(index.current_epoch(), 8);
+        assert_eq!(index.profile("device").unwrap().epoch, 7);
+        assert_eq!(index.profile("AOSP 4.4").unwrap().epoch, 8);
+    }
+}

@@ -10,7 +10,16 @@
 //! tangled audit   <dir> <version>    audit an on-disk cacerts directory
 //!                                    against an AOSP baseline
 //! tangled probe                      replay the §7 interception case
-//! tangled serve   <addr>             run the trustd query server
+//! tangled snap write <file> [scale]  generate a study and persist it as a
+//!                                    binary snapshot
+//! tangled snap read <file>           load a snapshot and print its tables
+//! tangled snap verify <file>         checksum every snapshot section
+//! tangled serve   <addr> [--snapshot F] [--journal F]
+//!                                    run the trustd query server; with
+//!                                    --snapshot, warm-start the reference
+//!                                    profiles from a study snapshot; with
+//!                                    --journal, log every swap write-ahead
+//!                                    and replay the log on restart
 //! tangled loadgen <addr> [--sessions N] [--seed S]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts
@@ -24,6 +33,9 @@
 //! tangled bench-study [scale] [--out FILE]
 //!                                    time the study stages at 1 thread and
 //!                                    the ambient width; write BENCH_study.json
+//! tangled bench-snap [scale] [--out FILE]
+//!                                    time cold study generation vs snapshot
+//!                                    load; write BENCH_snap.json
 //! ```
 //!
 //! The global `--threads N` flag (or `TANGLED_THREADS`) pins the
@@ -52,9 +64,10 @@ use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
 use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
+use tangled_mass::snap::{load_study, write_study, Journal, Snapshot};
 use tangled_mass::trustd::{
-    offline_verdicts, replay, LatencyHistogram, ReplaySpec, Request, StoreIndex, TrustServer,
-    TrustService, DEFAULT_CACHE_CAPACITY,
+    index_from_snapshot, offline_verdicts, replay, replay_journal, LatencyHistogram, ReplaySpec,
+    Request, StoreIndex, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -79,14 +92,20 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|serve|loadgen|stats|trace|bench-study> [...]",
+        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|stats|trace|bench-study|bench-snap> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
         "  mkstore <version> <dir>  write a reference store as cacerts files",
         "  audit   <dir> <version>  audit a cacerts directory",
         "  probe                    replay the interception case",
-        "  serve   <addr>           run the trustd query server",
+        "  snap write <file> [scale]",
+        "                           generate a study and persist a binary snapshot",
+        "  snap read <file>         load a snapshot and print its tables",
+        "  snap verify <file>       checksum every snapshot section",
+        "  serve   <addr> [--snapshot F] [--journal F]",
+        "                           run the trustd query server (warm start from",
+        "                           a snapshot; write-ahead journal for swaps)",
         "  loadgen <addr> [--sessions N] [--seed S]",
         "                           replay a seeded population against a server",
         "  stats   [scale]          per-stage latency p50/p99, memo counters,",
@@ -96,6 +115,8 @@ fn usage() -> String {
         "                           write the schema-validated event log",
         "  bench-study [scale] [--out FILE]",
         "                           time study stages vs 1 thread; write BENCH_study.json",
+        "  bench-snap [scale] [--out FILE]",
+        "                           time cold generation vs snapshot load; write BENCH_snap.json",
         "global: --threads N        pin the execution-pool width (or TANGLED_THREADS)",
         "global: --metrics-dump     print the metrics registry to stderr on exit",
     ]
@@ -143,11 +164,13 @@ fn main() -> ExitCode {
         Some("mkstore") => cmd_mkstore(args.get(1), args.get(2)),
         Some("audit") => cmd_audit(args.get(1), args.get(2)),
         Some("probe") => cmd_probe(),
-        Some("serve") => cmd_serve(args.get(1)),
+        Some("snap") => cmd_snap(&args[1..]),
+        Some("serve") => cmd_serve(args.get(1), &args[2..]),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
         Some("stats") => parse_scale(args.get(1)).and_then(cmd_stats),
         Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("bench-study") => cmd_bench_study(&args[1..]),
+        Some("bench-snap") => cmd_bench_snap(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
             "unknown subcommand '{other}'\n{}",
             usage()
@@ -296,12 +319,111 @@ fn cmd_probe() -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_serve(addr: Option<&String>) -> Result<(), CliError> {
+fn cmd_snap(args: &[String]) -> Result<(), CliError> {
+    let sub = args
+        .first()
+        .ok_or_else(|| CliError::Usage("snap needs a mode: write|read|verify".into()))?;
+    let file = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage(format!("snap {sub} needs a file path")))?;
+    match sub.as_str() {
+        "write" => {
+            let scale = parse_scale(args.get(2))?;
+            eprintln!("generating study at scale {scale}…");
+            let study = Study::new(scale, scale.max(0.25));
+            let summary =
+                write_study(&study, file).map_err(|e| format!("writing {file}: {e}"))?;
+            eprintln!("snapshot: {} bytes -> {file}", summary.bytes);
+            for (name, len, checksum) in &summary.sections {
+                eprintln!("  {name:<12} {len:>10} bytes  fnv1a {checksum:016x}");
+            }
+            Ok(())
+        }
+        "read" => {
+            eprintln!("loading study from {file}…");
+            let study = load_study(file).map_err(|e| format!("loading {file}: {e}"))?;
+            println!("{}", tables::dataset_summary(&study.population).render());
+            print!("{}", tables::render_all(&study));
+            Ok(())
+        }
+        "verify" => {
+            let snap = Snapshot::open(file).map_err(|e| format!("opening {file}: {e}"))?;
+            let report = snap.verify();
+            let mut damaged = 0usize;
+            for (name, len, result) in &report {
+                match result {
+                    Ok(()) => println!("  {name:<12} {len:>10} bytes  ok"),
+                    Err(e) => {
+                        damaged += 1;
+                        println!("  {name:<12} {len:>10} bytes  {e}");
+                    }
+                }
+            }
+            println!(
+                "verify: {} bytes, {} section(s), {damaged} damaged",
+                snap.size(),
+                report.len()
+            );
+            if damaged > 0 {
+                return Err(format!("{damaged} damaged section(s) in {file}").into());
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown snap mode '{other}' (want write|read|verify)"
+        ))),
+    }
+}
+
+fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let addr = addr.ok_or_else(|| {
         CliError::Usage("serve needs a listen address (e.g. 127.0.0.1:7433)".into())
     })?;
-    eprintln!("loading reference store profiles…");
-    let service = Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY));
+    let mut snapshot: Option<String> = None;
+    let mut journal_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| {
+            v.cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--snapshot" => snapshot = Some(value(it.next())?),
+            "--journal" => journal_path = Some(value(it.next())?),
+            other => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
+        }
+    }
+
+    let service = match &snapshot {
+        Some(path) => {
+            eprintln!("warm-starting store profiles from {path}…");
+            let index =
+                index_from_snapshot(path).map_err(|e| format!("loading {path}: {e}"))?;
+            Arc::new(TrustService::with_index(index, DEFAULT_CACHE_CAPACITY))
+        }
+        None => {
+            eprintln!("loading reference store profiles…");
+            Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY))
+        }
+    };
+    if let Some(path) = &journal_path {
+        let (journal, records, recovery) =
+            Journal::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        if recovery.truncated {
+            eprintln!(
+                "journal: truncated a torn final record ({} bytes dropped)",
+                recovery.dropped_bytes
+            );
+        }
+        replay_journal(service.index(), &records)
+            .map_err(|e| format!("replaying {path}: {e}"))?;
+        eprintln!(
+            "journal: replayed {} swap(s); epoch {}",
+            records.len(),
+            service.index().current_epoch()
+        );
+        service.attach_journal(journal);
+    }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -618,5 +740,79 @@ fn cmd_bench_study(rest: &[String]) -> Result<(), CliError> {
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
     std::fs::write(&out, format!("{rendered}\n")).map_err(|e| e.to_string())?;
     println!("bench-study: wrote {out}");
+    Ok(())
+}
+
+fn cmd_bench_snap(rest: &[String]) -> Result<(), CliError> {
+    let mut scale = 0.25f64;
+    let mut out = String::from("BENCH_snap.json");
+    let mut it = rest.iter();
+    let mut scale_seen = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage("--out needs a value".into()))?;
+            }
+            text if !text.starts_with("--") && !scale_seen => {
+                scale = match text.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => s,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "invalid scale '{text}': want a number > 0"
+                        )))
+                    }
+                };
+                scale_seen = true;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown bench-snap flag '{other}'")));
+            }
+        }
+    }
+
+    let threads = thread_count();
+    let eco_scale = scale.max(0.25);
+    eprintln!("bench-snap: scale {scale} ({threads} threads)…");
+
+    // The cold path is everything a fresh process pays: key minting,
+    // certificate synthesis, validation. The warm path parses the same
+    // corpus back out of one file.
+    sig_memo_clear();
+    let (study, cold_s) = timed(|| Study::new(scale, eco_scale));
+    let path = std::env::temp_dir().join(format!("tangled-bench-snap-{}.bin", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    let (summary, write_s) = timed(|| write_study(&study, &path));
+    let summary = summary.map_err(|e| format!("writing {path}: {e}"))?;
+    let (loaded, load_s) = timed(|| load_study(&path));
+    let loaded = loaded.map_err(|e| format!("loading {path}: {e}"))?;
+    let _ = std::fs::remove_file(&path);
+
+    // The loaded study must be indistinguishable in every rendered table.
+    if tables::render_all(&loaded) != tables::render_all(&study) {
+        return Err("loaded study diverges from the generated one".into());
+    }
+
+    let speedup = cold_s / load_s.max(1e-9);
+    eprintln!("  cold generate: {cold_s:.3}s");
+    eprintln!("  snapshot write: {write_s:.3}s ({} bytes)", summary.bytes);
+    eprintln!("  snapshot load: {load_s:.3}s ({speedup:.2}x vs cold)");
+
+    let doc = json!({
+        "benchmark": "snapshot",
+        "scale": scale,
+        "ecosystem_scale": eco_scale,
+        "threads": threads,
+        "snapshot_bytes": summary.bytes,
+        "cold_generate_seconds": cold_s,
+        "snapshot_write_seconds": write_s,
+        "snapshot_load_seconds": load_s,
+        "speedup": speedup,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(&out, format!("{rendered}\n")).map_err(|e| e.to_string())?;
+    println!("bench-snap: wrote {out}");
     Ok(())
 }

@@ -11,13 +11,18 @@
 //! collects the obs event log, which must validate against the trace
 //! schema and be byte-identical to every other width's log.
 //!
+//! The binary snapshot rides under it too: the container encoded at each
+//! width must be byte-identical, and a study decoded back from those
+//! bytes must reproduce every export and rendering exactly.
+//!
 //! The thread override and the trace sink are process-global, so this
 //! binary holds exactly one test.
 
 use tangled_mass::analysis::{export, figures, tables, Study};
-use tangled_mass::exec::set_thread_override;
+use tangled_mass::exec::{set_thread_override, ExecPool};
 use tangled_mass::faults::FaultPlan;
 use tangled_mass::obs;
+use tangled_mass::snap;
 
 fn render_everything(study: &Study) -> (String, String) {
     let doc = export::export_study(study);
@@ -46,12 +51,13 @@ fn full_study_is_bit_identical_across_thread_counts() {
         let study = Study::full();
         let _faulted = Study::with_faults(0.05, 0.02, &plan);
         let trace = obs::trace::finish().expect("trace was active");
-        runs.push((threads, render_everything(&study), trace));
+        let snapshot = snap::encode_study(&study, &ExecPool::current());
+        runs.push((threads, render_everything(&study), trace, snapshot));
     }
     set_thread_override(None);
 
-    let (_, (json_base, text_base), trace_base) = &runs[0];
-    for (threads, (json, text), trace) in &runs[1..] {
+    let (_, (json_base, text_base), trace_base, snap_base) = &runs[0];
+    for (threads, (json, text), trace, snapshot) in &runs[1..] {
         assert_eq!(
             json, json_base,
             "schema-v2 export differs between 1 and {threads} threads"
@@ -64,7 +70,24 @@ fn full_study_is_bit_identical_across_thread_counts() {
             trace, trace_base,
             "obs trace differs between 1 and {threads} threads"
         );
+        assert_eq!(
+            snapshot, snap_base,
+            "snapshot bytes differ between 1 and {threads} threads"
+        );
     }
+
+    // A study decoded back from the snapshot reproduces every rendering.
+    let parsed = snap::Snapshot::parse(snap_base.clone()).expect("own snapshot parses");
+    let loaded = snap::decode_study(&parsed).expect("own snapshot decodes");
+    let (json_loaded, text_loaded) = render_everything(&loaded);
+    assert_eq!(
+        &json_loaded, json_base,
+        "snapshot-loaded study exports differently"
+    );
+    assert_eq!(
+        &text_loaded, text_base,
+        "snapshot-loaded study renders differently"
+    );
 
     let summary = obs::validate_lines(trace_base).expect("trace validates against schema");
     for stage in [

@@ -1,0 +1,188 @@
+//! Snapshot persistence: lossless round trips, width-invariant bytes,
+//! and hostile-input safety.
+//!
+//! The corruption properties are the load-bearing half: a snapshot file
+//! is parsed by whatever process finds it on disk, so *every* mutation
+//! of the bytes — header, section table, record payloads, checksums —
+//! must classify as a [`SnapError`], never panic and never allocate
+//! unboundedly.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tangled_mass::analysis::{export, tables, Study};
+use tangled_mass::exec::ExecPool;
+use tangled_mass::pki::stores::ReferenceStore;
+use tangled_mass::snap::{decode_stores, decode_study, encode_study, SectionId, Snapshot};
+
+/// One small study and its snapshot bytes, built once for every test in
+/// this binary (study synthesis is the expensive part).
+fn fixture() -> &'static (Study, Vec<u8>) {
+    static FIXTURE: OnceLock<(Study, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let study = Study::new(0.05, 0.02);
+        let bytes = encode_study(&study, &ExecPool::current());
+        (study, bytes)
+    })
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let (study, bytes) = fixture();
+    let snap = Snapshot::parse(bytes.clone()).expect("own bytes parse");
+    let loaded = decode_study(&snap).expect("own bytes decode");
+
+    // Every rendered artifact reproduces exactly.
+    assert_eq!(tables::render_all(&loaded), tables::render_all(study));
+    let doc = serde_json::to_string(&export::export_study(&loaded)).unwrap();
+    let want = serde_json::to_string(&export::export_study(study)).unwrap();
+    assert_eq!(doc, want, "schema-v2 export must survive the round trip");
+
+    // Structural spot checks behind the renders.
+    assert_eq!(loaded.population.devices.len(), study.population.devices.len());
+    assert_eq!(loaded.population.sessions.len(), study.population.sessions.len());
+    assert_eq!(loaded.ecosystem.len(), study.ecosystem.len());
+    assert_eq!(loaded.validation.total(), study.validation.total());
+    for (a, b) in study
+        .population
+        .devices
+        .iter()
+        .zip(&loaded.population.devices)
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.store.name(), b.store.name());
+        assert_eq!(a.store.identities(), b.store.identities());
+        assert_eq!(a.removed_aosp, b.removed_aosp);
+    }
+    for (a, b) in study
+        .population
+        .sessions
+        .iter()
+        .zip(&loaded.population.sessions)
+    {
+        assert_eq!(a.at, b.at);
+        assert_eq!(a.device, b.device);
+    }
+    // Chains keep their exact DER.
+    for (a, b) in study.ecosystem.certs.iter().zip(&loaded.ecosystem.certs) {
+        assert_eq!(a.chain.len(), b.chain.len());
+        assert_eq!(a.sessions, b.sessions);
+        for (ca, cb) in a.chain.iter().zip(&b.chain) {
+            assert_eq!(ca.to_der(), cb.to_der());
+        }
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_width_invariant() {
+    let (study, ambient) = fixture();
+    for threads in [1usize, 2, 8] {
+        let bytes = encode_study(study, &ExecPool::with_threads(threads));
+        assert_eq!(
+            &bytes, ambient,
+            "snapshot bytes differ at pool width {threads}"
+        );
+    }
+}
+
+#[test]
+fn stores_section_leads_with_reference_profiles() {
+    let (_, bytes) = fixture();
+    let snap = Snapshot::parse(bytes.clone()).expect("parses");
+    let stores = decode_stores(&snap).expect("stores decode");
+    let names: Vec<&str> = stores.iter().map(|s| s.name()).take(6).collect();
+    let want: Vec<&str> = ReferenceStore::ALL.iter().map(|rs| rs.name()).collect();
+    assert_eq!(names, want, "warm start depends on this ordering");
+    assert!(
+        stores.len() > 6,
+        "device stores follow the reference profiles"
+    );
+}
+
+/// Exercise the full lazy read path on (possibly corrupt) bytes; the
+/// contract is "classified error or success", never a panic.
+fn try_full_decode(data: Vec<u8>) -> Result<(), &'static str> {
+    let snap = Snapshot::parse(data).map_err(|e| e.label())?;
+    for id in SectionId::ALL {
+        snap.section(id).map_err(|e| e.label())?;
+    }
+    decode_study(&snap).map_err(|e| e.label())?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flip one byte anywhere — header, table, or body — and decode.
+    #[test]
+    fn mutated_snapshot_never_panics(pos in any::<u64>(), xor in 1u8..=255) {
+        let (_, bytes) = fixture();
+        let mut data = bytes.clone();
+        let i = (pos % data.len() as u64) as usize;
+        data[i] ^= xor;
+        // Either the mutation lands somewhere checked (classified error)
+        // or, for a handful of bytes, decodes to an equivalent value
+        // (e.g. flipping a bit the checksum was computed over as well).
+        // Both are fine; panicking or hanging is not.
+        let _ = try_full_decode(data);
+    }
+
+    /// Truncate at an arbitrary point.
+    #[test]
+    fn truncated_snapshot_never_panics(len in any::<u64>()) {
+        let (_, bytes) = fixture();
+        let data = bytes[..(len % bytes.len() as u64) as usize].to_vec();
+        let outcome = try_full_decode(data);
+        prop_assert!(outcome.is_err(), "a strict prefix cannot decode");
+    }
+
+    /// Splice random garbage over a whole region.
+    #[test]
+    fn garbage_region_never_panics(
+        start in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (_, bytes) = fixture();
+        let mut data = bytes.clone();
+        let s = (start % data.len() as u64) as usize;
+        for (i, g) in garbage.iter().enumerate() {
+            if s + i < data.len() {
+                data[s + i] = *g;
+            }
+        }
+        let _ = try_full_decode(data);
+    }
+
+    /// Pure noise (with and without a valid magic prefix).
+    #[test]
+    fn random_bytes_never_panic(mut data in proptest::collection::vec(any::<u8>(), 0..512), keep_magic in any::<bool>()) {
+        if keep_magic && data.len() >= 8 {
+            data[..8].copy_from_slice(b"TNGLSNP1");
+        }
+        let outcome = try_full_decode(data);
+        prop_assert!(outcome.is_err(), "noise cannot decode as a study");
+    }
+}
+
+#[test]
+fn checksum_damage_in_each_section_is_attributed() {
+    let (_, bytes) = fixture();
+    let snap = Snapshot::parse(bytes.clone()).expect("parses");
+    // Flip the last byte of every section body in turn; the error must
+    // name that section.
+    for (id, entry) in SectionId::ALL.iter().zip(snap.entries()) {
+        if entry.len == 0 {
+            continue;
+        }
+        let mut data = bytes.clone();
+        let last = (entry.offset + entry.len - 1) as usize;
+        data[last] ^= 0xff;
+        let damaged = Snapshot::parse(data).expect("table is intact");
+        let err = damaged.section(*id).expect_err("checksum must fail");
+        assert_eq!(err.label(), "checksum-mismatch");
+        assert!(
+            err.to_string().contains(id.name()),
+            "error '{err}' must name section '{}'",
+            id.name()
+        );
+    }
+}

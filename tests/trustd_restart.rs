@@ -1,0 +1,186 @@
+//! Crash-recovery regression: a trustd restarted from snapshot + journal
+//! must be indistinguishable from the server that never went down —
+//! same profile epochs, byte-identical verdicts — including after a torn
+//! final journal record.
+
+use tangled_mass::analysis::Study;
+use tangled_mass::intercept::origin::OriginServers;
+use tangled_mass::intercept::policy::Target;
+use tangled_mass::pki::stores::ReferenceStore;
+use tangled_mass::snap::{write_study, Journal};
+use tangled_mass::trustd::replay::canonical;
+use tangled_mass::trustd::wire::{Request, Response};
+use tangled_mass::trustd::{index_from_snapshot, replay_journal, TrustService};
+
+fn temp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join("tangled-restart-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn origin_chain(host: &str) -> Vec<Vec<u8>> {
+    let origin = OriginServers::for_table6();
+    let t = Target::parse(host).expect("valid target");
+    origin
+        .chain(&t)
+        .expect("table 6 target")
+        .iter()
+        .map(|c| c.to_der().to_vec())
+        .collect()
+}
+
+/// The probe requests both servers answer; chains repeat so the memo
+/// cache participates on both sides.
+fn probe_requests() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for profile in ["AOSP 4.4", "AOSP 4.1", "Mozilla", "device"] {
+        for host in ["gmail.com:443", "www.chase.com:443", "gmail.com:443"] {
+            reqs.push(Request::Validate {
+                profile: profile.into(),
+                chain: origin_chain(host),
+            });
+        }
+    }
+    reqs
+}
+
+fn verdicts(svc: &TrustService) -> Vec<String> {
+    probe_requests()
+        .iter()
+        .map(|r| canonical(&svc.handle(r)))
+        .collect()
+}
+
+fn swap_epoch(resp: &Response) -> u64 {
+    match resp {
+        Response::Swap { epoch, .. } => *epoch,
+        other => panic!("expected a swap response, got {other:?}"),
+    }
+}
+
+#[test]
+fn restart_from_snapshot_and_journal_is_indistinguishable() {
+    let snap_path = temp_path("study.snap");
+    let journal_path = temp_path("swaps.jrn");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // A study snapshot carries the reference profiles trustd warms from.
+    let study = Study::new(0.05, 0.02);
+    write_study(&study, &snap_path).expect("snapshot writes");
+
+    // Server A: warm start, journal attached, then two swaps.
+    let index = index_from_snapshot(&snap_path).expect("warm start");
+    assert_eq!(index.current_epoch(), 6, "six reference preloads");
+    let a = TrustService::with_index(index, 256);
+    let (journal, records, recovery) = Journal::open(&journal_path).expect("fresh journal");
+    assert!(records.is_empty() && !recovery.truncated);
+    a.attach_journal(journal);
+
+    // Swap 1: overlay AOSP 4.4 with the Mozilla store. Swap 2: install a
+    // trimmed store under a brand-new profile name.
+    let mozilla = ReferenceStore::Mozilla.cached();
+    let e1 = swap_epoch(&a.handle(&Request::Swap {
+        profile: "AOSP 4.4".into(),
+        snapshot: mozilla.snapshot(),
+    }));
+    let mut trimmed = ReferenceStore::Aosp44.cached().cloned_as("trimmed");
+    let drop_id = trimmed.identities()[0].clone();
+    trimmed.remove(&drop_id);
+    let e2 = swap_epoch(&a.handle(&Request::Swap {
+        profile: "device".into(),
+        snapshot: trimmed.snapshot(),
+    }));
+    assert_eq!((e1, e2), (7, 8), "swap responses report the post-bump epoch");
+    let live = verdicts(&a);
+
+    // Server B: fresh process — same snapshot, journal replayed.
+    let index = index_from_snapshot(&snap_path).expect("warm start");
+    let (journal, records, recovery) = Journal::open(&journal_path).expect("journal reopens");
+    assert!(!recovery.truncated);
+    assert_eq!(
+        records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+        vec![7, 8],
+        "journal frames carry the epochs the swaps reported"
+    );
+    replay_journal(&index, &records).expect("replay");
+    let b = TrustService::with_index(index, 256);
+    b.attach_journal(journal);
+
+    assert_eq!(b.index().current_epoch(), a.index().current_epoch());
+    for profile in ["AOSP 4.4", "device", "Mozilla"] {
+        assert_eq!(
+            b.index().profile(profile).map(|p| p.epoch),
+            a.index().profile(profile).map(|p| p.epoch),
+            "epoch of '{profile}' diverged across restart"
+        );
+    }
+    assert_eq!(verdicts(&b), live, "restarted server serves different verdicts");
+
+    // The restarted server keeps journalling: one more swap lands on the
+    // next epoch in both the response and the log.
+    let e3 = swap_epoch(&b.handle(&Request::Swap {
+        profile: "device".into(),
+        snapshot: mozilla.snapshot(),
+    }));
+    assert_eq!(e3, 9);
+    let (_, records, _) = Journal::open(&journal_path).expect("journal reopens");
+    assert_eq!(records.last().map(|r| r.epoch), Some(9));
+
+    std::fs::remove_file(&snap_path).unwrap();
+    std::fs::remove_file(&journal_path).unwrap();
+}
+
+#[test]
+fn torn_final_record_recovers_to_the_previous_swap() {
+    let snap_path = temp_path("torn-study.snap");
+    let journal_path = temp_path("torn-swaps.jrn");
+    let _ = std::fs::remove_file(&journal_path);
+
+    let study = Study::new(0.05, 0.02);
+    write_study(&study, &snap_path).expect("snapshot writes");
+
+    // Server A performs two swaps, then "crashes" mid-append: we simulate
+    // the torn write by chopping bytes off the second frame.
+    let a = TrustService::with_index(index_from_snapshot(&snap_path).expect("warm"), 256);
+    let (journal, _, _) = Journal::open(&journal_path).expect("fresh journal");
+    a.attach_journal(journal);
+    let mozilla = ReferenceStore::Mozilla.cached();
+    a.handle(&Request::Swap {
+        profile: "AOSP 4.4".into(),
+        snapshot: mozilla.snapshot(),
+    });
+    // Verdicts as of epoch 7 — what a restart must reproduce.
+    let after_first = verdicts(&a);
+    a.handle(&Request::Swap {
+        profile: "device".into(),
+        snapshot: ReferenceStore::Ios7.cached().snapshot(),
+    });
+    drop(a);
+    let data = std::fs::read(&journal_path).unwrap();
+    std::fs::write(&journal_path, &data[..data.len() - 33]).unwrap();
+
+    // Restart: the torn frame is truncated, the first swap survives.
+    let index = index_from_snapshot(&snap_path).expect("warm start");
+    let (journal, records, recovery) = Journal::open(&journal_path).expect("recovery");
+    assert!(recovery.truncated, "the torn tail must be detected");
+    assert_eq!(records.len(), 1, "only the fsync'd swap survives");
+    replay_journal(&index, &records).expect("replay");
+    let b = TrustService::with_index(index, 256);
+    b.attach_journal(journal);
+
+    assert_eq!(b.index().current_epoch(), 7);
+    assert!(
+        b.index().profile("device").is_none(),
+        "the torn swap never happened"
+    );
+    assert_eq!(
+        verdicts(&b),
+        after_first,
+        "recovered server must match the epoch-7 state"
+    );
+
+    std::fs::remove_file(&snap_path).unwrap();
+    std::fs::remove_file(&journal_path).unwrap();
+}
