@@ -1,0 +1,549 @@
+//! Deterministic wire-level chaos: a seeded `Read + Write` wrapper.
+//!
+//! PR 1 proved the ingest layer survives seeded corruption; this module
+//! points the same discipline at the *transport*. [`ChaosStream`] wraps
+//! any byte stream (a `TcpStream`, an in-process simulated connection)
+//! and injects wire faults into the frames that cross it: disconnects,
+//! partial writes, trickled reads, bit-flipped frame bodies, duplicated
+//! frames and garbage headers. Every fault is a named [`WireFaultKind`]
+//! recorded in a shared ledger, so a harness can reconcile observed
+//! failures 1:1 against injected damage — the PR-1 quarantine vocabulary
+//! extended to the wire.
+//!
+//! Faults are decided per *frame*, not per byte: the wrapper buffers
+//! writes and, on `flush`, parses complete length-prefixed frames
+//! (4-byte big-endian length, the trustd framing) out of the buffer and
+//! rolls the seeded RNG once per frame. Same seed, same salt, same frame
+//! sequence → same faults, byte for byte.
+//!
+//! [`WireFaultKind`] is deliberately a *separate* enum from
+//! [`crate::FaultKind`]: the ingest ledger-reconciliation tests pin
+//! `FaultKind::ALL` at twelve kinds, and wire faults live on a different
+//! surface with a different detection contract.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// Wire fault kinds the chaos transport can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireFaultKind {
+    /// Drop the frame and break the stream: writes report `BrokenPipe`,
+    /// reads report `ConnectionReset`.
+    Disconnect,
+    /// Deliver a strict prefix of the frame, then break the stream.
+    PartialWrite,
+    /// Deliver the *reply* one byte at a time with an idle tick
+    /// (`WouldBlock`) between bytes — a slow-but-live peer.
+    Trickle,
+    /// Flip one random bit inside the frame body.
+    BitFlip,
+    /// Deliver the frame twice, back to back.
+    DuplicateFrame,
+    /// Replace the 4-byte length header with random bytes.
+    GarbageHeader,
+}
+
+impl WireFaultKind {
+    /// Every wire fault kind, in declaration order.
+    pub const ALL: [WireFaultKind; 6] = [
+        WireFaultKind::Disconnect,
+        WireFaultKind::PartialWrite,
+        WireFaultKind::Trickle,
+        WireFaultKind::BitFlip,
+        WireFaultKind::DuplicateFrame,
+        WireFaultKind::GarbageHeader,
+    ];
+
+    /// Kinds that only delay or lose frames, never corrupt them: a
+    /// request lost to one of these was provably never executed, so a
+    /// client may retry it against a live server and still expect
+    /// byte-identical verdicts.
+    pub const LOSSY: [WireFaultKind; 3] = [
+        WireFaultKind::Disconnect,
+        WireFaultKind::PartialWrite,
+        WireFaultKind::Trickle,
+    ];
+
+    /// Stable label for ledgers and health keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFaultKind::Disconnect => "wire-disconnect",
+            WireFaultKind::PartialWrite => "wire-partial-write",
+            WireFaultKind::Trickle => "wire-trickle",
+            WireFaultKind::BitFlip => "wire-bit-flip",
+            WireFaultKind::DuplicateFrame => "wire-duplicate-frame",
+            WireFaultKind::GarbageHeader => "wire-garbage-header",
+        }
+    }
+}
+
+impl std::fmt::Display for WireFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One injected wire fault: what was done, and to which outbound frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// The kind of damage.
+    pub kind: WireFaultKind,
+    /// Ordinal of the frame on this stream (0-based, write order).
+    pub frame: u64,
+}
+
+/// A shared, thread-safe fault ledger. Clones observe the same log —
+/// hand one to the harness before the stream moves into a client.
+pub type WireLedger = Arc<Mutex<Vec<WireFault>>>;
+
+/// A seeded wire-fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Master seed; combined with a per-stream salt.
+    pub seed: u64,
+    /// Per-frame injection probability in `[0, 1]`.
+    pub rate: f64,
+    enabled: Vec<WireFaultKind>,
+}
+
+impl ChaosPlan {
+    /// A plan with the given seed, zero rate and every kind enabled.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            rate: 0.0,
+            enabled: WireFaultKind::ALL.to_vec(),
+        }
+    }
+
+    /// Set the per-frame injection rate.
+    pub fn with_rate(mut self, rate: f64) -> ChaosPlan {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.rate = rate;
+        self
+    }
+
+    /// Restrict the plan to exactly these kinds.
+    pub fn only(mut self, kinds: &[WireFaultKind]) -> ChaosPlan {
+        self.enabled = kinds.to_vec();
+        self
+    }
+
+    /// Remove one kind from the plan.
+    pub fn without(mut self, kind: WireFaultKind) -> ChaosPlan {
+        self.enabled.retain(|k| *k != kind);
+        self
+    }
+
+    /// Is a kind enabled in this plan?
+    pub fn is_enabled(&self, kind: WireFaultKind) -> bool {
+        self.enabled.contains(&kind)
+    }
+
+    /// The stream RNG for a salt (same derivation as [`crate::FaultPlan`],
+    /// so chaos positions decorrelate across streams but reproduce
+    /// exactly for a given `(seed, salt)`).
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// How the read side of a tricked stream delivers the next bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trickle {
+    /// Deliver bytes normally.
+    Off,
+    /// Deliver one byte next.
+    Byte,
+    /// Report one `WouldBlock` tick next.
+    Tick,
+}
+
+/// A fault-injecting wrapper around any `Read + Write` stream.
+///
+/// Write side: bytes are buffered; `flush` parses complete
+/// length-prefixed frames out of the buffer and rolls the plan once per
+/// frame, forwarding the (possibly damaged) frame to the inner stream.
+/// Read side: passes through, except after a [`WireFaultKind::Trickle`]
+/// roll (one byte per read, a `WouldBlock` tick between bytes) or after
+/// a stream-breaking fault (`ConnectionReset`).
+pub struct ChaosStream<S> {
+    inner: S,
+    rng: StdRng,
+    rate: f64,
+    enabled: Vec<WireFaultKind>,
+    ledger: WireLedger,
+    wbuf: Vec<u8>,
+    frames: u64,
+    broken: bool,
+    trickle: Trickle,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wrap `inner` under `plan`, with a fresh ledger. `salt`
+    /// distinguishes streams driven by one plan (per connection, per
+    /// attempt) so their fault positions decorrelate deterministically.
+    pub fn new(inner: S, plan: &ChaosPlan, salt: u64) -> ChaosStream<S> {
+        ChaosStream::with_ledger(inner, plan, salt, Arc::new(Mutex::new(Vec::new())))
+    }
+
+    /// As [`ChaosStream::new`], recording into a caller-owned ledger.
+    pub fn with_ledger(
+        inner: S,
+        plan: &ChaosPlan,
+        salt: u64,
+        ledger: WireLedger,
+    ) -> ChaosStream<S> {
+        ChaosStream {
+            inner,
+            rng: plan.rng(salt),
+            rate: plan.rate,
+            enabled: plan.enabled.clone(),
+            ledger,
+            wbuf: Vec::new(),
+            frames: 0,
+            broken: false,
+            trickle: Trickle::Off,
+        }
+    }
+
+    /// The shared fault ledger.
+    pub fn ledger(&self) -> WireLedger {
+        Arc::clone(&self.ledger)
+    }
+
+    /// Unwrap the inner stream (test introspection).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn record(&mut self, kind: WireFaultKind) {
+        self.ledger
+            .lock()
+            .expect("chaos ledger poisoned")
+            .push(WireFault {
+                kind,
+                frame: self.frames,
+            });
+    }
+
+    /// Roll the plan for the frame about to be forwarded.
+    fn roll(&mut self) -> Option<WireFaultKind> {
+        if self.enabled.is_empty() || !self.rng.gen_bool(self.rate) {
+            return None;
+        }
+        let kind = self.enabled[self.rng.gen_range(0..self.enabled.len())];
+        Some(kind)
+    }
+}
+
+impl<S: Write> ChaosStream<S> {
+    /// Forward complete buffered frames through the fault roll.
+    fn pump(&mut self) -> io::Result<()> {
+        loop {
+            if self.wbuf.len() < 4 {
+                return Ok(());
+            }
+            let len = u32::from_be_bytes(self.wbuf[..4].try_into().expect("4 bytes")) as usize;
+            let end = 4 + len;
+            if self.wbuf.len() < end {
+                return Ok(());
+            }
+            let mut frame: Vec<u8> = self.wbuf.drain(..end).collect();
+            let fault = self.roll();
+            if let Some(kind) = fault {
+                self.record(kind);
+            }
+            match fault {
+                None => self.inner.write_all(&frame)?,
+                Some(WireFaultKind::Disconnect) => {
+                    self.broken = true;
+                    self.wbuf.clear();
+                    return Ok(());
+                }
+                Some(WireFaultKind::PartialWrite) => {
+                    // A strict prefix that always cuts the frame short:
+                    // at least the header, never the whole frame.
+                    let cut = 4 + self.rng.gen_range(0..len.max(1));
+                    self.inner.write_all(&frame[..cut.min(frame.len() - 1)])?;
+                    self.broken = true;
+                    self.wbuf.clear();
+                    return Ok(());
+                }
+                Some(WireFaultKind::Trickle) => {
+                    // The fault lands on the *reply*: arm the read side.
+                    self.trickle = Trickle::Byte;
+                    self.inner.write_all(&frame)?;
+                }
+                Some(WireFaultKind::BitFlip) => {
+                    if len > 0 {
+                        let bit = self.rng.gen_range(0..len * 8);
+                        frame[4 + bit / 8] ^= 1 << (bit % 8);
+                    }
+                    self.inner.write_all(&frame)?;
+                }
+                Some(WireFaultKind::DuplicateFrame) => {
+                    self.inner.write_all(&frame)?;
+                    self.inner.write_all(&frame)?;
+                }
+                Some(WireFaultKind::GarbageHeader) => {
+                    let mut header = [0u8; 4];
+                    self.rng.fill_bytes(&mut header);
+                    self.inner.write_all(&header)?;
+                    self.inner.write_all(&frame[4..])?;
+                }
+            }
+            self.frames += 1;
+        }
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.broken {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: stream broken",
+            ));
+        }
+        self.wbuf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.broken {
+            return Ok(());
+        }
+        self.pump()?;
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.broken {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: stream broken",
+            ));
+        }
+        match self.trickle {
+            Trickle::Off => self.inner.read(buf),
+            Trickle::Tick => {
+                self.trickle = Trickle::Byte;
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "chaos: trickle"))
+            }
+            Trickle::Byte => {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                let n = self.inner.read(&mut buf[..1])?;
+                if n > 0 {
+                    self.trickle = Trickle::Tick;
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    fn send(plan: &ChaosPlan, salt: u64, bodies: &[&[u8]]) -> (Vec<u8>, Vec<WireFault>) {
+        let mut s = ChaosStream::new(Vec::new(), plan, salt);
+        for body in bodies {
+            // A Disconnect/PartialWrite roll breaks the stream; later
+            // writes fail deterministically, so just stop sending.
+            if s.write_all(&frame(body)).and_then(|()| s.flush()).is_err() {
+                break;
+            }
+        }
+        let ledger = s.ledger().lock().unwrap().clone();
+        (s.into_inner(), ledger)
+    }
+
+    /// A one-shot duplex: writes collect into `sent`, reads drain `reply`.
+    struct Duplex {
+        reply: Cursor<Vec<u8>>,
+        sent: Vec<u8>,
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.reply.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.sent.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn zero_rate_passes_frames_through() {
+        let plan = ChaosPlan::new(7);
+        let (out, ledger) = send(&plan, 0, &[b"hello", b"world"]);
+        let mut want = frame(b"hello");
+        want.extend_from_slice(&frame(b"world"));
+        assert_eq!(out, want);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn same_seed_and_salt_reproduce_the_ledger() {
+        // Non-breaking kinds so all 50 frames flow and the ledgers are rich.
+        let plan = ChaosPlan::new(42)
+            .with_rate(0.5)
+            .only(&[
+                WireFaultKind::BitFlip,
+                WireFaultKind::DuplicateFrame,
+                WireFaultKind::GarbageHeader,
+            ]);
+        let bodies: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 16]).collect();
+        let refs: Vec<&[u8]> = bodies.iter().map(Vec::as_slice).collect();
+        let (out_a, led_a) = send(&plan, 3, &refs);
+        let (out_b, led_b) = send(&plan, 3, &refs);
+        assert_eq!(out_a, out_b);
+        assert_eq!(led_a, led_b);
+        assert!(!led_a.is_empty(), "rate 0.5 over 50 frames injects");
+        // A different salt decorrelates.
+        let (_, led_c) = send(&plan, 4, &refs);
+        assert_ne!(led_a, led_c);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit_of_the_body() {
+        let plan = ChaosPlan::new(9).with_rate(1.0).only(&[WireFaultKind::BitFlip]);
+        let body = vec![0u8; 32];
+        let (out, ledger) = send(&plan, 0, &[&body]);
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].kind, WireFaultKind::BitFlip);
+        assert_eq!(out.len(), 4 + 32, "length preserved");
+        assert_eq!(&out[..4], &32u32.to_be_bytes(), "header intact");
+        let flipped: u32 = out[4..].iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn garbage_header_keeps_the_body() {
+        let plan = ChaosPlan::new(11)
+            .with_rate(1.0)
+            .only(&[WireFaultKind::GarbageHeader]);
+        let (out, ledger) = send(&plan, 0, &[b"payload"]);
+        assert_eq!(ledger[0].kind, WireFaultKind::GarbageHeader);
+        assert_eq!(&out[4..], b"payload");
+    }
+
+    #[test]
+    fn duplicate_frame_delivers_twice() {
+        let plan = ChaosPlan::new(13)
+            .with_rate(1.0)
+            .only(&[WireFaultKind::DuplicateFrame]);
+        let (out, _) = send(&plan, 0, &[b"abc"]);
+        let mut want = frame(b"abc");
+        let one = want.clone();
+        want.extend_from_slice(&one);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn disconnect_breaks_both_directions() {
+        let plan = ChaosPlan::new(17)
+            .with_rate(1.0)
+            .only(&[WireFaultKind::Disconnect]);
+        let mut s = ChaosStream::new(Cursor::new(frame(b"reply")), &plan, 0);
+        s.write_all(&frame(b"req")).unwrap();
+        s.flush().unwrap();
+        // Nothing was delivered, and the stream is dead.
+        assert_eq!(s.inner.position(), 0);
+        let err = s.read(&mut [0u8; 8]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let err = s.write(b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn partial_write_delivers_a_strict_prefix() {
+        let plan = ChaosPlan::new(19)
+            .with_rate(1.0)
+            .only(&[WireFaultKind::PartialWrite]);
+        let (out, ledger) = send(&plan, 0, &[b"0123456789"]);
+        assert_eq!(ledger[0].kind, WireFaultKind::PartialWrite);
+        let full = frame(b"0123456789");
+        assert!(out.len() < full.len(), "strictly shorter: {}", out.len());
+        assert!(out.len() >= 4, "at least the header escapes");
+        assert_eq!(out, full[..out.len()]);
+    }
+
+    #[test]
+    fn trickle_arms_the_read_side() {
+        let plan = ChaosPlan::new(23)
+            .with_rate(1.0)
+            .only(&[WireFaultKind::Trickle]);
+        let reply = b"pong".to_vec();
+        let duplex = Duplex {
+            reply: Cursor::new(reply.clone()),
+            sent: Vec::new(),
+        };
+        let mut s = ChaosStream::new(duplex, &plan, 0);
+        s.write_all(&frame(b"ping")).unwrap();
+        s.flush().unwrap();
+        // Reads now alternate one byte / one WouldBlock tick.
+        let mut got = Vec::new();
+        let mut ticks = 0;
+        loop {
+            let mut buf = [0u8; 16];
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    assert_eq!(n, 1, "one byte per read");
+                    got.push(buf[0]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => ticks += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(got, reply);
+        assert!(ticks >= reply.len() - 1, "ticks interleave bytes: {ticks}");
+    }
+
+    #[test]
+    fn labels_are_unique_and_disjoint_from_ingest_kinds() {
+        let labels: std::collections::HashSet<_> =
+            WireFaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), WireFaultKind::ALL.len());
+        for ingest in crate::FaultKind::ALL {
+            assert!(!labels.contains(ingest.label()), "{}", ingest.label());
+        }
+    }
+
+    #[test]
+    fn partial_frames_stay_buffered_until_complete() {
+        let plan = ChaosPlan::new(29);
+        let mut s = ChaosStream::new(Vec::new(), &plan, 0);
+        let full = frame(b"split");
+        s.write_all(&full[..3]).unwrap();
+        s.flush().unwrap();
+        assert!(s.inner.is_empty(), "incomplete frame held back");
+        s.write_all(&full[3..]).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.into_inner(), full);
+    }
+}

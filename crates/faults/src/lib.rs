@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod cacerts;
+pub mod chaos;
 pub mod der;
 
 use rand::rngs::StdRng;

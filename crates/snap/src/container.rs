@@ -236,20 +236,58 @@ impl Snapshot {
     /// bad-section-table error; damaged bodies report their checksum
     /// failure. Never panics — this is what `snap verify` prints.
     pub fn verify(&self) -> Vec<(&'static str, u64, Result<(), SnapError>)> {
+        self.verify_report()
+            .into_iter()
+            .map(|row| (row.name, row.len, row.result))
+            .collect()
+    }
+
+    /// Like [`Snapshot::verify`], but each row also carries the checksum
+    /// the section table records and the checksum the body actually
+    /// folds to — so a damaged section can be reported with both values,
+    /// not just a pass/fail bit.
+    pub fn verify_report(&self) -> Vec<VerifyRow> {
         self.entries
             .iter()
-            .map(|entry| match SectionId::from_tag(entry.tag) {
-                Some(id) => (id.name(), entry.len, self.section(id).map(|_| ())),
-                None => (
-                    "unknown",
-                    entry.len,
-                    Err(SnapError::BadSectionTable {
-                        detail: "unknown section id",
-                    }),
-                ),
+            .map(|entry| {
+                let body =
+                    &self.data[entry.offset as usize..(entry.offset + entry.len) as usize];
+                let actual = fnv1a(body);
+                let (name, result) = match SectionId::from_tag(entry.tag) {
+                    Some(id) => (id.name(), self.section(id).map(|_| ())),
+                    None => (
+                        "unknown",
+                        Err(SnapError::BadSectionTable {
+                            detail: "unknown section id",
+                        }),
+                    ),
+                };
+                VerifyRow {
+                    name,
+                    len: entry.len,
+                    expected: entry.checksum,
+                    actual,
+                    result,
+                }
             })
             .collect()
     }
+}
+
+/// One `snap verify` row: section name, body length, the checksum the
+/// section table records, the checksum the body folds to, and the
+/// verification result.
+pub struct VerifyRow {
+    /// Canonical section name (or `"unknown"` for an unrecognised tag).
+    pub name: &'static str,
+    /// Body length in bytes.
+    pub len: u64,
+    /// Checksum recorded in the section table.
+    pub expected: u64,
+    /// Checksum the body bytes actually fold to.
+    pub actual: u64,
+    /// Verification outcome for this section.
+    pub result: Result<(), SnapError>,
 }
 
 #[cfg(test)]

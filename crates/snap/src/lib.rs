@@ -32,7 +32,7 @@ pub mod journal;
 pub mod study;
 pub mod wire;
 
-pub use container::{SectionId, Snapshot, FORMAT_VERSION, MAGIC};
+pub use container::{SectionId, Snapshot, VerifyRow, FORMAT_VERSION, MAGIC};
 pub use journal::{Journal, Recovery, SwapRecord};
 pub use study::{decode_stores, decode_study, encode_study, load_study, write_study, SnapSummary};
 

@@ -1,9 +1,32 @@
 //! A small blocking client for the trustd wire protocol.
+//!
+//! The client mirrors the server's deadline discipline: sockets carry a
+//! short read timeout ([`READ_TICK`]) and the reply wait is bounded by a
+//! *consecutive idle tick* budget ([`TrustClient::set_response_ticks`]) —
+//! the client-side twin of the server's `STALL_BUDGET`. A server that
+//! stalls mid-reply therefore surfaces as [`ClientError::TimedOut`]
+//! instead of hanging the caller forever. Any received byte resets the
+//! budget, so a slow-but-live server is never misclassified.
+//!
+//! The client is generic over its stream so the chaos harness can run it
+//! over simulated and fault-injecting transports; the `TcpStream` impl
+//! adds the connect helpers.
 
 use crate::wire::{self, FrameError, Request, Response, WireError};
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Socket read-timeout tick; reply waits are counted in these.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Write timeout for TCP sockets: a peer that stops draining cannot
+/// block the caller in `write` indefinitely.
+const WRITE_BUDGET: Duration = Duration::from_secs(5);
+
+/// Default reply budget in consecutive idle ticks (~10 s at
+/// [`READ_TICK`]) — matches the server's stall budget.
+const DEFAULT_RESPONSE_TICKS: u32 = 200;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -14,6 +37,8 @@ pub enum ClientError {
     Protocol(WireError),
     /// The server closed the connection instead of replying.
     Closed,
+    /// The server went silent past the reply deadline.
+    TimedOut,
 }
 
 impl std::fmt::Display for ClientError {
@@ -22,6 +47,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::TimedOut => write!(f, "server exceeded the reply deadline"),
         }
     }
 }
@@ -38,16 +64,23 @@ impl From<FrameError> for ClientError {
 }
 
 /// One connection to a trustd server.
-pub struct TrustClient {
-    stream: TcpStream,
+pub struct TrustClient<S = TcpStream> {
+    stream: S,
+    response_ticks: u32,
 }
 
-impl TrustClient {
-    /// Connect once.
+impl TrustClient<TcpStream> {
+    /// Connect once, with the full deadline discipline: no-delay, a
+    /// [`READ_TICK`] read timeout and a bounded write timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TrustClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TrustClient { stream })
+        stream.set_read_timeout(Some(READ_TICK))?;
+        stream.set_write_timeout(Some(WRITE_BUDGET))?;
+        Ok(TrustClient {
+            stream,
+            response_ticks: DEFAULT_RESPONSE_TICKS,
+        })
     }
 
     /// Connect with retries until `deadline` elapses — for racing a
@@ -65,6 +98,24 @@ impl TrustClient {
             }
         }
     }
+}
+
+impl<S: Read + Write> TrustClient<S> {
+    /// Wrap an already-connected stream (simulated transports, chaos
+    /// wrappers). The stream should report idle waits as
+    /// `WouldBlock`/`TimedOut` for the reply deadline to be meaningful.
+    pub fn from_stream(stream: S) -> TrustClient<S> {
+        TrustClient {
+            stream,
+            response_ticks: DEFAULT_RESPONSE_TICKS,
+        }
+    }
+
+    /// Override the reply budget (consecutive idle ticks with no reply
+    /// byte). Tests use small values to fail fast.
+    pub fn set_response_ticks(&mut self, ticks: u32) {
+        self.response_ticks = ticks.max(1);
+    }
 
     /// Send a request, wait for the reply.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -72,9 +123,107 @@ impl TrustClient {
     }
 
     /// Send raw frame bytes (protocol-fault tests), wait for the reply.
+    ///
+    /// The wait is bounded: `read_frame` internally tolerates idle ticks
+    /// *mid-frame* (stall budget), while ticks at the reply boundary —
+    /// nothing received yet — surface here and are counted against
+    /// [`TrustClient::set_response_ticks`].
     pub fn call_raw(&mut self, body: &[u8]) -> Result<Response, ClientError> {
         wire::write_frame(&mut self.stream, body).map_err(ClientError::Io)?;
-        let frame = wire::read_frame(&mut self.stream)?.ok_or(ClientError::Closed)?;
-        Response::decode(&frame).map_err(ClientError::Protocol)
+        let mut idle = 0u32;
+        loop {
+            match wire::read_frame(&mut self.stream) {
+                Ok(Some(frame)) => {
+                    return Response::decode(&frame).map_err(ClientError::Protocol);
+                }
+                Ok(None) => return Err(ClientError::Closed),
+                Err(FrameError::Io(e)) if wire::is_timeout(&e) => {
+                    idle += 1;
+                    if idle > self.response_ticks {
+                        return Err(ClientError::TimedOut);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accepts the request, then never replies: every read is an idle
+    /// tick.
+    struct SilentServer;
+
+    impl Read for SilentServer {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"))
+        }
+    }
+
+    impl Write for SilentServer {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stalled_server_times_out_instead_of_hanging() {
+        let mut client = TrustClient::from_stream(SilentServer);
+        client.set_response_ticks(3);
+        match client.call(&Request::Stats) {
+            Err(ClientError::TimedOut) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    /// Replies after a fixed number of idle ticks.
+    struct SlowServer {
+        reply: Vec<u8>,
+        pos: usize,
+        ticks_before_reply: u32,
+    }
+
+    impl Read for SlowServer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.ticks_before_reply > 0 {
+                self.ticks_before_reply -= 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            if self.pos >= self.reply.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.reply.len() - self.pos);
+            buf[..n].copy_from_slice(&self.reply[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for SlowServer {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn slow_reply_within_budget_is_delivered() {
+        let mut reply = Vec::new();
+        wire::write_frame(&mut reply, &Response::Busy.encode()).unwrap();
+        let mut client = TrustClient::from_stream(SlowServer {
+            reply,
+            pos: 0,
+            ticks_before_reply: 5,
+        });
+        client.set_response_ticks(10);
+        assert_eq!(client.call(&Request::Stats).unwrap(), Response::Busy);
     }
 }

@@ -27,9 +27,11 @@
 //!   profiles are plain [`tangled_pki::store::RootStore`] snapshots.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod index;
 pub mod replay;
+pub mod resilient;
 pub mod server;
 pub mod service;
 pub mod stats;
@@ -37,11 +39,17 @@ pub mod warm;
 pub mod wire;
 
 pub use cache::LruCache;
+pub use chaos::{ChaosReport, ChaosSpec};
 pub use client::{ClientError, TrustClient};
 pub use index::{StoreIndex, StoreProfile};
-pub use replay::{offline_verdicts, replay, ReplayOutcome, ReplaySpec};
-pub use server::TrustServer;
+pub use replay::{
+    offline_verdicts, replay, replay_resilient, ReplayOutcome, ReplaySpec, ResilientOutcome,
+};
+pub use resilient::{
+    Connect, ResilientClient, ResilientError, RetryPolicy, SwapOutcome, TcpConnector,
+};
+pub use server::{ServerConfig, TrustServer};
 pub use service::{TrustService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{LatencyHistogram, ServiceStats};
-pub use warm::{index_from_snapshot, replay_journal};
+pub use warm::{degraded_index_from_snapshot, index_from_snapshot, replay_journal, DegradedStart};
 pub use wire::{ChainVerdict, FrameError, Request, Response, WireError, MAX_FRAME};

@@ -9,11 +9,15 @@
 //! [`offline_verdicts`] computed without any server at all.
 
 use crate::client::{ClientError, TrustClient};
+use crate::resilient::{Connect, ResilientClient, RetryPolicy};
 use crate::service::{profile_for_version, TrustService, DEFAULT_CACHE_CAPACITY};
 use crate::wire::{ChainVerdict, Request, Response};
 use serde_json::Value;
-use std::net::ToSocketAddrs;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tangled_faults::chaos::{ChaosPlan, ChaosStream, WireFaultKind, WireLedger};
 use tangled_intercept::origin::OriginServers;
 use tangled_intercept::policy::Target;
 use tangled_netalyzr::{Population, PopulationSpec};
@@ -143,6 +147,7 @@ pub fn canonical(resp: &Response) -> String {
             profile, anchors, ..
         } => format!("swap/{profile}/{anchors}"),
         Response::Stats(_) => "stats".to_owned(),
+        Response::Busy => "busy".to_owned(),
         Response::Error { stage, error } => format!("error/{stage}/{error}"),
     }
 }
@@ -198,6 +203,132 @@ pub fn replay(
         requests: requests.len(),
         verdicts,
         wire_errors,
+        elapsed,
+        stats,
+    })
+}
+
+/// Outcome of a chaos replay through the resilient client.
+pub struct ResilientOutcome {
+    /// Canonical verdict strings, one per request, in request order.
+    pub verdicts: Vec<String>,
+    /// Requests issued (each may have taken several attempts).
+    pub requests: usize,
+    /// `error` responses with stage `wire` (protocol errors).
+    pub wire_errors: usize,
+    /// Retry attempts beyond first tries.
+    pub retries: u64,
+    /// `busy` sheds absorbed by the retry loop.
+    pub busy: u64,
+    /// Connections opened (1 plus one per fault-forced reconnect).
+    pub reconnects: u64,
+    /// Wire faults injected by the chaos wrapper.
+    pub faults: usize,
+    /// Wall-clock time spent replaying.
+    pub elapsed: Duration,
+    /// The server's stats document, fetched after the replay.
+    pub stats: Value,
+}
+
+/// TCP connections whose client side rides a seeded chaos wrapper: each
+/// connection gets the next salt, so the fault schedule is a pure
+/// function of `(seed, connection ordinal, frame ordinal)`.
+struct ChaosConnector {
+    addr: SocketAddr,
+    plan: ChaosPlan,
+    salt: u64,
+    ledger: WireLedger,
+}
+
+impl Connect for ChaosConnector {
+    type Stream = ChaosStream<TcpStream>;
+
+    fn connect(&mut self) -> io::Result<TrustClient<ChaosStream<TcpStream>>> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        self.salt += 1;
+        Ok(TrustClient::from_stream(ChaosStream::with_ledger(
+            stream,
+            &self.plan,
+            self.salt,
+            Arc::clone(&self.ledger),
+        )))
+    }
+}
+
+/// Replay a spec against a live server through the [`ResilientClient`],
+/// with seeded wire faults injected on the client side.
+///
+/// Only the *lossy* fault kinds ([`WireFaultKind::LOSSY`] — disconnect,
+/// partial write, trickle) are scheduled: they can delay or destroy a
+/// request in transit but never deliver a *corrupted* one, so every
+/// request the server executes is exact and the replay's verdicts must
+/// still match [`offline_verdicts`] byte for byte. That is the whole
+/// point: faults cost retries, not answers. The query mix is pure
+/// (validate/classify/audit/probe), so blind retries are safe under the
+/// idempotency rules.
+pub fn replay_resilient(
+    addr: impl ToSocketAddrs,
+    spec: &ReplaySpec,
+    chaos_seed: u64,
+    chaos_rate: f64,
+) -> Result<ResilientOutcome, String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+    let ledger: WireLedger = Arc::new(Mutex::new(Vec::new()));
+    let plan = ChaosPlan::new(chaos_seed)
+        .with_rate(chaos_rate)
+        .only(&WireFaultKind::LOSSY);
+    let connector = ChaosConnector {
+        addr,
+        plan,
+        salt: 0,
+        ledger: Arc::clone(&ledger),
+    };
+    // Zero backoff delay (the smoke test runs under CI wall-clock), but a
+    // deeper attempt budget than the serving default: at injection rates
+    // this high, four attempts of a breaking fault in a row is plausible.
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        ..RetryPolicy::immediate(chaos_seed)
+    };
+    let mut client = ResilientClient::new(connector, policy);
+
+    let pop = population(spec);
+    let requests = queries(&pop, spec);
+    let started = Instant::now();
+    let mut verdicts = Vec::with_capacity(requests.len());
+    let mut wire_errors = 0usize;
+    for req in &requests {
+        let resp = client.call(req).map_err(|e| format!("chaos replay: {e}"))?;
+        if matches!(&resp, Response::Error { stage, .. } if stage == "wire") {
+            wire_errors += 1;
+        }
+        verdicts.push(canonical(&resp));
+    }
+    let elapsed = started.elapsed();
+
+    let stats = match client
+        .call(&Request::Stats)
+        .map_err(|e| format!("fetching stats: {e}"))?
+    {
+        Response::Stats(doc) => doc,
+        _ => return Err("unexpected stats reply".into()),
+    };
+    let faults = ledger.lock().map(|l| l.len()).unwrap_or(0);
+    Ok(ResilientOutcome {
+        requests: requests.len(),
+        verdicts,
+        wire_errors,
+        retries: client.retries(),
+        busy: client.busy_count(),
+        reconnects: client.reconnects(),
+        faults,
         elapsed,
         stats,
     })

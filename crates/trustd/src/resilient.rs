@@ -1,0 +1,580 @@
+//! A retrying client wrapper: bounded attempts, deterministic seeded
+//! backoff, and idempotency-aware recovery.
+//!
+//! [`ResilientClient`] wraps the plain [`TrustClient`] with the retry
+//! discipline the chaos tests demand:
+//!
+//! * **Bounded retries with seeded backoff.** Every transport failure or
+//!   explicit `busy` shed is retried up to [`RetryPolicy::max_attempts`]
+//!   times, sleeping an exponentially growing, jittered delay between
+//!   attempts. The jitter is drawn from a seeded RNG, so a simulated run
+//!   retries at exactly the same points every time.
+//! * **Idempotency rules.** Pure queries (`validate`, `classify`,
+//!   `audit`, `probe`, `stats`) are blindly retryable — running one twice
+//!   is indistinguishable from once. `swap` is not: an ambiguous
+//!   transport failure leaves "did it land?" unknown, so instead of
+//!   re-sending, [`ResilientClient::swap`] re-reads the profile's epoch
+//!   from the server's stats document (PR 5 made every install bump it)
+//!   and treats an advanced epoch as proof the swap applied.
+//! * **Classified exhaustion.** When retries run out the caller gets a
+//!   [`ResilientError`] naming the terminal fault — shed, or a transport
+//!   label — never a bare hang.
+
+use crate::client::{ClientError, TrustClient};
+use crate::wire::{Request, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use tangled_obs::registry as metrics;
+
+/// Retry schedule: attempt budget plus seeded exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per logical request (first try included).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed: same seed, same delays.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The serving default: 4 attempts, 50 ms base, 2 s ceiling.
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed,
+        }
+    }
+
+    /// Zero-delay variant for tests and in-process simulation: same
+    /// attempt accounting, no wall-clock sleeps.
+    pub fn immediate(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed,
+        }
+    }
+
+    /// The delay before retry number `attempt` (1 = first retry):
+    /// exponential growth capped at `max_delay`, jittered uniformly into
+    /// `[half, full]` so synchronized clients decorrelate.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16))
+            .min(self.max_delay);
+        let micros = exp.as_micros() as u64;
+        if micros == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(rng.gen_range(micros / 2..=micros))
+    }
+}
+
+/// How a [`ResilientClient`] obtains connections. Implementations decide
+/// the transport: real TCP ([`TcpConnector`]), TCP under a chaos wrapper,
+/// or fully simulated streams in tests.
+pub trait Connect {
+    /// The stream type of produced connections.
+    type Stream: Read + Write;
+
+    /// Open one connection, ready to carry calls.
+    fn connect(&mut self) -> io::Result<TrustClient<Self::Stream>>;
+}
+
+/// Plain TCP connections to a fixed address.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    /// The server address.
+    pub addr: SocketAddr,
+    /// Optional reply-deadline override (consecutive idle ticks).
+    pub response_ticks: Option<u32>,
+}
+
+impl TcpConnector {
+    /// A connector for `addr` with default deadlines.
+    pub fn new(addr: SocketAddr) -> TcpConnector {
+        TcpConnector {
+            addr,
+            response_ticks: None,
+        }
+    }
+}
+
+impl Connect for TcpConnector {
+    type Stream = TcpStream;
+
+    fn connect(&mut self) -> io::Result<TrustClient<TcpStream>> {
+        let mut client = TrustClient::connect(self.addr)?;
+        if let Some(ticks) = self.response_ticks {
+            client.set_response_ticks(ticks);
+        }
+        Ok(client)
+    }
+}
+
+/// Why a resilient call gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilientError {
+    /// Every attempt was shed with an explicit `busy` reply.
+    Shed {
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Retries exhausted on a classified transport fault.
+    Exhausted {
+        /// The terminal fault label (`disconnect`, `timeout`,
+        /// `transport`, `protocol`, `connect-failed`).
+        label: &'static str,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::Shed { attempts } => {
+                write!(f, "shed with busy after {attempts} attempts")
+            }
+            ResilientError::Exhausted { label, attempts } => {
+                write!(f, "gave up after {attempts} attempts: {label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+/// Outcome of a resilient `swap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// The profile installed.
+    pub profile: String,
+    /// Its epoch after the swap.
+    pub epoch: u64,
+    /// Anchor count, when the server's reply was observed directly
+    /// (`None` after an epoch re-sync — the reply was lost in transit).
+    pub anchors: Option<usize>,
+    /// True when the install was confirmed by epoch re-sync rather than
+    /// by the swap reply itself.
+    pub resynced: bool,
+}
+
+/// A [`TrustClient`] with retries, backoff and idempotency rules.
+pub struct ResilientClient<C: Connect> {
+    connector: C,
+    policy: RetryPolicy,
+    rng: StdRng,
+    conn: Option<TrustClient<C::Stream>>,
+    retries: u64,
+    busy: u64,
+    resyncs: u64,
+    reconnects: u64,
+}
+
+impl<C: Connect> ResilientClient<C> {
+    /// Wrap `connector` under `policy`.
+    pub fn new(connector: C, policy: RetryPolicy) -> ResilientClient<C> {
+        let rng = StdRng::seed_from_u64(policy.seed);
+        ResilientClient {
+            connector,
+            policy,
+            rng,
+            conn: None,
+            retries: 0,
+            busy: 0,
+            resyncs: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Retries performed (attempts beyond the first, all calls).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// `busy` sheds received.
+    pub fn busy_count(&self) -> u64 {
+        self.busy
+    }
+
+    /// Swaps confirmed by epoch re-sync.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Connections opened.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Issue one request with the full retry discipline. `swap` requests
+    /// are routed through [`ResilientClient::swap`] (epoch re-sync, never
+    /// a blind retry); everything else retries directly.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ResilientError> {
+        if let Request::Swap { profile, snapshot } = req {
+            let outcome = self.swap(profile, snapshot)?;
+            return Ok(Response::Swap {
+                profile: outcome.profile,
+                epoch: outcome.epoch,
+                anchors: outcome.anchors.unwrap_or(0),
+            });
+        }
+        debug_assert!(req.is_idempotent());
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_once(req) {
+                Ok(Response::Busy) => {
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Shed { attempts: attempt });
+                    }
+                }
+                Ok(resp) => return Ok(resp),
+                Err(label) => {
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Exhausted {
+                            label,
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            self.note_retry(attempt);
+        }
+    }
+
+    /// Install a store profile without ever blind-retrying the mutation.
+    ///
+    /// Before each attempt the profile's current epoch is read from the
+    /// server's stats document. If the attempt then fails ambiguously
+    /// (transport error after the request may have been sent), the epoch
+    /// is re-read: an advance proves the swap landed — the outcome is
+    /// reported as `resynced` instead of re-sending. Only a provably
+    /// un-applied swap (epoch unchanged) is attempted again.
+    pub fn swap(
+        &mut self,
+        profile: &str,
+        snapshot: &tangled_pki::store::StoreSnapshot,
+    ) -> Result<SwapOutcome, ResilientError> {
+        let req = Request::Swap {
+            profile: profile.to_owned(),
+            snapshot: snapshot.clone(),
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let before = self.profile_epoch(profile)?;
+            match self.try_once(&req) {
+                Ok(Response::Swap {
+                    profile,
+                    epoch,
+                    anchors,
+                }) => {
+                    return Ok(SwapOutcome {
+                        profile,
+                        epoch,
+                        anchors: Some(anchors),
+                        resynced: false,
+                    });
+                }
+                Ok(Response::Busy) => {
+                    // Shed at admission: the request was never read, so
+                    // retrying is safe.
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Shed { attempts: attempt });
+                    }
+                }
+                Ok(other) => {
+                    // A classified rejection (`error` reply) or a
+                    // mismatched response type: the server answered, the
+                    // swap did not apply. Surface it via epoch logic? No —
+                    // hand the response back as a terminal protocol fault.
+                    let _ = other;
+                    return Err(ResilientError::Exhausted {
+                        label: "rejected",
+                        attempts: attempt,
+                    });
+                }
+                Err(_label) => {
+                    // Ambiguous: the swap may or may not have landed.
+                    // Re-sync on the epoch instead of re-sending.
+                    let after = self.profile_epoch(profile)?;
+                    if after > before {
+                        self.resyncs += 1;
+                        metrics::add("trustd.client.resyncs", 1);
+                        return Ok(SwapOutcome {
+                            profile: profile.to_owned(),
+                            epoch: after,
+                            anchors: None,
+                            resynced: true,
+                        });
+                    }
+                    // Provably not applied: safe to try again.
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Exhausted {
+                            label: "swap-unconfirmed",
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            self.note_retry(attempt);
+        }
+    }
+
+    /// The server's current epoch for `profile` (0 when unknown), via an
+    /// idempotent — and therefore itself retried — stats call.
+    fn profile_epoch(&mut self, profile: &str) -> Result<u64, ResilientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(doc) => {
+                Ok(doc["index"]["profiles"][profile].as_u64().unwrap_or(0))
+            }
+            _ => Ok(0),
+        }
+    }
+
+    /// One attempt: connect if needed, send, classify failures. Any
+    /// failure (and any `busy`) tears the connection down so the next
+    /// attempt starts fresh.
+    fn try_once(&mut self, req: &Request) -> Result<Response, &'static str> {
+        if self.conn.is_none() {
+            match self.connector.connect() {
+                Ok(client) => {
+                    self.reconnects += 1;
+                    self.conn = Some(client);
+                }
+                Err(_) => return Err("connect-failed"),
+            }
+        }
+        let client = self.conn.as_mut().expect("connection just ensured");
+        match client.call(req) {
+            Ok(Response::Busy) => {
+                self.busy += 1;
+                metrics::add("trustd.client.busy", 1);
+                self.conn = None;
+                Ok(Response::Busy)
+            }
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(classify(&e))
+            }
+        }
+    }
+
+    /// Count a retry and sleep the seeded backoff.
+    fn note_retry(&mut self, attempt: u32) {
+        self.retries += 1;
+        metrics::add("trustd.client.retries", 1);
+        let delay = self.policy.delay(attempt, &mut self.rng);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// Stable label for a transport-layer client failure.
+fn classify(e: &ClientError) -> &'static str {
+    match e {
+        ClientError::Io(_) => "transport",
+        ClientError::Protocol(_) => "protocol",
+        ClientError::Closed => "disconnect",
+        ClientError::TimedOut => "timeout",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+    use serde_json::json;
+    use std::collections::VecDeque;
+
+    /// A scripted connection: ignores writes, serves a fixed reply byte
+    /// stream, then reports clean EOF.
+    struct Scripted {
+        reply: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.reply.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.reply.len() - self.pos);
+            buf[..n].copy_from_slice(&self.reply[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Hands out scripted connections in order; connect fails when the
+    /// script runs dry.
+    struct ScriptConnector {
+        scripts: VecDeque<Vec<u8>>,
+    }
+
+    impl Connect for ScriptConnector {
+        type Stream = Scripted;
+
+        fn connect(&mut self) -> io::Result<TrustClient<Scripted>> {
+            match self.scripts.pop_front() {
+                Some(reply) => Ok(TrustClient::from_stream(Scripted { reply, pos: 0 })),
+                None => Err(io::Error::new(io::ErrorKind::ConnectionRefused, "dry")),
+            }
+        }
+    }
+
+    fn framed(resps: &[Response]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in resps {
+            wire::write_frame(&mut out, &r.encode()).unwrap();
+        }
+        out
+    }
+
+    fn stats_with_epoch(profile: &str, epoch: u64) -> Response {
+        Response::Stats(json!({
+            "index": { "profiles": { profile: epoch } },
+        }))
+    }
+
+    #[test]
+    fn busy_then_success_retries_through() {
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![
+                framed(&[Response::Busy]),
+                framed(&[Response::Probe {
+                    verdict: "clean".into(),
+                }]),
+            ]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        let resp = client
+            .call(&Request::Probe {
+                profile: "AOSP 4.4".into(),
+                target: "gmail.com:443".into(),
+                chain: vec![],
+                pinned: false,
+            })
+            .expect("retried past the shed");
+        assert!(matches!(resp, Response::Probe { .. }));
+        assert_eq!(client.busy_count(), 1);
+        assert_eq!(client.retries(), 1);
+        assert_eq!(client.reconnects(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_classified() {
+        // Every connection closes without replying.
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        match client.call(&Request::Stats) {
+            Err(ResilientError::Exhausted { label, attempts }) => {
+                assert_eq!(label, "disconnect");
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_swap_resyncs_via_epoch_not_blind_retry() {
+        use tangled_pki::store::RootStore;
+        let profile = "AOSP 4.4";
+        // Connection 1 answers the pre-swap stats probe (epoch 6), then
+        // closes before replying to the swap itself — the ambiguous case.
+        // Connection 2 answers the post-failure stats probe with epoch 7:
+        // the swap landed. No third connection exists, so a blind re-send
+        // of the swap would fail the test.
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![
+                framed(&[stats_with_epoch(profile, 6)]),
+                framed(&[stats_with_epoch(profile, 7)]),
+            ]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        let outcome = client
+            .swap(profile, &RootStore::new("x").snapshot())
+            .expect("resynced");
+        assert!(outcome.resynced);
+        assert_eq!(outcome.epoch, 7);
+        assert_eq!(outcome.anchors, None);
+        assert_eq!(client.resyncs(), 1);
+    }
+
+    #[test]
+    fn unapplied_swap_is_retried_then_confirmed() {
+        use tangled_pki::store::RootStore;
+        let profile = "AOSP 4.4";
+        // Conn 1: pre-swap stats (epoch 6), then closes (swap lost).
+        // Conn 2: post-failure stats still 6 — provably not applied.
+        // Conn 3: second attempt's pre-swap stats (6) and the swap reply.
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![
+                framed(&[stats_with_epoch(profile, 6)]),
+                framed(&[stats_with_epoch(profile, 6)]),
+                framed(&[
+                    stats_with_epoch(profile, 6),
+                    Response::Swap {
+                        profile: profile.into(),
+                        epoch: 7,
+                        anchors: 0,
+                    },
+                ]),
+            ]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        let outcome = client
+            .swap(profile, &RootStore::new("x").snapshot())
+            .expect("second attempt succeeds");
+        assert!(!outcome.resynced);
+        assert_eq!(outcome.epoch, 7);
+        assert_eq!(outcome.anchors, Some(0));
+        assert_eq!(client.resyncs(), 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(42);
+        let mut a = StdRng::seed_from_u64(policy.seed);
+        let mut b = StdRng::seed_from_u64(policy.seed);
+        for attempt in 1..=8 {
+            let da = policy.delay(attempt, &mut a);
+            let db = policy.delay(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same delay");
+            assert!(da <= policy.max_delay);
+            assert!(da >= policy.base_delay / 2);
+        }
+        // The immediate policy never sleeps.
+        let imm = RetryPolicy::immediate(42);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(imm.delay(3, &mut rng), Duration::ZERO);
+    }
+}

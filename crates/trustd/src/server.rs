@@ -21,11 +21,11 @@
 //! loaded server can be read from its metrics dump.
 
 use crate::service::TrustService;
-use crate::wire::{self, FrameError, Request, WireError};
+use crate::wire::{self, FrameError, Request, Response, WireError};
 use serde_json::Value;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -34,6 +34,31 @@ use tangled_obs::{registry as metrics, trace};
 
 /// How long a worker blocks in `read` before polling the stop flag.
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Admission and deadline knobs for a [`TrustServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the accept queue (minimum 1).
+    pub workers: usize,
+    /// Maximum connections waiting for a worker. Arrivals beyond the
+    /// budget are *shed*: the accept thread replies `busy` and closes,
+    /// instead of queueing unboundedly.
+    pub backlog: usize,
+    /// How many consecutive idle [`READ_TICK`]s a connection may sit at a
+    /// frame boundary before the server closes it. 1200 ticks ≈ one
+    /// minute: an abandoned socket cannot pin a worker forever.
+    pub idle_ticks: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            backlog: 1024,
+            idle_ticks: 1200,
+        }
+    }
+}
 
 /// A running trustd server.
 pub struct TrustServer {
@@ -44,11 +69,28 @@ pub struct TrustServer {
 }
 
 impl TrustServer {
-    /// Bind `addr` and start `workers` worker threads (minimum 1).
+    /// Bind `addr` and start `workers` worker threads (minimum 1), with
+    /// default admission control.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<TrustService>,
         workers: usize,
+    ) -> io::Result<TrustServer> {
+        TrustServer::bind_with(
+            addr,
+            service,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind `addr` with explicit admission-control configuration.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<TrustService>,
+        config: ServerConfig,
     ) -> io::Result<TrustServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -56,25 +98,58 @@ impl TrustServer {
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        // The admission counter: incremented at accept, decremented when
+        // a worker picks the connection up. The registry gauge mirrors it
+        // for observability; this atomic is the decision input.
+        let queued = Arc::new(AtomicUsize::new(0));
 
-        let worker_handles = (0..workers.max(1))
+        let worker_handles = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || worker_loop(&rx, &service, &stop))
+                let queued = Arc::clone(&queued);
+                let idle_ticks = config.idle_ticks;
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &service, &stop, &queued, idle_ticks)
+                })
             })
             .collect();
 
         let accept_stop = Arc::clone(&stop);
+        let backlog = config.backlog;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    Ok(stream) => {
+                    Ok(mut stream) => {
                         metrics::add("trustd.conn.accepted", 1);
+                        if queued.load(Ordering::SeqCst) >= backlog {
+                            // Over budget: shed visibly. The peer gets an
+                            // explicit `busy` frame, not a silent RST.
+                            metrics::add("trustd.admission.shed", 1);
+                            let _ = wire::write_frame(
+                                &mut stream,
+                                &Response::Busy.encode(),
+                            );
+                            // Drain whatever the peer already sent before
+                            // closing: dropping a socket with unread input
+                            // raises an RST that can destroy the in-flight
+                            // `busy` frame. Bounded by one read timeout, so
+                            // a shed storm cannot pin the accept thread.
+                            let _ = stream.set_read_timeout(Some(READ_TICK));
+                            let mut sink = [0u8; 4096];
+                            for _ in 0..64 {
+                                match stream.read(&mut sink) {
+                                    Ok(n) if n > 0 => {}
+                                    _ => break,
+                                }
+                            }
+                            continue;
+                        }
+                        queued.fetch_add(1, Ordering::SeqCst);
                         metrics::gauge_add("trustd.conn.queued", 1);
                         if tx.send(stream).is_err() {
                             break;
@@ -118,6 +193,8 @@ fn worker_loop(
     rx: &Arc<Mutex<Receiver<TcpStream>>>,
     service: &Arc<TrustService>,
     stop: &Arc<AtomicBool>,
+    queued: &Arc<AtomicUsize>,
+    idle_ticks: u32,
 ) {
     loop {
         let stream = {
@@ -130,8 +207,9 @@ fn worker_loop(
         };
         match stream {
             Some(stream) => {
+                queued.fetch_sub(1, Ordering::SeqCst);
                 metrics::gauge_add("trustd.conn.queued", -1);
-                handle_connection(stream, service, stop);
+                handle_connection(stream, service, stop, idle_ticks);
             }
             None if stop.load(Ordering::SeqCst) => break,
             None => continue,
@@ -143,6 +221,7 @@ fn handle_connection(
     mut stream: TcpStream,
     service: &Arc<TrustService>,
     stop: &Arc<AtomicBool>,
+    idle_ticks: u32,
 ) {
     // Monotonic connection index: the span unit for live tracing. (Live
     // serving is inherently scheduling-dependent, so these spans are not
@@ -151,14 +230,38 @@ fn handle_connection(
     let conn = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     let span = trace::span_start("trustd.conn", 0, conn, &[]);
     metrics::gauge_add("trustd.conn.active", 1);
-    let mut served = 0u64;
 
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_nodelay(true);
+    let served = serve_connection(&mut stream, service, stop, idle_ticks, span);
+
+    metrics::gauge_add("trustd.conn.active", -1);
+    trace::span_end("trustd.conn", span, &[("served", Value::from(served))]);
+}
+
+/// The frame loop for one connection, generic over the stream so
+/// loopback tests and the in-process chaos harness can drive it over
+/// simulated transports. Returns the number of requests served.
+///
+/// The stream must report read timeouts as `WouldBlock`/`TimedOut` at
+/// frame boundaries for the stop flag and the idle deadline to be
+/// polled (a TCP stream configured with [`READ_TICK`], or a simulated
+/// stream that yields `WouldBlock`); a stream that simply blocks still
+/// serves correctly but only notices shutdown on activity.
+pub(crate) fn serve_connection<S: Read + Write>(
+    stream: &mut S,
+    service: &TrustService,
+    stop: &AtomicBool,
+    idle_ticks: u32,
+    span: u64,
+) -> u64 {
+    let mut served = 0u64;
+    let mut idle = 0u32;
     loop {
-        match wire::read_frame(&mut stream) {
+        match wire::read_frame(stream) {
             Ok(None) => break,
             Ok(Some(body)) => {
+                idle = 0;
                 let reply = match Request::decode(&body) {
                     Ok(req) => {
                         served += 1;
@@ -170,7 +273,7 @@ fn handle_connection(
                         service.record_wire_fault(&e)
                     }
                 };
-                if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+                if wire::write_frame(stream, &reply.encode()).is_err() {
                     break;
                 }
             }
@@ -178,9 +281,18 @@ fn handle_connection(
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                idle += 1;
+                if idle > idle_ticks {
+                    // An abandoned connection at a frame boundary: close
+                    // it so the worker frees up. Not a protocol fault —
+                    // just a deadline.
+                    metrics::add("trustd.conn.idle_closed", 1);
+                    break;
+                }
             }
             Err(FrameError::Io(_)) => break,
             Err(FrameError::Wire(e)) => {
+                idle = 0;
                 record_wire_trace(span, &e);
                 let reply = service.record_wire_fault(&e);
                 if let WireError::Oversized { len } = e {
@@ -188,24 +300,22 @@ fn handle_connection(
                     // so the next frame boundary is known: drain the
                     // oversized body (bounded scratch, same stall budget
                     // as a read), reply, and keep serving the connection.
-                    if wire::drain_frame_body(&mut stream, len).is_err() {
-                        let _ = wire::write_frame(&mut stream, &reply.encode());
+                    if wire::drain_frame_body(stream, len).is_err() {
+                        let _ = wire::write_frame(stream, &reply.encode());
                         break;
                     }
-                    if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+                    if wire::write_frame(stream, &reply.encode()).is_err() {
                         break;
                     }
                 } else {
                     // Truncation: the boundary is genuinely lost.
-                    let _ = wire::write_frame(&mut stream, &reply.encode());
+                    let _ = wire::write_frame(stream, &reply.encode());
                     break;
                 }
             }
         }
     }
-
-    metrics::gauge_add("trustd.conn.active", -1);
-    trace::span_end("trustd.conn", span, &[("served", Value::from(served))]);
+    served
 }
 
 /// Record a wire fault into the metrics registry and, when a trace is
@@ -298,5 +408,30 @@ mod tests {
 
         server.shutdown();
         assert_eq!(service.stats().quarantined_total(), 1);
+    }
+
+    #[test]
+    fn zero_backlog_sheds_with_busy() {
+        let service = Arc::new(TrustService::new(16));
+        let server = TrustServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            ServerConfig {
+                workers: 1,
+                backlog: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+
+        // With a zero budget every arrival is shed: the server answers
+        // one explicit busy frame and closes.
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let body = wire::read_frame(&mut stream).unwrap().expect("busy frame");
+        assert_eq!(Response::decode(&body).unwrap(), Response::Busy);
+        assert_eq!(wire::read_frame(&mut stream).unwrap(), None, "closed");
+
+        server.shutdown();
+        assert_eq!(service.stats().served_total(), 0, "nothing reached a worker");
     }
 }

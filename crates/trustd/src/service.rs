@@ -122,8 +122,35 @@ impl TrustService {
                 pinned,
             } => self.probe(profile, target, chain, *pinned),
             Request::Swap { profile, snapshot } => self.swap(profile, snapshot),
-            Request::Stats => Response::Stats(self.stats.to_json()),
+            Request::Stats => Response::Stats(self.stats_document()),
         }
+    }
+
+    /// The full stats document: the counter ledger plus a live view of
+    /// the index — global epoch and per-profile epochs. The per-profile
+    /// epochs are what a resilient client re-syncs an ambiguous `swap`
+    /// against: if the profile's epoch advanced past the one observed
+    /// before the attempt, the swap landed.
+    pub fn stats_document(&self) -> serde_json::Value {
+        let mut doc = self.stats.to_json();
+        let mut profiles = serde_json::Value::Object(Default::default());
+        if let serde_json::Value::Object(map) = &mut profiles {
+            for name in self.index.profile_names() {
+                if let Some(profile) = self.index.profile(&name) {
+                    map.insert(name, serde_json::Value::from(profile.epoch));
+                }
+            }
+        }
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.insert(
+                "index".to_owned(),
+                serde_json::json!({
+                    "epoch": self.index.current_epoch(),
+                    "profiles": profiles,
+                }),
+            );
+        }
+        doc
     }
 
     fn validate(&self, profile: &str, chain: &[Vec<u8>]) -> Response {
@@ -555,5 +582,25 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_document_exposes_index_epochs() {
+        let svc = TrustService::new(16);
+        let doc = svc.stats_document();
+        assert_eq!(doc["index"]["epoch"], 6u64, "6 reference preloads");
+        let before = doc["index"]["profiles"]["AOSP 4.4"]
+            .as_u64()
+            .expect("profile epoch");
+
+        // A swap advances exactly that profile's epoch.
+        svc.handle(&Request::Swap {
+            profile: "AOSP 4.4".into(),
+            snapshot: RootStore::new("empty").snapshot(),
+        });
+        let doc = svc.stats_document();
+        let after = doc["index"]["profiles"]["AOSP 4.4"].as_u64().unwrap();
+        assert!(after > before, "epoch advanced: {before} -> {after}");
+        assert_eq!(doc["index"]["epoch"], after);
     }
 }

@@ -30,6 +30,9 @@ struct StatsInner {
     cache_misses: u64,
     health: RunHealth,
     latency: BTreeMap<String, LatencyHistogram>,
+    /// Snapshot sections (or profiles) quarantined during a degraded
+    /// warm start: `(unit, label)`, in quarantine order.
+    degraded: Vec<(String, String)>,
 }
 
 /// Thread-safe service counters.
@@ -88,6 +91,24 @@ impl ServiceStats {
             .health
             .record_quarantined(stage, label);
         metrics::add("trustd.quarantined", 1);
+    }
+
+    /// Record one snapshot unit quarantined during a degraded warm start
+    /// (`unit` is a section or profile name). Counted in the health
+    /// ledger under the `warm` stage and listed verbatim in the stats
+    /// document, so operators can see *which* sections a degraded server
+    /// is running without.
+    pub fn record_degraded(&self, unit: &str, label: &str) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.health.record_quarantined("warm", label);
+        inner.degraded.push((unit.to_owned(), label.to_owned()));
+        drop(inner);
+        metrics::add("trustd.warm.degraded", 1);
+    }
+
+    /// Is the service running degraded (any warm-start quarantine)?
+    pub fn is_degraded(&self) -> bool {
+        !self.inner.lock().expect("stats poisoned").degraded.is_empty()
     }
 
     /// Total requests served (all kinds).
@@ -164,6 +185,17 @@ impl ServiceStats {
             },
             "health": inner.health.to_json(),
             "latency_us": latency,
+            "warm": {
+                "degraded": !inner.degraded.is_empty(),
+                "quarantined": inner
+                    .degraded
+                    .iter()
+                    .map(|(unit, label)| json!({
+                        "section": unit.as_str(),
+                        "error": label.as_str(),
+                    }))
+                    .collect::<Vec<_>>(),
+            },
         })
     }
 }
@@ -232,5 +264,21 @@ mod tests {
         assert_eq!(v["health"]["quarantined"]["cacerts"]["malformed-der"], 1u32);
         assert_eq!(v["latency_us"]["probe"]["count"], 1u64);
         assert!(v["latency_us"]["probe"]["p99_us"].as_u64().is_some());
+        assert_eq!(v["warm"]["degraded"], false);
+    }
+
+    #[test]
+    fn degraded_warm_start_is_surfaced() {
+        let s = ServiceStats::new();
+        assert!(!s.is_degraded());
+        s.record_degraded("ecosystem", "checksum-mismatch");
+        assert!(s.is_degraded());
+        let v = s.to_json();
+        assert_eq!(v["warm"]["degraded"], true);
+        assert_eq!(v["warm"]["quarantined"][0]["section"], "ecosystem");
+        assert_eq!(v["warm"]["quarantined"][0]["error"], "checksum-mismatch");
+        assert_eq!(v["health"]["quarantined"]["warm"]["checksum-mismatch"], 1u32);
+        let fp = s.counters_fingerprint();
+        assert!(fp.contains("quarantined:warm/checksum-mismatch=1;"), "{fp}");
     }
 }

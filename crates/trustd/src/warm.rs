@@ -14,7 +14,7 @@ use crate::index::{build_anchor_verifier, StoreIndex, DEFAULT_SHARDS};
 use std::sync::Arc;
 use tangled_pki::store::RootStore;
 use tangled_pki::stores::ReferenceStore;
-use tangled_snap::{decode_stores, SnapError, Snapshot, SwapRecord};
+use tangled_snap::{decode_stores, SectionId, SnapError, Snapshot, SwapRecord};
 
 /// Build a reference-profile index from a study snapshot.
 ///
@@ -45,6 +45,105 @@ pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
     }
     tangled_obs::registry::add("trustd.warm_starts", 1);
     Ok(index)
+}
+
+/// The outcome of a degraded-mode warm start: an index that serves, plus
+/// the quarantine ledger of what it is serving *without*.
+pub struct DegradedStart {
+    /// The (possibly partial) store index.
+    pub index: StoreIndex,
+    /// Quarantined snapshot units: `(section-or-profile, error label)`.
+    pub quarantined: Vec<(String, String)>,
+    /// True when the store section itself was unusable and the index
+    /// fell back to cold-generated reference profiles.
+    pub fallback: bool,
+}
+
+/// Build an index from a snapshot, quarantining individually corrupt
+/// sections instead of refusing to start.
+///
+/// Only *container-level* damage is fatal (unreadable file, bad magic or
+/// version, truncation, inconsistent section table): without a section
+/// table there is nothing to salvage. Past that point every failure is
+/// per-section:
+///
+/// * auxiliary sections (`meta`, `ecosystem`, `population`, `validation`,
+///   `health`) are checksummed individually; a corrupt one is quarantined
+///   and the server runs without it — none of them feed the serving path;
+/// * a corrupt or undecodable store section (the stores cursor is
+///   sequential, so record-level resync is impossible) quarantines the
+///   whole section and falls back to cold-generated reference profiles —
+///   the server still answers with correct stores, it just paid the cold
+///   synthesis cost;
+/// * a decodable store section that lacks some reference profile
+///   quarantines the missing profile (`missing-profile`) and serves the
+///   rest.
+///
+/// The caller surfaces the quarantine ledger through
+/// [`crate::stats::ServiceStats::record_degraded`], so a degraded start
+/// is visible in every `stats` reply.
+pub fn degraded_index_from_snapshot(path: &str) -> Result<DegradedStart, SnapError> {
+    let snap = Snapshot::open(path)?;
+    let mut quarantined: Vec<(String, String)> = Vec::new();
+
+    // Auxiliary sections: checksum each one; corruption is quarantined,
+    // not fatal. (Corpus and Stores feed the index build below.)
+    for id in SectionId::ALL {
+        if matches!(id, SectionId::Corpus | SectionId::Stores) {
+            continue;
+        }
+        if let Err(e) = snap.section(id) {
+            quarantined.push((id.name().to_owned(), e.label().to_owned()));
+        }
+    }
+
+    match decode_stores(&snap) {
+        Ok(stores) => {
+            let mut picked = Vec::with_capacity(ReferenceStore::ALL.len());
+            for rs in ReferenceStore::ALL {
+                match stores.iter().find(|s| s.name() == rs.name()) {
+                    Some(store) => picked.push((rs.name(), Arc::clone(store))),
+                    None => {
+                        quarantined
+                            .push((rs.name().to_owned(), "missing-profile".to_owned()));
+                    }
+                }
+            }
+            let verifiers = tangled_exec::ExecPool::current()
+                .par_map_indexed(&picked, |_, (_, store)| build_anchor_verifier(store));
+            let index = StoreIndex::new(DEFAULT_SHARDS);
+            for ((name, store), verifier) in picked.into_iter().zip(verifiers) {
+                index.install_with_verifier(name, store, Arc::new(verifier));
+            }
+            tangled_obs::registry::add("trustd.warm_starts", 1);
+            if !quarantined.is_empty() {
+                tangled_obs::registry::add("trustd.warm_starts.degraded", 1);
+            }
+            Ok(DegradedStart {
+                index,
+                quarantined,
+                fallback: false,
+            })
+        }
+        Err(e) => {
+            // The store payload is unusable: quarantine it under the
+            // section the error names and serve cold-generated reference
+            // profiles instead of nothing.
+            let section = match &e {
+                SnapError::ChecksumMismatch { section }
+                | SnapError::MissingSection { section }
+                | SnapError::Malformed { section, .. } => *section,
+                _ => "stores",
+            };
+            quarantined.push((section.to_owned(), e.label().to_owned()));
+            tangled_obs::registry::add("trustd.warm_starts.degraded", 1);
+            Ok(DegradedStart {
+                index: StoreIndex::with_reference_profiles(),
+                quarantined,
+                fallback: true,
+            })
+        }
+    }
 }
 
 /// Replay journalled swaps over a freshly warm-started index.

@@ -261,6 +261,18 @@ impl Request {
         }
     }
 
+    /// May this request be blindly retried after a transport failure?
+    ///
+    /// Queries (`validate`, `classify`, `audit`, `probe`, `stats`) are
+    /// pure reads: executing one twice is indistinguishable from once.
+    /// `swap` mutates the index and bumps the profile epoch, so a retry
+    /// after an ambiguous failure could double-install; resilient callers
+    /// must re-sync via the profile's epoch instead (see
+    /// `resilient::ResilientClient`).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Swap { .. })
+    }
+
     /// JSON form.
     pub fn to_value(&self) -> Value {
         match self {
@@ -438,6 +450,9 @@ pub enum Response {
     },
     /// Stats document (free-form JSON).
     Stats(Value),
+    /// The server is at its admission budget and shed this connection
+    /// before reading a request. Clients should back off and retry.
+    Busy,
     /// A classified failure; `stage` is `wire` for framing/decode errors,
     /// otherwise the request type that rejected its input.
     Error {
@@ -510,6 +525,7 @@ impl Response {
                 "type": "stats",
                 "stats": doc.clone(),
             }),
+            Response::Busy => json!({ "type": "busy" }),
             Response::Error { stage, error } => json!({
                 "type": "error",
                 "stage": stage.as_str(),
@@ -586,6 +602,7 @@ impl Response {
                     .cloned()
                     .ok_or(WireError::BadRequest("missing stats document"))?,
             )),
+            "busy" => Ok(Response::Busy),
             "error" => Ok(Response::Error {
                 stage: str_field(v, "stage")?.to_owned(),
                 error: str_field(v, "error")?.to_owned(),
@@ -857,6 +874,7 @@ mod tests {
                 anchors: 150,
             },
             Response::Stats(json!({"served": {"validate": 3u64}})),
+            Response::Busy,
             Response::Error {
                 stage: "wire".into(),
                 error: "bad-json".into(),

@@ -21,8 +21,19 @@
 //!                                    --journal, log every swap write-ahead
 //!                                    and replay the log on restart
 //! tangled loadgen <addr> [--sessions N] [--seed S]
+//!                        [--chaos-rate R] [--chaos-seed S]
 //!                                    replay a seeded population against a
-//!                                    server and verify the verdicts
+//!                                    server and verify the verdicts; with
+//!                                    --chaos-rate, inject seeded lossy wire
+//!                                    faults client-side and recover through
+//!                                    the resilient retry client
+//! tangled chaos   [--seed S] [--requests N] [--rate R]
+//!                 [--busy-rate B] [--attempts N] [--out FILE]
+//!                                    drive a seeded client population through
+//!                                    a wire fault schedule against an
+//!                                    in-process server and assert the
+//!                                    conservation invariant; the ledger is
+//!                                    byte-identical for a fixed seed
 //! tangled stats   [scale]            pipeline statistics: per-stage
 //!                                    latency p50/p99, memo counters, the
 //!                                    trustd serving path, metrics dump
@@ -66,8 +77,9 @@ use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
 use tangled_mass::snap::{load_study, write_study, Journal, Snapshot};
 use tangled_mass::trustd::{
-    index_from_snapshot, offline_verdicts, replay, replay_journal, LatencyHistogram, ReplaySpec,
-    Request, StoreIndex, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
+    chaos, degraded_index_from_snapshot, offline_verdicts, replay, replay_journal,
+    replay_resilient, ChaosSpec, LatencyHistogram, ReplaySpec, Request, StoreIndex, TrustServer,
+    TrustService, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -92,7 +104,7 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|stats|trace|bench-study|bench-snap> [...]",
+        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|chaos|stats|trace|bench-study|bench-snap> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
@@ -106,8 +118,14 @@ fn usage() -> String {
         "  serve   <addr> [--snapshot F] [--journal F]",
         "                           run the trustd query server (warm start from",
         "                           a snapshot; write-ahead journal for swaps)",
-        "  loadgen <addr> [--sessions N] [--seed S]",
-        "                           replay a seeded population against a server",
+        "  loadgen <addr> [--sessions N] [--seed S] [--chaos-rate R] [--chaos-seed S]",
+        "                           replay a seeded population against a server;",
+        "                           with --chaos-rate, inject lossy wire faults and",
+        "                           recover through the resilient client",
+        "  chaos   [--seed S] [--requests N] [--rate R] [--busy-rate B]",
+        "          [--attempts N] [--out FILE]",
+        "                           deterministic wire-fault chaos run against an",
+        "                           in-process server; asserts conservation",
         "  stats   [scale]          per-stage latency p50/p99, memo counters,",
         "                           trustd serving path, metrics dump",
         "  trace   <out.jsonl> [scale]",
@@ -167,6 +185,7 @@ fn main() -> ExitCode {
         Some("snap") => cmd_snap(&args[1..]),
         Some("serve") => cmd_serve(args.get(1), &args[2..]),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("stats") => parse_scale(args.get(1)).and_then(cmd_stats),
         Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("bench-study") => cmd_bench_study(&args[1..]),
@@ -348,14 +367,20 @@ fn cmd_snap(args: &[String]) -> Result<(), CliError> {
         }
         "verify" => {
             let snap = Snapshot::open(file).map_err(|e| format!("opening {file}: {e}"))?;
-            let report = snap.verify();
+            let report = snap.verify_report();
             let mut damaged = 0usize;
-            for (name, len, result) in &report {
-                match result {
-                    Ok(()) => println!("  {name:<12} {len:>10} bytes  ok"),
+            for row in &report {
+                match &row.result {
+                    Ok(()) => println!(
+                        "  {:<12} {:>10} bytes  fnv1a {:016x}  ok",
+                        row.name, row.len, row.actual
+                    ),
                     Err(e) => {
                         damaged += 1;
-                        println!("  {name:<12} {len:>10} bytes  {e}");
+                        println!(
+                            "  {:<12} {:>10} bytes  fnv1a {:016x} (recorded {:016x})  {e}",
+                            row.name, row.len, row.actual, row.expected
+                        );
                     }
                 }
             }
@@ -397,9 +422,28 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let service = match &snapshot {
         Some(path) => {
             eprintln!("warm-starting store profiles from {path}…");
-            let index =
-                index_from_snapshot(path).map_err(|e| format!("loading {path}: {e}"))?;
-            Arc::new(TrustService::with_index(index, DEFAULT_CACHE_CAPACITY))
+            // Degraded-mode warm start: individually corrupt sections are
+            // quarantined and the server runs without them; only
+            // container-level damage refuses to start.
+            let start = degraded_index_from_snapshot(path)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            if start.fallback {
+                eprintln!(
+                    "warm start degraded: store section unusable; serving \
+                     cold-generated reference profiles"
+                );
+            }
+            for (unit, label) in &start.quarantined {
+                eprintln!("warm start quarantined '{unit}': {label}");
+            }
+            let service = Arc::new(TrustService::with_index(
+                start.index,
+                DEFAULT_CACHE_CAPACITY,
+            ));
+            for (unit, label) in &start.quarantined {
+                service.stats().record_degraded(unit, label);
+            }
+            service
         }
         None => {
             eprintln!("loading reference store profiles…");
@@ -444,6 +488,8 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .clone();
     let mut sessions = 100usize;
     let mut seed = 2014u64;
+    let mut chaos_rate = 0.0f64;
+    let mut chaos_seed = 7u64;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let value = |v: Option<&String>| {
@@ -466,6 +512,25 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
                     CliError::Usage(format!("invalid --seed '{v}': want an unsigned integer"))
                 })?;
             }
+            "--chaos-rate" => {
+                let v = value(it.next())?;
+                chaos_rate = match v.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => r,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "invalid --chaos-rate '{v}': want a number in [0, 1]"
+                        )))
+                    }
+                };
+            }
+            "--chaos-seed" => {
+                let v = value(it.next())?;
+                chaos_seed = v.parse().map_err(|_| {
+                    CliError::Usage(format!(
+                        "invalid --chaos-seed '{v}': want an unsigned integer"
+                    ))
+                })?;
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown loadgen flag '{other}'")));
             }
@@ -475,6 +540,45 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let spec = ReplaySpec::new(seed, sessions);
     eprintln!("computing offline verdicts for seed {seed}, {sessions} sessions…");
     let expected = offline_verdicts(&spec);
+
+    if chaos_rate > 0.0 {
+        eprintln!(
+            "replaying {} requests against {addr} under wire chaos (rate {chaos_rate}, \
+             seed {chaos_seed})…",
+            expected.len()
+        );
+        let outcome = replay_resilient(addr.as_str(), &spec, chaos_seed, chaos_rate)
+            .map_err(CliError::Failure)?;
+        let throughput = outcome.requests as f64 / outcome.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "loadgen: {} requests in {:.3}s ({throughput:.0} req/s)",
+            outcome.requests,
+            outcome.elapsed.as_secs_f64()
+        );
+        println!(
+            "loadgen: chaos: {} fault(s) injected, {} retries, {} busy, {} connection(s)",
+            outcome.faults, outcome.retries, outcome.busy, outcome.reconnects
+        );
+        println!("loadgen: protocol errors: {}", outcome.wire_errors);
+        if outcome.wire_errors > 0 {
+            return Err(format!("{} protocol errors", outcome.wire_errors).into());
+        }
+        if outcome.verdicts != expected {
+            let diverged = outcome
+                .verdicts
+                .iter()
+                .zip(&expected)
+                .position(|(got, want)| got != want);
+            return Err(format!(
+                "served verdicts diverge from the offline study (first at request {:?})",
+                diverged
+            )
+            .into());
+        }
+        println!("loadgen: verdicts match the offline study exactly");
+        return Ok(());
+    }
+
     eprintln!("replaying {} requests against {addr}…", expected.len());
     let outcome = replay(addr.as_str(), &spec).map_err(|e| format!("replay: {e}"))?;
 
@@ -513,6 +617,104 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .into());
     }
     println!("loadgen: verdicts match the offline study exactly");
+    Ok(())
+}
+
+fn cmd_chaos(rest: &[String]) -> Result<(), CliError> {
+    let mut spec = ChaosSpec::default();
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| {
+            v.cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value(it.next())?;
+                spec.seed = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --seed '{v}': want an unsigned integer"))
+                })?;
+            }
+            "--requests" => {
+                let v = value(it.next())?;
+                spec.requests = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "invalid --requests '{v}': want an integer > 0"
+                        ))
+                    })?;
+            }
+            "--rate" => {
+                let v = value(it.next())?;
+                spec.rate = match v.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => r,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "invalid --rate '{v}': want a number in [0, 1]"
+                        )))
+                    }
+                };
+            }
+            "--busy-rate" => {
+                let v = value(it.next())?;
+                spec.busy_rate = match v.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => r,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "invalid --busy-rate '{v}': want a number in [0, 1]"
+                        )))
+                    }
+                };
+            }
+            "--attempts" => {
+                let v = value(it.next())?;
+                spec.max_attempts = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "invalid --attempts '{v}': want an integer > 0"
+                        ))
+                    })?;
+            }
+            "--out" => out = Some(value(it.next())?),
+            other => return Err(CliError::Usage(format!("unknown chaos flag '{other}'"))),
+        }
+    }
+
+    eprintln!(
+        "chaos: seed {} · {} requests · fault rate {} · busy rate {} · {} attempts",
+        spec.seed, spec.requests, spec.rate, spec.busy_rate, spec.max_attempts
+    );
+    let report = chaos::run(&spec);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &report.ledger).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("chaos: ledger -> {path}");
+        }
+        None => print!("{}", report.ledger),
+    }
+    println!(
+        "chaos: issued={} answered={} shed={} failed={} violations={} retries={}",
+        report.issued, report.answered, report.shed, report.failed, report.violations,
+        report.retries
+    );
+    for (label, n) in &report.fault_counts {
+        println!("chaos: fault {label} x{n}");
+    }
+    if !report.conserved() {
+        return Err(format!(
+            "conservation invariant violated: {} request(s) unaccounted",
+            report.violations
+        )
+        .into());
+    }
+    println!("chaos: conservation invariant holds");
     Ok(())
 }
 
