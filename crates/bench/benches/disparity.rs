@@ -1,0 +1,34 @@
+//! Disparity-engine benchmark: the pairwise Jaccard matrix over the ten
+//! standard stores vs the full cross-ecosystem report (whose verdict
+//! vectors shard chain-compares over the exec pool).
+//!
+//! ```text
+//! cargo bench --bench disparity
+//! ```
+
+use criterion::{black_box, Criterion};
+use tangled_bench::criterion;
+use tangled_disparity::{compute, jaccard_matrix, standard_stores};
+
+fn main() {
+    let mut c: Criterion = criterion();
+    bench_disparity(&mut c);
+    c.final_summary();
+}
+
+fn bench_disparity(c: &mut Criterion) {
+    let stores = standard_stores();
+    c.bench_function("disparity/jaccard_matrix", |b| {
+        b.iter(|| black_box(jaccard_matrix(&stores)))
+    });
+    c.bench_function("disparity/report_scale_0.02", |b| {
+        b.iter(|| black_box(compute(0.02)))
+    });
+
+    let report = compute(0.02);
+    println!(
+        "disparity: {} chains, fingerprint {:016x}",
+        report.verdicts.len(),
+        report.fingerprint
+    );
+}

@@ -137,6 +137,109 @@ impl ReferenceStore {
     }
 }
 
+/// Ecosystem store families beyond the paper's reference set.
+///
+/// The position paper "Certificate Root Stores: An Area of Unity or
+/// Disparity?" generalises the Android-vs-Mozilla comparison to the four
+/// big root programs. These profiles are synthesized with *calibrated*
+/// overlap structure against the [`ReferenceStore`] set: every family
+/// carries a slice of the shared web-trust core, its own exclusives, and
+/// (for Java) the re-issued shared variants — so identity-overlap and
+/// byte-overlap diverge across ecosystems exactly as §5.1's ablation
+/// does for AOSP vs Mozilla.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcosystemStore {
+    /// Apple's desktop root program (a near-superset sibling of iOS 7).
+    Apple,
+    /// Microsoft's root program — the largest store of the ten.
+    Microsoft,
+    /// Mozilla NSS trunk — a near-clone of the reference Mozilla store.
+    MozillaNss,
+    /// Oracle Java `cacerts` — the smallest store of the ten.
+    Java,
+}
+
+impl EcosystemStore {
+    /// All ecosystem families, in canonical (epoch) order.
+    pub const ALL: [EcosystemStore; 4] = [
+        EcosystemStore::Apple,
+        EcosystemStore::Microsoft,
+        EcosystemStore::MozillaNss,
+        EcosystemStore::Java,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EcosystemStore::Apple => "Apple",
+            EcosystemStore::Microsoft => "Microsoft",
+            EcosystemStore::MozillaNss => "Mozilla NSS",
+            EcosystemStore::Java => "Java",
+        }
+    }
+
+    /// The calibrated certificate count.
+    pub fn expected_len(self) -> usize {
+        match self {
+            EcosystemStore::Apple => 213,
+            EcosystemStore::Microsoft => 261,
+            EcosystemStore::MozillaNss => 156,
+            EcosystemStore::Java => 131,
+        }
+    }
+
+    /// Build the store with a fresh factory. Prefer
+    /// [`EcosystemStore::cached`] for read-only use.
+    pub fn build(self) -> RootStore {
+        self.build_with(&mut CaFactory::new())
+    }
+
+    /// A process-wide shared copy, built once from the [`global_factory`]
+    /// (mirrors [`ReferenceStore::cached`]).
+    pub fn cached(self) -> std::sync::Arc<RootStore> {
+        use std::sync::{Arc, Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<std::collections::HashMap<EcosystemStore, Arc<RootStore>>>> =
+            OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+        let mut guard = cache.lock().expect("store cache poisoned");
+        if let Some(store) = guard.get(&self) {
+            return Arc::clone(store);
+        }
+        let store = {
+            let mut factory = global_factory().lock().expect("factory poisoned");
+            Arc::new(self.build_with(&mut factory))
+        };
+        guard.insert(self, Arc::clone(&store));
+        store
+    }
+
+    /// Build the store using a shared factory.
+    pub fn build_with(self, f: &mut CaFactory) -> RootStore {
+        let mut store = RootStore::new(self.name());
+        match self {
+            EcosystemStore::Apple => build_apple(f, &mut store),
+            EcosystemStore::Microsoft => build_microsoft(f, &mut store),
+            EcosystemStore::MozillaNss => build_nss(f, &mut store),
+            EcosystemStore::Java => build_java(f, &mut store),
+        }
+        debug_assert_eq!(store.len(), self.expected_len());
+        store
+    }
+}
+
+/// Canonical name order of the ten standard profiles trustd serves and
+/// the disparity engine compares: the six reference stores first (in
+/// [`ReferenceStore::ALL`] order), then the four ecosystem families (in
+/// [`EcosystemStore::ALL`] order). Epoch order, report row order, and
+/// `compare` reply order all follow this list.
+pub fn standard_store_names() -> Vec<&'static str> {
+    ReferenceStore::ALL
+        .into_iter()
+        .map(ReferenceStore::name)
+        .chain(EcosystemStore::ALL.into_iter().map(EcosystemStore::name))
+        .collect()
+}
+
 /// The process-wide shared [`CaFactory`] (workspace seed, default key
 /// size). Sharing it means a CA's key pair is generated exactly once per
 /// process no matter how many stores or simulators need it.
@@ -268,6 +371,150 @@ fn build_ios7(f: &mut CaFactory, store: &mut RootStore) {
     for i in 1..=IOS7_ONLY_SYNTHETIC {
         store.add_cert(mint_root(f, &ios7_only_name(i)), AnchorSource::Aosp);
     }
+}
+
+// --- ecosystem family compositions ---------------------------------------
+//
+// Calibration at a glance (identity overlap with the shared core):
+//
+//   Apple      = 117 exact + 13 orig + 10 aosp-only + 24 iOS extras
+//                + 40 Apple partner + 9 exclusives            = 213
+//   Microsoft  = 117 exact + 13 orig + 9 aosp-only + 7 Mozilla program
+//                + 16 Mozilla extras + 99 exclusives          = 261
+//   MozillaNss = 115 exact + 13 orig + 16 Mozilla extras
+//                + 7 Mozilla program + 5 exclusives           = 156
+//   Java       = 100 exact + 13 *re-issued* + 18 exclusives   = 131
+
+/// How many of the iOS-7 partner roots Apple's desktop program shares.
+pub const APPLE_PARTNER_SHARED: usize = 40;
+/// Apple-desktop-only synthetic members.
+pub const APPLE_ONLY_SYNTHETIC: usize = 9;
+/// Microsoft-only synthetic members.
+pub const MICROSOFT_ONLY_SYNTHETIC: usize = 99;
+/// Shared-core prefix NSS trunk carries (two fewer than release Mozilla).
+pub const NSS_SHARED_EXACT: usize = 115;
+/// NSS-trunk-only synthetic members.
+pub const NSS_ONLY_SYNTHETIC: usize = 5;
+/// Shared-core prefix Java `cacerts` carries.
+pub const JAVA_SHARED_EXACT: usize = 100;
+/// Java-only synthetic members.
+pub const JAVA_ONLY_SYNTHETIC: usize = 18;
+
+/// Name of the i-th Apple-desktop-only synthetic anchor, 1-based.
+pub fn apple_only_name(i: usize) -> String {
+    format!("Apple Desktop Root CA {i:02}")
+}
+
+/// Name of the i-th Microsoft-only synthetic anchor, 1-based.
+pub fn microsoft_only_name(i: usize) -> String {
+    format!("Microsoft Trust Root CA {i:02}")
+}
+
+/// Name of the i-th NSS-trunk-only synthetic anchor, 1-based.
+pub fn nss_only_name(i: usize) -> String {
+    format!("NSS Builtin Object Token CA {i:02}")
+}
+
+/// Name of the i-th Java-only synthetic anchor, 1-based.
+pub fn java_only_name(i: usize) -> String {
+    format!("Java SE Cacerts Root CA {i:02}")
+}
+
+fn build_apple(f: &mut CaFactory, store: &mut RootStore) {
+    for i in 1..=SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        // Desktop ships the original issue, like iOS 7.
+        store.add_cert(f.root(&shared_reissued_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=AOSP_ONLY_IN_IOS7 {
+        // Same regional roots iOS 7 carries (Firmaprofesional dropped).
+        store.add_cert(mint_root(f, &aosp_only_name(i + 1)), AnchorSource::Aosp);
+    }
+    for extra in catalogue().iter().filter(|e| e.in_ios7) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Aosp);
+    }
+    for i in 1..=APPLE_PARTNER_SHARED {
+        store.add_cert(mint_root(f, &ios7_only_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=APPLE_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &apple_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+fn build_microsoft(f: &mut CaFactory, store: &mut RootStore) {
+    for i in 1..=SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        store.add_cert(f.root(&shared_reissued_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=AOSP_ONLY_IN_IOS7 - 1 {
+        // One fewer regional root than Apple/iOS carry.
+        store.add_cert(mint_root(f, &aosp_only_name(i + 1)), AnchorSource::Aosp);
+    }
+    for i in 1..=MOZILLA_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &mozilla_only_name(i)), AnchorSource::Aosp);
+    }
+    for extra in catalogue().iter().filter(|e| e.in_mozilla) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Aosp);
+    }
+    for i in 1..=MICROSOFT_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &microsoft_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+fn build_nss(f: &mut CaFactory, store: &mut RootStore) {
+    // Trunk trails the release store by two core anchors and carries a
+    // handful of not-yet-released builtins — a near-clone of "Mozilla"
+    // with a distinct anchor set (the §5.2 shape, across ecosystems).
+    for i in 1..=NSS_SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        store.add_cert(f.root(&shared_reissued_name(i)), AnchorSource::Aosp);
+    }
+    for extra in catalogue().iter().filter(|e| e.in_mozilla) {
+        store.add_cert(mint_extra(f, extra), AnchorSource::Aosp);
+    }
+    for i in 1..=MOZILLA_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &mozilla_only_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=NSS_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &nss_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+fn build_java(f: &mut CaFactory, store: &mut RootStore) {
+    for i in 1..=JAVA_SHARED_EXACT {
+        store.add_cert(mint_root(f, &shared_exact_name(i)), AnchorSource::Aosp);
+    }
+    for i in 1..=SHARED_REISSUED {
+        // cacerts ships the *re-issued* variant like AOSP: identity-equal
+        // to the originals, byte-unequal — cross-ecosystem §5.1 ablation.
+        store.add_cert(
+            f.reissued_root(&shared_reissued_name(i)),
+            AnchorSource::Aosp,
+        );
+    }
+    for i in 1..=JAVA_ONLY_SYNTHETIC {
+        store.add_cert(mint_root(f, &java_only_name(i)), AnchorSource::Aosp);
+    }
+}
+
+/// A §5.2 "+unusual" near-clone: same display name as `base`, same
+/// anchors, plus `extra` unusual roots. Diffing machinery must key on
+/// content — two stores sharing a name are *not* the same store.
+pub fn unusual_clone(f: &mut CaFactory, base: &RootStore, extra: usize) -> RootStore {
+    let mut clone = base.cloned_as(base.name());
+    for i in 1..=extra {
+        clone.add_cert(
+            mint_root(f, &format!("{} Unusual Root CA {i:02}", base.name())),
+            AnchorSource::Manufacturer,
+        );
+    }
+    clone
 }
 
 /// Mint the certificate for a Figure 2 extra. The subject carries the
@@ -406,6 +653,108 @@ mod tests {
         // Fresh factories on purpose: proves bit-stability across factories.
         let a = ReferenceStore::Aosp41.build();
         let b = ReferenceStore::Aosp41.build();
+        assert_eq!(a.identities(), b.identities());
+        let ha: Vec<_> = a.iter().map(|x| x.cert.fingerprint_sha256()).collect();
+        let hb: Vec<_> = b.iter().map(|x| x.cert.fingerprint_sha256()).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn ecosystem_cardinalities() {
+        for es in EcosystemStore::ALL {
+            let store = es.cached();
+            assert_eq!(store.len(), es.expected_len(), "{}", es.name());
+        }
+    }
+
+    #[test]
+    fn microsoft_largest_java_smallest() {
+        let ms = EcosystemStore::Microsoft.cached();
+        let java = EcosystemStore::Java.cached();
+        for rs in ReferenceStore::ALL {
+            assert!(ms.len() > rs.cached().len());
+            assert!(java.len() < rs.cached().len());
+        }
+        for es in EcosystemStore::ALL {
+            assert!(ms.len() >= es.cached().len());
+            assert!(java.len() <= es.cached().len());
+        }
+    }
+
+    #[test]
+    fn ecosystem_overlap_calibration() {
+        // Apple shares iOS 7's core, extras, regional roots, and 40 of
+        // the partner roots: 117 + 13 + 10 + 24 + 40 = 204 identities.
+        let apple = EcosystemStore::Apple.cached();
+        let ios = ReferenceStore::Ios7.cached();
+        assert_eq!(diff(&apple, &ios).common.len(), 204);
+
+        // NSS trunk is a near-clone of release Mozilla: 115 + 13 + 16 + 7
+        // = 151 shared identities out of 153 / 156.
+        let nss = EcosystemStore::MozillaNss.cached();
+        let moz = ReferenceStore::Mozilla.cached();
+        let d = diff(&moz, &nss);
+        assert_eq!(d.common.len(), 151);
+        assert_eq!(d.removed.len(), 2, "release-only core anchors");
+        assert_eq!(d.added.len(), 5, "trunk-only builtins");
+
+        // Java overlaps Mozilla only through the shared core: 100 exact
+        // + 13 re-issued (identity-equal, byte-unequal) = 113.
+        let java = EcosystemStore::Java.cached();
+        assert_eq!(diff(&java, &moz).common.len(), 113);
+        let all: Vec<_> = java
+            .iter()
+            .chain(moz.iter())
+            .map(|a| a.cert.as_ref().clone())
+            .collect();
+        // Byte identity splits the 13 re-issued pairs apart again.
+        let by_identity = distinct_count(all.iter(), IdentityMode::SubjectAndModulus);
+        let by_bytes = distinct_count(all.iter(), IdentityMode::ByteHash);
+        assert_eq!(by_bytes, by_identity + 13);
+    }
+
+    #[test]
+    fn every_family_has_exclusives() {
+        // Each ecosystem family keeps members no other standard store
+        // carries, so no store is a subset of the union of the others.
+        let stores: Vec<_> = ReferenceStore::ALL
+            .iter()
+            .map(|rs| rs.cached())
+            .chain(EcosystemStore::ALL.iter().map(|es| es.cached()))
+            .collect();
+        assert_eq!(standard_store_names().len(), stores.len());
+        for es in EcosystemStore::ALL {
+            let own = es.cached();
+            let others: std::collections::HashSet<_> = stores
+                .iter()
+                .filter(|s| s.name() != es.name())
+                .flat_map(|s| s.identities().iter().cloned())
+                .collect();
+            let exclusive = own
+                .identities()
+                .iter()
+                .filter(|id| !others.contains(id))
+                .count();
+            assert!(exclusive > 0, "{} has no exclusives", es.name());
+        }
+    }
+
+    #[test]
+    fn unusual_clone_shares_name_not_content() {
+        let base = EcosystemStore::Java.cached();
+        let mut f = global_factory().lock().unwrap();
+        let clone = unusual_clone(&mut f, &base, 2);
+        assert_eq!(clone.name(), base.name(), "display names collide");
+        let d = diff(&base, &clone);
+        assert_eq!(d.added.len(), 2, "the unusual roots");
+        assert!(d.removed.is_empty());
+        assert_eq!(d.common.len(), base.len());
+    }
+
+    #[test]
+    fn ecosystem_stores_are_reproducible() {
+        let a = EcosystemStore::Microsoft.build();
+        let b = EcosystemStore::Microsoft.build();
         assert_eq!(a.identities(), b.identities());
         let ha: Vec<_> = a.iter().map(|x| x.cert.fingerprint_sha256()).collect();
         let hb: Vec<_> = b.iter().map(|x| x.cert.fingerprint_sha256()).collect();

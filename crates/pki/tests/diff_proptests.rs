@@ -1,0 +1,114 @@
+//! Property tests for store diffing under name collisions.
+//!
+//! The §5.2 "(+unusual)" sprinkle clones a firmware store under the
+//! *same display name* and adds anchors, so two stores named alike can
+//! hold different content. Every property here pins the invariant that
+//! makes that safe: [`diff`] keys on certificate identity (subject +
+//! modulus) and **never** on store or anchor names — renaming a store
+//! changes nothing, and identical names hide nothing.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+use tangled_pki::diff::{diff, diff_sorted_merge};
+use tangled_pki::factory::CaFactory;
+use tangled_pki::store::RootStore;
+use tangled_pki::stores::{global_factory, unusual_clone, ReferenceStore};
+use tangled_pki::trust::AnchorSource;
+use tangled_x509::{CertIdentity, Certificate};
+
+/// A fixed pool of distinct roots the subset strategies draw from.
+const POOL_SIZE: usize = 12;
+
+fn pool() -> &'static [Arc<Certificate>] {
+    static POOL: OnceLock<Vec<Arc<Certificate>>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut f = CaFactory::with_seed(0xD1FF, 512);
+        (0..POOL_SIZE)
+            .map(|i| f.root(&format!("Diff Pool Root CA {i:02}")))
+            .collect()
+    })
+}
+
+fn store_of(name: &str, picks: &BTreeSet<usize>) -> RootStore {
+    let mut store = RootStore::new(name);
+    for &i in picks {
+        store.add_cert(Arc::clone(&pool()[i]), AnchorSource::Aosp);
+    }
+    store
+}
+
+fn identity_set(ids: &[CertIdentity]) -> BTreeSet<CertIdentity> {
+    ids.iter().cloned().collect()
+}
+
+fn arb_picks() -> impl Strategy<Value = BTreeSet<usize>> {
+    proptest::collection::vec(0usize..POOL_SIZE, 0..POOL_SIZE)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two same-named stores diff exactly by content: added = B \ A,
+    /// removed = A \ B, common = A ∩ B, as identity sets.
+    #[test]
+    fn same_named_stores_diff_by_content(a in arb_picks(), b in arb_picks()) {
+        let base = store_of("Collider", &a);
+        let observed = store_of("Collider", &b);
+        let d = diff(&base, &observed);
+        let want_added: BTreeSet<usize> = b.difference(&a).copied().collect();
+        let want_removed: BTreeSet<usize> = a.difference(&b).copied().collect();
+        let want_common: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        let ids = |picks: &BTreeSet<usize>| -> BTreeSet<CertIdentity> {
+            picks.iter().map(|&i| pool()[i].identity()).collect()
+        };
+        prop_assert_eq!(identity_set(&d.added), ids(&want_added));
+        prop_assert_eq!(identity_set(&d.removed), ids(&want_removed));
+        prop_assert_eq!(identity_set(&d.common), ids(&want_common));
+        prop_assert_eq!(d.is_identity(), a == b,
+            "same display name must not make unequal stores diff clean");
+    }
+
+    /// Renaming either store changes nothing about the diff.
+    #[test]
+    fn diff_ignores_store_names(a in arb_picks(), b in arb_picks()) {
+        let colliding = diff(&store_of("Same", &a), &store_of("Same", &b));
+        let distinct = diff(&store_of("Baseline", &a), &store_of("Observed", &b));
+        prop_assert_eq!(colliding, distinct);
+    }
+
+    /// The hash join and the sorted merge agree as sets (their output
+    /// orders differ by design).
+    #[test]
+    fn hash_join_agrees_with_sorted_merge(a in arb_picks(), b in arb_picks()) {
+        let base = store_of("Collider", &a);
+        let observed = store_of("Collider", &b);
+        let hj = diff(&base, &observed);
+        let sm = diff_sorted_merge(&base, &observed);
+        prop_assert_eq!(identity_set(&hj.added), identity_set(&sm.added));
+        prop_assert_eq!(identity_set(&hj.removed), identity_set(&sm.removed));
+        prop_assert_eq!(identity_set(&hj.common), identity_set(&sm.common));
+    }
+
+    /// The §5.2 near-clone: an "(+unusual)" clone shares the base's name
+    /// and all of its anchors, plus `extra` additions — the diff reports
+    /// exactly those additions and nothing removed, in both directions.
+    #[test]
+    fn unusual_clone_diffs_as_pure_addition(which in 0usize..6, extra in 0usize..5) {
+        let base = ReferenceStore::ALL[which].cached();
+        let clone = {
+            let mut f = global_factory().lock().expect("factory poisoned");
+            unusual_clone(&mut f, &base, extra)
+        };
+        prop_assert_eq!(clone.name(), base.name(), "clone keeps the display name");
+        let forward = diff(&base, &clone);
+        prop_assert_eq!(forward.added_count(), extra);
+        prop_assert_eq!(forward.removed_count(), 0);
+        prop_assert_eq!(forward.common.len(), base.len());
+        prop_assert_eq!(forward.is_identity(), extra == 0);
+        let reverse = diff(&clone, &base);
+        prop_assert_eq!(reverse.added_count(), 0);
+        prop_assert_eq!(reverse.removed_count(), extra);
+    }
+}

@@ -53,11 +53,16 @@ pub enum SectionId {
     Validation,
     /// The RunHealth ledger.
     Health,
+    /// The four ecosystem store families (Apple, Microsoft, Mozilla NSS,
+    /// Java) the disparity engine compares — kept apart from `Stores` so
+    /// pre-disparity snapshots degrade by quarantine, not by failing the
+    /// reference-store decode.
+    EcoStores,
 }
 
 impl SectionId {
     /// Every section, in canonical file order.
-    pub const ALL: [SectionId; 7] = [
+    pub const ALL: [SectionId; 8] = [
         SectionId::Meta,
         SectionId::Corpus,
         SectionId::Ecosystem,
@@ -65,6 +70,7 @@ impl SectionId {
         SectionId::Population,
         SectionId::Validation,
         SectionId::Health,
+        SectionId::EcoStores,
     ];
 
     /// The table id byte.
@@ -77,6 +83,7 @@ impl SectionId {
             SectionId::Population => 5,
             SectionId::Validation => 6,
             SectionId::Health => 7,
+            SectionId::EcoStores => 8,
         }
     }
 
@@ -91,6 +98,7 @@ impl SectionId {
             SectionId::Population => "population",
             SectionId::Validation => "validation",
             SectionId::Health => "health",
+            SectionId::EcoStores => "eco-stores",
         }
     }
 

@@ -34,7 +34,10 @@ pub mod wire;
 
 pub use container::{SectionId, Snapshot, VerifyRow, FORMAT_VERSION, MAGIC};
 pub use journal::{Journal, Recovery, SwapRecord};
-pub use study::{decode_stores, decode_study, encode_study, load_study, write_study, SnapSummary};
+pub use study::{
+    decode_eco_stores, decode_stores, decode_study, encode_study, load_study, write_study,
+    SnapSummary,
+};
 
 /// Classified snapshot/journal failures.
 ///

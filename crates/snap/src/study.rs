@@ -32,7 +32,7 @@ use tangled_netalyzr::Population;
 use tangled_notary::ecosystem::{Ecosystem, NotaryCert, Service};
 use tangled_notary::{NotaryDb, ValidationIndex};
 use tangled_pki::store::RootStore;
-use tangled_pki::stores::ReferenceStore;
+use tangled_pki::stores::{EcosystemStore, ReferenceStore};
 use tangled_pki::trust::{AnchorSource, TrustAnchor, TrustBits};
 use tangled_pki::vocab::{AndroidVersion, Manufacturer, Operator};
 use tangled_x509::{CertIdentity, Certificate};
@@ -214,7 +214,11 @@ impl<'a> Corpus<'a> {
 /// The canonical certificate walk. Any cert reachable from the study
 /// must be interned here, in an order that is a pure function of the
 /// study's contents.
-fn build_corpus<'a>(study: &'a Study, stores: &'a [Arc<RootStore>]) -> Corpus<'a> {
+fn build_corpus<'a>(
+    study: &'a Study,
+    stores: &'a [Arc<RootStore>],
+    eco_stores: &'a [Arc<RootStore>],
+) -> Corpus<'a> {
     let mut corpus = Corpus {
         ders: Vec::new(),
         index: HashMap::new(),
@@ -230,7 +234,7 @@ fn build_corpus<'a>(study: &'a Study, stores: &'a [Arc<RootStore>]) -> Corpus<'a
     for cert in &study.ecosystem.universe_roots {
         corpus.intern(cert);
     }
-    for store in stores {
+    for store in stores.iter().chain(eco_stores) {
         for anchor in store.iter() {
             corpus.intern(&anchor.cert);
         }
@@ -265,6 +269,16 @@ fn store_list(population: &Population) -> (Vec<Arc<RootStore>>, HashMap<usize, u
         }
     }
     (list, index)
+}
+
+/// The ecosystem store families a snapshot carries in its `eco-stores`
+/// section, in [`EcosystemStore::ALL`] order. These are process-cached
+/// synthetic stores (a pure function of the calibrated catalogue), so
+/// the section bytes are identical run to run; they live apart from the
+/// `stores` section so snapshots written before the disparity engine
+/// existed still decode their reference profiles cleanly.
+fn eco_store_list() -> Vec<Arc<RootStore>> {
+    EcosystemStore::ALL.into_iter().map(|es| es.cached()).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -416,7 +430,8 @@ fn encode_health(health: &RunHealth) -> Vec<u8> {
 /// `pool`. The output is byte-identical at every pool width.
 pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
     let (stores, store_index) = store_list(&study.population);
-    let corpus = build_corpus(study, &stores);
+    let eco_stores = eco_store_list();
+    let corpus = build_corpus(study, &stores, &eco_stores);
 
     let ids = SectionId::ALL;
     let bodies = pool.par_map_indexed(&ids, |_, id| match id {
@@ -427,6 +442,7 @@ pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
         SectionId::Population => encode_population(&study.population, &store_index),
         SectionId::Validation => encode_validation(&study.validation),
         SectionId::Health => encode_health(&study.health),
+        SectionId::EcoStores => encode_stores(&eco_stores, &corpus),
     });
     let sections: Vec<(SectionId, Vec<u8>)> = ids.into_iter().zip(bodies).collect();
     assemble(&sections)
@@ -543,12 +559,13 @@ fn decode_ecosystem(
     })
 }
 
-fn decode_stores_inner(
+fn decode_store_section(
     snap: &Snapshot,
     corpus: &[Arc<Certificate>],
+    id: SectionId,
 ) -> Result<Vec<Arc<RootStore>>, SnapError> {
-    let body = snap.section(SectionId::Stores)?;
-    let mut c = Cursor::new(body, "stores");
+    let body = snap.section(id)?;
+    let mut c = Cursor::new(body, id.name());
     let n_stores = c.count()?;
     let mut stores = Vec::with_capacity(n_stores);
     for _ in 0..n_stores {
@@ -579,7 +596,32 @@ fn decode_stores_inner(
 /// entries are the reference profiles in [`ReferenceStore::ALL`] order.
 pub fn decode_stores(snap: &Snapshot) -> Result<Vec<Arc<RootStore>>, SnapError> {
     let corpus = decode_corpus(snap)?;
-    decode_stores_inner(snap, &corpus)
+    decode_store_section(snap, &corpus, SectionId::Stores)
+}
+
+/// Decode the ecosystem store families from the `eco-stores` section, in
+/// [`EcosystemStore::ALL`] order (Apple, Microsoft, Mozilla NSS, Java).
+/// Snapshots written before the disparity engine existed have no such
+/// section; callers get [`SnapError::MissingSection`] and fall back to
+/// regenerating the stores cold.
+pub fn decode_eco_stores(snap: &Snapshot) -> Result<Vec<Arc<RootStore>>, SnapError> {
+    let corpus = decode_corpus(snap)?;
+    let stores = decode_store_section(snap, &corpus, SectionId::EcoStores)?;
+    if stores.len() != EcosystemStore::ALL.len() {
+        return Err(SnapError::Malformed {
+            section: "eco-stores",
+            detail: "wrong ecosystem store count",
+        });
+    }
+    for (store, expected) in stores.iter().zip(EcosystemStore::ALL) {
+        if store.name() != expected.name() {
+            return Err(SnapError::Malformed {
+                section: "eco-stores",
+                detail: "ecosystem store out of order",
+            });
+        }
+    }
+    Ok(stores)
 }
 
 fn read_identity(c: &mut Cursor<'_>) -> Result<CertIdentity, SnapError> {
@@ -719,7 +761,7 @@ pub fn decode_study(snap: &Snapshot) -> Result<Study, SnapError> {
     let started = std::time::Instant::now();
     let corpus = decode_corpus(snap)?;
     let ecosystem = decode_ecosystem(snap, &corpus)?;
-    let stores = decode_stores_inner(snap, &corpus)?;
+    let stores = decode_store_section(snap, &corpus, SectionId::Stores)?;
     let population = decode_population(snap, &stores)?;
     let validation = decode_validation(snap)?;
     let health = decode_health(snap)?;

@@ -21,7 +21,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tangled_pki::store::RootStore;
-use tangled_pki::stores::ReferenceStore;
+use tangled_pki::stores::{EcosystemStore, ReferenceStore};
 use tangled_x509::{CertIdentity, ChainVerifier};
 
 /// Default shard count: enough to spread a handful of worker threads,
@@ -68,11 +68,39 @@ impl StoreIndex {
     /// [`ReferenceStore::ALL`] order, so profile epochs are identical at
     /// any thread count.
     pub fn with_reference_profiles() -> StoreIndex {
+        Self::preloaded(
+            ReferenceStore::ALL
+                .into_iter()
+                .map(|rs| (rs.name(), rs.cached()))
+                .collect(),
+        )
+    }
+
+    /// An index preloaded with all ten standard profiles: the six
+    /// reference stores (epochs 1–6, [`ReferenceStore::ALL`] order)
+    /// followed by the four ecosystem families (epochs 7–10,
+    /// [`EcosystemStore::ALL`] order) — the store set the disparity
+    /// engine compares and the `compare` wire op answers for.
+    pub fn with_standard_profiles() -> StoreIndex {
+        Self::preloaded(
+            ReferenceStore::ALL
+                .into_iter()
+                .map(|rs| (rs.name(), rs.cached()))
+                .chain(
+                    EcosystemStore::ALL
+                        .into_iter()
+                        .map(|es| (es.name(), es.cached())),
+                )
+                .collect(),
+        )
+    }
+
+    /// Shared preload path: anchor verifiers (the expensive part of a
+    /// profile install) are built in parallel on the ambient
+    /// [`tangled_exec::ExecPool`]; installs then publish sequentially in
+    /// list order, so profile epochs are identical at any thread count.
+    fn preloaded(stores: Vec<(&'static str, Arc<RootStore>)>) -> StoreIndex {
         let index = StoreIndex::new(DEFAULT_SHARDS);
-        let stores: Vec<(&'static str, Arc<RootStore>)> = ReferenceStore::ALL
-            .into_iter()
-            .map(|rs| (rs.name(), rs.cached()))
-            .collect();
         let verifiers = tangled_exec::ExecPool::current()
             .par_map_indexed(&stores, |_, (_, store)| build_anchor_verifier(store));
         for ((name, store), verifier) in stores.into_iter().zip(verifiers) {
@@ -206,6 +234,22 @@ mod tests {
         assert_eq!(p.store.len(), 150);
         assert_eq!(p.anchors.anchor_count(), p.store.iter_enabled().count());
         assert!(index.profile("AOSP 9.0").is_none());
+    }
+
+    #[test]
+    fn standard_profiles_cover_all_ten_stores_in_epoch_order() {
+        let index = StoreIndex::with_standard_profiles();
+        assert_eq!(index.current_epoch(), 10);
+        // Epochs follow the canonical order: reference stores 1–6, then
+        // the ecosystem families 7–10.
+        for (i, name) in tangled_pki::stores::standard_store_names()
+            .into_iter()
+            .enumerate()
+        {
+            let p = index.profile(name).expect("installed");
+            assert_eq!(p.epoch, i as u64 + 1, "{name}");
+        }
+        assert_eq!(index.profile("Microsoft").unwrap().store.len(), 261);
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub use chaos::{ChaosReport, ChaosSpec};
 pub use client::{ClientError, TrustClient};
 pub use index::{StoreIndex, StoreProfile};
 pub use replay::{
-    offline_verdicts, replay, replay_resilient, ReplayOutcome, ReplaySpec, ResilientOutcome,
+    canonical, offline_verdicts, queries_for, replay, replay_resilient, scale_for_sessions,
+    verdict_fingerprint, ReplayOp, ReplayOutcome, ReplaySpec, ResilientOutcome,
 };
 pub use resilient::{
     Connect, ResilientClient, ResilientError, RetryPolicy, SwapOutcome, TcpConnector,

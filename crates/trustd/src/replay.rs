@@ -26,6 +26,17 @@ use tangled_pki::cacerts::to_cacerts_pem;
 /// The paper's full session count (scale 1.0).
 const FULL_SESSIONS: f64 = 15_970.0;
 
+/// Which request mix a replay drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOp {
+    /// The classic per-session mix: validate, with classify/audit/probe
+    /// interleaved on fixed strides.
+    Mixed,
+    /// One `compare` request per chain of the study's Notary corpus, in
+    /// corpus order — the disparity engine's verdict vectors, served.
+    Compare,
+}
+
 /// What to replay.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplaySpec {
@@ -33,13 +44,31 @@ pub struct ReplaySpec {
     pub seed: u64,
     /// Number of sessions to replay.
     pub sessions: usize,
+    /// The request mix.
+    pub op: ReplayOp,
 }
 
 impl ReplaySpec {
-    /// A spec with the default seed.
+    /// A spec with the default seed and the mixed request mix.
     pub fn new(seed: u64, sessions: usize) -> ReplaySpec {
-        ReplaySpec { seed, sessions }
+        ReplaySpec {
+            seed,
+            sessions,
+            op: ReplayOp::Mixed,
+        }
     }
+
+    /// The same spec driving the `compare` mix.
+    pub fn with_op(self, op: ReplayOp) -> ReplaySpec {
+        ReplaySpec { op, ..self }
+    }
+}
+
+/// The corpus scale a session count maps to — shared by the population
+/// generator and the compare mix, so `loadgen --sessions N` and
+/// `tangled disparity <scale>` line up on the same chain corpus.
+pub fn scale_for_sessions(sessions: usize) -> f64 {
+    ((sessions as f64 / FULL_SESSIONS) * 1.25).clamp(0.02, 1.0)
 }
 
 /// The outcome of one replay run.
@@ -60,10 +89,9 @@ pub struct ReplayOutcome {
 /// sessions exist (the generator's per-manufacturer rounding can
 /// undershoot a naive scale).
 pub fn population(spec: &ReplaySpec) -> Population {
-    let scale = ((spec.sessions as f64 / FULL_SESSIONS) * 1.25).clamp(0.02, 1.0);
     Population::generate(&PopulationSpec {
         seed: spec.seed,
-        scale,
+        scale: scale_for_sessions(spec.sessions),
     })
 }
 
@@ -119,6 +147,43 @@ pub fn queries(pop: &Population, spec: &ReplaySpec) -> Vec<Request> {
     out
 }
 
+/// The `compare` request mix: one `compare` per chain of the Notary
+/// corpus at the spec's derived scale, in corpus order. Every reply is a
+/// full per-chain verdict vector, so a replay of this mix *is* the
+/// disparity engine's offline computation, served.
+pub fn compare_queries(spec: &ReplaySpec) -> Vec<Request> {
+    let eco = tangled_notary::Ecosystem::generate(&tangled_notary::EcosystemSpec::scaled(
+        scale_for_sessions(spec.sessions),
+    ));
+    eco.certs
+        .iter()
+        .map(|cert| Request::Compare {
+            chain: cert.chain.iter().map(|c| c.to_der().to_vec()).collect(),
+        })
+        .collect()
+}
+
+/// The request sequence for a spec, honouring its [`ReplayOp`].
+pub fn queries_for(spec: &ReplaySpec) -> Vec<Request> {
+    match spec.op {
+        ReplayOp::Mixed => queries(&population(spec), spec),
+        ReplayOp::Compare => compare_queries(spec),
+    }
+}
+
+/// FNV-1a fingerprint over a verdict sequence (one canonical string per
+/// request, newline-framed). The disparity report and `loadgen --op
+/// compare` both print this, so one `grep` ties the served replies to
+/// the offline verdict vectors.
+pub fn verdict_fingerprint(verdicts: &[String]) -> u64 {
+    let mut data = Vec::new();
+    for v in verdicts {
+        data.extend_from_slice(v.as_bytes());
+        data.push(b'\n');
+    }
+    tangled_crypto::hash::fnv1a(&data)
+}
+
 /// The canonical (comparison) form of a response. Excludes the `cached`
 /// flag — a verdict must not depend on whether the memo cache answered.
 pub fn canonical(resp: &Response) -> String {
@@ -143,6 +208,24 @@ pub fn canonical(resp: &Response) -> String {
             quarantined.len()
         ),
         Response::Probe { verdict } => format!("probe/{verdict}"),
+        Response::Compare {
+            chain_key,
+            verdicts,
+            ..
+        } => {
+            let parts: Vec<String> = verdicts
+                .iter()
+                .map(|(store, v)| match v {
+                    ChainVerdict::Trusted { anchor, chain_len } => {
+                        format!("{store}=trusted/{anchor}/{chain_len}")
+                    }
+                    ChainVerdict::Untrusted { error } => {
+                        format!("{store}=untrusted/{error}")
+                    }
+                })
+                .collect();
+            format!("compare/{chain_key}/{}", parts.join("|"))
+        }
         Response::Swap {
             profile, anchors, ..
         } => format!("swap/{profile}/{anchors}"),
@@ -157,8 +240,7 @@ pub fn canonical(resp: &Response) -> String {
 /// [`TrustService::handle`] directly.
 pub fn offline_verdicts(spec: &ReplaySpec) -> Vec<String> {
     let service = TrustService::new(DEFAULT_CACHE_CAPACITY);
-    let pop = population(spec);
-    queries(&pop, spec)
+    queries_for(spec)
         .iter()
         .map(|req| canonical(&service.handle(req)))
         .collect()
@@ -171,8 +253,7 @@ pub fn replay(
 ) -> Result<ReplayOutcome, ClientError> {
     let mut client = TrustClient::connect_retry(addr, Duration::from_secs(5))
         .map_err(ClientError::Io)?;
-    let pop = population(spec);
-    let requests = queries(&pop, spec);
+    let requests = queries_for(spec);
 
     let started = Instant::now();
     let mut verdicts = Vec::with_capacity(requests.len());
@@ -299,8 +380,7 @@ pub fn replay_resilient(
     };
     let mut client = ResilientClient::new(connector, policy);
 
-    let pop = population(spec);
-    let requests = queries(&pop, spec);
+    let requests = queries_for(spec);
     let started = Instant::now();
     let mut verdicts = Vec::with_capacity(requests.len());
     let mut wire_errors = 0usize;
@@ -363,6 +443,24 @@ mod tests {
     fn offline_verdicts_are_reproducible() {
         let spec = ReplaySpec::new(7, 40);
         assert_eq!(offline_verdicts(&spec), offline_verdicts(&spec));
+    }
+
+    #[test]
+    fn compare_mix_covers_the_corpus_deterministically() {
+        let spec = ReplaySpec::new(2014, 60).with_op(ReplayOp::Compare);
+        let qs = queries_for(&spec);
+        assert!(!qs.is_empty());
+        assert!(qs.iter().all(|q| q.kind() == "compare"));
+        assert_eq!(qs, queries_for(&spec), "same spec, same queries");
+
+        let offline = offline_verdicts(&spec);
+        assert_eq!(offline.len(), qs.len());
+        // Every reply carries the full 10-store vector (9 separators).
+        assert!(offline
+            .iter()
+            .all(|v| v.starts_with("compare/") && v.matches('|').count() == 9));
+        let fp = verdict_fingerprint(&offline);
+        assert_eq!(fp, verdict_fingerprint(&offline_verdicts(&spec)));
     }
 
     #[test]

@@ -51,10 +51,11 @@ pub struct TrustService {
 }
 
 impl TrustService {
-    /// A service over the six reference profiles with the given memo
-    /// capacity (0 disables caching).
+    /// A service over the ten standard profiles (six reference stores
+    /// plus the four ecosystem families) with the given memo capacity
+    /// (0 disables caching).
     pub fn new(cache_capacity: usize) -> TrustService {
-        TrustService::with_index(StoreIndex::with_reference_profiles(), cache_capacity)
+        TrustService::with_index(StoreIndex::with_standard_profiles(), cache_capacity)
     }
 
     /// A service over an already-populated index — the warm-start path:
@@ -121,6 +122,7 @@ impl TrustService {
                 chain,
                 pinned,
             } => self.probe(profile, target, chain, *pinned),
+            Request::Compare { chain } => self.compare(chain),
             Request::Swap { profile, snapshot } => self.swap(profile, snapshot),
             Request::Stats => Response::Stats(self.stats_document()),
         }
@@ -166,17 +168,56 @@ impl TrustService {
             return error("validate", "malformed-der");
         };
 
-        let key: MemoKey = (
-            profile.name.clone(),
-            profile.epoch,
-            ChainKey::exact(certs.iter().map(Arc::as_ref)),
-        );
+        let chain_key = ChainKey::exact(certs.iter().map(Arc::as_ref));
+        let (verdict, cached) = self.profile_verdict(&profile, &certs, chain_key);
+        Response::Validate { verdict, cached }
+    }
+
+    /// Cross-ecosystem comparison: one chain parse, one [`ChainKey`], one
+    /// verdict per standard profile — the per-chain verdict vector the
+    /// disparity engine is built on, amortising the index lookup that a
+    /// `validate` per store would repeat ten times.
+    fn compare(&self, chain: &[Vec<u8>]) -> Response {
+        if chain.is_empty() {
+            self.stats.record_quarantined("compare", "empty-chain");
+            return error("compare", "empty-chain");
+        }
+        let Some(certs) = parse_chain(chain) else {
+            self.stats.record_quarantined("compare", "malformed-der");
+            return error("compare", "malformed-der");
+        };
+        let chain_key = ChainKey::exact(certs.iter().map(Arc::as_ref));
+        let mut verdicts = Vec::new();
+        let mut cached = 0usize;
+        // Canonical store order; a profile that has been swapped *out*
+        // (not merely replaced) is simply absent from the vector.
+        for name in tangled_pki::stores::standard_store_names() {
+            let Some(profile) = self.index.profile(name) else {
+                continue;
+            };
+            let (verdict, hit) = self.profile_verdict(&profile, &certs, chain_key);
+            cached += usize::from(hit);
+            verdicts.push((profile.name, verdict));
+        }
+        Response::Compare {
+            chain_key: chain_key.to_hex(),
+            verdicts,
+            cached,
+        }
+    }
+
+    /// Memoised single-profile verdict for an already-parsed chain.
+    /// Returns the verdict and whether it came from the memo cache.
+    fn profile_verdict(
+        &self,
+        profile: &crate::index::StoreProfile,
+        certs: &[Arc<Certificate>],
+        chain_key: ChainKey,
+    ) -> (ChainVerdict, bool) {
+        let key: MemoKey = (profile.name.clone(), profile.epoch, chain_key);
         if let Some(verdict) = self.cache.lock().expect("cache poisoned").get(&key) {
             self.stats.record_cache(true);
-            return Response::Validate {
-                verdict,
-                cached: true,
-            };
+            return (verdict, true);
         }
         self.stats.record_cache(false);
 
@@ -199,10 +240,7 @@ impl TrustService {
             .lock()
             .expect("cache poisoned")
             .insert(key, verdict.clone());
-        Response::Validate {
-            verdict,
-            cached: false,
-        }
+        (verdict, false)
     }
 
     fn classify(&self, cert: &[u8]) -> Response {
@@ -528,6 +566,84 @@ mod tests {
     }
 
     #[test]
+    fn compare_returns_the_full_verdict_vector_in_store_order() {
+        let svc = TrustService::new(256);
+        let chain = origin_chain("gmail.com:443");
+        match svc.handle(&Request::Compare {
+            chain: chain.clone(),
+        }) {
+            Response::Compare {
+                chain_key,
+                verdicts,
+                cached,
+            } => {
+                let order: Vec<&str> =
+                    verdicts.iter().map(|(name, _)| name.as_str()).collect();
+                assert_eq!(order, tangled_pki::stores::standard_store_names());
+                assert_eq!(chain_key.len(), 64, "hex ChainKey");
+                assert_eq!(cached, 0, "cold cache");
+                // The origin chain anchors in the shared web-trust core,
+                // so every standard store trusts it.
+                assert!(verdicts
+                    .iter()
+                    .all(|(_, v)| matches!(v, ChainVerdict::Trusted { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A compare shares the memo with validate: each per-profile
+        // verdict is now cached.
+        match svc.handle(&Request::Compare { chain }) {
+            Response::Compare { cached, .. } => assert_eq!(cached, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_agrees_with_per_profile_validate() {
+        let svc = TrustService::new(256);
+        let chain = origin_chain("www.chase.com:443");
+        let Response::Compare { verdicts, .. } = svc.handle(&Request::Compare {
+            chain: chain.clone(),
+        }) else {
+            panic!("expected compare reply");
+        };
+        for (profile, expected) in verdicts {
+            match svc.handle(&Request::Validate {
+                profile: profile.clone(),
+                chain: chain.clone(),
+            }) {
+                Response::Validate { verdict, .. } => {
+                    assert_eq!(verdict, expected, "{profile}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compare_rejects_bad_input_into_quarantine() {
+        let svc = TrustService::new(16);
+        assert_eq!(
+            svc.handle(&Request::Compare { chain: vec![] }),
+            Response::Error {
+                stage: "compare".into(),
+                error: "empty-chain".into()
+            }
+        );
+        assert_eq!(
+            svc.handle(&Request::Compare {
+                chain: vec![vec![0xde, 0xad]]
+            }),
+            Response::Error {
+                stage: "compare".into(),
+                error: "malformed-der".into()
+            }
+        );
+        assert_eq!(svc.stats().quarantined_total(), 2);
+    }
+
+    #[test]
     fn swap_invalidates_cached_verdicts_via_epoch() {
         let svc = TrustService::new(64);
         let chain = origin_chain("www.chase.com:443");
@@ -548,7 +664,7 @@ mod tests {
         match resp {
             Response::Swap { anchors, epoch, .. } => {
                 assert_eq!(anchors, 0);
-                assert!(epoch > 6, "epoch advances past the 6 preloads");
+                assert!(epoch > 10, "epoch advances past the 10 preloads");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -588,7 +704,7 @@ mod tests {
     fn stats_document_exposes_index_epochs() {
         let svc = TrustService::new(16);
         let doc = svc.stats_document();
-        assert_eq!(doc["index"]["epoch"], 6u64, "6 reference preloads");
+        assert_eq!(doc["index"]["epoch"], 10u64, "10 standard preloads");
         let before = doc["index"]["profiles"]["AOSP 4.4"]
             .as_u64()
             .expect("profile epoch");

@@ -31,7 +31,9 @@ struct StatsInner {
     health: RunHealth,
     latency: BTreeMap<String, LatencyHistogram>,
     /// Snapshot sections (or profiles) quarantined during a degraded
-    /// warm start: `(unit, label)`, in quarantine order.
+    /// warm start: `(unit, label)`. Rendered canonically sorted, so the
+    /// stats document is byte-reproducible regardless of the order the
+    /// warm-start path discovered the damage in.
     degraded: Vec<(String, String)>,
 }
 
@@ -162,6 +164,13 @@ impl ServiceStats {
     /// The full stats document served on a `stats` request.
     pub fn to_json(&self) -> Value {
         let inner = self.inner.lock().expect("stats poisoned");
+        // Canonical `(unit, label)` order: the warm-start path may
+        // discover damage in any order (parallel verifier builds,
+        // section-table order), but two servers degraded the same way
+        // must serve byte-identical stats documents.
+        let mut degraded = inner.degraded.clone();
+        degraded.sort();
+        degraded.dedup();
         let latency: BTreeMap<String, Value> = inner
             .latency
             .iter()
@@ -187,8 +196,7 @@ impl ServiceStats {
             "latency_us": latency,
             "warm": {
                 "degraded": !inner.degraded.is_empty(),
-                "quarantined": inner
-                    .degraded
+                "quarantined": degraded
                     .iter()
                     .map(|(unit, label)| json!({
                         "section": unit.as_str(),
@@ -280,5 +288,27 @@ mod tests {
         assert_eq!(v["health"]["quarantined"]["warm"]["checksum-mismatch"], 1u32);
         let fp = s.counters_fingerprint();
         assert!(fp.contains("quarantined:warm/checksum-mismatch=1;"), "{fp}");
+    }
+
+    #[test]
+    fn degraded_list_renders_canonically_sorted() {
+        // Two services that quarantined the same units in different
+        // orders must serve byte-identical stats documents.
+        let a = ServiceStats::new();
+        a.record_degraded("population", "checksum-mismatch");
+        a.record_degraded("eco-stores", "missing-section");
+        a.record_degraded("AOSP 4.2", "missing-profile");
+        let b = ServiceStats::new();
+        b.record_degraded("AOSP 4.2", "missing-profile");
+        b.record_degraded("population", "checksum-mismatch");
+        b.record_degraded("eco-stores", "missing-section");
+        let (ja, jb) = (a.to_json(), b.to_json());
+        assert_eq!(
+            serde_json::to_string(&ja["warm"]).unwrap(),
+            serde_json::to_string(&jb["warm"]).unwrap()
+        );
+        assert_eq!(ja["warm"]["quarantined"][0]["section"], "AOSP 4.2");
+        assert_eq!(ja["warm"]["quarantined"][1]["section"], "eco-stores");
+        assert_eq!(ja["warm"]["quarantined"][2]["section"], "population");
     }
 }

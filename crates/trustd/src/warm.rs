@@ -1,32 +1,63 @@
 //! Warm start: rebuild the store index from a snapshot and a journal.
 //!
-//! A cold trustd start generates the six reference stores from scratch
+//! A cold trustd start generates the ten standard stores from scratch
 //! (certificate synthesis plus verifier builds). A warm start instead
 //! loads them from a study snapshot and then replays the swap journal,
 //! reproducing the exact epoch sequence the previous process served:
-//! the reference profiles install as epochs 1–6 in [`ReferenceStore::ALL`]
-//! order — identical to [`StoreIndex::with_reference_profiles`] — and
-//! each journalled swap re-installs at the epoch its frame recorded.
-//! Any divergence is a classified [`SnapError::EpochMismatch`], not a
-//! silently different server.
+//! the six reference profiles install as epochs 1–6 in
+//! [`ReferenceStore::ALL`] order and the four ecosystem families as
+//! epochs 7–10 in [`EcosystemStore::ALL`] order — identical to
+//! [`StoreIndex::with_standard_profiles`] — and each journalled swap
+//! re-installs at the epoch its frame recorded. Any divergence is a
+//! classified [`SnapError::EpochMismatch`], not a silently different
+//! server.
 
 use crate::index::{build_anchor_verifier, StoreIndex, DEFAULT_SHARDS};
 use std::sync::Arc;
 use tangled_pki::store::RootStore;
-use tangled_pki::stores::ReferenceStore;
-use tangled_snap::{decode_stores, SectionId, SnapError, Snapshot, SwapRecord};
+use tangled_pki::stores::{EcosystemStore, ReferenceStore};
+use tangled_snap::{decode_eco_stores, decode_stores, SectionId, SnapError, Snapshot, SwapRecord};
 
-/// Build a reference-profile index from a study snapshot.
+/// Build the verifiers for `picked` in parallel on the ambient pool and
+/// install the profiles sequentially, in slice order — the epoch of each
+/// profile is its position plus one, exactly as a cold start assigns.
+fn install_all(picked: Vec<(&'static str, Arc<RootStore>)>) -> StoreIndex {
+    let verifiers = tangled_exec::ExecPool::current()
+        .par_map_indexed(&picked, |_, (_, store)| build_anchor_verifier(store));
+    let index = StoreIndex::new(DEFAULT_SHARDS);
+    for ((name, store), verifier) in picked.into_iter().zip(verifiers) {
+        index.install_with_verifier(name, store, Arc::new(verifier));
+    }
+    index
+}
+
+/// The snapshot section a decode failure should be quarantined under.
+fn failed_section(e: &SnapError, default: &'static str) -> &'static str {
+    match e {
+        SnapError::ChecksumMismatch { section }
+        | SnapError::MissingSection { section }
+        | SnapError::Malformed { section, .. } => section,
+        _ => default,
+    }
+}
+
+/// Build a standard-profile index from a study snapshot.
 ///
 /// The snapshot's store section leads with the six reference profiles;
 /// they are selected *by canonical name* (so extra device stores in the
 /// section are ignored) and installed in [`ReferenceStore::ALL`] order,
-/// yielding epochs 1–6 exactly as a cold start would. Anchor verifiers
-/// build in parallel on the ambient pool; installs publish sequentially.
+/// then the four ecosystem families follow from the `eco-stores` section
+/// in [`EcosystemStore::ALL`] order — yielding epochs 1–10 exactly as a
+/// cold start would. A snapshot without an `eco-stores` section (written
+/// before the disparity engine existed) fails strict warm start; use
+/// [`degraded_index_from_snapshot`] to serve it with cold-generated
+/// ecosystem stores instead. Anchor verifiers build in parallel on the
+/// ambient pool; installs publish sequentially.
 pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
     let snap = Snapshot::open(path)?;
     let stores = decode_stores(&snap)?;
-    let mut picked = Vec::with_capacity(ReferenceStore::ALL.len());
+    let eco = decode_eco_stores(&snap)?;
+    let mut picked = Vec::with_capacity(ReferenceStore::ALL.len() + eco.len());
     for rs in ReferenceStore::ALL {
         let store = stores
             .iter()
@@ -37,12 +68,10 @@ pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
             })?;
         picked.push((rs.name(), Arc::clone(store)));
     }
-    let verifiers = tangled_exec::ExecPool::current()
-        .par_map_indexed(&picked, |_, (_, store)| build_anchor_verifier(store));
-    let index = StoreIndex::new(DEFAULT_SHARDS);
-    for ((name, store), verifier) in picked.into_iter().zip(verifiers) {
-        index.install_with_verifier(name, store, Arc::new(verifier));
+    for (es, store) in EcosystemStore::ALL.into_iter().zip(&eco) {
+        picked.push((es.name(), Arc::clone(store)));
     }
+    let index = install_all(picked);
     tangled_obs::registry::add("trustd.warm_starts", 1);
     Ok(index)
 }
@@ -54,8 +83,8 @@ pub struct DegradedStart {
     pub index: StoreIndex,
     /// Quarantined snapshot units: `(section-or-profile, error label)`.
     pub quarantined: Vec<(String, String)>,
-    /// True when the store section itself was unusable and the index
-    /// fell back to cold-generated reference profiles.
+    /// True when a store section was unusable and the corresponding
+    /// profiles fell back to cold generation.
     pub fallback: bool,
 }
 
@@ -75,75 +104,99 @@ pub struct DegradedStart {
 ///   whole section and falls back to cold-generated reference profiles —
 ///   the server still answers with correct stores, it just paid the cold
 ///   synthesis cost;
+/// * the `eco-stores` section degrades the same way, independently: a
+///   pre-disparity snapshot (no such section) or a damaged one is
+///   quarantined and the four ecosystem families regenerate cold, so
+///   `compare` still answers the full ten-store verdict vector;
 /// * a decodable store section that lacks some reference profile
 ///   quarantines the missing profile (`missing-profile`) and serves the
 ///   rest.
 ///
-/// The caller surfaces the quarantine ledger through
+/// Whatever degrades, surviving profiles install in the canonical
+/// reference-then-ecosystem order, so epochs stay aligned with a cold
+/// start wherever alignment is possible. The caller surfaces the
+/// quarantine ledger through
 /// [`crate::stats::ServiceStats::record_degraded`], so a degraded start
 /// is visible in every `stats` reply.
 pub fn degraded_index_from_snapshot(path: &str) -> Result<DegradedStart, SnapError> {
     let snap = Snapshot::open(path)?;
     let mut quarantined: Vec<(String, String)> = Vec::new();
+    let quarantine = |q: &mut Vec<(String, String)>, unit: &str, label: &str| {
+        let entry = (unit.to_owned(), label.to_owned());
+        if !q.contains(&entry) {
+            q.push(entry);
+        }
+    };
 
     // Auxiliary sections: checksum each one; corruption is quarantined,
-    // not fatal. (Corpus and Stores feed the index build below.)
+    // not fatal. (Corpus and the two store sections feed the index build
+    // below.)
     for id in SectionId::ALL {
-        if matches!(id, SectionId::Corpus | SectionId::Stores) {
+        if matches!(
+            id,
+            SectionId::Corpus | SectionId::Stores | SectionId::EcoStores
+        ) {
             continue;
         }
         if let Err(e) = snap.section(id) {
-            quarantined.push((id.name().to_owned(), e.label().to_owned()));
+            quarantine(&mut quarantined, id.name(), e.label());
         }
     }
 
+    let mut fallback = false;
+    let mut picked: Vec<(&'static str, Arc<RootStore>)> =
+        Vec::with_capacity(ReferenceStore::ALL.len() + EcosystemStore::ALL.len());
     match decode_stores(&snap) {
         Ok(stores) => {
-            let mut picked = Vec::with_capacity(ReferenceStore::ALL.len());
             for rs in ReferenceStore::ALL {
                 match stores.iter().find(|s| s.name() == rs.name()) {
                     Some(store) => picked.push((rs.name(), Arc::clone(store))),
-                    None => {
-                        quarantined
-                            .push((rs.name().to_owned(), "missing-profile".to_owned()));
-                    }
+                    None => quarantine(&mut quarantined, rs.name(), "missing-profile"),
                 }
             }
-            let verifiers = tangled_exec::ExecPool::current()
-                .par_map_indexed(&picked, |_, (_, store)| build_anchor_verifier(store));
-            let index = StoreIndex::new(DEFAULT_SHARDS);
-            for ((name, store), verifier) in picked.into_iter().zip(verifiers) {
-                index.install_with_verifier(name, store, Arc::new(verifier));
-            }
-            tangled_obs::registry::add("trustd.warm_starts", 1);
-            if !quarantined.is_empty() {
-                tangled_obs::registry::add("trustd.warm_starts.degraded", 1);
-            }
-            Ok(DegradedStart {
-                index,
-                quarantined,
-                fallback: false,
-            })
         }
         Err(e) => {
             // The store payload is unusable: quarantine it under the
             // section the error names and serve cold-generated reference
             // profiles instead of nothing.
-            let section = match &e {
-                SnapError::ChecksumMismatch { section }
-                | SnapError::MissingSection { section }
-                | SnapError::Malformed { section, .. } => *section,
-                _ => "stores",
-            };
-            quarantined.push((section.to_owned(), e.label().to_owned()));
-            tangled_obs::registry::add("trustd.warm_starts.degraded", 1);
-            Ok(DegradedStart {
-                index: StoreIndex::with_reference_profiles(),
-                quarantined,
-                fallback: true,
-            })
+            quarantine(&mut quarantined, failed_section(&e, "stores"), e.label());
+            fallback = true;
+            for rs in ReferenceStore::ALL {
+                picked.push((rs.name(), rs.cached()));
+            }
         }
     }
+    match decode_eco_stores(&snap) {
+        Ok(eco) => {
+            for (es, store) in EcosystemStore::ALL.into_iter().zip(&eco) {
+                picked.push((es.name(), Arc::clone(store)));
+            }
+        }
+        Err(e) => {
+            quarantine(
+                &mut quarantined,
+                failed_section(&e, SectionId::EcoStores.name()),
+                e.label(),
+            );
+            fallback = true;
+            for es in EcosystemStore::ALL {
+                picked.push((es.name(), es.cached()));
+            }
+        }
+    }
+
+    let index = install_all(picked);
+    if !fallback {
+        tangled_obs::registry::add("trustd.warm_starts", 1);
+    }
+    if !quarantined.is_empty() {
+        tangled_obs::registry::add("trustd.warm_starts.degraded", 1);
+    }
+    Ok(DegradedStart {
+        index,
+        quarantined,
+        fallback,
+    })
 }
 
 /// Replay journalled swaps over a freshly warm-started index.

@@ -237,6 +237,14 @@ pub enum Request {
         /// Does the client app pin the expected issuer?
         pinned: bool,
     },
+    /// Cross-ecosystem comparison: validate one presented chain against
+    /// *every* standard store profile in a single round trip (the
+    /// disparity engine's per-chain verdict vector, amortising one index
+    /// lookup across all ecosystems).
+    Compare {
+        /// DER certificates, leaf first, intermediates after.
+        chain: Vec<Vec<u8>>,
+    },
     /// Install or replace a store profile (bumps its epoch).
     Swap {
         /// Profile name to (re)install.
@@ -256,6 +264,7 @@ impl Request {
             Request::Classify { .. } => "classify",
             Request::Audit { .. } => "audit",
             Request::Probe { .. } => "probe",
+            Request::Compare { .. } => "compare",
             Request::Swap { .. } => "swap",
             Request::Stats => "stats",
         }
@@ -308,6 +317,10 @@ impl Request {
                 "chain": encode_chain(chain),
                 "pinned": *pinned,
             }),
+            Request::Compare { chain } => json!({
+                "type": "compare",
+                "chain": encode_chain(chain),
+            }),
             Request::Swap { profile, snapshot } => json!({
                 "type": "swap",
                 "profile": profile.as_str(),
@@ -353,6 +366,9 @@ impl Request {
                     .get("pinned")
                     .and_then(Value::as_bool)
                     .ok_or(WireError::BadRequest("missing pinned flag"))?,
+            }),
+            "compare" => Ok(Request::Compare {
+                chain: decode_chain(v.get("chain"))?,
             }),
             "swap" => {
                 let snap = v
@@ -439,6 +455,17 @@ pub enum Response {
         /// Canonical verdict string (`clean`, `pin-violation`, …).
         verdict: String,
     },
+    /// Compare result: the per-chain ecosystem verdict vector.
+    Compare {
+        /// Hex [`tangled_x509::ChainKey`] of the presented chain — the
+        /// key the disparity engine's verdict vectors are indexed by.
+        chain_key: String,
+        /// One `(profile, verdict)` per standard store, in the canonical
+        /// store order (reference stores first, then ecosystem families).
+        verdicts: Vec<(String, ChainVerdict)>,
+        /// How many of the per-profile verdicts came from the memo cache.
+        cached: usize,
+    },
     /// Swap result.
     Swap {
         /// The profile installed.
@@ -510,6 +537,31 @@ impl Response {
             Response::Probe { verdict } => json!({
                 "type": "probe",
                 "verdict": verdict.as_str(),
+            }),
+            Response::Compare {
+                chain_key,
+                verdicts,
+                cached,
+            } => json!({
+                "type": "compare",
+                "chain_key": chain_key.as_str(),
+                "verdicts": verdicts
+                    .iter()
+                    .map(|(store, verdict)| match verdict {
+                        ChainVerdict::Trusted { anchor, chain_len } => json!({
+                            "store": store.as_str(),
+                            "verdict": "trusted",
+                            "anchor": anchor.as_str(),
+                            "chain_len": *chain_len as u64,
+                        }),
+                        ChainVerdict::Untrusted { error } => json!({
+                            "store": store.as_str(),
+                            "verdict": "untrusted",
+                            "error": error.as_str(),
+                        }),
+                    })
+                    .collect::<Vec<_>>(),
+                "cached": *cached as u64,
             }),
             Response::Swap {
                 profile,
@@ -588,6 +640,30 @@ impl Response {
             }),
             "probe" => Ok(Response::Probe {
                 verdict: str_field(v, "verdict")?.to_owned(),
+            }),
+            "compare" => Ok(Response::Compare {
+                chain_key: str_field(v, "chain_key")?.to_owned(),
+                verdicts: v
+                    .get("verdicts")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing verdicts"))?
+                    .iter()
+                    .map(|entry| {
+                        let store = str_field(entry, "store")?.to_owned();
+                        let verdict = match str_field(entry, "verdict")? {
+                            "trusted" => ChainVerdict::Trusted {
+                                anchor: str_field(entry, "anchor")?.to_owned(),
+                                chain_len: usize_field(entry, "chain_len")?,
+                            },
+                            "untrusted" => ChainVerdict::Untrusted {
+                                error: str_field(entry, "error")?.to_owned(),
+                            },
+                            _ => return Err(WireError::BadRequest("unknown verdict")),
+                        };
+                        Ok((store, verdict))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+                cached: usize_field(v, "cached")?,
             }),
             "swap" => Ok(Response::Swap {
                 profile: str_field(v, "profile")?.to_owned(),
@@ -830,6 +906,9 @@ mod tests {
                 chain: vec![],
                 pinned: true,
             },
+            Request::Compare {
+                chain: vec![vec![0x30, 0x03, 1, 2, 3], vec![0xab]],
+            },
             Request::Stats,
         ];
         for req in reqs {
@@ -867,6 +946,25 @@ mod tests {
             },
             Response::Probe {
                 verdict: "clean".into(),
+            },
+            Response::Compare {
+                chain_key: "ab12".into(),
+                verdicts: vec![
+                    (
+                        "AOSP 4.4".into(),
+                        ChainVerdict::Trusted {
+                            anchor: "CN=Root".into(),
+                            chain_len: 3,
+                        },
+                    ),
+                    (
+                        "Java".into(),
+                        ChainVerdict::Untrusted {
+                            error: "no-path".into(),
+                        },
+                    ),
+                ],
+                cached: 1,
             },
             Response::Swap {
                 profile: "device".into(),

@@ -30,7 +30,12 @@ use tangled_crypto::sha256::sha256;
 ///
 /// The two constructors are domain-separated; an exact key never collides
 /// with an issuer-class key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Keys are totally ordered (byte-lexicographic on the digest), so maps
+/// keyed on `ChainKey` — the disparity engine's per-chain verdict
+/// vectors in particular — can be sorted into one canonical order that
+/// is stable across runs, platforms, and exec-pool widths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChainKey([u8; 32]);
 
 impl ChainKey {

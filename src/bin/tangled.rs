@@ -20,13 +20,20 @@
 //!                                    profiles from a study snapshot; with
 //!                                    --journal, log every swap write-ahead
 //!                                    and replay the log on restart
-//! tangled loadgen <addr> [--sessions N] [--seed S]
+//! tangled loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare]
 //!                        [--chaos-rate R] [--chaos-seed S]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts; with
+//!                                    --op compare, drive the disparity
+//!                                    engine's per-chain verdict vectors and
+//!                                    print their fingerprint; with
 //!                                    --chaos-rate, inject seeded lossy wire
 //!                                    faults client-side and recover through
 //!                                    the resilient retry client
+//! tangled disparity [scale]          cross-ecosystem disparity report:
+//!                                    Jaccard matrix, coverage tables,
+//!                                    trusted-by-exactly-k histogram and
+//!                                    verdict classes over ten root stores
 //! tangled chaos   [--seed S] [--requests N] [--rate R]
 //!                 [--busy-rate B] [--attempts N] [--out FILE]
 //!                                    drive a seeded client population through
@@ -78,8 +85,8 @@ use tangled_mass::pki::trust::AnchorSource;
 use tangled_mass::snap::{load_study, write_study, Journal, Snapshot};
 use tangled_mass::trustd::{
     chaos, degraded_index_from_snapshot, offline_verdicts, replay, replay_journal,
-    replay_resilient, ChaosSpec, LatencyHistogram, ReplaySpec, Request, StoreIndex, TrustServer,
-    TrustService, DEFAULT_CACHE_CAPACITY,
+    replay_resilient, verdict_fingerprint, ChaosSpec, LatencyHistogram, ReplayOp, ReplaySpec,
+    Request, StoreIndex, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -104,7 +111,7 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|chaos|stats|trace|bench-study|bench-snap> [...]",
+        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|disparity|chaos|stats|trace|bench-study|bench-snap> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
@@ -118,10 +125,14 @@ fn usage() -> String {
         "  serve   <addr> [--snapshot F] [--journal F]",
         "                           run the trustd query server (warm start from",
         "                           a snapshot; write-ahead journal for swaps)",
-        "  loadgen <addr> [--sessions N] [--seed S] [--chaos-rate R] [--chaos-seed S]",
+        "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare]",
+        "          [--chaos-rate R] [--chaos-seed S]",
         "                           replay a seeded population against a server;",
-        "                           with --chaos-rate, inject lossy wire faults and",
+        "                           with --op compare, serve per-chain verdict",
+        "                           vectors and print their fingerprint; with",
+        "                           --chaos-rate, inject lossy wire faults and",
         "                           recover through the resilient client",
+        "  disparity [scale]        cross-ecosystem root-store disparity report",
         "  chaos   [--seed S] [--requests N] [--rate R] [--busy-rate B]",
         "          [--attempts N] [--out FILE]",
         "                           deterministic wire-fault chaos run against an",
@@ -176,18 +187,32 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_dump = extract_metrics_dump(&mut args);
     let result = extract_threads(&mut args).and_then(|()| match args.first().map(String::as_str) {
-        Some("tables") => parse_scale(args.get(1)).and_then(cmd_tables),
-        Some("figures") => parse_scale(args.get(1)).and_then(cmd_figures),
-        Some("export") => parse_scale(args.get(1)).and_then(cmd_export),
-        Some("mkstore") => cmd_mkstore(args.get(1), args.get(2)),
-        Some("audit") => cmd_audit(args.get(1), args.get(2)),
-        Some("probe") => cmd_probe(),
+        Some("tables") => no_extra(&args, 2, "tables [scale]")
+            .and_then(|()| parse_scale(args.get(1)))
+            .and_then(cmd_tables),
+        Some("figures") => no_extra(&args, 2, "figures [scale]")
+            .and_then(|()| parse_scale(args.get(1)))
+            .and_then(cmd_figures),
+        Some("export") => no_extra(&args, 2, "export [scale]")
+            .and_then(|()| parse_scale(args.get(1)))
+            .and_then(cmd_export),
+        Some("mkstore") => no_extra(&args, 3, "mkstore <version> <dir>")
+            .and_then(|()| cmd_mkstore(args.get(1), args.get(2))),
+        Some("audit") => no_extra(&args, 3, "audit <dir> <version>")
+            .and_then(|()| cmd_audit(args.get(1), args.get(2))),
+        Some("probe") => no_extra(&args, 1, "probe").and_then(|()| cmd_probe()),
         Some("snap") => cmd_snap(&args[1..]),
         Some("serve") => cmd_serve(args.get(1), &args[2..]),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
+        Some("disparity") => no_extra(&args, 2, "disparity [scale]")
+            .and_then(|()| parse_scale(args.get(1)))
+            .and_then(cmd_disparity),
         Some("chaos") => cmd_chaos(&args[1..]),
-        Some("stats") => parse_scale(args.get(1)).and_then(cmd_stats),
-        Some("trace") => cmd_trace(args.get(1), args.get(2)),
+        Some("stats") => no_extra(&args, 2, "stats [scale]")
+            .and_then(|()| parse_scale(args.get(1)))
+            .and_then(cmd_stats),
+        Some("trace") => no_extra(&args, 3, "trace <out.jsonl> [scale]")
+            .and_then(|()| cmd_trace(args.get(1), args.get(2))),
         Some("bench-study") => cmd_bench_study(&args[1..]),
         Some("bench-snap") => cmd_bench_snap(&args[1..]),
         Some(other) => Err(CliError::Usage(format!(
@@ -209,6 +234,18 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Reject stray positional arguments: anything beyond the first `max`
+/// (subcommand included) exits 2 with a one-line usage string, matching
+/// the serve/loadgen flag convention.
+fn no_extra(args: &[String], max: usize, usage_line: &str) -> Result<(), CliError> {
+    match args.get(max) {
+        Some(extra) => Err(CliError::Usage(format!(
+            "unexpected argument '{extra}' — usage: tangled {usage_line}"
+        ))),
+        None => Ok(()),
     }
 }
 
@@ -347,6 +384,7 @@ fn cmd_snap(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage(format!("snap {sub} needs a file path")))?;
     match sub.as_str() {
         "write" => {
+            no_extra(args, 3, "snap write <file> [scale]")?;
             let scale = parse_scale(args.get(2))?;
             eprintln!("generating study at scale {scale}…");
             let study = Study::new(scale, scale.max(0.25));
@@ -359,6 +397,7 @@ fn cmd_snap(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "read" => {
+            no_extra(args, 2, "snap read <file>")?;
             eprintln!("loading study from {file}…");
             let study = load_study(file).map_err(|e| format!("loading {file}: {e}"))?;
             println!("{}", tables::dataset_summary(&study.population).render());
@@ -366,6 +405,7 @@ fn cmd_snap(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "verify" => {
+            no_extra(args, 2, "snap verify <file>")?;
             let snap = Snapshot::open(file).map_err(|e| format!("opening {file}: {e}"))?;
             let report = snap.verify_report();
             let mut damaged = 0usize;
@@ -488,6 +528,7 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .clone();
     let mut sessions = 100usize;
     let mut seed = 2014u64;
+    let mut op = ReplayOp::Mixed;
     let mut chaos_rate = 0.0f64;
     let mut chaos_seed = 7u64;
     let mut it = rest.iter();
@@ -511,6 +552,18 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
                 seed = v.parse().map_err(|_| {
                     CliError::Usage(format!("invalid --seed '{v}': want an unsigned integer"))
                 })?;
+            }
+            "--op" => {
+                let v = value(it.next())?;
+                op = match v.as_str() {
+                    "mixed" => ReplayOp::Mixed,
+                    "compare" => ReplayOp::Compare,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "invalid --op '{other}': want mixed|compare"
+                        )))
+                    }
+                };
             }
             "--chaos-rate" => {
                 let v = value(it.next())?;
@@ -537,7 +590,7 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         }
     }
 
-    let spec = ReplaySpec::new(seed, sessions);
+    let spec = ReplaySpec::new(seed, sessions).with_op(op);
     eprintln!("computing offline verdicts for seed {seed}, {sessions} sessions…");
     let expected = offline_verdicts(&spec);
 
@@ -576,6 +629,13 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
             .into());
         }
         println!("loadgen: verdicts match the offline study exactly");
+        if op == ReplayOp::Compare {
+            println!("loadgen: compare replies match the offline verdict vectors exactly");
+            println!(
+                "loadgen: verdict-vector fingerprint: {:016x}",
+                verdict_fingerprint(&outcome.verdicts)
+            );
+        }
         return Ok(());
     }
 
@@ -617,6 +677,26 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .into());
     }
     println!("loadgen: verdicts match the offline study exactly");
+    if op == ReplayOp::Compare {
+        println!("loadgen: compare replies match the offline verdict vectors exactly");
+        println!(
+            "loadgen: verdict-vector fingerprint: {:016x}",
+            verdict_fingerprint(&outcome.verdicts)
+        );
+    }
+    Ok(())
+}
+
+/// `tangled disparity [scale]` — compute and print the cross-ecosystem
+/// disparity report. The fingerprint line matches what `loadgen --op
+/// compare` prints when its session count maps to the same corpus scale
+/// (via [`tangled_mass::trustd::scale_for_sessions`]), tying the offline
+/// report to served replies with one grep.
+fn cmd_disparity(scale: f64) -> Result<(), CliError> {
+    let threads = thread_count();
+    eprintln!("computing disparity report at scale {scale} ({threads} threads)…");
+    let report = tangled_mass::disparity::compute(scale);
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -17,6 +17,7 @@ pub use tangled_asn1 as asn1;
 pub use tangled_core as analysis;
 pub use tangled_exec as exec;
 pub use tangled_crypto as crypto;
+pub use tangled_disparity as disparity;
 pub use tangled_faults as faults;
 pub use tangled_intercept as intercept;
 pub use tangled_netalyzr as netalyzr;

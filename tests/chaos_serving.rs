@@ -135,9 +135,10 @@ fn degraded_warm_start_serves_and_reports() {
         service.stats().record_degraded(unit, label);
     }
 
-    // Every reference profile answers validate requests.
+    // Every standard profile (reference + ecosystem) answers validate
+    // requests.
     let profiles = service.index().profile_names();
-    assert_eq!(profiles.len(), 6, "all six reference profiles serve");
+    assert_eq!(profiles.len(), 10, "all ten standard profiles serve");
     let chain = tangled_mass::intercept::origin::OriginServers::for_table6()
         .targets()
         .next()
@@ -214,8 +215,8 @@ fn degraded_warm_start_falls_back_on_store_corruption() {
     );
     assert_eq!(
         start.index.profile_names().len(),
-        6,
-        "cold fallback still serves every reference profile"
+        10,
+        "cold fallback still serves every standard profile"
     );
     let _ = std::fs::remove_file(&path);
 }

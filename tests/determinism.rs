@@ -15,6 +15,10 @@
 //! width must be byte-identical, and a study decoded back from those
 //! bytes must reproduce every export and rendering exactly.
 //!
+//! The cross-ecosystem disparity report is the newest rider: its verdict
+//! vectors shard chain-compares over the pool, and the rendered report
+//! (fingerprint line included) must be byte-identical at every width.
+//!
 //! The thread override and the trace sink are process-global, so this
 //! binary holds exactly one test.
 
@@ -52,12 +56,13 @@ fn full_study_is_bit_identical_across_thread_counts() {
         let _faulted = Study::with_faults(0.05, 0.02, &plan);
         let trace = obs::trace::finish().expect("trace was active");
         let snapshot = snap::encode_study(&study, &ExecPool::current());
-        runs.push((threads, render_everything(&study), trace, snapshot));
+        let disparity = tangled_mass::disparity::compute(0.02).render();
+        runs.push((threads, render_everything(&study), trace, snapshot, disparity));
     }
     set_thread_override(None);
 
-    let (_, (json_base, text_base), trace_base, snap_base) = &runs[0];
-    for (threads, (json, text), trace, snapshot) in &runs[1..] {
+    let (_, (json_base, text_base), trace_base, snap_base, disparity_base) = &runs[0];
+    for (threads, (json, text), trace, snapshot, disparity) in &runs[1..] {
         assert_eq!(
             json, json_base,
             "schema-v2 export differs between 1 and {threads} threads"
@@ -73,6 +78,10 @@ fn full_study_is_bit_identical_across_thread_counts() {
         assert_eq!(
             snapshot, snap_base,
             "snapshot bytes differ between 1 and {threads} threads"
+        );
+        assert_eq!(
+            disparity, disparity_base,
+            "disparity report differs between 1 and {threads} threads"
         );
     }
 

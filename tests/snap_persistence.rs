@@ -11,8 +11,10 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 use tangled_mass::analysis::{export, tables, Study};
 use tangled_mass::exec::ExecPool;
-use tangled_mass::pki::stores::ReferenceStore;
-use tangled_mass::snap::{decode_stores, decode_study, encode_study, SectionId, Snapshot};
+use tangled_mass::pki::stores::{EcosystemStore, ReferenceStore};
+use tangled_mass::snap::{
+    decode_eco_stores, decode_stores, decode_study, encode_study, SectionId, Snapshot,
+};
 
 /// One small study and its snapshot bytes, built once for every test in
 /// this binary (study synthesis is the expensive part).
@@ -96,6 +98,24 @@ fn stores_section_leads_with_reference_profiles() {
         stores.len() > 6,
         "device stores follow the reference profiles"
     );
+}
+
+#[test]
+fn eco_stores_section_round_trips_the_ecosystem_profiles() {
+    let (_, bytes) = fixture();
+    let snap = Snapshot::parse(bytes.clone()).expect("parses");
+    let eco = decode_eco_stores(&snap).expect("eco-stores decode");
+    assert_eq!(eco.len(), EcosystemStore::ALL.len());
+    for (decoded, spec) in eco.iter().zip(EcosystemStore::ALL) {
+        let want = spec.cached();
+        assert_eq!(decoded.name(), want.name());
+        assert_eq!(
+            decoded.identities(),
+            want.identities(),
+            "'{}' must carry the exact anchor set through the snapshot",
+            want.name()
+        );
+    }
 }
 
 /// Exercise the full lazy read path on (possibly corrupt) bytes; the

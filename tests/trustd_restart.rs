@@ -7,10 +7,14 @@ use tangled_mass::analysis::Study;
 use tangled_mass::intercept::origin::OriginServers;
 use tangled_mass::intercept::policy::Target;
 use tangled_mass::pki::stores::ReferenceStore;
-use tangled_mass::snap::{write_study, Journal};
+use tangled_mass::snap::{write_study, Journal, SectionId, Snapshot};
 use tangled_mass::trustd::replay::canonical;
 use tangled_mass::trustd::wire::{Request, Response};
-use tangled_mass::trustd::{index_from_snapshot, replay_journal, TrustService};
+use tangled_mass::trustd::{
+    degraded_index_from_snapshot, index_from_snapshot, offline_verdicts, queries_for, replay,
+    replay_journal, verdict_fingerprint, ReplayOp, ReplaySpec, TrustServer, TrustService,
+    DEFAULT_CACHE_CAPACITY,
+};
 
 fn temp_path(tag: &str) -> String {
     let dir = std::env::temp_dir().join("tangled-restart-tests");
@@ -72,7 +76,7 @@ fn restart_from_snapshot_and_journal_is_indistinguishable() {
 
     // Server A: warm start, journal attached, then two swaps.
     let index = index_from_snapshot(&snap_path).expect("warm start");
-    assert_eq!(index.current_epoch(), 6, "six reference preloads");
+    assert_eq!(index.current_epoch(), 10, "ten standard preloads");
     let a = TrustService::with_index(index, 256);
     let (journal, records, recovery) = Journal::open(&journal_path).expect("fresh journal");
     assert!(records.is_empty() && !recovery.truncated);
@@ -92,7 +96,7 @@ fn restart_from_snapshot_and_journal_is_indistinguishable() {
         profile: "device".into(),
         snapshot: trimmed.snapshot(),
     }));
-    assert_eq!((e1, e2), (7, 8), "swap responses report the post-bump epoch");
+    assert_eq!((e1, e2), (11, 12), "swap responses report the post-bump epoch");
     let live = verdicts(&a);
 
     // Server B: fresh process — same snapshot, journal replayed.
@@ -101,7 +105,7 @@ fn restart_from_snapshot_and_journal_is_indistinguishable() {
     assert!(!recovery.truncated);
     assert_eq!(
         records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
-        vec![7, 8],
+        vec![11, 12],
         "journal frames carry the epochs the swaps reported"
     );
     replay_journal(&index, &records).expect("replay");
@@ -124,9 +128,9 @@ fn restart_from_snapshot_and_journal_is_indistinguishable() {
         profile: "device".into(),
         snapshot: mozilla.snapshot(),
     }));
-    assert_eq!(e3, 9);
+    assert_eq!(e3, 13);
     let (_, records, _) = Journal::open(&journal_path).expect("journal reopens");
-    assert_eq!(records.last().map(|r| r.epoch), Some(9));
+    assert_eq!(records.last().map(|r| r.epoch), Some(13));
 
     std::fs::remove_file(&snap_path).unwrap();
     std::fs::remove_file(&journal_path).unwrap();
@@ -151,7 +155,7 @@ fn torn_final_record_recovers_to_the_previous_swap() {
         profile: "AOSP 4.4".into(),
         snapshot: mozilla.snapshot(),
     });
-    // Verdicts as of epoch 7 — what a restart must reproduce.
+    // Verdicts as of epoch 11 — what a restart must reproduce.
     let after_first = verdicts(&a);
     a.handle(&Request::Swap {
         profile: "device".into(),
@@ -170,7 +174,7 @@ fn torn_final_record_recovers_to_the_previous_swap() {
     let b = TrustService::with_index(index, 256);
     b.attach_journal(journal);
 
-    assert_eq!(b.index().current_epoch(), 7);
+    assert_eq!(b.index().current_epoch(), 11);
     assert!(
         b.index().profile("device").is_none(),
         "the torn swap never happened"
@@ -178,9 +182,87 @@ fn torn_final_record_recovers_to_the_previous_swap() {
     assert_eq!(
         verdicts(&b),
         after_first,
-        "recovered server must match the epoch-7 state"
+        "recovered server must match the epoch-11 state"
     );
 
     std::fs::remove_file(&snap_path).unwrap();
     std::fs::remove_file(&journal_path).unwrap();
+}
+
+/// Acceptance for the disparity serving path: `compare` replies match
+/// the offline per-chain verdict vectors exactly — over a live TCP
+/// replay, after a warm start from a snapshot carrying the
+/// ecosystem-stores section, and after a *degraded* start whose
+/// eco-stores section is corrupted (emulating a pre-disparity
+/// snapshot), which regenerates the ecosystem profiles cold.
+#[test]
+fn compare_replies_match_offline_vectors_across_warm_and_degraded_starts() {
+    let snap_path = temp_path("compare-study.snap");
+    let study = Study::new(0.05, 0.02);
+    write_study(&study, &snap_path).expect("snapshot writes");
+
+    let spec = ReplaySpec::new(2014, 60).with_op(ReplayOp::Compare);
+    let offline = offline_verdicts(&spec);
+    let requests = queries_for(&spec);
+
+    // Live TCP replay against a cold server.
+    let service = std::sync::Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY));
+    let server =
+        TrustServer::bind("127.0.0.1:0", std::sync::Arc::clone(&service), 2).expect("bind");
+    let outcome = replay(server.local_addr(), &spec).expect("replay");
+    server.shutdown();
+    assert_eq!(
+        outcome.verdicts, offline,
+        "served compare vectors diverge from the offline study"
+    );
+    assert_eq!(
+        verdict_fingerprint(&outcome.verdicts),
+        verdict_fingerprint(&offline)
+    );
+
+    // Warm start from the eco-carrying snapshot: byte-identical replies.
+    let warm = TrustService::with_index(index_from_snapshot(&snap_path).expect("warm"), 256);
+    let warm_verdicts: Vec<String> = requests
+        .iter()
+        .map(|r| canonical(&warm.handle(r)))
+        .collect();
+    assert_eq!(warm_verdicts, offline, "warm-started compare vectors diverge");
+
+    // Corrupt the eco-stores section: the strict warm start refuses, the
+    // degraded start quarantines it and regenerates the four ecosystem
+    // profiles cold — with identical verdict vectors either way.
+    let snap = Snapshot::open(&snap_path).expect("open");
+    let pos = SectionId::ALL
+        .iter()
+        .position(|id| id.name() == "eco-stores")
+        .expect("eco-stores section");
+    let entry = &snap.entries()[pos];
+    let offset = entry.offset as usize + (entry.len as usize) / 2;
+    drop(snap);
+    let mut bytes = std::fs::read(&snap_path).expect("read");
+    bytes[offset] ^= 0x20;
+    std::fs::write(&snap_path, &bytes).expect("corrupt");
+
+    assert!(
+        index_from_snapshot(&snap_path).is_err(),
+        "strict warm start must refuse a damaged eco-stores section"
+    );
+    let start = degraded_index_from_snapshot(&snap_path).expect("degraded start");
+    assert!(start.fallback, "eco damage forces the cold fallback");
+    assert!(
+        start
+            .quarantined
+            .iter()
+            .any(|(unit, _)| unit == "eco-stores"),
+        "quarantine must name the eco-stores section: {:?}",
+        start.quarantined
+    );
+    let deg = TrustService::with_index(start.index, 256);
+    let deg_verdicts: Vec<String> = requests
+        .iter()
+        .map(|r| canonical(&deg.handle(r)))
+        .collect();
+    assert_eq!(deg_verdicts, offline, "degraded-start compare vectors diverge");
+
+    std::fs::remove_file(&snap_path).unwrap();
 }
