@@ -26,6 +26,7 @@
 //! vanished or was silently corrupted by the stack itself.
 
 use crate::client::TrustClient;
+use crate::event::serve_stream;
 use crate::replay::{canonical, population, queries, ReplaySpec};
 use crate::server::serve_connection;
 use crate::service::{TrustService, DEFAULT_CACHE_CAPACITY};
@@ -37,6 +38,44 @@ use std::io::{self, Read, Write};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use tangled_faults::chaos::{ChaosPlan, ChaosStream, WireFault, WireFaultKind};
+
+/// Which server core handles the simulated connections.
+///
+/// Both cores speak the identical wire protocol and classify the
+/// identical fault set, so the chaos ledger — a pure function of the
+/// bytes on the wire — must come out byte-identical under either. The
+/// harness's core selector exists to *prove* that, not to change the
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeCore {
+    /// The blocking thread-per-connection frame loop
+    /// ([`crate::server`]'s `serve_connection`).
+    #[default]
+    Threads,
+    /// The readiness-loop event core ([`crate::event::serve_stream`]).
+    Event,
+}
+
+impl ServeCore {
+    /// Stable label for ledgers and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeCore::Threads => "threads",
+            ServeCore::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeCore {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ServeCore, String> {
+        match s {
+            "threads" => Ok(ServeCore::Threads),
+            "event" => Ok(ServeCore::Event),
+            other => Err(format!("unknown core {other:?} (expected threads|event)")),
+        }
+    }
+}
 
 /// What to run: request volume, fault schedule, retry budget.
 #[derive(Debug, Clone)]
@@ -55,6 +94,8 @@ pub struct ChaosSpec {
     pub max_attempts: u32,
     /// Fault kinds in play (defaults to every kind).
     pub kinds: Vec<WireFaultKind>,
+    /// Which server core answers the simulated connections.
+    pub core: ServeCore,
 }
 
 impl Default for ChaosSpec {
@@ -66,6 +107,7 @@ impl Default for ChaosSpec {
             busy_rate: 0.1,
             max_attempts: 4,
             kinds: WireFaultKind::ALL.to_vec(),
+            core: ServeCore::default(),
         }
     }
 }
@@ -113,10 +155,11 @@ struct SimConn<'a> {
     pos: usize,
     served: bool,
     busy: bool,
+    core: ServeCore,
 }
 
 impl<'a> SimConn<'a> {
-    fn new(service: &'a TrustService, busy: bool) -> SimConn<'a> {
+    fn new(service: &'a TrustService, busy: bool, core: ServeCore) -> SimConn<'a> {
         SimConn {
             service,
             inbox: Vec::new(),
@@ -124,6 +167,7 @@ impl<'a> SimConn<'a> {
             pos: 0,
             served: false,
             busy,
+            core,
         }
     }
 
@@ -141,7 +185,14 @@ impl<'a> SimConn<'a> {
             pos: 0,
             output: &mut self.outbox,
         };
-        serve_connection(&mut stream, self.service, &stop, 1000, 0);
+        match self.core {
+            ServeCore::Threads => {
+                serve_connection(&mut stream, self.service, &stop, 1000, 0);
+            }
+            ServeCore::Event => {
+                serve_stream(&mut stream, self.service, &stop, 1000, 0);
+            }
+        }
     }
 }
 
@@ -253,7 +304,7 @@ pub fn run(spec: &ChaosSpec) -> ChaosReport {
             salt += 1;
             let busy = busy_rng.gen_bool(spec.busy_rate);
             let ledger = Arc::new(Mutex::new(Vec::<WireFault>::new()));
-            let conn = SimConn::new(&service, busy);
+            let conn = SimConn::new(&service, busy, spec.core);
             let stream = ChaosStream::with_ledger(conn, &plan, salt, Arc::clone(&ledger));
             let mut client = TrustClient::from_stream(stream);
             client.set_response_ticks(50);
@@ -460,6 +511,41 @@ mod tests {
         assert_eq!(report.answered, 20);
         assert_eq!(report.retries, 0);
         assert!(report.fault_counts.is_empty());
+    }
+
+    /// The conservation invariant is core-independent: the event core
+    /// sees the same damaged bytes and must classify them identically,
+    /// so the whole ledger — fault schedule, outcomes, actions — comes
+    /// out byte-for-byte equal to the threads core's.
+    #[test]
+    fn event_core_ledger_is_byte_identical_to_threads() {
+        let threads = run(&small_spec());
+        let event = run(&ChaosSpec {
+            core: ServeCore::Event,
+            ..small_spec()
+        });
+        assert!(event.conserved(), "{}", event.ledger);
+        assert_eq!(
+            threads.ledger, event.ledger,
+            "same spec, same bytes on the wire, same ledger"
+        );
+    }
+
+    /// Saturation check against the event core specifically: rate 1.0
+    /// damages every frame, and every failure must still trace back to
+    /// an injected fault.
+    #[test]
+    fn event_core_conserves_under_full_fault_rate() {
+        let spec = ChaosSpec {
+            requests: 12,
+            rate: 1.0,
+            busy_rate: 0.0,
+            core: ServeCore::Event,
+            ..ChaosSpec::default()
+        };
+        let report = run(&spec);
+        assert!(report.conserved(), "{}", report.ledger);
+        assert!(!report.fault_counts.is_empty());
     }
 
     /// The chaos wrapper also works on the *server* side: replies get

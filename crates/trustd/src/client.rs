@@ -130,6 +130,39 @@ impl<S: Read + Write> TrustClient<S> {
     /// [`TrustClient::set_response_ticks`].
     pub fn call_raw(&mut self, body: &[u8]) -> Result<Response, ClientError> {
         wire::write_frame(&mut self.stream, body).map_err(ClientError::Io)?;
+        self.read_reply()
+    }
+
+    /// Pipelined call: write *all* request frames before reading any
+    /// reply, then collect the replies in request order (the event core's
+    /// per-connection ordering guarantee). A depth-N burst costs one
+    /// coalesced write window and one read window instead of N strict
+    /// round trips. The reply budget applies per reply — each delivered
+    /// reply resets the idle clock, so a server grinding through a long
+    /// batch is never misclassified as stalled.
+    /// A `busy` reply short-circuits the burst: only the admission path
+    /// ever sends `busy`, and it closes the connection after, so nothing
+    /// else is coming — the returned vector ends with that `busy` and may
+    /// be shorter than `reqs`.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        for req in reqs {
+            wire::write_frame(&mut self.stream, &req.encode())
+                .map_err(ClientError::Io)?;
+        }
+        let mut replies = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let resp = self.read_reply()?;
+            let shed = matches!(resp, Response::Busy);
+            replies.push(resp);
+            if shed {
+                break;
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Wait for one reply frame under the consecutive-idle-tick budget.
+    fn read_reply(&mut self) -> Result<Response, ClientError> {
         let mut idle = 0u32;
         loop {
             match wire::read_frame(&mut self.stream) {
@@ -225,5 +258,79 @@ mod tests {
         });
         client.set_response_ticks(10);
         assert_eq!(client.call(&Request::Stats).unwrap(), Response::Busy);
+    }
+
+    /// Accepts request bytes one at a time with a `WouldBlock` between
+    /// every byte — a peer whose receive window keeps filling — then
+    /// replies once the full request arrived.
+    struct TricklingServer {
+        received: Vec<u8>,
+        stall_next: bool,
+        reply: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for TricklingServer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.reply.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            let n = buf.len().min(self.reply.len() - self.pos);
+            buf[..n].copy_from_slice(&self.reply[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for TricklingServer {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.stall_next {
+                self.stall_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.stall_next = true;
+            self.received.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pipelined_burst_survives_short_writes() {
+        // A pipelined burst is far larger than one write window: every
+        // byte trips a short write. The budgeted write path (the client
+        // twin of the read stall budget) must still deliver the whole
+        // burst; the old `write_all` would error on the first WouldBlock.
+        // `busy` would short-circuit the pipelined read loop by design,
+        // so the mock replies with classified errors instead.
+        let canned = Response::Error {
+            stage: "wire".to_owned(),
+            error: "bad-json".to_owned(),
+        };
+        let mut reply = Vec::new();
+        for _ in 0..4 {
+            wire::write_frame(&mut reply, &canned.encode()).unwrap();
+        }
+        let mut client = TrustClient::from_stream(TricklingServer {
+            received: Vec::new(),
+            stall_next: false,
+            reply,
+            pos: 0,
+        });
+        client.set_response_ticks(5);
+        let reqs: Vec<Request> = (0..4).map(|_| Request::Stats).collect();
+        let replies = client.pipeline(&reqs).expect("burst delivered");
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(|r| *r == canned));
+
+        // The server really did receive all four frames intact.
+        let TricklingServer { received, .. } = client.stream;
+        let mut r = std::io::Cursor::new(received);
+        for _ in 0..4 {
+            let body = wire::read_frame(&mut r).unwrap().expect("request frame");
+            assert_eq!(Request::decode(&body).unwrap(), Request::Stats);
+        }
     }
 }

@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod event;
 pub mod index;
 pub mod replay;
 pub mod resilient;
@@ -39,12 +40,14 @@ pub mod warm;
 pub mod wire;
 
 pub use cache::LruCache;
-pub use chaos::{ChaosReport, ChaosSpec};
+pub use chaos::{ChaosReport, ChaosSpec, ServeCore};
 pub use client::{ClientError, TrustClient};
+pub use event::{serve_stream, EventServer};
 pub use index::{StoreIndex, StoreProfile};
 pub use replay::{
-    canonical, offline_verdicts, queries_for, replay, replay_resilient, scale_for_sessions,
-    verdict_fingerprint, ReplayOp, ReplayOutcome, ReplaySpec, ResilientOutcome,
+    canonical, offline_verdicts, queries_for, replay, replay_pipelined, replay_resilient,
+    scale_for_sessions, verdict_fingerprint, ReplayOp, ReplayOutcome, ReplaySpec,
+    ResilientOutcome, BATCH_DEPTH,
 };
 pub use resilient::{
     Connect, ResilientClient, ResilientError, RetryPolicy, SwapOutcome, TcpConnector,

@@ -8,8 +8,8 @@
 //! the loadgen CLI assert that served verdicts are *byte-identical* to
 //! [`offline_verdicts`] computed without any server at all.
 
-use crate::client::{ClientError, TrustClient};
-use crate::resilient::{Connect, ResilientClient, RetryPolicy};
+use crate::client::TrustClient;
+use crate::resilient::{Connect, ResilientClient, RetryPolicy, TcpConnector};
 use crate::service::{profile_for_version, TrustService, DEFAULT_CACHE_CAPACITY};
 use crate::wire::{ChainVerdict, Request, Response};
 use serde_json::Value;
@@ -35,7 +35,15 @@ pub enum ReplayOp {
     /// One `compare` request per chain of the study's Notary corpus, in
     /// corpus order — the disparity engine's verdict vectors, served.
     Compare,
+    /// The mixed mix's validate stream, grouped into `batch_validate`
+    /// requests of up to [`BATCH_DEPTH`] chains per store profile — the
+    /// amortised form of the same workload.
+    Batch,
 }
+
+/// How many chains a `--op batch` replay packs into one `batch_validate`
+/// request before flushing it.
+pub const BATCH_DEPTH: usize = 16;
 
 /// What to replay.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +87,11 @@ pub struct ReplayOutcome {
     pub requests: usize,
     /// `error` responses with stage `wire` (protocol errors).
     pub wire_errors: usize,
+    /// TCP connections opened. Keep-alive reuse makes this 1 on a clean
+    /// run regardless of session count — the loadgen summary reports it
+    /// next to the request count so connect cost can never masquerade as
+    /// server cost again.
+    pub connects: u64,
     /// Wall-clock time spent replaying.
     pub elapsed: Duration,
     /// The server's stats document, fetched after the replay.
@@ -163,11 +176,55 @@ pub fn compare_queries(spec: &ReplaySpec) -> Vec<Request> {
         .collect()
 }
 
+/// The `batch_validate` request mix: the same per-session validate
+/// stream as the mixed mix, grouped into per-profile batches of up to
+/// [`BATCH_DEPTH`] chains. Batches flush in arrival order when full; the
+/// remainders flush in sorted profile order — deterministic, so the
+/// served replay can be fingerprinted against [`offline_verdicts`].
+pub fn batch_queries(pop: &Population, spec: &ReplaySpec) -> Vec<Request> {
+    let origin = OriginServers::for_table6();
+    let mut targets: Vec<Target> = origin.targets().cloned().collect();
+    targets.sort_by_key(|t| t.to_string());
+
+    let chain_for = |t: &Target| -> Vec<Vec<u8>> {
+        origin
+            .chain(t)
+            .expect("table 6 target has a chain")
+            .iter()
+            .map(|c| c.to_der().to_vec())
+            .collect()
+    };
+
+    let mut out = Vec::new();
+    let mut pending: std::collections::BTreeMap<String, Vec<Vec<Vec<u8>>>> =
+        std::collections::BTreeMap::new();
+    for session in pop.sessions.iter().take(spec.sessions) {
+        let device = pop.device_of(session);
+        let profile = profile_for_version(device.os_version).to_owned();
+        let target = &targets[session.index as usize % targets.len()];
+        let chains = pending.entry(profile.clone()).or_default();
+        chains.push(chain_for(target));
+        if chains.len() >= BATCH_DEPTH {
+            out.push(Request::BatchValidate {
+                profile,
+                chains: std::mem::take(chains),
+            });
+        }
+    }
+    for (profile, chains) in pending {
+        if !chains.is_empty() {
+            out.push(Request::BatchValidate { profile, chains });
+        }
+    }
+    out
+}
+
 /// The request sequence for a spec, honouring its [`ReplayOp`].
 pub fn queries_for(spec: &ReplaySpec) -> Vec<Request> {
     match spec.op {
         ReplayOp::Mixed => queries(&population(spec), spec),
         ReplayOp::Compare => compare_queries(spec),
+        ReplayOp::Batch => batch_queries(&population(spec), spec),
     }
 }
 
@@ -226,6 +283,20 @@ pub fn canonical(resp: &Response) -> String {
                 .collect();
             format!("compare/{chain_key}/{}", parts.join("|"))
         }
+        Response::BatchValidate {
+            profile, verdicts, ..
+        } => {
+            let parts: Vec<String> = verdicts
+                .iter()
+                .map(|v| match v {
+                    ChainVerdict::Trusted { anchor, chain_len } => {
+                        format!("trusted/{anchor}/{chain_len}")
+                    }
+                    ChainVerdict::Untrusted { error } => format!("untrusted/{error}"),
+                })
+                .collect();
+            format!("batch_validate/{profile}/{}", parts.join("|"))
+        }
         Response::Swap {
             profile, anchors, ..
         } => format!("swap/{profile}/{anchors}"),
@@ -246,44 +317,70 @@ pub fn offline_verdicts(spec: &ReplaySpec) -> Vec<String> {
         .collect()
 }
 
-/// Replay a spec against a live server.
+/// Replay a spec against a live server, serially (pipeline depth 1).
 pub fn replay(
     addr: impl ToSocketAddrs + Clone,
     spec: &ReplaySpec,
-) -> Result<ReplayOutcome, ClientError> {
-    let mut client = TrustClient::connect_retry(addr, Duration::from_secs(5))
-        .map_err(ClientError::Io)?;
-    let requests = queries_for(spec);
+) -> Result<ReplayOutcome, String> {
+    replay_pipelined(addr, spec, 1)
+}
 
+/// Replay a spec against a live server with request pipelining: requests
+/// go out in chunks of `depth` frames before any reply is read, over one
+/// kept-alive connection (the [`ResilientClient`] holds the connection
+/// across calls and only reopens it after a failure — loadgen measures
+/// server cost, not connect cost). Every mix this replays is idempotent,
+/// so a failed chunk is safely re-sent whole.
+pub fn replay_pipelined(
+    addr: impl ToSocketAddrs + Clone,
+    spec: &ReplaySpec,
+    depth: usize,
+) -> Result<ReplayOutcome, String> {
+    // Race a server that is still binding (the CI smoke starts it in the
+    // background): probe until it accepts, then hand the address to the
+    // keep-alive client.
+    let probe = TrustClient::connect_retry(addr.clone(), Duration::from_secs(5))
+        .map_err(|e| format!("server never came up: {e}"))?;
+    drop(probe);
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+    let mut client =
+        ResilientClient::new(TcpConnector::new(addr), RetryPolicy::new(spec.seed));
+
+    let requests = queries_for(spec);
+    let depth = depth.max(1);
     let started = Instant::now();
     let mut verdicts = Vec::with_capacity(requests.len());
     let mut wire_errors = 0usize;
-    for req in &requests {
-        let resp = client.call(req)?;
-        if matches!(&resp, Response::Error { stage, .. } if stage == "wire") {
-            wire_errors += 1;
+    for chunk in requests.chunks(depth) {
+        let replies = client
+            .call_pipelined(chunk)
+            .map_err(|e| format!("replay chunk: {e}"))?;
+        for resp in &replies {
+            if matches!(resp, Response::Error { stage, .. } if stage == "wire") {
+                wire_errors += 1;
+            }
+            verdicts.push(canonical(resp));
         }
-        verdicts.push(canonical(&resp));
     }
     let elapsed = started.elapsed();
 
-    let stats = match client.call(&Request::Stats)? {
+    let stats = match client
+        .call(&Request::Stats)
+        .map_err(|e| format!("fetching stats: {e}"))?
+    {
         Response::Stats(doc) => doc,
-        other => {
-            return Err(ClientError::Protocol(crate::wire::WireError::BadRequest(
-                if matches!(other, Response::Error { .. }) {
-                    "stats request refused"
-                } else {
-                    "unexpected stats reply"
-                },
-            )))
-        }
+        _ => return Err("unexpected stats reply".into()),
     };
 
     Ok(ReplayOutcome {
         requests: requests.len(),
         verdicts,
         wire_errors,
+        connects: client.reconnects(),
         elapsed,
         stats,
     })
@@ -461,6 +558,50 @@ mod tests {
             .all(|v| v.starts_with("compare/") && v.matches('|').count() == 9));
         let fp = verdict_fingerprint(&offline);
         assert_eq!(fp, verdict_fingerprint(&offline_verdicts(&spec)));
+    }
+
+    #[test]
+    fn batch_mix_groups_the_validate_stream_deterministically() {
+        let spec = ReplaySpec::new(2014, 120).with_op(ReplayOp::Batch);
+        let qs = queries_for(&spec);
+        assert!(!qs.is_empty());
+        assert!(qs.iter().all(|q| q.kind() == "batch_validate"));
+        assert_eq!(qs, queries_for(&spec), "same spec, same queries");
+
+        // The batched mix carries exactly the validate stream of the
+        // mixed mix: same chains, same multiplicity, grouped by profile.
+        let mixed_spec = ReplaySpec::new(2014, 120);
+        let mut singles: Vec<(String, Vec<Vec<u8>>)> = queries_for(&mixed_spec)
+            .into_iter()
+            .filter_map(|q| match q {
+                Request::Validate { profile, chain } => Some((profile, chain)),
+                _ => None,
+            })
+            .collect();
+        let mut batched: Vec<(String, Vec<Vec<u8>>)> = qs
+            .iter()
+            .flat_map(|q| match q {
+                Request::BatchValidate { profile, chains } => chains
+                    .iter()
+                    .map(|c| (profile.clone(), c.clone()))
+                    .collect::<Vec<_>>(),
+                _ => unreachable!("batch mix only"),
+            })
+            .collect();
+        singles.sort();
+        batched.sort();
+        assert_eq!(singles, batched);
+
+        // No batch exceeds the depth cap, and offline verdicts line up
+        // one-per-request for fingerprinting.
+        for q in &qs {
+            if let Request::BatchValidate { chains, .. } = q {
+                assert!(!chains.is_empty() && chains.len() <= BATCH_DEPTH);
+            }
+        }
+        let offline = offline_verdicts(&spec);
+        assert_eq!(offline.len(), qs.len());
+        assert!(offline.iter().all(|v| v.starts_with("batch_validate/")));
     }
 
     #[test]

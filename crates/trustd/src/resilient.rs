@@ -257,6 +257,83 @@ impl<C: Connect> ResilientClient<C> {
         }
     }
 
+    /// Issue an idempotent request chunk as one pipelined burst, with the
+    /// full retry discipline applied to the *chunk*: every request in it
+    /// must be idempotent (a transport fault mid-burst leaves unknown
+    /// which requests executed, so the whole chunk is re-sent — harmless
+    /// for pure reads, which is why `swap` is excluded). An admission
+    /// shed (`busy`) likewise retries the whole chunk on a fresh
+    /// connection. Replies come back in request order.
+    pub fn call_pipelined(
+        &mut self,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>, ResilientError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert!(reqs.iter().all(Request::is_idempotent));
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_pipeline_once(reqs) {
+                Ok(Some(replies)) => return Ok(replies),
+                Ok(None) => {
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Shed { attempts: attempt });
+                    }
+                }
+                Err(label) => {
+                    if attempt >= self.policy.max_attempts {
+                        return Err(ResilientError::Exhausted {
+                            label,
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            self.note_retry(attempt);
+        }
+    }
+
+    /// One pipelined attempt. `Ok(None)` is an admission shed (the burst
+    /// was answered with `busy`); any failure tears the connection down.
+    fn try_pipeline_once(
+        &mut self,
+        reqs: &[Request],
+    ) -> Result<Option<Vec<Response>>, &'static str> {
+        if self.conn.is_none() {
+            match self.connector.connect() {
+                Ok(client) => {
+                    self.reconnects += 1;
+                    self.conn = Some(client);
+                }
+                Err(_) => return Err("connect-failed"),
+            }
+        }
+        let client = self.conn.as_mut().expect("connection just ensured");
+        match client.pipeline(reqs) {
+            Ok(replies)
+                if replies.last().is_some_and(|r| matches!(r, Response::Busy)) =>
+            {
+                self.busy += 1;
+                metrics::add("trustd.client.busy", 1);
+                self.conn = None;
+                Ok(None)
+            }
+            Ok(replies) if replies.len() == reqs.len() => Ok(Some(replies)),
+            // Short reply vector without a busy cannot happen (pipeline
+            // only truncates on shed) — classify defensively.
+            Ok(_) => {
+                self.conn = None;
+                Err("protocol")
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(classify(&e))
+            }
+        }
+    }
+
     /// Install a store profile without ever blind-retrying the mutation.
     ///
     /// Before each attempt the profile's current epoch is read from the
@@ -484,6 +561,53 @@ mod tests {
             .expect("retried past the shed");
         assert!(matches!(resp, Response::Probe { .. }));
         assert_eq!(client.busy_count(), 1);
+        assert_eq!(client.retries(), 1);
+        assert_eq!(client.reconnects(), 2);
+    }
+
+    #[test]
+    fn shed_pipelined_chunk_retries_whole_burst() {
+        // Connection 1 sheds the burst with one busy frame; connection 2
+        // answers both requests. The whole chunk is re-sent — replies
+        // stay aligned with requests.
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![
+                framed(&[Response::Busy]),
+                framed(&[
+                    Response::Stats(json!({"a": 1u64})),
+                    Response::Stats(json!({"b": 2u64})),
+                ]),
+            ]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        let replies = client
+            .call_pipelined(&[Request::Stats, Request::Stats])
+            .expect("retried past the shed");
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| matches!(r, Response::Stats(_))));
+        assert_eq!(client.busy_count(), 1);
+        assert_eq!(client.reconnects(), 2);
+    }
+
+    #[test]
+    fn torn_pipelined_chunk_is_resent_in_full() {
+        // Connection 1 delivers only the first of two replies before
+        // closing: which requests executed is unknown, so the idempotent
+        // chunk is re-sent whole on connection 2.
+        let connector = ScriptConnector {
+            scripts: VecDeque::from(vec![
+                framed(&[Response::Stats(json!({"partial": true}))]),
+                framed(&[
+                    Response::Stats(json!({"a": 1u64})),
+                    Response::Stats(json!({"b": 2u64})),
+                ]),
+            ]),
+        };
+        let mut client = ResilientClient::new(connector, RetryPolicy::immediate(7));
+        let replies = client
+            .call_pipelined(&[Request::Stats, Request::Stats])
+            .expect("resent after the torn burst");
+        assert_eq!(replies.len(), 2);
         assert_eq!(client.retries(), 1);
         assert_eq!(client.reconnects(), 2);
     }

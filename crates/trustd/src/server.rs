@@ -33,7 +33,7 @@ use std::time::Duration;
 use tangled_obs::{registry as metrics, trace};
 
 /// How long a worker blocks in `read` before polling the stop flag.
-const READ_TICK: Duration = Duration::from_millis(50);
+pub(crate) const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Admission and deadline knobs for a [`TrustServer`].
 #[derive(Debug, Clone)]
@@ -320,7 +320,7 @@ pub(crate) fn serve_connection<S: Read + Write>(
 
 /// Record a wire fault into the metrics registry and, when a trace is
 /// live, as a quarantine event on the connection span.
-fn record_wire_trace(span: u64, e: &WireError) {
+pub(crate) fn record_wire_trace(span: u64, e: &WireError) {
     metrics::add("trustd.wire_faults", 1);
     trace::quarantine("trustd.conn", span, "wire", e.label(), 1);
 }

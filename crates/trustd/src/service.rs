@@ -123,6 +123,9 @@ impl TrustService {
                 pinned,
             } => self.probe(profile, target, chain, *pinned),
             Request::Compare { chain } => self.compare(chain),
+            Request::BatchValidate { profile, chains } => {
+                self.batch_validate(profile, chains)
+            }
             Request::Swap { profile, snapshot } => self.swap(profile, snapshot),
             Request::Stats => Response::Stats(self.stats_document()),
         }
@@ -201,6 +204,47 @@ impl TrustService {
         }
         Response::Compare {
             chain_key: chain_key.to_hex(),
+            verdicts,
+            cached,
+        }
+    }
+
+    /// Batched validation: one profile lookup, one memo pass per chain.
+    /// A bad chain (empty, malformed DER) does not fail the batch — it
+    /// yields a per-chain `untrusted` verdict in its slot (recorded in the
+    /// quarantine ledger like the single-chain path), so the reply vector
+    /// always aligns with the request and the whole batch stays
+    /// idempotent.
+    fn batch_validate(&self, profile: &str, chains: &[Vec<Vec<u8>>]) -> Response {
+        let Some(profile) = self.index.profile(profile) else {
+            return error("batch_validate", "unknown-profile");
+        };
+        let mut verdicts = Vec::with_capacity(chains.len());
+        let mut cached = 0usize;
+        for chain in chains {
+            if chain.is_empty() {
+                self.stats
+                    .record_quarantined("batch_validate", "empty-chain");
+                verdicts.push(ChainVerdict::Untrusted {
+                    error: "empty-chain".to_owned(),
+                });
+                continue;
+            }
+            let Some(certs) = parse_chain(chain) else {
+                self.stats
+                    .record_quarantined("batch_validate", "malformed-der");
+                verdicts.push(ChainVerdict::Untrusted {
+                    error: "malformed-der".to_owned(),
+                });
+                continue;
+            };
+            let chain_key = ChainKey::exact(certs.iter().map(Arc::as_ref));
+            let (verdict, hit) = self.profile_verdict(&profile, &certs, chain_key);
+            cached += usize::from(hit);
+            verdicts.push(verdict);
+        }
+        Response::BatchValidate {
+            profile: profile.name,
             verdicts,
             cached,
         }
@@ -641,6 +685,82 @@ mod tests {
             }
         );
         assert_eq!(svc.stats().quarantined_total(), 2);
+    }
+
+    #[test]
+    fn batch_validate_agrees_with_single_validate() {
+        let svc = TrustService::new(256);
+        let chains = vec![
+            origin_chain("gmail.com:443"),
+            origin_chain("www.chase.com:443"),
+            origin_chain("gmail.com:443"), // duplicate: memo hit in-batch
+        ];
+        let Response::BatchValidate {
+            profile,
+            verdicts,
+            cached,
+        } = svc.handle(&Request::BatchValidate {
+            profile: "AOSP 4.4".into(),
+            chains: chains.clone(),
+        })
+        else {
+            panic!("expected batch reply");
+        };
+        assert_eq!(profile, "AOSP 4.4");
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(cached, 1, "duplicate chain hits the memo within a batch");
+        for (chain, expected) in chains.iter().zip(&verdicts) {
+            match svc.handle(&Request::Validate {
+                profile: "AOSP 4.4".into(),
+                chain: chain.clone(),
+            }) {
+                Response::Validate { verdict, .. } => assert_eq!(&verdict, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_validate_isolates_bad_chains_per_slot() {
+        let svc = TrustService::new(64);
+        let Response::BatchValidate { verdicts, .. } =
+            svc.handle(&Request::BatchValidate {
+                profile: "AOSP 4.4".into(),
+                chains: vec![
+                    vec![],                  // empty
+                    vec![vec![0xde, 0xad]],  // garbage DER
+                    origin_chain("gmail.com:443"),
+                ],
+            })
+        else {
+            panic!("expected batch reply");
+        };
+        assert_eq!(
+            verdicts[0],
+            ChainVerdict::Untrusted {
+                error: "empty-chain".into()
+            }
+        );
+        assert_eq!(
+            verdicts[1],
+            ChainVerdict::Untrusted {
+                error: "malformed-der".into()
+            }
+        );
+        assert!(matches!(verdicts[2], ChainVerdict::Trusted { .. }));
+        assert_eq!(svc.stats().quarantined_total(), 2);
+
+        // Only an unknown profile fails the whole batch.
+        assert_eq!(
+            svc.handle(&Request::BatchValidate {
+                profile: "CyanogenMod".into(),
+                chains: vec![origin_chain("gmail.com:443")],
+            }),
+            Response::Error {
+                stage: "batch_validate".into(),
+                error: "unknown-profile".into()
+            }
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub fn is_timeout(e: &io::Error) -> bool {
 /// server's poll interval — a stalled peer cannot pin a worker forever,
 /// but any progress resets the clock, so a slow-but-live peer is never
 /// misclassified as truncated.
-const STALL_BUDGET: u32 = 200;
+pub(crate) const STALL_BUDGET: u32 = 200;
 
 /// Fill `buf` completely. `Ok(false)` means clean EOF before the first
 /// byte (only legal when `at_boundary`); EOF mid-buffer is
@@ -189,7 +189,47 @@ pub fn drain_frame_body(r: &mut impl Read, len: usize) -> Result<(), FrameError>
     Ok(())
 }
 
-/// Write one frame.
+/// Write `buf` completely, tolerating short writes on a nonblocking (or
+/// write-timeout) peer: a `WouldBlock`/`TimedOut` counts as one stall,
+/// bounded by the same *consecutive* [`STALL_BUDGET`] as the read path —
+/// any written byte resets the clock, so a slow-but-draining peer is
+/// never abandoned, while a peer that stops draining entirely cannot
+/// block the writer forever.
+fn write_full(w: &mut impl Write, buf: &[u8]) -> io::Result<()> {
+    let mut written = 0usize;
+    let mut stalls = 0u32;
+    while written < buf.len() {
+        match w.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer accepts no more bytes",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > STALL_BUDGET {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame write",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame. Partial writes are retried under the consecutive
+/// stall budget (see [`write_full`]) — the write-side twin of the read
+/// deadline, so a large pipelined burst against a slow-draining peer
+/// completes instead of failing on the first short write.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
     if body.len() > MAX_FRAME {
         return Err(io::Error::new(
@@ -197,8 +237,8 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
             "frame exceeds MAX_FRAME",
         ));
     }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(body)?;
+    write_full(w, &(body.len() as u32).to_be_bytes())?;
+    write_full(w, body)?;
     w.flush()
 }
 
@@ -245,6 +285,17 @@ pub enum Request {
         /// DER certificates, leaf first, intermediates after.
         chain: Vec<Vec<u8>>,
     },
+    /// Batched validation: many chains against one named store profile
+    /// in a single round trip, amortising one index/profile lookup and
+    /// one verdict-memo pass across the whole batch. Per-chain failures
+    /// (empty chain, malformed DER) become per-chain `untrusted`
+    /// verdicts so the reply vector always lines up with the request.
+    BatchValidate {
+        /// Store profile name (e.g. `"AOSP 4.4"`).
+        profile: String,
+        /// One DER chain per slot, each leaf first.
+        chains: Vec<Vec<Vec<u8>>>,
+    },
     /// Install or replace a store profile (bumps its epoch).
     Swap {
         /// Profile name to (re)install.
@@ -265,6 +316,7 @@ impl Request {
             Request::Audit { .. } => "audit",
             Request::Probe { .. } => "probe",
             Request::Compare { .. } => "compare",
+            Request::BatchValidate { .. } => "batch_validate",
             Request::Swap { .. } => "swap",
             Request::Stats => "stats",
         }
@@ -321,6 +373,14 @@ impl Request {
                 "type": "compare",
                 "chain": encode_chain(chain),
             }),
+            Request::BatchValidate { profile, chains } => json!({
+                "type": "batch_validate",
+                "profile": profile.as_str(),
+                "chains": chains
+                    .iter()
+                    .map(|chain| Value::from(encode_chain(chain)))
+                    .collect::<Vec<_>>(),
+            }),
             Request::Swap { profile, snapshot } => json!({
                 "type": "swap",
                 "profile": profile.as_str(),
@@ -369,6 +429,16 @@ impl Request {
             }),
             "compare" => Ok(Request::Compare {
                 chain: decode_chain(v.get("chain"))?,
+            }),
+            "batch_validate" => Ok(Request::BatchValidate {
+                profile: str_field(v, "profile")?.to_owned(),
+                chains: v
+                    .get("chains")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing chains array"))?
+                    .iter()
+                    .map(|chain| decode_chain(Some(chain)))
+                    .collect::<Result<Vec<_>, _>>()?,
             }),
             "swap" => {
                 let snap = v
@@ -466,6 +536,16 @@ pub enum Response {
         /// How many of the per-profile verdicts came from the memo cache.
         cached: usize,
     },
+    /// Batched validate result: one verdict per requested chain, in
+    /// request order.
+    BatchValidate {
+        /// The profile the batch was validated against.
+        profile: String,
+        /// One verdict per chain slot, aligned with the request.
+        verdicts: Vec<ChainVerdict>,
+        /// How many of the verdicts came from the memo cache.
+        cached: usize,
+    },
     /// Swap result.
     Swap {
         /// The profile installed.
@@ -556,6 +636,29 @@ impl Response {
                         }),
                         ChainVerdict::Untrusted { error } => json!({
                             "store": store.as_str(),
+                            "verdict": "untrusted",
+                            "error": error.as_str(),
+                        }),
+                    })
+                    .collect::<Vec<_>>(),
+                "cached": *cached as u64,
+            }),
+            Response::BatchValidate {
+                profile,
+                verdicts,
+                cached,
+            } => json!({
+                "type": "batch_validate",
+                "profile": profile.as_str(),
+                "verdicts": verdicts
+                    .iter()
+                    .map(|verdict| match verdict {
+                        ChainVerdict::Trusted { anchor, chain_len } => json!({
+                            "verdict": "trusted",
+                            "anchor": anchor.as_str(),
+                            "chain_len": *chain_len as u64,
+                        }),
+                        ChainVerdict::Untrusted { error } => json!({
                             "verdict": "untrusted",
                             "error": error.as_str(),
                         }),
@@ -661,6 +764,26 @@ impl Response {
                             _ => return Err(WireError::BadRequest("unknown verdict")),
                         };
                         Ok((store, verdict))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+                cached: usize_field(v, "cached")?,
+            }),
+            "batch_validate" => Ok(Response::BatchValidate {
+                profile: str_field(v, "profile")?.to_owned(),
+                verdicts: v
+                    .get("verdicts")
+                    .and_then(Value::as_array)
+                    .ok_or(WireError::BadRequest("missing verdicts"))?
+                    .iter()
+                    .map(|entry| match str_field(entry, "verdict")? {
+                        "trusted" => Ok(ChainVerdict::Trusted {
+                            anchor: str_field(entry, "anchor")?.to_owned(),
+                            chain_len: usize_field(entry, "chain_len")?,
+                        }),
+                        "untrusted" => Ok(ChainVerdict::Untrusted {
+                            error: str_field(entry, "error")?.to_owned(),
+                        }),
+                        _ => Err(WireError::BadRequest("unknown verdict")),
                     })
                     .collect::<Result<Vec<_>, WireError>>()?,
                 cached: usize_field(v, "cached")?,
@@ -867,6 +990,77 @@ mod tests {
         ));
     }
 
+    /// Accepts one byte per call, reporting `WouldBlock` between every
+    /// byte — the write-side twin of [`TricklingReader`]. Total stalls far
+    /// exceed [`STALL_BUDGET`], but never two in a row, so a correct
+    /// consecutive-stall budget never fires.
+    struct TricklingWriter {
+        data: Vec<u8>,
+        stall_next: bool,
+    }
+
+    impl Write for TricklingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.stall_next {
+                self.stall_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.stall_next = true;
+            self.data.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trickling_peer_still_receives_the_whole_frame() {
+        // Body longer than the stall budget: a cumulative counter (or the
+        // old write_all, which fails on the first WouldBlock) would give
+        // up; the consecutive budget delivers every byte.
+        let body = vec![0x5a; STALL_BUDGET as usize + 100];
+        let mut w = TricklingWriter {
+            data: Vec::new(),
+            stall_next: false,
+        };
+        write_frame(&mut w, &body).expect("slow-draining peer still accepts");
+        let mut r = Cursor::new(w.data);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(body));
+    }
+
+    /// Accepts a few bytes, then stalls forever.
+    struct StalledWriter {
+        accepted: usize,
+        cap: usize,
+    }
+
+    impl Write for StalledWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.accepted < self.cap {
+                let n = buf.len().min(self.cap - self.accepted);
+                self.accepted += n;
+                return Ok(n);
+            }
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dead_stall_mid_frame_write_still_bounded() {
+        let mut w = StalledWriter {
+            accepted: 0,
+            cap: 6,
+        };
+        let err = write_frame(&mut w, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
     #[test]
     fn drain_frame_body_resynchronises_the_stream() {
         // 10 000 junk bytes (an oversized frame's declared body), then a
@@ -908,6 +1102,14 @@ mod tests {
             },
             Request::Compare {
                 chain: vec![vec![0x30, 0x03, 1, 2, 3], vec![0xab]],
+            },
+            Request::BatchValidate {
+                profile: "AOSP 4.4".into(),
+                chains: vec![
+                    vec![vec![0x30, 0x03, 1, 2, 3], vec![0xff]],
+                    vec![],
+                    vec![vec![0xab]],
+                ],
             },
             Request::Stats,
         ];
@@ -963,6 +1165,19 @@ mod tests {
                             error: "no-path".into(),
                         },
                     ),
+                ],
+                cached: 1,
+            },
+            Response::BatchValidate {
+                profile: "AOSP 4.4".into(),
+                verdicts: vec![
+                    ChainVerdict::Trusted {
+                        anchor: "CN=Root".into(),
+                        chain_len: 2,
+                    },
+                    ChainVerdict::Untrusted {
+                        error: "empty-chain".into(),
+                    },
                 ],
                 cached: 1,
             },

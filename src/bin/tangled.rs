@@ -14,19 +14,28 @@
 //!                                    binary snapshot
 //! tangled snap read <file>           load a snapshot and print its tables
 //! tangled snap verify <file>         checksum every snapshot section
-//! tangled serve   <addr> [--snapshot F] [--journal F]
-//!                                    run the trustd query server; with
-//!                                    --snapshot, warm-start the reference
-//!                                    profiles from a study snapshot; with
-//!                                    --journal, log every swap write-ahead
-//!                                    and replay the log on restart
-//! tangled loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare]
+//! tangled serve   <addr> [--core event|threads] [--snapshot F] [--journal F]
+//!                                    run the trustd query server — by default
+//!                                    on the readiness-loop event core (a few
+//!                                    loop threads multiplexing every
+//!                                    connection), or thread-per-connection
+//!                                    with --core threads; with --snapshot,
+//!                                    warm-start the reference profiles from a
+//!                                    study snapshot; with --journal, log
+//!                                    every swap write-ahead and replay the
+//!                                    log on restart
+//! tangled loadgen <addr> [--sessions N] [--seed S]
+//!                        [--op mixed|compare|batch] [--pipeline N]
 //!                        [--chaos-rate R] [--chaos-seed S]
 //!                                    replay a seeded population against a
-//!                                    server and verify the verdicts; with
+//!                                    server and verify the verdicts over one
+//!                                    keep-alive connection; with --pipeline,
+//!                                    burst N requests per write window; with
 //!                                    --op compare, drive the disparity
 //!                                    engine's per-chain verdict vectors and
-//!                                    print their fingerprint; with
+//!                                    print their fingerprint; with --op
+//!                                    batch, group the validate stream into
+//!                                    batch_validate frames; with
 //!                                    --chaos-rate, inject seeded lossy wire
 //!                                    faults client-side and recover through
 //!                                    the resilient retry client
@@ -35,7 +44,8 @@
 //!                                    trusted-by-exactly-k histogram and
 //!                                    verdict classes over ten root stores
 //! tangled chaos   [--seed S] [--requests N] [--rate R]
-//!                 [--busy-rate B] [--attempts N] [--out FILE]
+//!                 [--busy-rate B] [--attempts N] [--core threads|event]
+//!                 [--out FILE]
 //!                                    drive a seeded client population through
 //!                                    a wire fault schedule against an
 //!                                    in-process server and assert the
@@ -84,9 +94,10 @@ use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
 use tangled_mass::snap::{load_study, write_study, Journal, Snapshot};
 use tangled_mass::trustd::{
-    chaos, degraded_index_from_snapshot, offline_verdicts, replay, replay_journal,
-    replay_resilient, verdict_fingerprint, ChaosSpec, LatencyHistogram, ReplayOp, ReplaySpec,
-    Request, StoreIndex, TrustServer, TrustService, DEFAULT_CACHE_CAPACITY,
+    chaos, degraded_index_from_snapshot, offline_verdicts, replay_journal, replay_pipelined,
+    replay_resilient, verdict_fingerprint, ChaosSpec, EventServer, LatencyHistogram, ReplayOp,
+    ReplaySpec, Request, ServeCore, StoreIndex, TrustClient, TrustServer, TrustService,
+    BATCH_DEPTH, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -122,19 +133,25 @@ fn usage() -> String {
         "                           generate a study and persist a binary snapshot",
         "  snap read <file>         load a snapshot and print its tables",
         "  snap verify <file>       checksum every snapshot section",
-        "  serve   <addr> [--snapshot F] [--journal F]",
-        "                           run the trustd query server (warm start from",
-        "                           a snapshot; write-ahead journal for swaps)",
-        "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare]",
-        "          [--chaos-rate R] [--chaos-seed S]",
-        "                           replay a seeded population against a server;",
-        "                           with --op compare, serve per-chain verdict",
-        "                           vectors and print their fingerprint; with",
-        "                           --chaos-rate, inject lossy wire faults and",
-        "                           recover through the resilient client",
+        "  serve   <addr> [--core event|threads] [--snapshot F] [--journal F]",
+        "                           run the trustd query server (event core by",
+        "                           default, thread-per-connection with --core",
+        "                           threads; warm start from a snapshot;",
+        "                           write-ahead journal for swaps)",
+        "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare|batch]",
+        "          [--pipeline N] [--chaos-rate R] [--chaos-seed S]",
+        "                           replay a seeded population against a server",
+        "                           over one keep-alive connection; --pipeline",
+        "                           bursts N requests per write window; --op",
+        "                           batch groups validates into batch_validate",
+        "                           frames; --op compare serves per-chain",
+        "                           verdict vectors and prints their",
+        "                           fingerprint; --chaos-rate injects lossy",
+        "                           wire faults recovered through the resilient",
+        "                           client",
         "  disparity [scale]        cross-ecosystem root-store disparity report",
         "  chaos   [--seed S] [--requests N] [--rate R] [--busy-rate B]",
-        "          [--attempts N] [--out FILE]",
+        "          [--attempts N] [--core threads|event] [--out FILE]",
         "                           deterministic wire-fault chaos run against an",
         "                           in-process server; asserts conservation",
         "  stats   [scale]          per-stage latency p50/p99, memo counters,",
@@ -446,6 +463,10 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     })?;
     let mut snapshot: Option<String> = None;
     let mut journal_path: Option<String> = None;
+    // The event core is the default: a handful of readiness loops
+    // multiplex every connection. `--core threads` falls back to the
+    // thread-per-connection frame loop.
+    let mut core = ServeCore::Event;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let value = |v: Option<&String>| {
@@ -455,7 +476,11 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         match flag.as_str() {
             "--snapshot" => snapshot = Some(value(it.next())?),
             "--journal" => journal_path = Some(value(it.next())?),
-            other => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
+            "--core" => core = value(it.next())?.parse().map_err(CliError::Usage)?,
+            other => match other.strip_prefix("--core=") {
+                Some(name) => core = name.parse().map_err(CliError::Usage)?,
+                None => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
+            },
         }
     }
 
@@ -512,10 +537,29 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let server = TrustServer::bind(addr.as_str(), service, workers)
-        .map_err(|e| format!("binding {addr}: {e}"))?;
-    // Flushed line the loadgen smoke test greps for.
-    println!("trustd listening on {} ({workers} workers)", server.local_addr());
+    // The flushed "trustd listening on" line is what the loadgen smoke
+    // test greps for; both cores print the same prefix. The bound server
+    // must stay in scope for the lifetime of the process.
+    let _server: Box<dyn std::any::Any> = match core {
+        ServeCore::Event => {
+            let server = EventServer::bind(addr.as_str(), service, workers)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            println!(
+                "trustd listening on {} ({workers} workers, event core)",
+                server.local_addr()
+            );
+            Box::new(server)
+        }
+        ServeCore::Threads => {
+            let server = TrustServer::bind(addr.as_str(), service, workers)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            println!(
+                "trustd listening on {} ({workers} workers, thread core)",
+                server.local_addr()
+            );
+            Box::new(server)
+        }
+    };
     // Serve until killed.
     loop {
         std::thread::park();
@@ -529,6 +573,7 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let mut sessions = 100usize;
     let mut seed = 2014u64;
     let mut op = ReplayOp::Mixed;
+    let mut pipeline = 1usize;
     let mut chaos_rate = 0.0f64;
     let mut chaos_seed = 7u64;
     let mut it = rest.iter();
@@ -558,12 +603,25 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
                 op = match v.as_str() {
                     "mixed" => ReplayOp::Mixed,
                     "compare" => ReplayOp::Compare,
+                    "batch" => ReplayOp::Batch,
                     other => {
                         return Err(CliError::Usage(format!(
-                            "invalid --op '{other}': want mixed|compare"
+                            "invalid --op '{other}': want mixed|compare|batch"
                         )))
                     }
                 };
+            }
+            "--pipeline" => {
+                let v = value(it.next())?;
+                pipeline = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "invalid --pipeline '{v}': want an integer > 0"
+                        ))
+                    })?;
             }
             "--chaos-rate" => {
                 let v = value(it.next())?;
@@ -595,6 +653,13 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let expected = offline_verdicts(&spec);
 
     if chaos_rate > 0.0 {
+        if pipeline > 1 {
+            return Err(CliError::Usage(
+                "--pipeline applies to the clean replay path; the chaos path \
+                 retries one request at a time"
+                    .into(),
+            ));
+        }
         eprintln!(
             "replaying {} requests against {addr} under wire chaos (rate {chaos_rate}, \
              seed {chaos_seed})…",
@@ -639,8 +704,12 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
-    eprintln!("replaying {} requests against {addr}…", expected.len());
-    let outcome = replay(addr.as_str(), &spec).map_err(|e| format!("replay: {e}"))?;
+    eprintln!(
+        "replaying {} requests against {addr} (pipeline depth {pipeline})…",
+        expected.len()
+    );
+    let outcome =
+        replay_pipelined(addr.as_str(), &spec, pipeline).map_err(|e| format!("replay: {e}"))?;
 
     let throughput = outcome.requests as f64 / outcome.elapsed.as_secs_f64().max(1e-9);
     let hits = outcome.stats["cache"]["hits"].as_u64().unwrap_or(0);
@@ -654,6 +723,12 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         "loadgen: {} requests in {:.3}s ({throughput:.0} req/s)",
         outcome.requests,
         outcome.elapsed.as_secs_f64()
+    );
+    // Keep-alive reuse: a clean run answers every request over a single
+    // connection, however many frames it carries.
+    println!(
+        "loadgen: {} connection(s) for {} requests (keep-alive)",
+        outcome.connects, outcome.requests
     );
     println!(
         "loadgen: cache hit rate {:.1}% ({hits} hits / {misses} misses)",
@@ -679,6 +754,15 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     println!("loadgen: verdicts match the offline study exactly");
     if op == ReplayOp::Compare {
         println!("loadgen: compare replies match the offline verdict vectors exactly");
+        println!(
+            "loadgen: verdict-vector fingerprint: {:016x}",
+            verdict_fingerprint(&outcome.verdicts)
+        );
+    }
+    if op == ReplayOp::Batch {
+        println!(
+            "loadgen: batch replies match the offline study exactly (depth {BATCH_DEPTH})"
+        );
         println!(
             "loadgen: verdict-vector fingerprint: {:016x}",
             verdict_fingerprint(&outcome.verdicts)
@@ -763,13 +847,22 @@ fn cmd_chaos(rest: &[String]) -> Result<(), CliError> {
                     })?;
             }
             "--out" => out = Some(value(it.next())?),
-            other => return Err(CliError::Usage(format!("unknown chaos flag '{other}'"))),
+            "--core" => spec.core = value(it.next())?.parse().map_err(CliError::Usage)?,
+            other => match other.strip_prefix("--core=") {
+                Some(name) => spec.core = name.parse().map_err(CliError::Usage)?,
+                None => return Err(CliError::Usage(format!("unknown chaos flag '{other}'"))),
+            },
         }
     }
 
     eprintln!(
-        "chaos: seed {} · {} requests · fault rate {} · busy rate {} · {} attempts",
-        spec.seed, spec.requests, spec.rate, spec.busy_rate, spec.max_attempts
+        "chaos: seed {} · {} requests · fault rate {} · busy rate {} · {} attempts · {} core",
+        spec.seed,
+        spec.requests,
+        spec.rate,
+        spec.busy_rate,
+        spec.max_attempts,
+        spec.core.label()
     );
     let report = chaos::run(&spec);
     match &out {
@@ -828,8 +921,45 @@ fn cmd_stats(scale: f64) -> Result<(), CliError> {
         .next()
         .map(|a| a.cert.to_der().to_vec())
         .ok_or("AOSP 4.4 reference store is empty")?;
-    let _ = service.handle(&Request::Classify { cert: anchor_der });
+    let _ = service.handle(&Request::Classify {
+        cert: anchor_der.clone(),
+    });
     let _ = service.handle(&Request::Stats);
+
+    // Exercise the event core end-to-end over a real socket: a pipelined
+    // burst plus one batched validate populates the trustd.event.* gauges
+    // (registered connections, wakeups, pipeline-depth observations,
+    // partial-write continuations) that the metrics dump below prints.
+    let event_service = Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY));
+    let profile = event_service
+        .index()
+        .profile_names()
+        .first()
+        .cloned()
+        .ok_or("trustd index has no profiles")?;
+    let server = EventServer::bind("127.0.0.1:0", Arc::clone(&event_service), 1)
+        .map_err(|e| format!("binding event core: {e}"))?;
+    let mut burst: Vec<Request> = (0..4).map(|_| Request::Stats).collect();
+    burst.push(Request::BatchValidate {
+        profile,
+        chains: vec![vec![anchor_der.clone()], vec![anchor_der]],
+    });
+    let replies = {
+        let mut client = TrustClient::connect(server.local_addr())
+            .map_err(|e| format!("connecting event core: {e}"))?;
+        client
+            .pipeline(&burst)
+            .map_err(|e| format!("event-core pipeline: {e}"))?
+    };
+    server.shutdown();
+    if replies.len() != burst.len() {
+        return Err(format!(
+            "event core answered {} of {} pipelined requests",
+            replies.len(),
+            burst.len()
+        )
+        .into());
+    }
 
     // The signature memo keeps its own counters; mirror them into the
     // registry as gauges so the dump is one coherent document.
@@ -864,6 +994,11 @@ fn cmd_stats(scale: f64) -> Result<(), CliError> {
         "stats: trustd: served {} requests in-process, fingerprint '{}'",
         service.stats().served_total(),
         service.stats().counters_fingerprint()
+    );
+    println!(
+        "stats: trustd event core: {} pipelined replies over one connection ({} served)",
+        replies.len(),
+        event_service.stats().served_total()
     );
     println!(
         "stats: signature memo: {hits} hits / {misses} misses ({} entries)",
