@@ -32,6 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
+
+pub use drift::{compute_drift, DriftReport, StoreDrift};
+
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use tangled_exec::ExecPool;

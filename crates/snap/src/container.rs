@@ -58,11 +58,35 @@ pub enum SectionId {
     /// pre-disparity snapshots degrade by quarantine, not by failing the
     /// reference-store decode.
     EcoStores,
+    /// Delta-chain metadata: the id of the base this file applies over,
+    /// the epoch label, and the checksums of the sections it *reuses*
+    /// from the base. Present only in delta files ([`crate::delta`]).
+    DeltaMeta,
+    /// Folded trustd swap state: the journal compacted to one
+    /// last-install record per profile, each at its original epoch
+    /// ([`crate::compact`]). Present only in checkpoint deltas.
+    TrustState,
 }
 
 impl SectionId {
-    /// Every section, in canonical file order.
-    pub const ALL: [SectionId; 8] = [
+    /// Every section this build knows, in canonical file order. Study
+    /// snapshots carry only [`SectionId::STUDY`]; the two trailing ids
+    /// appear in delta and checkpoint files.
+    pub const ALL: [SectionId; 10] = [
+        SectionId::Meta,
+        SectionId::Corpus,
+        SectionId::Ecosystem,
+        SectionId::Stores,
+        SectionId::Population,
+        SectionId::Validation,
+        SectionId::Health,
+        SectionId::EcoStores,
+        SectionId::DeltaMeta,
+        SectionId::TrustState,
+    ];
+
+    /// The sections a full study snapshot carries, in file order.
+    pub const STUDY: [SectionId; 8] = [
         SectionId::Meta,
         SectionId::Corpus,
         SectionId::Ecosystem,
@@ -84,6 +108,8 @@ impl SectionId {
             SectionId::Validation => 6,
             SectionId::Health => 7,
             SectionId::EcoStores => 8,
+            SectionId::DeltaMeta => 9,
+            SectionId::TrustState => 10,
         }
     }
 
@@ -99,10 +125,13 @@ impl SectionId {
             SectionId::Validation => "validation",
             SectionId::Health => "health",
             SectionId::EcoStores => "eco-stores",
+            SectionId::DeltaMeta => "delta-meta",
+            SectionId::TrustState => "trust-state",
         }
     }
 
-    fn from_tag(tag: u8) -> Option<SectionId> {
+    /// Resolve a table id byte to a known section.
+    pub fn from_tag(tag: u8) -> Option<SectionId> {
         SectionId::ALL.into_iter().find(|s| s.tag() == tag)
     }
 }
@@ -127,6 +156,19 @@ pub struct SectionEntry {
 /// section contents — this is what makes snapshots byte-identical at any
 /// encoding pool width.
 pub fn assemble(sections: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
+    assemble_tagged(
+        &sections
+            .iter()
+            .map(|(id, body)| (id.tag(), body.as_slice()))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// [`assemble`] over raw tag bytes and borrowed bodies — the
+/// materialisation path reassembles sections lifted out of other files
+/// without copying them into owned `Vec`s first. Byte-identical to
+/// [`assemble`] for the same tags and bodies.
+pub fn assemble_tagged(sections: &[(u8, &[u8])]) -> Vec<u8> {
     let table_len = sections.len() * ENTRY_LEN;
     let bodies: usize = sections.iter().map(|(_, b)| b.len()).sum();
     let mut out = Vec::with_capacity(HEADER_LEN + table_len + bodies);
@@ -134,8 +176,8 @@ pub fn assemble(sections: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     let mut offset = (HEADER_LEN + table_len) as u64;
-    for (id, body) in sections {
-        out.push(id.tag());
+    for (tag, body) in sections {
+        out.push(*tag);
         out.extend_from_slice(&offset.to_le_bytes());
         out.extend_from_slice(&(body.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a(body).to_le_bytes());
@@ -235,6 +277,21 @@ impl Snapshot {
         let body = &self.data[entry.offset as usize..(entry.offset + entry.len) as usize];
         if fnv1a(body) != entry.checksum {
             return Err(SnapError::ChecksumMismatch { section: id.name() });
+        }
+        Ok(body)
+    }
+
+    /// The body bytes behind one table entry, checksum-verified on
+    /// access. Errors are attributed to the entry's canonical section
+    /// name (or `"unknown"` for a tag this build does not know).
+    pub fn entry_body(&self, entry: &SectionEntry) -> Result<&[u8], SnapError> {
+        let body = &self.data[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if fnv1a(body) != entry.checksum {
+            return Err(SnapError::ChecksumMismatch {
+                section: SectionId::from_tag(entry.tag)
+                    .map(SectionId::name)
+                    .unwrap_or("unknown"),
+            });
         }
         Ok(body)
     }

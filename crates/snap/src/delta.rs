@@ -1,0 +1,428 @@
+//! Delta snapshots: a `TNGLSNP1` container carrying only what changed.
+//!
+//! A longitudinal study is a *chain* of snapshot files: one full base
+//! snapshot followed by deltas, each recording the id of the file it
+//! applies over plus only the sections whose bytes differ. Section-level
+//! dedup rides on the container's existing per-section FNV-1a checksums:
+//! a section whose checksum matches the base is *reused* — the delta
+//! records `(tag, checksum)` in its [`SectionId::DeltaMeta`] section
+//! instead of carrying the body.
+//!
+//! A delta file is a perfectly ordinary container (same magic, same
+//! section table, `snap verify` works on it); what makes it a delta is
+//! the presence of the `delta-meta` section:
+//!
+//! ```text
+//! delta-meta := base_id u64       (FNV-1a over the predecessor file's
+//!                                  bytes; 0 = applies over nothing)
+//!               epoch   varint    (point-in-time label)
+//!               reused  varint ×{ tag u8, checksum u64 }
+//! ```
+//!
+//! `base_id + reused + changed` pins the materialised state completely:
+//! [`materialize`] starts from the base file, verifies each link's
+//! `base_id` against the bytes of the file before it, substitutes the
+//! changed sections, checks every reused section's bytes against the
+//! recorded checksum, and reassembles a full container in canonical
+//! section order — **byte-identical** to a full snapshot of the same
+//! state, at any encoding pool width. Any damage — a swapped base, a
+//! reused section whose bytes drifted, a truncated chain — classifies as
+//! a [`SnapError`], never a panic.
+
+use crate::container::{assemble_tagged, SectionId, Snapshot};
+use crate::wire::{put_varint, Cursor};
+use crate::SnapError;
+use tangled_crypto::hash::fnv1a;
+
+/// `base_id` of a delta that applies over nothing (a chain head that is
+/// not a full snapshot, e.g. a checkpoint taken by a cold-started
+/// server).
+pub const DELTA_BASE_NONE: u64 = 0;
+
+/// The id of a snapshot file: the FNV-1a 64 fold over its full bytes.
+pub fn file_id(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+/// The decoded `delta-meta` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// [`file_id`] of the predecessor file in the chain
+    /// ([`DELTA_BASE_NONE`] when the delta applies over nothing).
+    pub base_id: u64,
+    /// The point-in-time label [`materialize`] selects on.
+    pub epoch: u64,
+    /// Sections taken from the accumulated base state, as
+    /// `(tag, expected checksum)`.
+    pub reused: Vec<(u8, u64)>,
+}
+
+/// Encode a [`DeltaMeta`] as the `delta-meta` section body.
+pub fn encode_delta_meta(meta: &DeltaMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18 + meta.reused.len() * 9);
+    out.extend_from_slice(&meta.base_id.to_le_bytes());
+    put_varint(&mut out, meta.epoch);
+    put_varint(&mut out, meta.reused.len() as u64);
+    for (tag, checksum) in &meta.reused {
+        out.push(*tag);
+        out.extend_from_slice(&checksum.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a container's `delta-meta` section. `Ok(None)` means the file
+/// is a full snapshot, not a delta.
+pub fn decode_delta_meta(snap: &Snapshot) -> Result<Option<DeltaMeta>, SnapError> {
+    let tag = SectionId::DeltaMeta.tag();
+    if !snap.entries().iter().any(|e| e.tag == tag) {
+        return Ok(None);
+    }
+    let body = snap.section(SectionId::DeltaMeta)?;
+    let mut c = Cursor::new(body, SectionId::DeltaMeta.name());
+    let base_id = u64::from_le_bytes(c.take(8)?.try_into().expect("8 bytes"));
+    let epoch = c.varint()?;
+    let n = c.count()?;
+    let mut reused = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = c.u8()?;
+        let checksum = u64::from_le_bytes(c.take(8)?.try_into().expect("8 bytes"));
+        if reused.iter().any(|(t, _)| *t == tag) {
+            return Err(c.malformed("duplicate reused section tag"));
+        }
+        reused.push((tag, checksum));
+    }
+    c.finish()?;
+    Ok(Some(DeltaMeta {
+        base_id,
+        epoch,
+        reused,
+    }))
+}
+
+/// What [`encode_delta`] produced — the CLI's report.
+#[derive(Debug)]
+pub struct DeltaSummary {
+    /// The delta file bytes.
+    pub bytes: Vec<u8>,
+    /// Names of sections carried in the delta (their bytes changed).
+    pub changed: Vec<&'static str>,
+    /// Names of sections deduplicated against the base.
+    pub reused: Vec<&'static str>,
+}
+
+/// Build a delta file from fully-encoded section bodies and the
+/// predecessor file's bytes. Sections whose FNV-1a checksum matches the
+/// predecessor's table entry for the same tag are reused; the rest ride
+/// in the delta. `sections` must be the *complete* section list of the
+/// target state, in canonical tag order — materialisation reproduces
+/// exactly these sections and nothing else.
+pub fn encode_delta(
+    sections: &[(SectionId, Vec<u8>)],
+    base: &[u8],
+    epoch: u64,
+) -> Result<DeltaSummary, SnapError> {
+    let base_snap = Snapshot::parse(base.to_vec())?;
+    let mut meta = DeltaMeta {
+        base_id: file_id(base),
+        epoch,
+        reused: Vec::new(),
+    };
+    let mut changed: Vec<(u8, &[u8])> = Vec::new();
+    let mut changed_names = Vec::new();
+    let mut reused_names = Vec::new();
+    for (id, body) in sections {
+        let checksum = fnv1a(body);
+        let same = base_snap
+            .entries()
+            .iter()
+            .any(|e| e.tag == id.tag() && e.checksum == checksum && e.len == body.len() as u64);
+        if same {
+            meta.reused.push((id.tag(), checksum));
+            reused_names.push(id.name());
+        } else {
+            changed.push((id.tag(), body.as_slice()));
+            changed_names.push(id.name());
+        }
+    }
+    tangled_obs::registry::add("snap.delta_sections_reused", reused_names.len() as u64);
+
+    let meta_body = encode_delta_meta(&meta);
+    let mut file_sections: Vec<(u8, &[u8])> =
+        vec![(SectionId::DeltaMeta.tag(), meta_body.as_slice())];
+    file_sections.extend(changed);
+    // Table order is deterministic: delta-meta first (so a reader knows
+    // immediately what kind of file this is), then changed sections in
+    // canonical tag order.
+    Ok(DeltaSummary {
+        bytes: assemble_tagged(&file_sections),
+        changed: changed_names,
+        reused: reused_names,
+    })
+}
+
+/// A materialised point in time.
+#[derive(Debug)]
+pub struct Materialized {
+    /// Full container bytes — byte-identical to a full snapshot of the
+    /// same state.
+    pub bytes: Vec<u8>,
+    /// How many chain files contributed (base plus applied deltas).
+    pub applied: usize,
+    /// The epoch label of the last applied delta (0 when only the base
+    /// applied).
+    pub epoch: u64,
+}
+
+/// Materialise a snapshot chain at a point in time.
+///
+/// `files` is the chain in order: a head (a full snapshot, or a delta
+/// with [`DELTA_BASE_NONE`]) followed by deltas. Deltas apply in order
+/// while their epoch label is ≤ `epoch`; the first delta beyond it ends
+/// the walk — a point in time is a prefix of the chain. Every link is
+/// verified: the delta's `base_id` must equal [`file_id`] of the file
+/// before it ([`SnapError::BaseMismatch`] otherwise), every reused
+/// section must exist in the accumulated state with exactly the
+/// recorded checksum, and changed sections are checksum-verified as
+/// they are lifted out of the delta.
+pub fn materialize(files: &[Vec<u8>], epoch: u64) -> Result<Materialized, SnapError> {
+    let Some((head, deltas)) = files.split_first() else {
+        return Err(SnapError::Malformed {
+            section: "delta-meta",
+            detail: "empty snapshot chain",
+        });
+    };
+
+    // Accumulated state: (tag, body bytes), rebuilt per applied delta.
+    let head_snap = Snapshot::parse(head.clone())?;
+    let mut state: Vec<(u8, Vec<u8>)> = Vec::new();
+    let mut applied = 1usize;
+    let mut last_epoch = 0u64;
+    match decode_delta_meta(&head_snap)? {
+        None => {
+            for entry in head_snap.entries() {
+                state.push((entry.tag, head_snap.entry_body(entry)?.to_vec()));
+            }
+        }
+        Some(meta) => {
+            // A chain head that is itself a delta applies over nothing:
+            // it must not claim a base and cannot reuse any section.
+            if meta.base_id != DELTA_BASE_NONE {
+                return Err(SnapError::BaseMismatch {
+                    recorded: meta.base_id,
+                    actual: DELTA_BASE_NONE,
+                });
+            }
+            if !meta.reused.is_empty() {
+                return Err(SnapError::Malformed {
+                    section: "delta-meta",
+                    detail: "base-less delta reuses sections",
+                });
+            }
+            if meta.epoch > epoch {
+                return Err(SnapError::Malformed {
+                    section: "delta-meta",
+                    detail: "requested epoch precedes the chain head",
+                });
+            }
+            last_epoch = meta.epoch;
+            apply_delta(&mut state, &head_snap, &meta)?;
+        }
+    }
+
+    let mut prev_id = file_id(head);
+    for bytes in deltas {
+        let snap = Snapshot::parse(bytes.clone())?;
+        let meta = decode_delta_meta(&snap)?.ok_or(SnapError::Malformed {
+            section: "delta-meta",
+            detail: "chain element is not a delta",
+        })?;
+        if meta.base_id != prev_id {
+            return Err(SnapError::BaseMismatch {
+                recorded: meta.base_id,
+                actual: prev_id,
+            });
+        }
+        if meta.epoch > epoch {
+            break;
+        }
+        apply_delta(&mut state, &snap, &meta)?;
+        last_epoch = meta.epoch;
+        prev_id = file_id(bytes);
+        applied += 1;
+    }
+
+    // Canonical order: ascending tag, which is [`SectionId::ALL`] order
+    // for every known section — the same layout `encode_study` emits,
+    // which is what makes materialised bytes equal full-snapshot bytes.
+    state.sort_by_key(|(tag, _)| *tag);
+    let sections: Vec<(u8, &[u8])> = state
+        .iter()
+        .map(|(tag, body)| (*tag, body.as_slice()))
+        .collect();
+    Ok(Materialized {
+        bytes: assemble_tagged(&sections),
+        applied,
+        epoch: last_epoch,
+    })
+}
+
+/// Read a chain of files and materialise it at `epoch`.
+pub fn materialize_chain(paths: &[String], epoch: u64) -> Result<Materialized, SnapError> {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push(std::fs::read(path)?);
+    }
+    materialize(&files, epoch)
+}
+
+/// Replace the accumulated state with exactly the sections this delta
+/// describes: reused ones are carried over (checksum-verified), changed
+/// ones are lifted out of the delta file.
+fn apply_delta(
+    state: &mut Vec<(u8, Vec<u8>)>,
+    snap: &Snapshot,
+    meta: &DeltaMeta,
+) -> Result<(), SnapError> {
+    let mut next: Vec<(u8, Vec<u8>)> = Vec::with_capacity(snap.entries().len());
+    for (tag, checksum) in &meta.reused {
+        let body = state
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map(|(_, b)| b)
+            .ok_or(SnapError::MissingSection {
+                section: SectionId::from_tag(*tag)
+                    .map(SectionId::name)
+                    .unwrap_or("unknown"),
+            })?;
+        if fnv1a(body) != *checksum {
+            return Err(SnapError::ChecksumMismatch {
+                section: SectionId::from_tag(*tag)
+                    .map(SectionId::name)
+                    .unwrap_or("unknown"),
+            });
+        }
+        next.push((*tag, body.clone()));
+    }
+    for entry in snap.entries() {
+        if entry.tag == SectionId::DeltaMeta.tag() {
+            continue;
+        }
+        // A changed section the format does not know cannot have come
+        // from `encode_delta` — rejecting it here keeps a flipped tag
+        // byte from materialising as a silent wrong answer.
+        if SectionId::from_tag(entry.tag).is_none() {
+            return Err(SnapError::Malformed {
+                section: "delta-meta",
+                detail: "delta carries an unknown section tag",
+            });
+        }
+        if next.iter().any(|(t, _)| *t == entry.tag) {
+            return Err(SnapError::Malformed {
+                section: "delta-meta",
+                detail: "section both reused and changed",
+            });
+        }
+        next.push((entry.tag, snap.entry_body(entry)?.to_vec()));
+    }
+    *state = next;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::assemble;
+
+    fn full(meta: &[u8], corpus: &[u8]) -> Vec<u8> {
+        assemble(&[
+            (SectionId::Meta, meta.to_vec()),
+            (SectionId::Corpus, corpus.to_vec()),
+        ])
+    }
+
+    #[test]
+    fn delta_reuses_unchanged_sections_and_materialises_exactly() {
+        let base = full(b"m1", b"c1");
+        let target = [
+            (SectionId::Meta, b"m1".to_vec()),
+            (SectionId::Corpus, b"c2".to_vec()),
+        ];
+        let delta = encode_delta(&target, &base, 5).unwrap();
+        assert_eq!(delta.reused, vec!["meta"]);
+        assert_eq!(delta.changed, vec!["corpus"]);
+        let delta_snap = Snapshot::parse(delta.bytes.clone()).unwrap();
+        let tags: Vec<u8> = delta_snap.entries().iter().map(|e| e.tag).collect();
+        assert_eq!(
+            tags,
+            vec![SectionId::DeltaMeta.tag(), SectionId::Corpus.tag()],
+            "carries corpus only, not the reused meta"
+        );
+
+        let m = materialize(&[base, delta.bytes], 5).unwrap();
+        assert_eq!(m.applied, 2);
+        assert_eq!(m.epoch, 5);
+        assert_eq!(m.bytes, full(b"m1", b"c2"), "byte-identical to a full snapshot");
+    }
+
+    #[test]
+    fn epoch_selects_a_chain_prefix() {
+        let base = full(b"m1", b"c1");
+        let d1 = encode_delta(
+            &[
+                (SectionId::Meta, b"m1".to_vec()),
+                (SectionId::Corpus, b"c2".to_vec()),
+            ],
+            &base,
+            5,
+        )
+        .unwrap()
+        .bytes;
+        let d2 = encode_delta(
+            &[
+                (SectionId::Meta, b"m3".to_vec()),
+                (SectionId::Corpus, b"c2".to_vec()),
+            ],
+            &d1,
+            9,
+        )
+        .unwrap()
+        .bytes;
+        let chain = [base.clone(), d1, d2];
+        assert_eq!(materialize(&chain, 4).unwrap().bytes, base);
+        assert_eq!(materialize(&chain, 5).unwrap().bytes, full(b"m1", b"c2"));
+        assert_eq!(materialize(&chain, u64::MAX).unwrap().bytes, full(b"m3", b"c2"));
+    }
+
+    #[test]
+    fn swapped_base_is_a_classified_base_mismatch() {
+        let base = full(b"m1", b"c1");
+        let other = full(b"mX", b"cX");
+        let delta = encode_delta(
+            &[
+                (SectionId::Meta, b"m1".to_vec()),
+                (SectionId::Corpus, b"c2".to_vec()),
+            ],
+            &base,
+            5,
+        )
+        .unwrap()
+        .bytes;
+        let err = materialize(&[other, delta], u64::MAX).unwrap_err();
+        assert_eq!(err.label(), "base-mismatch");
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = DeltaMeta {
+            base_id: 0xdead_beef_cafe_f00d,
+            epoch: 42,
+            reused: vec![(1, 7), (4, u64::MAX)],
+        };
+        let body = encode_delta_meta(&meta);
+        let snap = Snapshot::parse(assemble(&[(SectionId::DeltaMeta, body)])).unwrap();
+        assert_eq!(decode_delta_meta(&snap).unwrap(), Some(meta));
+
+        let plain = Snapshot::parse(full(b"m", b"c")).unwrap();
+        assert_eq!(decode_delta_meta(&plain).unwrap(), None);
+    }
+}

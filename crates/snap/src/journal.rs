@@ -92,6 +92,24 @@ pub struct Recovery {
 #[derive(Debug)]
 pub struct Journal {
     file: std::fs::File,
+    /// Current file length, tracked across appends so the compaction
+    /// threshold check never stats the file.
+    len: u64,
+}
+
+/// Fill `buf` from `r`, tolerating EOF: returns how many bytes were
+/// actually read (less than `buf.len()` only at end of file).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
 }
 
 impl Journal {
@@ -99,51 +117,89 @@ impl Journal {
     /// records and what recovery did.
     ///
     /// A new or empty file gets the magic written and synced. An
-    /// existing file is scanned frame by frame: a torn tail is truncated
-    /// (crash recovery), a complete-but-corrupt frame is a hard error.
+    /// existing file is scanned frame by frame *through a bounded
+    /// buffer* — peak memory is one frame ([`MAX_FRAME`]), not the
+    /// journal size, so recovery cost does not scale with how much
+    /// history the file holds. A torn tail is truncated (crash
+    /// recovery); a complete-but-corrupt frame is a hard error. A file
+    /// shorter than the magic whose bytes are a prefix of it is the
+    /// torn tail of an *empty* journal (a crash mid-initial-magic
+    /// write): it is truncated, the magic is rewritten, and the repair
+    /// is reported through [`Recovery`] — not [`SnapError::BadJournalMagic`].
     pub fn open(path: &str) -> Result<(Journal, Vec<SwapRecord>, Recovery), SnapError> {
         let mut file = std::fs::OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
             .open(path)?;
-        let mut data = Vec::new();
-        file.read_to_end(&mut data)?;
+        let file_len = file.metadata()?.len();
 
-        if data.is_empty() {
+        let mut magic = [0u8; 8];
+        let got = read_full(&mut file, &mut magic)?;
+        if got < JOURNAL_MAGIC.len() {
+            if magic[..got] != JOURNAL_MAGIC[..got] {
+                return Err(SnapError::BadJournalMagic);
+            }
+            // Empty file, or a crash mid-initial-magic-write: truncate
+            // the partial magic away and write a whole one.
+            file.set_len(0)?;
             file.write_all(&JOURNAL_MAGIC)?;
             file.sync_data()?;
-            return Ok((Journal { file }, Vec::new(), Recovery::default()));
+            let recovery = Recovery {
+                truncated: got > 0,
+                dropped_bytes: got as u64,
+            };
+            if recovery.truncated {
+                tangled_obs::registry::add("journal.torn_tails", 1);
+            }
+            let len = JOURNAL_MAGIC.len() as u64;
+            return Ok((Journal { file, len }, Vec::new(), recovery));
         }
-        if data.len() < JOURNAL_MAGIC.len() || data[..8] != JOURNAL_MAGIC {
+        if magic != JOURNAL_MAGIC {
             return Err(SnapError::BadJournalMagic);
         }
 
         let mut records = Vec::new();
-        let mut pos = JOURNAL_MAGIC.len();
+        let mut pos = JOURNAL_MAGIC.len() as u64;
         let mut recovery = Recovery::default();
-        while pos < data.len() {
-            let remaining = data.len() - pos;
-            let frame = parse_frame(&data[pos..]);
-            match frame {
-                Ok((record, consumed)) => {
-                    records.push(record);
-                    pos += consumed;
+        let mut header = [0u8; FRAME_HEADER];
+        let mut body = Vec::new();
+        loop {
+            let got = read_full(&mut file, &mut header)?;
+            if got == 0 {
+                break;
+            }
+            let torn = 'frame: {
+                if got < FRAME_HEADER {
+                    break 'frame true;
                 }
-                Err(FrameError::Torn) => {
-                    // A crash mid-append: drop the incomplete tail and
-                    // keep everything before it.
-                    recovery.truncated = true;
-                    recovery.dropped_bytes = remaining as u64;
-                    file.set_len(pos as u64)?;
-                    file.sync_data()?;
-                    tangled_obs::registry::add("journal.torn_tails", 1);
-                    break;
+                let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+                if len > MAX_FRAME {
+                    // Garbage header: an implausible length is a crash
+                    // artifact, not an allocation request.
+                    break 'frame true;
                 }
-                Err(FrameError::Fatal(e)) => return Err(e),
+                let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+                body.resize(len as usize, 0);
+                if read_full(&mut file, &mut body)? < len as usize {
+                    break 'frame true;
+                }
+                records.push(parse_body(checksum, &body)?);
+                pos += (FRAME_HEADER + len as usize) as u64;
+                false
+            };
+            if torn {
+                // A crash mid-append: drop the incomplete tail and keep
+                // everything before it.
+                recovery.truncated = true;
+                recovery.dropped_bytes = file_len - pos;
+                file.set_len(pos)?;
+                file.sync_data()?;
+                tangled_obs::registry::add("journal.torn_tails", 1);
+                break;
             }
         }
-        Ok((Journal { file }, records, recovery))
+        Ok((Journal { file, len: pos }, records, recovery))
     }
 
     /// Frame, append and fsync one swap. Returns only after the bytes
@@ -158,52 +214,43 @@ impl Journal {
         frame.extend_from_slice(&body);
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.len += frame.len() as u64;
         tangled_obs::registry::add("journal.appends", 1);
+        Ok(())
+    }
+
+    /// Current journal size in bytes (magic plus every appended frame).
+    pub fn size(&self) -> u64 {
+        self.len
+    }
+
+    /// Truncate the journal back to an empty file (magic only), after
+    /// its contents were folded into a durable checkpoint. The caller
+    /// must have made the checkpoint durable *first* — this is the
+    /// discard half of compaction.
+    pub fn reset(&mut self) -> Result<(), SnapError> {
+        self.file.set_len(JOURNAL_MAGIC.len() as u64)?;
+        self.file.sync_data()?;
+        self.len = JOURNAL_MAGIC.len() as u64;
         Ok(())
     }
 }
 
-enum FrameError {
-    /// The bytes end mid-frame (or the header is garbage): crash tail.
-    Torn,
-    /// A complete frame is corrupt: unrecoverable.
-    Fatal(SnapError),
-}
-
-/// Parse one frame from the front of `buf`, returning the record and
-/// the bytes consumed.
-fn parse_frame(buf: &[u8]) -> Result<(SwapRecord, usize), FrameError> {
-    if buf.len() < FRAME_HEADER {
-        return Err(FrameError::Torn);
-    }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
-    if len > MAX_FRAME {
-        return Err(FrameError::Torn);
-    }
-    let checksum = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
-    let end = FRAME_HEADER + len as usize;
-    if buf.len() < end {
-        return Err(FrameError::Torn);
-    }
-    let body = &buf[FRAME_HEADER..end];
+/// Check and parse one complete frame body.
+fn parse_body(checksum: u64, body: &[u8]) -> Result<SwapRecord, SnapError> {
     if fnv1a(body) != checksum {
-        return Err(FrameError::Fatal(SnapError::ChecksumMismatch {
+        return Err(SnapError::ChecksumMismatch {
             section: "journal",
-        }));
+        });
     }
-    let text = std::str::from_utf8(body).map_err(|_| {
-        FrameError::Fatal(SnapError::Malformed {
-            section: "journal",
-            detail: "frame body is not utf-8",
-        })
+    let text = std::str::from_utf8(body).map_err(|_| SnapError::Malformed {
+        section: "journal",
+        detail: "frame body is not utf-8",
     })?;
-    let record: SwapRecord = serde_json::from_str(text).map_err(|_| {
-        FrameError::Fatal(SnapError::Malformed {
-            section: "journal",
-            detail: "frame body is not a swap record",
-        })
-    })?;
-    Ok((record, end))
+    serde_json::from_str(text).map_err(|_| SnapError::Malformed {
+        section: "journal",
+        detail: "frame body is not a swap record",
+    })
 }
 
 #[cfg(test)]
@@ -224,18 +271,41 @@ mod tests {
         }
     }
 
-    fn temp_path(tag: &str) -> String {
-        let dir = std::env::temp_dir().join("tangled-snap-journal-tests");
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(format!("{tag}-{}.jrn", std::process::id()))
-            .to_string_lossy()
-            .into_owned()
+    /// A per-run unique scratch directory, removed on drop. Uniqueness
+    /// comes from pid *and* a wall-clock nanosecond stamp: a bare
+    /// `{tag}-{pid}` name under a shared dir survives the run and is
+    /// replayed as stale journal state when the OS reuses the pid.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> TestDir {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .as_nanos();
+            let dir = std::env::temp_dir().join(format!(
+                "tangled-journal-{tag}-{}-{nanos}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
     }
 
     #[test]
     fn append_then_reopen_replays_in_order() {
-        let path = temp_path("replay");
-        let _ = std::fs::remove_file(&path);
+        let dir = TestDir::new("replay");
+        let path = dir.path("replay.jrn");
         {
             let (mut j, records, rec) = Journal::open(&path).unwrap();
             assert!(records.is_empty());
@@ -252,13 +322,12 @@ mod tests {
             vec![7, 8, 9]
         );
         assert_eq!(records[0].store.name, "journal test 7");
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn torn_tail_is_truncated_and_survivors_replay() {
-        let path = temp_path("torn");
-        let _ = std::fs::remove_file(&path);
+        let dir = TestDir::new("torn");
+        let path = dir.path("torn.jrn");
         {
             let (mut j, _, _) = Journal::open(&path).unwrap();
             j.append(&sample_record(7)).unwrap();
@@ -278,13 +347,12 @@ mod tests {
         let (_, records, rec) = Journal::open(&path).unwrap();
         assert_eq!(records.len(), 1);
         assert!(!rec.truncated);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn garbage_header_counts_as_torn() {
-        let path = temp_path("garbage-header");
-        let _ = std::fs::remove_file(&path);
+        let dir = TestDir::new("garbage-header");
+        let path = dir.path("garbage.jrn");
         {
             let (mut j, _, _) = Journal::open(&path).unwrap();
             j.append(&sample_record(7)).unwrap();
@@ -300,13 +368,12 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert!(rec.truncated);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), clean as u64);
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn interior_corruption_is_fatal_not_truncated() {
-        let path = temp_path("interior");
-        let _ = std::fs::remove_file(&path);
+        let dir = TestDir::new("interior");
+        let path = dir.path("interior.jrn");
         {
             let (mut j, _, _) = Journal::open(&path).unwrap();
             j.append(&sample_record(7)).unwrap();
@@ -319,17 +386,81 @@ mod tests {
 
         let err = Journal::open(&path).unwrap_err();
         assert_eq!(err.label(), "checksum-mismatch");
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn wrong_magic_is_classified() {
-        let path = temp_path("magic");
+        let dir = TestDir::new("magic");
+        let path = dir.path("magic.jrn");
         std::fs::write(&path, b"NOTAJRNL extra bytes").unwrap();
         assert_eq!(
             Journal::open(&path).unwrap_err(),
             SnapError::BadJournalMagic
         );
-        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Regression: a file of 1–7 bytes that are a prefix of the magic is
+    /// the torn tail of an empty journal (a crash mid-initial-magic
+    /// write), not a foreign file — recovery truncates, rewrites the
+    /// magic, reports the repair, and the journal is fully usable.
+    #[test]
+    fn short_magic_prefix_recovers_as_torn_empty_journal() {
+        for cut in 1..JOURNAL_MAGIC.len() {
+            let dir = TestDir::new("short-magic");
+            let path = dir.path("short.jrn");
+            std::fs::write(&path, &JOURNAL_MAGIC[..cut]).unwrap();
+
+            let (mut j, records, rec) = Journal::open(&path)
+                .unwrap_or_else(|e| panic!("{cut}-byte magic prefix must recover: {e}"));
+            assert!(records.is_empty());
+            assert!(rec.truncated, "repair is reported at cut {cut}");
+            assert_eq!(rec.dropped_bytes, cut as u64);
+            assert_eq!(j.size(), JOURNAL_MAGIC.len() as u64);
+
+            // The repaired journal takes appends and replays them.
+            j.append(&sample_record(7)).unwrap();
+            drop(j);
+            let (_, records, rec) = Journal::open(&path).unwrap();
+            assert_eq!(records.len(), 1);
+            assert!(!rec.truncated);
+        }
+    }
+
+    /// A short file that is *not* a magic prefix is a foreign file, not
+    /// a crash artifact: still classified, never silently rewritten.
+    #[test]
+    fn short_non_prefix_is_still_bad_magic() {
+        let dir = TestDir::new("short-foreign");
+        let path = dir.path("foreign.jrn");
+        std::fs::write(&path, b"TNX").unwrap();
+        assert_eq!(
+            Journal::open(&path).unwrap_err(),
+            SnapError::BadJournalMagic
+        );
+        // And the foreign bytes are left untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), b"TNX");
+    }
+
+    #[test]
+    fn reset_truncates_to_magic_and_appends_continue() {
+        let dir = TestDir::new("reset");
+        let path = dir.path("reset.jrn");
+        let (mut j, _, _) = Journal::open(&path).unwrap();
+        j.append(&sample_record(7)).unwrap();
+        j.append(&sample_record(8)).unwrap();
+        assert!(j.size() > JOURNAL_MAGIC.len() as u64);
+
+        j.reset().unwrap();
+        assert_eq!(j.size(), JOURNAL_MAGIC.len() as u64);
+        j.append(&sample_record(9)).unwrap();
+        drop(j);
+
+        let (_, records, rec) = Journal::open(&path).unwrap();
+        assert!(!rec.truncated);
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![9],
+            "only post-reset appends survive"
+        );
     }
 }

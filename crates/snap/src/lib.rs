@@ -27,16 +27,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod container;
+pub mod delta;
 pub mod journal;
 pub mod study;
 pub mod wire;
 
+pub use compact::{encode_checkpoint, read_checkpoint, TrustState};
 pub use container::{SectionId, Snapshot, VerifyRow, FORMAT_VERSION, MAGIC};
+pub use delta::{
+    decode_delta_meta, encode_delta, file_id, materialize, materialize_chain, DeltaMeta,
+    DeltaSummary, Materialized, DELTA_BASE_NONE,
+};
 pub use journal::{Journal, Recovery, SwapRecord};
 pub use study::{
-    decode_eco_stores, decode_stores, decode_study, encode_study, load_study, write_study,
-    SnapSummary,
+    decode_eco_stores, decode_stores, decode_study, encode_study, encode_study_sections,
+    load_study, write_study, SnapSummary,
 };
 
 /// Classified snapshot/journal failures.
@@ -97,6 +104,14 @@ pub enum SnapError {
         /// The epoch replay actually produced.
         produced: u64,
     },
+    /// A delta's recorded base id does not match the file it is being
+    /// applied over — the chain is mis-ordered or a link was swapped.
+    BaseMismatch {
+        /// The base id the delta recorded.
+        recorded: u64,
+        /// The id of the file the chain actually supplies.
+        actual: u64,
+    },
 }
 
 impl SnapError {
@@ -113,6 +128,7 @@ impl SnapError {
             SnapError::Malformed { .. } => "malformed-record",
             SnapError::BadJournalMagic => "bad-journal-magic",
             SnapError::EpochMismatch { .. } => "epoch-mismatch",
+            SnapError::BaseMismatch { .. } => "base-mismatch",
         }
     }
 }
@@ -138,6 +154,10 @@ impl std::fmt::Display for SnapError {
             SnapError::EpochMismatch { recorded, produced } => write!(
                 f,
                 "journal replay epoch diverged: recorded {recorded}, produced {produced}"
+            ),
+            SnapError::BaseMismatch { recorded, actual } => write!(
+                f,
+                "delta base mismatch: delta applies over {recorded:016x}, chain has {actual:016x}"
             ),
         }
     }

@@ -426,14 +426,17 @@ fn encode_health(health: &RunHealth) -> Vec<u8> {
     out
 }
 
-/// Encode a study into container bytes, sharding section encoding over
-/// `pool`. The output is byte-identical at every pool width.
-pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
+/// Encode a study's section bodies, sharding section encoding over
+/// `pool`. The returned list is the complete study section set in
+/// canonical tag order, byte-identical at every pool width — the input
+/// both [`encode_study`] assembles and the delta writer
+/// ([`crate::delta::encode_delta`]) dedups against a base.
+pub fn encode_study_sections(study: &Study, pool: &ExecPool) -> Vec<(SectionId, Vec<u8>)> {
     let (stores, store_index) = store_list(&study.population);
     let eco_stores = eco_store_list();
     let corpus = build_corpus(study, &stores, &eco_stores);
 
-    let ids = SectionId::ALL;
+    let ids = SectionId::STUDY;
     let bodies = pool.par_map_indexed(&ids, |_, id| match id {
         SectionId::Meta => encode_meta(study, &corpus, &stores),
         SectionId::Corpus => encode_corpus(&corpus),
@@ -443,9 +446,17 @@ pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
         SectionId::Validation => encode_validation(&study.validation),
         SectionId::Health => encode_health(&study.health),
         SectionId::EcoStores => encode_stores(&eco_stores, &corpus),
+        SectionId::DeltaMeta | SectionId::TrustState => {
+            unreachable!("not study sections")
+        }
     });
-    let sections: Vec<(SectionId, Vec<u8>)> = ids.into_iter().zip(bodies).collect();
-    assemble(&sections)
+    ids.into_iter().zip(bodies).collect()
+}
+
+/// Encode a study into container bytes, sharding section encoding over
+/// `pool`. The output is byte-identical at every pool width.
+pub fn encode_study(study: &Study, pool: &ExecPool) -> Vec<u8> {
+    assemble(&encode_study_sections(study, pool))
 }
 
 /// Write a study snapshot to `path` on the ambient pool, returning the

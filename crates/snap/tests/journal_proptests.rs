@@ -9,16 +9,38 @@ use tangled_crypto::hash::fnv1a;
 use tangled_pki::store::RootStore;
 use tangled_snap::{Journal, SwapRecord};
 
-/// Per-case unique path: proptest cases run sequentially in one process
-/// but must not share files across tests.
-fn case_path(tag: &str) -> String {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    let n = NEXT.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join("tangled-journal-proptests");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    dir.join(format!("{tag}-{}-{n}.jrn", std::process::id()))
-        .to_string_lossy()
-        .into_owned()
+/// A per-case unique scratch directory, removed on drop — including
+/// when a `prop_assert!` fails (early return) or the case panics, so no
+/// run ever leaks journal files into a shared directory. Uniqueness
+/// comes from pid, a wall-clock nanosecond stamp, and a per-process
+/// counter (cases within one run share the pid and can share a stamp).
+struct CaseDir(std::path::PathBuf);
+
+impl CaseDir {
+    fn new(tag: &str) -> CaseDir {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "tangled-journal-prop-{tag}-{}-{nanos}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        CaseDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for CaseDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 /// A cheap record: empty store, so the frame is small and the proptest
@@ -56,7 +78,8 @@ proptest! {
     /// open is clean.
     #[test]
     fn truncation_anywhere_is_recovered_or_classified(frac in any::<u16>()) {
-        let path = case_path("truncate");
+        let dir = CaseDir::new("truncate");
+        let path = dir.path("case.jrn");
         let data = journal_bytes(&path);
         let cut = frac as usize % (data.len() + 1);
         std::fs::write(&path, &data[..cut]).expect("truncate");
@@ -91,7 +114,6 @@ proptest! {
                 prop_assert_eq!(e.label(), "bad-journal-magic");
             }
         }
-        let _ = std::fs::remove_file(&path);
     }
 
     /// Corrupting the first frame's length field never panics: either
@@ -101,7 +123,8 @@ proptest! {
     /// and fails as a classified error.
     #[test]
     fn length_field_corruption_is_classified(len in any::<u32>()) {
-        let path = case_path("length");
+        let dir = CaseDir::new("length");
+        let path = dir.path("case.jrn");
         let mut data = journal_bytes(&path);
         let original = u32::from_le_bytes(
             data[MAGIC_LEN..MAGIC_LEN + 4].try_into().expect("4 bytes"),
@@ -133,7 +156,6 @@ proptest! {
                 );
             }
         }
-        let _ = std::fs::remove_file(&path);
     }
 
     /// A frame whose checksum is *valid* but whose body is not a swap
@@ -142,7 +164,8 @@ proptest! {
     /// mistaken for semantic validity.
     #[test]
     fn checksum_valid_garbage_body_is_rejected(body in proptest::collection::vec(any::<u8>(), 0..48)) {
-        let path = case_path("garbage-body");
+        let dir = CaseDir::new("garbage-body");
+        let path = dir.path("case.jrn");
         let data = journal_bytes(&path);
 
         // Replace everything after the magic with one forged frame whose
@@ -155,7 +178,6 @@ proptest! {
 
         let err = Journal::open(&path).expect_err("garbage body must not replay");
         prop_assert_eq!(err.label(), "malformed-record");
-        let _ = std::fs::remove_file(&path);
     }
 
     /// Flipping any single byte of a complete frame body (checksum left
@@ -165,7 +187,8 @@ proptest! {
     /// another classified error.
     #[test]
     fn body_bit_flips_never_replay_silently(offset in any::<u16>(), bit in 0u8..8) {
-        let path = case_path("bitflip");
+        let dir = CaseDir::new("bitflip");
+        let path = dir.path("case.jrn");
         let mut data = journal_bytes(&path);
         let span = data.len() - MAGIC_LEN;
         let target = MAGIC_LEN + (offset as usize % span);
@@ -189,6 +212,5 @@ proptest! {
             }
             Err(e) => prop_assert!(!e.label().is_empty()),
         }
-        let _ = std::fs::remove_file(&path);
     }
 }

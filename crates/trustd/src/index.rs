@@ -156,6 +156,26 @@ impl StoreIndex {
         profile
     }
 
+    /// Install a profile *at* a recorded epoch, as checkpoint warm start
+    /// requires: folded swap records must land at the epochs the journal
+    /// originally produced so the post-restart epoch sequence is
+    /// indistinguishable from a full replay. `epoch` must be ahead of
+    /// the current counter (epochs only move forward); the counter is
+    /// advanced to `epoch` by the install.
+    pub fn install_at_epoch(
+        &self,
+        name: &str,
+        store: Arc<RootStore>,
+        epoch: u64,
+    ) -> Result<StoreProfile, u64> {
+        let current = self.epoch.load(Ordering::SeqCst);
+        if epoch <= current {
+            return Err(current);
+        }
+        self.epoch.store(epoch - 1, Ordering::SeqCst);
+        Ok(self.install(name, store))
+    }
+
     /// Look up a profile by name.
     pub fn profile(&self, name: &str) -> Option<StoreProfile> {
         self.profiles

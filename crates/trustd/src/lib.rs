@@ -55,5 +55,8 @@ pub use resilient::{
 pub use server::{ServerConfig, TrustServer};
 pub use service::{TrustService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{LatencyHistogram, ServiceStats};
-pub use warm::{degraded_index_from_snapshot, index_from_snapshot, replay_journal, DegradedStart};
+pub use warm::{
+    degraded_index_from_snapshot, index_from_chain, index_from_snapshot, replay_journal,
+    ChainStart, DegradedStart, ReplaySummary,
+};
 pub use wire::{ChainVerdict, FrameError, Request, Response, WireError, MAX_FRAME};

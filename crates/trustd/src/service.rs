@@ -37,6 +37,24 @@ type MemoKey = (String, u64, ChainKey);
 /// Default memo-cache capacity.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Online journal compaction: the fold accumulated so far plus where and
+/// when to checkpoint it.
+struct Compactor {
+    /// Checkpoint destination (`<journal>.ckpt` by convention).
+    path: String,
+    /// Journal size (bytes) past which a swap triggers compaction.
+    threshold: u64,
+    /// The base snapshot file's bytes, when the server warm-started from
+    /// one — checkpoints delta over it so unchanged study sections dedup
+    /// away. `None` for a cold start: checkpoints are base-less.
+    base: Option<Vec<u8>>,
+    /// Every swap the journal has ever recorded, folded to the last
+    /// record per profile (seeded from a prior checkpoint at warm start).
+    state: tangled_snap::TrustState,
+    /// Checkpoints written by this process.
+    compactions: u64,
+}
+
 /// The trust-decision service.
 pub struct TrustService {
     index: StoreIndex,
@@ -48,6 +66,10 @@ pub struct TrustService {
     /// is what makes the epoch recorded in each frame the epoch the
     /// install actually produces.
     journal: Mutex<Option<tangled_snap::Journal>>,
+    /// Compaction config/state. Only ever locked while the journal lock
+    /// is held (swap path) or for read-only stats, so the order
+    /// journal → compactor is fixed and deadlock-free.
+    compactor: Mutex<Option<Compactor>>,
 }
 
 impl TrustService {
@@ -69,6 +91,7 @@ impl TrustService {
             expected_issuer: OriginServers::for_table6().issuer_identity(),
             stats: ServiceStats::new(),
             journal: Mutex::new(None),
+            compactor: Mutex::new(None),
         }
     }
 
@@ -76,6 +99,39 @@ impl TrustService {
     /// appended and fsync'd *before* the store install publishes.
     pub fn attach_journal(&self, journal: tangled_snap::Journal) {
         *self.journal.lock().expect("journal poisoned") = Some(journal);
+    }
+
+    /// Enable online journal compaction: once the journal grows past
+    /// `threshold` bytes, the accepted swap folds the history into a
+    /// checkpoint at `path` (written atomically: tmp + fsync + rename)
+    /// and truncates the journal back to its magic. `base` is the warm
+    /// start's snapshot file bytes (checkpoints delta over it); `state`
+    /// seeds the fold — the prior checkpoint's trust-state absorbed with
+    /// whatever journal tail start-up replayed.
+    pub fn configure_compaction(
+        &self,
+        path: String,
+        threshold: u64,
+        base: Option<Vec<u8>>,
+        state: tangled_snap::TrustState,
+    ) {
+        *self.compactor.lock().expect("compactor poisoned") = Some(Compactor {
+            path,
+            threshold,
+            base,
+            state,
+            compactions: 0,
+        });
+    }
+
+    /// Checkpoints written by this process (test/stats introspection).
+    pub fn compactions(&self) -> u64 {
+        self.compactor
+            .lock()
+            .expect("compactor poisoned")
+            .as_ref()
+            .map(|c| c.compactions)
+            .unwrap_or(0)
     }
 
     /// The service's counters.
@@ -154,6 +210,21 @@ impl TrustService {
                     "profiles": profiles,
                 }),
             );
+            let journal_size = self
+                .journal
+                .lock()
+                .expect("journal poisoned")
+                .as_ref()
+                .map(tangled_snap::Journal::size);
+            if let Some(size) = journal_size {
+                map.insert(
+                    "journal".to_owned(),
+                    serde_json::json!({
+                        "size": size,
+                        "compactions": self.compactions(),
+                    }),
+                );
+            }
         }
         doc
     }
@@ -399,6 +470,7 @@ impl TrustService {
                 self.stats.record_quarantined("swap", e.label());
                 return error("swap", "journal-io");
             }
+            self.maybe_compact(j, &record);
         }
         let installed = self.index.install(profile, Arc::new(store));
         drop(journal);
@@ -408,6 +480,55 @@ impl TrustService {
             anchors,
         }
     }
+
+    /// Fold the just-journalled swap into the compaction state and, if
+    /// the journal crossed the threshold, write a checkpoint and truncate
+    /// it. Runs under the journal mutex (the caller holds it), so the
+    /// fold, the checkpoint and the truncation are atomic with respect to
+    /// concurrent swaps and WAL ordering is preserved: the checkpoint is
+    /// durable (tmp + fsync + rename) *before* the journal resets, and a
+    /// crash between the two merely leaves a tail that replay skips as
+    /// already-covered.
+    ///
+    /// A failed checkpoint never fails the swap — the frame is already
+    /// durable in the journal; the failure is quarantined and compaction
+    /// retries at the next swap.
+    fn maybe_compact(&self, journal: &mut tangled_snap::Journal, record: &tangled_snap::SwapRecord) {
+        let mut compactor = self.compactor.lock().expect("compactor poisoned");
+        let Some(c) = compactor.as_mut() else {
+            return;
+        };
+        c.state.absorb(std::slice::from_ref(record));
+        if journal.size() < c.threshold {
+            return;
+        }
+        let outcome = tangled_snap::encode_checkpoint(c.base.as_deref(), &c.state)
+            .and_then(|summary| {
+                write_atomic(&c.path, &summary.bytes)?;
+                journal.reset()
+            });
+        match outcome {
+            Ok(()) => {
+                c.compactions += 1;
+                tangled_obs::registry::add("journal.compactions", 1);
+            }
+            Err(e) => self.stats.record_quarantined("compact", e.label()),
+        }
+    }
+}
+
+/// Durable file replacement: write to a sibling tmp path, fsync, rename
+/// over the destination. Readers see either the old checkpoint or the
+/// complete new one, never a torn file.
+fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), tangled_snap::SnapError> {
+    use std::io::Write;
+    let tmp = format!("{path}.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 fn error(stage: &str, label: &str) -> Response {
@@ -818,6 +939,61 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn swap_past_threshold_compacts_journal_into_checkpoint() {
+        let dir = std::env::temp_dir().join(format!(
+            "tangled-svc-compact-{}-{}",
+            std::process::id(),
+            std::time::Instant::now().elapsed().as_nanos() as u64
+                ^ std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos() as u64
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("swaps.journal");
+        let ckpt_path = dir.join("swaps.journal.ckpt");
+
+        let svc = TrustService::new(16);
+        let (journal, _, _) =
+            tangled_snap::Journal::open(journal_path.to_str().unwrap()).unwrap();
+        svc.attach_journal(journal);
+        svc.configure_compaction(
+            ckpt_path.to_string_lossy().into_owned(),
+            1, // every journalled swap crosses the threshold
+            None,
+            tangled_snap::TrustState::default(),
+        );
+
+        let store = ReferenceStore::Mozilla.cached();
+        for profile in ["canary-a", "canary-b", "canary-a"] {
+            let resp = svc.handle(&Request::Swap {
+                profile: profile.into(),
+                snapshot: store.snapshot(),
+            });
+            assert!(matches!(resp, Response::Swap { .. }), "{resp:?}");
+        }
+        assert_eq!(svc.compactions(), 3);
+
+        // The journal is back to bare magic; the checkpoint holds the
+        // fold — last swap per profile at its recorded epoch.
+        let (_journal, replayed, recovery) =
+            tangled_snap::Journal::open(journal_path.to_str().unwrap()).unwrap();
+        assert!(!recovery.truncated);
+        assert!(replayed.is_empty());
+        let snap =
+            tangled_snap::Snapshot::open(ckpt_path.to_str().unwrap()).unwrap();
+        let state = tangled_snap::read_checkpoint(&snap).unwrap().unwrap();
+        assert_eq!(state.epoch, 13);
+        assert_eq!(state.records.len(), 2);
+        assert_eq!(state.records[0].profile, "canary-b");
+        assert_eq!(state.records[0].epoch, 12);
+        assert_eq!(state.records[1].profile, "canary-a");
+        assert_eq!(state.records[1].epoch, 13);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

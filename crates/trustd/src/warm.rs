@@ -16,7 +16,10 @@ use crate::index::{build_anchor_verifier, StoreIndex, DEFAULT_SHARDS};
 use std::sync::Arc;
 use tangled_pki::store::RootStore;
 use tangled_pki::stores::{EcosystemStore, ReferenceStore};
-use tangled_snap::{decode_eco_stores, decode_stores, SectionId, SnapError, Snapshot, SwapRecord};
+use tangled_snap::{
+    decode_eco_stores, decode_stores, materialize_chain, read_checkpoint, SectionId, SnapError,
+    Snapshot, SwapRecord, TrustState,
+};
 
 /// Build the verifiers for `picked` in parallel on the ambient pool and
 /// install the profiles sequentially, in slice order — the epoch of each
@@ -55,8 +58,16 @@ fn failed_section(e: &SnapError, default: &'static str) -> &'static str {
 /// ambient pool; installs publish sequentially.
 pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
     let snap = Snapshot::open(path)?;
-    let stores = decode_stores(&snap)?;
-    let eco = decode_eco_stores(&snap)?;
+    let index = install_all(standard_picked(&snap)?);
+    tangled_obs::registry::add("trustd.warm_starts", 1);
+    Ok(index)
+}
+
+/// Select the ten standard profiles out of a decoded snapshot, in
+/// canonical install order (reference stores then ecosystem families).
+fn standard_picked(snap: &Snapshot) -> Result<Vec<(&'static str, Arc<RootStore>)>, SnapError> {
+    let stores = decode_stores(snap)?;
+    let eco = decode_eco_stores(snap)?;
     let mut picked = Vec::with_capacity(ReferenceStore::ALL.len() + eco.len());
     for rs in ReferenceStore::ALL {
         let store = stores
@@ -71,9 +82,68 @@ pub fn index_from_snapshot(path: &str) -> Result<StoreIndex, SnapError> {
     for (es, store) in EcosystemStore::ALL.into_iter().zip(&eco) {
         picked.push((es.name(), Arc::clone(store)));
     }
-    let index = install_all(picked);
+    Ok(picked)
+}
+
+/// The outcome of a base+delta chain warm start.
+pub struct ChainStart {
+    /// The rebuilt index: standard profiles plus every folded swap,
+    /// re-installed at its recorded epoch.
+    pub index: StoreIndex,
+    /// The trust-state the chain carried (absent when the chain is a
+    /// plain study snapshot with no checkpoint).
+    pub state: Option<TrustState>,
+    /// How many chain files were applied by materialisation.
+    pub applied: usize,
+}
+
+/// Warm-start from a snapshot chain: a base study snapshot followed by
+/// delta files (typically one compaction checkpoint).
+///
+/// The chain is materialised at the latest epoch and verified link by
+/// link (see [`tangled_snap::materialize`]). The standard profiles load
+/// from the materialised store sections — or generate cold when the
+/// chain is a base-less checkpoint carrying only trust-state — and the
+/// folded swap records then re-install **at their recorded epochs** via
+/// [`StoreIndex::install_at_epoch`], so the resulting epoch sequence is
+/// indistinguishable from replaying the full pre-compaction journal.
+pub fn index_from_chain(paths: &[String]) -> Result<ChainStart, SnapError> {
+    let m = materialize_chain(paths, u64::MAX)?;
+    let applied = m.applied;
+    let snap = Snapshot::parse(m.bytes)?;
+    let has_stores = snap
+        .entries()
+        .iter()
+        .any(|e| e.tag == SectionId::Stores.tag());
+    let index = if has_stores {
+        install_all(standard_picked(&snap)?)
+    } else {
+        // A base-less checkpoint: the previous server cold-started, so
+        // this start does too — epochs 1–10 match by construction.
+        StoreIndex::with_standard_profiles()
+    };
+    let state = read_checkpoint(&snap)?;
+    if let Some(state) = &state {
+        for record in &state.records {
+            let store =
+                RootStore::from_snapshot(&record.store).map_err(|_| SnapError::Malformed {
+                    section: SectionId::TrustState.name(),
+                    detail: "folded store fails to reconstruct",
+                })?;
+            index
+                .install_at_epoch(&record.profile, Arc::new(store), record.epoch)
+                .map_err(|current| SnapError::EpochMismatch {
+                    recorded: record.epoch,
+                    produced: current + 1,
+                })?;
+        }
+    }
     tangled_obs::registry::add("trustd.warm_starts", 1);
-    Ok(index)
+    Ok(ChainStart {
+        index,
+        state,
+        applied,
+    })
 }
 
 /// The outcome of a degraded-mode warm start: an index that serves, plus
@@ -131,7 +201,7 @@ pub fn degraded_index_from_snapshot(path: &str) -> Result<DegradedStart, SnapErr
     // Auxiliary sections: checksum each one; corruption is quarantined,
     // not fatal. (Corpus and the two store sections feed the index build
     // below.)
-    for id in SectionId::ALL {
+    for id in SectionId::STUDY {
         if matches!(
             id,
             SectionId::Corpus | SectionId::Stores | SectionId::EcoStores
@@ -199,14 +269,37 @@ pub fn degraded_index_from_snapshot(path: &str) -> Result<DegradedStart, SnapErr
     })
 }
 
+/// What [`replay_journal`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Records re-installed at their recorded epochs.
+    pub replayed: usize,
+    /// Records skipped because the index was already at or past their
+    /// epoch — the compaction crash window (checkpoint durable, journal
+    /// tail not yet truncated) replays the same swaps twice; skipping
+    /// makes that idempotent.
+    pub skipped: usize,
+}
+
 /// Replay journalled swaps over a freshly warm-started index.
 ///
 /// Each record re-installs its store snapshot under its profile name and
 /// must land on the epoch recorded at append time; the journal and
 /// snapshot belong to one server history, and a mismatch means they were
-/// mixed from different ones.
-pub fn replay_journal(index: &StoreIndex, records: &[SwapRecord]) -> Result<(), SnapError> {
+/// mixed from different ones. Records whose epoch the index has already
+/// reached (a checkpoint written just before a crash left the journal
+/// tail in place) are skipped, not errors — the folded state already
+/// covers them.
+pub fn replay_journal(index: &StoreIndex, records: &[SwapRecord]) -> Result<ReplaySummary, SnapError> {
+    let mut summary = ReplaySummary {
+        replayed: 0,
+        skipped: 0,
+    };
     for record in records {
+        if record.epoch <= index.current_epoch() {
+            summary.skipped += 1;
+            continue;
+        }
         let store = RootStore::from_snapshot(&record.store).map_err(|_| SnapError::Malformed {
             section: "journal",
             detail: "journalled store fails to reconstruct",
@@ -218,9 +311,13 @@ pub fn replay_journal(index: &StoreIndex, records: &[SwapRecord]) -> Result<(), 
                 produced: installed.epoch,
             });
         }
+        summary.replayed += 1;
     }
-    tangled_obs::registry::add("journal.replayed", records.len() as u64);
-    Ok(())
+    tangled_obs::registry::add("journal.replayed", summary.replayed as u64);
+    if summary.skipped > 0 {
+        tangled_obs::registry::add("journal.replay_skipped", summary.skipped as u64);
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -266,5 +363,78 @@ mod tests {
         assert_eq!(index.current_epoch(), 8);
         assert_eq!(index.profile("device").unwrap().epoch, 7);
         assert_eq!(index.profile("AOSP 4.4").unwrap().epoch, 8);
+    }
+
+    #[test]
+    fn replay_skips_records_the_index_already_covers() {
+        // The compaction crash window: the checkpoint reached epoch 6,
+        // but the untruncated journal still holds frames 5 and 7.
+        let index = StoreIndex::with_reference_profiles();
+        let store = ReferenceStore::Mozilla.cached();
+        let records = vec![
+            SwapRecord {
+                profile: "device".into(),
+                epoch: 5,
+                store: store.snapshot(),
+            },
+            SwapRecord {
+                profile: "device".into(),
+                epoch: 7,
+                store: store.snapshot(),
+            },
+        ];
+        let summary = replay_journal(&index, &records).unwrap();
+        assert_eq!(
+            summary,
+            ReplaySummary {
+                replayed: 1,
+                skipped: 1
+            }
+        );
+        assert_eq!(index.current_epoch(), 7);
+    }
+
+    #[test]
+    fn chain_start_reinstalls_folded_swaps_at_recorded_epochs() {
+        let store = ReferenceStore::Mozilla.cached();
+        let state = TrustState::fold(&[
+            SwapRecord {
+                profile: "canary".into(),
+                epoch: 11,
+                store: store.snapshot(),
+            },
+            SwapRecord {
+                profile: "other".into(),
+                epoch: 12,
+                store: store.snapshot(),
+            },
+            SwapRecord {
+                profile: "canary".into(),
+                epoch: 13,
+                store: store.snapshot(),
+            },
+        ]);
+        let ckpt = tangled_snap::encode_checkpoint(None, &state).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "tangled-warm-chain-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ckpt");
+        std::fs::write(&path, &ckpt.bytes).unwrap();
+
+        let start = index_from_chain(&[path.to_string_lossy().into_owned()]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(start.applied, 1);
+        assert_eq!(start.index.current_epoch(), 13);
+        assert_eq!(start.index.profile("other").unwrap().epoch, 12);
+        assert_eq!(start.index.profile("canary").unwrap().epoch, 13);
+        // Standard profiles still underneath, at cold-start epochs.
+        assert!(start.index.profile("Mozilla").unwrap().epoch <= 10);
+        assert_eq!(start.state.unwrap().epoch, 13);
     }
 }

@@ -14,7 +14,15 @@
 //!                                    binary snapshot
 //! tangled snap read <file>           load a snapshot and print its tables
 //! tangled snap verify <file>         checksum every snapshot section
+//! tangled snap delta <base> <target> <epoch> --out <file>
+//!                                    encode target as a delta over base:
+//!                                    unchanged sections dedup away by
+//!                                    checksum, only changed ones ride along
+//! tangled snap materialize <chain...> <epoch> [--out <file>]
+//!                                    rebuild the full snapshot a base+delta
+//!                                    chain describes at a point in time
 //! tangled serve   <addr> [--core event|threads] [--snapshot F] [--journal F]
+//!                        [--compact-threshold BYTES]
 //!                                    run the trustd query server — by default
 //!                                    on the readiness-loop event core (a few
 //!                                    loop threads multiplexing every
@@ -23,10 +31,13 @@
 //!                                    warm-start the reference profiles from a
 //!                                    study snapshot; with --journal, log
 //!                                    every swap write-ahead and replay the
-//!                                    log on restart
+//!                                    log on restart; with
+//!                                    --compact-threshold, fold the journal
+//!                                    into a checkpoint delta once it grows
+//!                                    past BYTES, keeping recovery O(state)
 //! tangled loadgen <addr> [--sessions N] [--seed S]
 //!                        [--op mixed|compare|batch] [--pipeline N]
-//!                        [--chaos-rate R] [--chaos-seed S]
+//!                        [--chaos-rate R] [--chaos-seed S] [--swaps N]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts over one
 //!                                    keep-alive connection; with --pipeline,
@@ -38,11 +49,17 @@
 //!                                    batch_validate frames; with
 //!                                    --chaos-rate, inject seeded lossy wire
 //!                                    faults client-side and recover through
-//!                                    the resilient retry client
+//!                                    the resilient retry client; with
+//!                                    --swaps, drive N store swaps of a
+//!                                    'canary' profile instead (exercises the
+//!                                    journal/compaction write path)
 //! tangled disparity [scale]          cross-ecosystem disparity report:
 //!                                    Jaccard matrix, coverage tables,
 //!                                    trusted-by-exactly-k histogram and
 //!                                    verdict classes over ten root stores
+//! tangled disparity --from A --to B  longitudinal drift between two
+//!                                    snapshots: per-profile anchor churn,
+//!                                    Jaccard similarity, exactly-k migration
 //! tangled chaos   [--seed S] [--requests N] [--rate R]
 //!                 [--busy-rate B] [--attempts N] [--core threads|event]
 //!                 [--out FILE]
@@ -92,12 +109,15 @@ use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
 use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
-use tangled_mass::snap::{load_study, write_study, Journal, Snapshot};
+use tangled_mass::snap::{
+    encode_checkpoint, load_study, write_study, Journal, Snapshot, SwapRecord,
+    TrustState,
+};
 use tangled_mass::trustd::{
-    chaos, degraded_index_from_snapshot, offline_verdicts, replay_journal, replay_pipelined,
-    replay_resilient, verdict_fingerprint, ChaosSpec, EventServer, LatencyHistogram, ReplayOp,
-    ReplaySpec, Request, ServeCore, StoreIndex, TrustClient, TrustServer, TrustService,
-    BATCH_DEPTH, DEFAULT_CACHE_CAPACITY,
+    chaos, degraded_index_from_snapshot, index_from_chain, offline_verdicts, replay_journal,
+    replay_pipelined, replay_resilient, verdict_fingerprint, ChaosSpec, EventServer,
+    LatencyHistogram, ReplayOp, ReplaySpec, Request, Response, ServeCore, StoreIndex, TrustClient,
+    TrustServer, TrustService, BATCH_DEPTH, DEFAULT_CACHE_CAPACITY,
 };
 use tangled_mass::x509::{sig_memo_clear, sig_memo_counters, sig_memo_len};
 
@@ -133,13 +153,23 @@ fn usage() -> String {
         "                           generate a study and persist a binary snapshot",
         "  snap read <file>         load a snapshot and print its tables",
         "  snap verify <file>       checksum every snapshot section",
+        "  snap delta <base> <target> <epoch> --out <file>",
+        "                           write target as a delta over base (changed",
+        "                           sections only, epoch-labelled)",
+        "  snap materialize <chain...> <epoch> [--out <file>]",
+        "                           materialise a base+delta chain at an epoch;",
+        "                           with --out, write the full snapshot",
         "  serve   <addr> [--core event|threads] [--snapshot F] [--journal F]",
+        "          [--compact-threshold BYTES]",
         "                           run the trustd query server (event core by",
         "                           default, thread-per-connection with --core",
-        "                           threads; warm start from a snapshot;",
-        "                           write-ahead journal for swaps)",
+        "                           threads; warm start from a snapshot and a",
+        "                           <journal>.ckpt compaction checkpoint when",
+        "                           present; write-ahead journal for swaps;",
+        "                           --compact-threshold folds the journal into",
+        "                           the checkpoint once it crosses BYTES)",
         "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare|batch]",
-        "          [--pipeline N] [--chaos-rate R] [--chaos-seed S]",
+        "          [--pipeline N] [--chaos-rate R] [--chaos-seed S] [--swaps N]",
         "                           replay a seeded population against a server",
         "                           over one keep-alive connection; --pipeline",
         "                           bursts N requests per write window; --op",
@@ -148,8 +178,13 @@ fn usage() -> String {
         "                           verdict vectors and prints their",
         "                           fingerprint; --chaos-rate injects lossy",
         "                           wire faults recovered through the resilient",
-        "                           client",
+        "                           client; --swaps drives N store swaps on the",
+        "                           'canary' profile instead of a replay",
         "  disparity [scale]        cross-ecosystem root-store disparity report",
+        "  disparity --from A --to B",
+        "                           longitudinal drift between two materialised",
+        "                           snapshots: per-profile anchor churn, Jaccard",
+        "                           drift, exactly-k migration",
         "  chaos   [--seed S] [--requests N] [--rate R] [--busy-rate B]",
         "          [--attempts N] [--core threads|event] [--out FILE]",
         "                           deterministic wire-fault chaos run against an",
@@ -221,6 +256,9 @@ fn main() -> ExitCode {
         Some("snap") => cmd_snap(&args[1..]),
         Some("serve") => cmd_serve(args.get(1), &args[2..]),
         Some("loadgen") => cmd_loadgen(args.get(1), &args[2..]),
+        Some("disparity") if args.iter().any(|a| a == "--from" || a == "--to") => {
+            cmd_disparity_drift(&args[1..])
+        }
         Some("disparity") => no_extra(&args, 2, "disparity [scale]")
             .and_then(|()| parse_scale(args.get(1)))
             .and_then(cmd_disparity),
@@ -393,9 +431,14 @@ fn cmd_probe() -> Result<(), CliError> {
 }
 
 fn cmd_snap(args: &[String]) -> Result<(), CliError> {
-    let sub = args
-        .first()
-        .ok_or_else(|| CliError::Usage("snap needs a mode: write|read|verify".into()))?;
+    let sub = args.first().ok_or_else(|| {
+        CliError::Usage("snap needs a mode: write|read|verify|delta|materialize".into())
+    })?;
+    match sub.as_str() {
+        "delta" => return cmd_snap_delta(&args[1..]),
+        "materialize" => return cmd_snap_materialize(&args[1..]),
+        _ => {}
+    }
     let file = args
         .get(1)
         .ok_or_else(|| CliError::Usage(format!("snap {sub} needs a file path")))?;
@@ -452,9 +495,123 @@ fn cmd_snap(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(CliError::Usage(format!(
-            "unknown snap mode '{other}' (want write|read|verify)"
+            "unknown snap mode '{other}' (want write|read|verify|delta|materialize)"
         ))),
     }
+}
+
+/// Split a snap sub-mode's arguments into positionals and an `--out`
+/// destination.
+fn split_out_flag(args: &[String]) -> Result<(Vec<&String>, Option<String>), CliError> {
+    let mut positional = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown snap flag '{flag}'")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((positional, out))
+}
+
+/// Parse a trailing epoch argument.
+fn parse_epoch(text: &str) -> Result<u64, CliError> {
+    text.parse().map_err(|_| {
+        CliError::Usage(format!("invalid epoch '{text}': want an unsigned integer"))
+    })
+}
+
+/// `tangled snap delta <base> <target> <epoch> --out <file>` — encode
+/// `target`'s sections as a delta over `base`: sections whose checksum
+/// matches the base dedup away, the rest ride in the delta.
+fn cmd_snap_delta(args: &[String]) -> Result<(), CliError> {
+    let (pos, out) = split_out_flag(args)?;
+    let [base_path, target_path, epoch] = pos.as_slice() else {
+        return Err(CliError::Usage(
+            "usage: tangled snap delta <base> <target> <epoch> --out <file>".into(),
+        ));
+    };
+    let epoch = parse_epoch(epoch)?;
+    let out = out.ok_or_else(|| CliError::Usage("snap delta needs --out <file>".into()))?;
+    let base =
+        std::fs::read(base_path.as_str()).map_err(|e| format!("reading {base_path}: {e}"))?;
+    let target = Snapshot::open(target_path).map_err(|e| format!("opening {target_path}: {e}"))?;
+    let mut sections = Vec::new();
+    for entry in target.entries() {
+        let id = tangled_mass::snap::SectionId::from_tag(entry.tag)
+            .ok_or_else(|| format!("{target_path}: unknown section tag {}", entry.tag))?;
+        let body = target
+            .entry_body(entry)
+            .map_err(|e| format!("reading {target_path}: {e}"))?;
+        sections.push((id, body.to_vec()));
+    }
+    let delta = tangled_mass::snap::encode_delta(&sections, &base, epoch)
+        .map_err(|e| format!("encoding delta: {e}"))?;
+    std::fs::write(&out, &delta.bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "delta: {} bytes -> {out} (epoch {epoch}, base {:016x})",
+        delta.bytes.len(),
+        tangled_mass::snap::file_id(&base)
+    );
+    eprintln!("  changed: {}", delta.changed.join(", "));
+    eprintln!(
+        "  reused:  {}",
+        if delta.reused.is_empty() {
+            "(none)".to_owned()
+        } else {
+            delta.reused.join(", ")
+        }
+    );
+    Ok(())
+}
+
+/// `tangled snap materialize <chain...> <epoch> [--out <file>]` —
+/// materialise a base+delta chain at a point in time; verify every link
+/// and, with `--out`, write the reassembled full snapshot.
+fn cmd_snap_materialize(args: &[String]) -> Result<(), CliError> {
+    let (pos, out) = split_out_flag(args)?;
+    if pos.len() < 2 {
+        return Err(CliError::Usage(
+            "usage: tangled snap materialize <chain...> <epoch> [--out <file>]".into(),
+        ));
+    }
+    let epoch = parse_epoch(pos[pos.len() - 1])?;
+    let chain: Vec<String> = pos[..pos.len() - 1].iter().map(|s| s.to_string()).collect();
+    let m = tangled_mass::snap::materialize_chain(&chain, epoch)
+        .map_err(|e| format!("materialising chain: {e}"))?;
+    eprintln!(
+        "materialize: {} of {} chain file(s) applied; epoch {}; {} bytes",
+        m.applied,
+        chain.len(),
+        m.epoch,
+        m.bytes.len()
+    );
+    let snap =
+        Snapshot::parse(m.bytes.clone()).map_err(|e| format!("parsing materialised bytes: {e}"))?;
+    for entry in snap.entries() {
+        let name = tangled_mass::snap::SectionId::from_tag(entry.tag)
+            .map(tangled_mass::snap::SectionId::name)
+            .unwrap_or("unknown");
+        eprintln!(
+            "  {name:<12} {:>10} bytes  fnv1a {:016x}",
+            entry.len, entry.checksum
+        );
+    }
+    if let Some(out) = out {
+        std::fs::write(&out, &m.bytes).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("materialize: wrote {out} at epoch {}", m.epoch);
+    }
+    Ok(())
 }
 
 fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
@@ -463,6 +620,7 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     })?;
     let mut snapshot: Option<String> = None;
     let mut journal_path: Option<String> = None;
+    let mut compact_threshold: Option<u64> = None;
     // The event core is the default: a handful of readiness loops
     // multiplex every connection. `--core threads` falls back to the
     // thread-per-connection frame loop.
@@ -476,6 +634,18 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
         match flag.as_str() {
             "--snapshot" => snapshot = Some(value(it.next())?),
             "--journal" => journal_path = Some(value(it.next())?),
+            "--compact-threshold" => {
+                let v = value(it.next())?;
+                let bytes: u64 = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --compact-threshold '{v}': want bytes > 0"))
+                })?;
+                if bytes == 0 {
+                    return Err(CliError::Usage(
+                        "--compact-threshold must be > 0 bytes".into(),
+                    ));
+                }
+                compact_threshold = Some(bytes);
+            }
             "--core" => core = value(it.next())?.parse().map_err(CliError::Usage)?,
             other => match other.strip_prefix("--core=") {
                 Some(name) => core = name.parse().map_err(CliError::Usage)?,
@@ -483,9 +653,44 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
             },
         }
     }
+    if compact_threshold.is_some() && journal_path.is_none() {
+        return Err(CliError::Usage(
+            "--compact-threshold needs --journal (compaction folds the swap journal)".into(),
+        ));
+    }
 
-    let service = match &snapshot {
-        Some(path) => {
+    // A prior compaction leaves a checkpoint beside the journal; when one
+    // exists, warm start from the base+checkpoint chain so the folded
+    // swap history is already applied before the journal tail replays.
+    let ckpt_path = journal_path.as_ref().map(|p| format!("{p}.ckpt"));
+    let has_ckpt = ckpt_path
+        .as_ref()
+        .is_some_and(|p| std::path::Path::new(p).exists());
+    let mut chain_state: Option<TrustState> = None;
+    let mut chain_index: Option<StoreIndex> = None;
+    if has_ckpt {
+        let ckpt = ckpt_path.clone().expect("checked above");
+        let mut chain: Vec<String> = Vec::new();
+        if let Some(path) = &snapshot {
+            chain.push(path.clone());
+        }
+        chain.push(ckpt.clone());
+        eprintln!("warm-starting from checkpoint chain {}…", chain.join(" + "));
+        let start = index_from_chain(&chain).map_err(|e| format!("materialising {ckpt}: {e}"))?;
+        if let Some(state) = &start.state {
+            eprintln!(
+                "checkpoint: folded {} profile(s); epoch {}",
+                state.records.len(),
+                state.epoch
+            );
+        }
+        chain_state = start.state;
+        chain_index = Some(start.index);
+    }
+
+    let service = match (chain_index, &snapshot) {
+        (Some(index), _) => Arc::new(TrustService::with_index(index, DEFAULT_CACHE_CAPACITY)),
+        (None, Some(path)) => {
             eprintln!("warm-starting store profiles from {path}…");
             // Degraded-mode warm start: individually corrupt sections are
             // quarantined and the server runs without them; only
@@ -510,7 +715,7 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
             }
             service
         }
-        None => {
+        (None, None) => {
             eprintln!("loading reference store profiles…");
             Arc::new(TrustService::new(DEFAULT_CACHE_CAPACITY))
         }
@@ -524,14 +729,37 @@ fn cmd_serve(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
                 recovery.dropped_bytes
             );
         }
-        replay_journal(service.index(), &records)
+        let summary = replay_journal(service.index(), &records)
             .map_err(|e| format!("replaying {path}: {e}"))?;
+        if summary.skipped > 0 {
+            eprintln!(
+                "journal: skipped {} swap(s) the checkpoint already covers",
+                summary.skipped
+            );
+        }
         eprintln!(
             "journal: replayed {} swap(s); epoch {}",
-            records.len(),
+            summary.replayed,
             service.index().current_epoch()
         );
         service.attach_journal(journal);
+        if let Some(threshold) = compact_threshold {
+            // Compaction folds over everything the index already holds:
+            // the checkpoint's state (if any) plus the replayed tail. The
+            // base snapshot rides along so the checkpoint stays a
+            // self-describing delta over it.
+            let base = match &snapshot {
+                Some(path) => {
+                    Some(std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?)
+                }
+                None => None,
+            };
+            let mut state = chain_state.unwrap_or_default();
+            state.absorb(&records);
+            let ckpt = ckpt_path.expect("journal path implies checkpoint path");
+            eprintln!("compaction: armed at {threshold} journal byte(s); checkpoint {ckpt}");
+            service.configure_compaction(ckpt, threshold, base, state);
+        }
     }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -576,6 +804,7 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let mut pipeline = 1usize;
     let mut chaos_rate = 0.0f64;
     let mut chaos_seed = 7u64;
+    let mut swaps: Option<usize> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let value = |v: Option<&String>| {
@@ -642,10 +871,20 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
                     ))
                 })?;
             }
+            "--swaps" => {
+                let v = value(it.next())?;
+                swaps = Some(v.parse().ok().filter(|&n: &usize| n > 0).ok_or_else(
+                    || CliError::Usage(format!("invalid --swaps '{v}': want an integer > 0")),
+                )?);
+            }
             other => {
                 return Err(CliError::Usage(format!("unknown loadgen flag '{other}'")));
             }
         }
+    }
+
+    if let Some(swaps) = swaps {
+        return drive_swaps(&addr, swaps);
     }
 
     let spec = ReplaySpec::new(seed, sessions).with_op(op);
@@ -771,6 +1010,37 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `loadgen --swaps N`: drive N swap requests against a fresh `canary`
+/// profile, rotating its single anchor so every swap changes the store.
+/// Touching only a profile of our own keeps the standard profiles —
+/// and any `--op compare` fingerprints against them — unchanged.
+fn drive_swaps(addr: &str, swaps: usize) -> Result<(), CliError> {
+    use tangled_mass::pki::RootStore;
+
+    let anchors = ReferenceStore::Aosp41.cached().enabled_certificates();
+    if anchors.is_empty() {
+        return Err("reference store has no enabled anchors".into());
+    }
+    let mut client =
+        TrustClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    eprintln!("driving {swaps} swap(s) of profile 'canary' against {addr}…");
+    let mut epoch = 0u64;
+    for i in 0..swaps {
+        let mut store = RootStore::new("canary");
+        store.add_cert(anchors[i % anchors.len()].clone(), AnchorSource::Unknown);
+        let request = Request::Swap {
+            profile: "canary".to_owned(),
+            snapshot: store.snapshot(),
+        };
+        match client.call(&request).map_err(|e| format!("swap {i}: {e}"))? {
+            Response::Swap { epoch: e, .. } => epoch = e,
+            other => return Err(format!("swap {i}: unexpected reply {other:?}").into()),
+        }
+    }
+    println!("loadgen: {swaps} swap(s) applied to profile 'canary'; final epoch {epoch}");
+    Ok(())
+}
+
 /// `tangled disparity [scale]` — compute and print the cross-ecosystem
 /// disparity report. The fingerprint line matches what `loadgen --op
 /// compare` prints when its session count maps to the same corpus scale
@@ -780,6 +1050,39 @@ fn cmd_disparity(scale: f64) -> Result<(), CliError> {
     let threads = thread_count();
     eprintln!("computing disparity report at scale {scale} ({threads} threads)…");
     let report = tangled_mass::disparity::compute(scale);
+    print!("{}", report.render());
+    Ok(())
+}
+
+/// `tangled disparity --from a.snap --to b.snap` — longitudinal drift
+/// between two point-in-time store states: per-profile anchor churn,
+/// Jaccard similarity, and the exactly-k membership migration.
+fn cmd_disparity_drift(args: &[String]) -> Result<(), CliError> {
+    let mut from: Option<String> = None;
+    let mut to: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| {
+            v.cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--from" => from = Some(value(it.next())?),
+            "--to" => to = Some(value(it.next())?),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown disparity drift flag '{other}'"
+                )))
+            }
+        }
+    }
+    let from = from.ok_or_else(|| CliError::Usage("drift needs --from <snap>".into()))?;
+    let to = to.ok_or_else(|| CliError::Usage("drift needs --to <snap>".into()))?;
+    let from_snap = Snapshot::open(&from).map_err(|e| format!("opening {from}: {e}"))?;
+    let to_snap = Snapshot::open(&to).map_err(|e| format!("opening {to}: {e}"))?;
+    eprintln!("computing drift {from} -> {to}…");
+    let report = tangled_mass::disparity::compute_drift(&from_snap, &to_snap)
+        .map_err(|e| format!("computing drift: {e}"))?;
     print!("{}", report.render());
     Ok(())
 }
@@ -1217,6 +1520,8 @@ fn cmd_bench_snap(rest: &[String]) -> Result<(), CliError> {
     eprintln!("  snapshot write: {write_s:.3}s ({} bytes)", summary.bytes);
     eprintln!("  snapshot load: {load_s:.3}s ({speedup:.2}x vs cold)");
 
+    let recovery = bench_journal_recovery()?;
+
     let doc = json!({
         "benchmark": "snapshot",
         "scale": scale,
@@ -1227,9 +1532,104 @@ fn cmd_bench_snap(rest: &[String]) -> Result<(), CliError> {
         "snapshot_write_seconds": write_s,
         "snapshot_load_seconds": load_s,
         "speedup": speedup,
+        "journal_recovery": recovery,
     });
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
     std::fs::write(&out, format!("{rendered}\n")).map_err(|e| e.to_string())?;
     println!("bench-snap: wrote {out}");
     Ok(())
+}
+
+/// Recovery-cost comparison: replaying an unbounded swap journal is
+/// O(total swaps ever); recovering from a compacted checkpoint + empty
+/// journal is O(current state). Both paths must land on the same epoch.
+fn bench_journal_recovery() -> Result<Vec<serde_json::Value>, CliError> {
+    use tangled_mass::pki::RootStore;
+
+    let anchors = ReferenceStore::Aosp41.cached().enabled_certificates();
+    let dir = std::env::temp_dir().join(format!("tangled-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for history in [64usize, 256] {
+        // A churn history: swaps rotate over four profiles so the fold
+        // keeps 4 records however long the journal grows.
+        let records: Vec<SwapRecord> = (0..history)
+            .map(|i| {
+                let mut store = RootStore::new("canary");
+                store.add_cert(anchors[i % anchors.len()].clone(), AnchorSource::Unknown);
+                SwapRecord {
+                    profile: format!("canary-{}", i % 4),
+                    epoch: 11 + i as u64,
+                    store: store.snapshot(),
+                }
+            })
+            .collect();
+
+        let journal_path = dir.join(format!("swaps-{history}.journal"));
+        let journal_path = journal_path.to_string_lossy().into_owned();
+        let (mut journal, _, _) =
+            Journal::open(&journal_path).map_err(|e| format!("opening {journal_path}: {e}"))?;
+        for record in &records {
+            journal.append(record).map_err(|e| e.to_string())?;
+        }
+        let journal_bytes = journal.size();
+        drop(journal);
+
+        // Unbounded: replay the full history.
+        let (unbounded, unbounded_s) = timed(|| -> Result<u64, String> {
+            let (_, replayed, _) =
+                Journal::open(&journal_path).map_err(|e| e.to_string())?;
+            let index = StoreIndex::with_standard_profiles();
+            replay_journal(&index, &replayed).map_err(|e| e.to_string())?;
+            Ok(index.current_epoch())
+        });
+        let unbounded_epoch = unbounded?;
+
+        // Compacted: fold the history into a checkpoint, truncate the
+        // journal, then recover from checkpoint + empty journal.
+        let state = TrustState::fold(&records);
+        let ckpt = encode_checkpoint(None, &state).map_err(|e| e.to_string())?;
+        let ckpt_path = dir.join(format!("swaps-{history}.journal.ckpt"));
+        let ckpt_path = ckpt_path.to_string_lossy().into_owned();
+        std::fs::write(&ckpt_path, &ckpt.bytes).map_err(|e| e.to_string())?;
+        let (mut journal, _, _) =
+            Journal::open(&journal_path).map_err(|e| e.to_string())?;
+        journal.reset().map_err(|e| e.to_string())?;
+        let ckpt_bytes = journal.size() + ckpt.bytes.len() as u64;
+        drop(journal);
+
+        let (compacted, compacted_s) = timed(|| -> Result<u64, String> {
+            let start = index_from_chain(std::slice::from_ref(&ckpt_path))
+                .map_err(|e| e.to_string())?;
+            let (_, tail, _) = Journal::open(&journal_path).map_err(|e| e.to_string())?;
+            replay_journal(&start.index, &tail).map_err(|e| e.to_string())?;
+            Ok(start.index.current_epoch())
+        });
+        let compacted_epoch = compacted?;
+        if compacted_epoch != unbounded_epoch {
+            return Err(format!(
+                "compacted recovery lands on epoch {compacted_epoch}, unbounded on \
+                 {unbounded_epoch}"
+            )
+            .into());
+        }
+
+        let recovery_speedup = unbounded_s / compacted_s.max(1e-9);
+        eprintln!(
+            "  journal recovery ({history} swaps): unbounded {unbounded_s:.4}s \
+             ({journal_bytes} bytes), compacted {compacted_s:.4}s ({ckpt_bytes} bytes, \
+             {recovery_speedup:.2}x)"
+        );
+        rows.push(json!({
+            "history_swaps": history,
+            "journal_bytes": journal_bytes,
+            "checkpoint_bytes": ckpt_bytes,
+            "unbounded_replay_seconds": unbounded_s,
+            "compacted_recovery_seconds": compacted_s,
+            "speedup": recovery_speedup,
+            "epoch": unbounded_epoch,
+        }));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(rows)
 }

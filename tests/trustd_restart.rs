@@ -7,21 +7,45 @@ use tangled_mass::analysis::Study;
 use tangled_mass::intercept::origin::OriginServers;
 use tangled_mass::intercept::policy::Target;
 use tangled_mass::pki::stores::ReferenceStore;
-use tangled_mass::snap::{write_study, Journal, SectionId, Snapshot};
+use tangled_mass::snap::{write_study, Journal, SectionId, Snapshot, TrustState};
 use tangled_mass::trustd::replay::canonical;
 use tangled_mass::trustd::wire::{Request, Response};
 use tangled_mass::trustd::{
-    degraded_index_from_snapshot, index_from_snapshot, offline_verdicts, queries_for, replay,
-    replay_journal, verdict_fingerprint, ReplayOp, ReplaySpec, TrustServer, TrustService,
-    DEFAULT_CACHE_CAPACITY,
+    degraded_index_from_snapshot, index_from_chain, index_from_snapshot, offline_verdicts,
+    queries_for, replay, replay_journal, verdict_fingerprint, ReplayOp, ReplaySpec, TrustServer,
+    TrustService, DEFAULT_CACHE_CAPACITY,
 };
 
-fn temp_path(tag: &str) -> String {
-    let dir = std::env::temp_dir().join("tangled-restart-tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{tag}-{}", std::process::id()))
-        .to_string_lossy()
-        .into_owned()
+/// A per-run unique scratch directory, removed on drop (even when the
+/// test body panics). Uniqueness comes from pid *and* a wall-clock
+/// nanosecond stamp: a bare `{tag}-{pid}` name under a shared dir
+/// survives the run and is replayed as stale state when the OS reuses
+/// the pid.
+struct TestDir(std::path::PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "tangled-restart-{tag}-{}-{nanos}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 fn origin_chain(host: &str) -> Vec<Vec<u8>> {
@@ -66,9 +90,9 @@ fn swap_epoch(resp: &Response) -> u64 {
 
 #[test]
 fn restart_from_snapshot_and_journal_is_indistinguishable() {
-    let snap_path = temp_path("study.snap");
-    let journal_path = temp_path("swaps.jrn");
-    let _ = std::fs::remove_file(&journal_path);
+    let dir = TestDir::new("indistinguishable");
+    let snap_path = dir.path("study.snap");
+    let journal_path = dir.path("swaps.jrn");
 
     // A study snapshot carries the reference profiles trustd warms from.
     let study = Study::new(0.05, 0.02);
@@ -131,16 +155,13 @@ fn restart_from_snapshot_and_journal_is_indistinguishable() {
     assert_eq!(e3, 13);
     let (_, records, _) = Journal::open(&journal_path).expect("journal reopens");
     assert_eq!(records.last().map(|r| r.epoch), Some(13));
-
-    std::fs::remove_file(&snap_path).unwrap();
-    std::fs::remove_file(&journal_path).unwrap();
 }
 
 #[test]
 fn torn_final_record_recovers_to_the_previous_swap() {
-    let snap_path = temp_path("torn-study.snap");
-    let journal_path = temp_path("torn-swaps.jrn");
-    let _ = std::fs::remove_file(&journal_path);
+    let dir = TestDir::new("torn");
+    let snap_path = dir.path("study.snap");
+    let journal_path = dir.path("swaps.jrn");
 
     let study = Study::new(0.05, 0.02);
     write_study(&study, &snap_path).expect("snapshot writes");
@@ -184,9 +205,6 @@ fn torn_final_record_recovers_to_the_previous_swap() {
         after_first,
         "recovered server must match the epoch-11 state"
     );
-
-    std::fs::remove_file(&snap_path).unwrap();
-    std::fs::remove_file(&journal_path).unwrap();
 }
 
 /// Acceptance for the disparity serving path: `compare` replies match
@@ -197,7 +215,8 @@ fn torn_final_record_recovers_to_the_previous_swap() {
 /// snapshot), which regenerates the ecosystem profiles cold.
 #[test]
 fn compare_replies_match_offline_vectors_across_warm_and_degraded_starts() {
-    let snap_path = temp_path("compare-study.snap");
+    let dir = TestDir::new("compare");
+    let snap_path = dir.path("study.snap");
     let study = Study::new(0.05, 0.02);
     write_study(&study, &snap_path).expect("snapshot writes");
 
@@ -263,6 +282,106 @@ fn compare_replies_match_offline_vectors_across_warm_and_degraded_starts() {
         .map(|r| canonical(&deg.handle(r)))
         .collect();
     assert_eq!(deg_verdicts, offline, "degraded-start compare vectors diverge");
+}
 
-    std::fs::remove_file(&snap_path).unwrap();
+/// Acceptance for journal compaction: a server restarted from the
+/// compacted checkpoint + truncated journal serves verdict-for-verdict
+/// identical replies to one restarted from the full uncompacted journal
+/// — and both match the server that never went down.
+#[test]
+fn restart_from_compacted_checkpoint_matches_uncompacted_restart() {
+    let dir = TestDir::new("compacted");
+    let snap_path = dir.path("study.snap");
+    let compacted_journal = dir.path("compacted.jrn");
+    let plain_journal = dir.path("plain.jrn");
+
+    let study = Study::new(0.05, 0.02);
+    write_study(&study, &snap_path).expect("snapshot writes");
+    let base = std::fs::read(&snap_path).expect("snapshot bytes");
+
+    // Two live servers take the same three swaps; one compacts after
+    // every append (threshold 1 byte), the other journals unboundedly.
+    let compacting = TrustService::with_index(index_from_snapshot(&snap_path).expect("warm"), 256);
+    let (journal, _, _) = Journal::open(&compacted_journal).expect("fresh journal");
+    compacting.attach_journal(journal);
+    compacting.configure_compaction(
+        format!("{compacted_journal}.ckpt"),
+        1,
+        Some(base),
+        TrustState::default(),
+    );
+    let plain = TrustService::with_index(index_from_snapshot(&snap_path).expect("warm"), 256);
+    let (journal, _, _) = Journal::open(&plain_journal).expect("fresh journal");
+    plain.attach_journal(journal);
+
+    let mozilla = ReferenceStore::Mozilla.cached();
+    let mut trimmed = ReferenceStore::Aosp44.cached().cloned_as("trimmed");
+    let drop_id = trimmed.identities()[0].clone();
+    trimmed.remove(&drop_id);
+    let swaps = [
+        ("AOSP 4.4", mozilla.snapshot()),
+        ("device", trimmed.snapshot()),
+        ("AOSP 4.4", ReferenceStore::Ios7.cached().snapshot()),
+    ];
+    for (profile, snapshot) in &swaps {
+        let req = Request::Swap {
+            profile: (*profile).into(),
+            snapshot: snapshot.clone(),
+        };
+        assert_eq!(
+            swap_epoch(&compacting.handle(&req)),
+            swap_epoch(&plain.handle(&req)),
+            "live epochs diverge before any restart"
+        );
+    }
+    let live = verdicts(&compacting);
+    assert_eq!(verdicts(&plain), live, "the two live servers disagree");
+    assert_eq!(compacting.compactions(), 3, "threshold 1 compacts every swap");
+    drop(compacting);
+    drop(plain);
+
+    // The compacted journal is back to its bare magic: recovery no
+    // longer pays for the full history.
+    let (journal, tail, _) = Journal::open(&compacted_journal).expect("reopen");
+    assert!(tail.is_empty(), "compaction must truncate the journal");
+    assert_eq!(journal.size(), 8, "bare magic only");
+    drop(journal);
+
+    // Restart 1: snapshot + checkpoint chain, then the (empty) tail.
+    let chain = vec![snap_path.clone(), format!("{compacted_journal}.ckpt")];
+    let start = index_from_chain(&chain).expect("chain warm start");
+    let state = start.state.expect("checkpoint carries a trust-state");
+    assert_eq!(state.epoch, 13);
+    assert_eq!(
+        state.records.iter().map(|r| r.profile.as_str()).collect::<Vec<_>>(),
+        vec!["device", "AOSP 4.4"],
+        "fold keeps the last swap per profile in epoch order"
+    );
+    let (_, tail, _) = Journal::open(&compacted_journal).expect("reopen");
+    replay_journal(&start.index, &tail).expect("tail replay");
+    let from_ckpt = TrustService::with_index(start.index, 256);
+
+    // Restart 2: the same snapshot with the full journal replayed.
+    let index = index_from_snapshot(&snap_path).expect("warm");
+    let (_, records, _) = Journal::open(&plain_journal).expect("reopen");
+    assert_eq!(records.len(), 3, "uncompacted journal holds the history");
+    replay_journal(&index, &records).expect("replay");
+    let from_journal = TrustService::with_index(index, 256);
+
+    assert_eq!(from_ckpt.index().current_epoch(), 13);
+    assert_eq!(from_journal.index().current_epoch(), 13);
+    for profile in ["AOSP 4.4", "device", "Mozilla"] {
+        assert_eq!(
+            from_ckpt.index().profile(profile).map(|p| p.epoch),
+            from_journal.index().profile(profile).map(|p| p.epoch),
+            "epoch of '{profile}' diverged between recovery paths"
+        );
+    }
+    let ckpt_verdicts = verdicts(&from_ckpt);
+    assert_eq!(
+        ckpt_verdicts,
+        verdicts(&from_journal),
+        "compacted and uncompacted recovery serve different verdicts"
+    );
+    assert_eq!(ckpt_verdicts, live, "recovered servers diverge from the live one");
 }
