@@ -55,8 +55,10 @@ pub fn survey(pop: &Population, proxied: &HashSet<DeviceId>) -> SurveyReport {
     let expected = origin.issuer_identity();
     let targets: Vec<_> = origin.targets().cloned().collect();
     // One proxy instance per proxied device (each middlebox mints its own
-    // chains; re-signed leaves are cached inside the proxy).
-    let mut proxies: HashMap<DeviceId, MitmProxy> = proxied
+    // chains; re-signed leaves are cached inside the proxy). A failed CA
+    // mint is kept as a classified error and flags the device's sessions
+    // instead of panicking or dropping them silently.
+    let mut proxies: HashMap<DeviceId, Result<MitmProxy, tangled_intercept::MintError>> = proxied
         .iter()
         .map(|&id| (id, MitmProxy::reality_mine()))
         .collect();
@@ -64,11 +66,30 @@ pub fn survey(pop: &Population, proxied: &HashSet<DeviceId>) -> SurveyReport {
     let mut flagged = Vec::new();
     for s in &pop.sessions {
         let device = pop.device_of(s);
-        if let Some(proxy) = proxies.get_mut(&s.device) {
+        if let Some(proxy_slot) = proxies.get_mut(&s.device) {
+            let proxy = match proxy_slot {
+                Ok(proxy) => proxy,
+                Err(e) => {
+                    flagged.push(SessionProbe {
+                        session: s.index,
+                        device: s.device,
+                        intercepted_targets: targets.len(),
+                        interfering_issuer: Some(format!("mint-error: {e}")),
+                    });
+                    continue;
+                }
+            };
             let mut intercepted = 0usize;
             let mut issuer = None;
             for t in &targets {
-                let chain = proxy.serve(t, &origin);
+                let chain = match proxy.serve(t, &origin) {
+                    Ok(chain) => chain,
+                    Err(e) => {
+                        intercepted += 1;
+                        issuer.get_or_insert(format!("mint-error: {e}"));
+                        continue;
+                    }
+                };
                 let report = probe(t, &chain, &device.store, &expected, false);
                 match report.verdict {
                     Verdict::Clean => {}

@@ -280,9 +280,20 @@ pub struct Table6 {
 /// Probe the Reality Mine proxy over the Table 6 endpoint list.
 pub fn table6_data() -> Table6 {
     let origin = OriginServers::for_table6();
-    let mut proxy = MitmProxy::reality_mine();
     let device_store: RootStore = ReferenceStore::Aosp44.cached().cloned_as("probe device");
-    let reports = detect::probe_all(&mut proxy, &origin, &device_store, &[]);
+    // A classified mint failure degrades to a diagnostic row rather than
+    // panicking the table renderer.
+    let reports = match MitmProxy::reality_mine()
+        .and_then(|mut proxy| detect::probe_all(&mut proxy, &origin, &device_store, &[]))
+    {
+        Ok(reports) => reports,
+        Err(e) => {
+            return Table6 {
+                intercepted: vec![format!("mint-error: {e}")],
+                whitelisted: Vec::new(),
+            }
+        }
+    };
     let mut intercepted = Vec::new();
     let mut whitelisted = Vec::new();
     for r in reports {

@@ -110,29 +110,29 @@ fn classify(
 
 /// Probe the full Table 6 target list through a proxy, returning one
 /// report per target. `pinned_targets` lists endpoints whose client apps
-/// pin their issuer.
+/// pin their issuer. A classified [`MintError`](crate::proxy::MintError)
+/// from the proxy propagates instead of panicking.
 pub fn probe_all(
     proxy: &mut crate::proxy::MitmProxy,
     origin: &OriginServers,
     device_store: &RootStore,
     pinned_targets: &[Target],
-) -> Vec<ProbeReport> {
+) -> Result<Vec<ProbeReport>, crate::proxy::MintError> {
     let expected = origin.issuer_identity();
     let mut targets: Vec<Target> = origin.targets().cloned().collect();
     targets.sort_by_key(|a| a.to_string());
-    targets
-        .iter()
-        .map(|t| {
-            let chain = proxy.serve(t, origin);
-            probe(
-                t,
-                &chain,
-                device_store,
-                &expected,
-                pinned_targets.contains(t),
-            )
-        })
-        .collect()
+    let mut reports = Vec::with_capacity(targets.len());
+    for t in &targets {
+        let chain = proxy.serve(t, origin)?;
+        reports.push(probe(
+            t,
+            &chain,
+            device_store,
+            &expected,
+            pinned_targets.contains(t),
+        ));
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -160,9 +160,9 @@ mod tests {
     #[test]
     fn reality_mine_interception_detected() {
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let store = device_store();
-        let reports = probe_all(&mut proxy, &origin, &store, &[]);
+        let reports = probe_all(&mut proxy, &origin, &store, &[]).unwrap();
         let intercepted: Vec<_> = reports
             .iter()
             .filter(|r| r.verdict.is_interception())
@@ -186,12 +186,12 @@ mod tests {
         // The §6 threat: if the proxy root IS installed (root app), the
         // chain validates — only anchor comparison catches it.
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let mut store = device_store();
         store.add_cert(Arc::clone(proxy.root_cert()), AnchorSource::RootApp);
         let expected = origin.issuer_identity();
         let t = Target::parse("www.chase.com:443").unwrap();
-        let chain = proxy.serve(&t, &origin);
+        let chain = proxy.serve(&t, &origin).unwrap();
         let report = probe(&t, &chain, &store, &expected, false);
         match report.verdict {
             Verdict::UnexpectedAnchor { ref anchor } => {
@@ -204,12 +204,12 @@ mod tests {
     #[test]
     fn pinning_detects_even_with_installed_root() {
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let mut store = device_store();
         store.add_cert(Arc::clone(proxy.root_cert()), AnchorSource::RootApp);
         let expected = origin.issuer_identity();
         let t = Target::parse("mail.google.com:443").unwrap();
-        let chain = proxy.serve(&t, &origin);
+        let chain = proxy.serve(&t, &origin).unwrap();
         let report = probe(&t, &chain, &store, &expected, true);
         assert_eq!(report.verdict, Verdict::PinViolation);
     }

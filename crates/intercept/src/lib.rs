@@ -16,21 +16,30 @@
 //!   re-signing;
 //! * [`detect`] implements the Netalyzr-side check: validate the presented
 //!   chain against the device's root store, compare the anchor against
-//!   the expectation, and apply app-style certificate pinning.
+//!   the expectation, and apply app-style certificate pinning;
+//! * [`defect`] models client-side validator defects (accept-all trust
+//!   managers, missing hostname checks, pin bypass, stale stores) and
+//!   attributes each successful interception to the defect that enabled
+//!   it — the substrate of the `tangled mitm` scenario engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod defect;
 pub mod detect;
 pub mod origin;
 pub mod policy;
 pub mod proxy;
 
+pub use defect::{evaluate_session, DefectClass, SessionInput, SessionOutcome};
 pub use detect::{probe, ProbeReport, Verdict};
 pub use policy::{ProxyPolicy, Target, INTERCEPTED_DOMAINS, WHITELISTED_DOMAINS};
-pub use proxy::MitmProxy;
+pub use proxy::{MintError, MitmProxy, ProxyHierarchy};
 
-/// The probe instant (same study time as the rest of the workspace).
+/// The probe instant (same study time as the rest of the workspace),
+/// 2014-02-01T00:00:00Z. Infallible: the unix form backs the calendar
+/// constructor so no date arithmetic can panic the engine.
 pub fn study_time() -> tangled_asn1::Time {
-    tangled_asn1::Time::date(2014, 2, 1).expect("valid date")
+    tangled_asn1::Time::date(2014, 2, 1)
+        .unwrap_or_else(|| tangled_asn1::Time::from_unix(1_391_212_800))
 }

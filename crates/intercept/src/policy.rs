@@ -178,6 +178,62 @@ mod tests {
     }
 
     #[test]
+    fn whitelist_is_port_specific() {
+        let policy = ProxyPolicy::reality_mine();
+        // orcart.facebook.com appears in BOTH Table 6 columns: port 8883
+        // (chat) is whitelisted, port 443 is intercepted. The whitelist
+        // entry must not bleed across ports.
+        assert_eq!(
+            policy.action(&Target::new("orcart.facebook.com", 8883)),
+            ProxyAction::PassThrough
+        );
+        assert_eq!(
+            policy.action(&Target::new("orcart.facebook.com", 443)),
+            ProxyAction::Intercept
+        );
+        // And a whitelisted 443 endpoint is NOT whitelisted on port 80.
+        assert_eq!(
+            policy.action(&Target::new("www.facebook.com", 80)),
+            ProxyAction::Intercept
+        );
+    }
+
+    #[test]
+    fn whitelist_wins_over_interception() {
+        // Per Table 6 a pinned endpoint must pass through even when it
+        // would otherwise be intercepted: add an INTERCEPTED domain to the
+        // whitelist and the whitelist must win.
+        let mut policy = ProxyPolicy::reality_mine();
+        let t = Target::parse("www.chase.com:443").unwrap();
+        assert_eq!(policy.action(&t), ProxyAction::Intercept);
+        policy.whitelist_target(t.clone());
+        assert_eq!(policy.action(&t), ProxyAction::PassThrough);
+    }
+
+    #[test]
+    fn overlapping_whitelist_entries_are_idempotent() {
+        // Duplicate and near-duplicate entries (same domain, several
+        // ports) coexist without widening or narrowing each other.
+        let mut policy = ProxyPolicy::reality_mine();
+        policy.whitelist_target(Target::new("dup.example", 443));
+        policy.whitelist_target(Target::new("dup.example", 443));
+        policy.whitelist_target(Target::new("dup.example", 80));
+        assert_eq!(
+            policy.action(&Target::new("dup.example", 443)),
+            ProxyAction::PassThrough
+        );
+        assert_eq!(
+            policy.action(&Target::new("dup.example", 80)),
+            ProxyAction::PassThrough
+        );
+        // A sibling subdomain gains nothing from the parent's entries.
+        assert_eq!(
+            policy.action(&Target::new("sub.dup.example", 443)),
+            ProxyAction::Intercept
+        );
+    }
+
+    #[test]
     fn target_display_round_trip() {
         let t = Target::new("www.yahoo.com", 443);
         assert_eq!(Target::parse(&t.to_string()), Some(t));

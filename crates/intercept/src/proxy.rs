@@ -4,6 +4,11 @@
 //! intercepted targets, mints a fresh leaf for the requested domain on the
 //! fly — "intercepting and re-generating both root and intermediate
 //! certificates on-the-fly for specific domains" (§7).
+//!
+//! Minting is fallible by design: every key-generation, date and issuance
+//! step returns a classified [`MintError`] in the PR-1 quarantine
+//! vocabulary (`stage` + `error` label) instead of panicking, so a hostile
+//! policy or degenerate seed can never take the engine down.
 
 use crate::origin::OriginServers;
 use crate::policy::{ProxyAction, ProxyPolicy, Target};
@@ -21,32 +26,70 @@ pub const PROXY_CA_NAME: &str = "Reality Mine Research Proxy CA";
 /// Host name of the proxy endpoint observed by Netalyzr.
 pub const PROXY_HOST: &str = "v-us-49.analyzeme.me.uk";
 
-/// An HTTPS-intercepting proxy.
-pub struct MitmProxy {
-    policy: ProxyPolicy,
+/// A classified minting failure: which pipeline stage failed and a stable
+/// error label, mirroring the quarantine ledger vocabulary so callers can
+/// account for failed mints instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MintError {
+    /// The stage that failed (`proxy-ca`, `mint`, ...).
+    pub stage: &'static str,
+    /// A stable, grep-able error label (`keygen`, `bad-date`, `issuance`).
+    pub error: &'static str,
+}
+
+impl MintError {
+    /// Construct a classified mint error.
+    pub fn new(stage: &'static str, error: &'static str) -> MintError {
+        MintError { stage, error }
+    }
+}
+
+impl std::fmt::Display for MintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.stage, self.error)
+    }
+}
+
+impl std::error::Error for MintError {}
+
+fn date(stage: &'static str, y: i32, m: u8, d: u8) -> Result<Time, MintError> {
+    Time::date(y, m, d).ok_or(MintError::new(stage, "bad-date"))
+}
+
+/// A re-signing CA hierarchy: root → issuing CA → on-demand leaves.
+///
+/// This is the reusable core of [`MitmProxy`], split out so scenario
+/// engines can mint leaves with arbitrary windows, host names and serials
+/// (expired leaves, hostname-mismatched leaves, ...) without the proxy's
+/// per-target cache or policy attached.
+pub struct ProxyHierarchy {
     root: Arc<Certificate>,
     issuing: Arc<Certificate>,
     issuing_key: RsaKeyPair,
     leaf_key: RsaKeyPair,
-    minted: HashMap<Target, Vec<Arc<Certificate>>>,
-    serial: u64,
 }
 
-impl MitmProxy {
-    /// Stand up a proxy with a fresh CA hierarchy (deterministic in
-    /// `seed`) and the given policy.
-    pub fn new(policy: ProxyPolicy, seed: u64) -> MitmProxy {
+impl ProxyHierarchy {
+    /// Generate a fresh two-level CA hierarchy, deterministic in `seed`.
+    pub fn generate(
+        seed: u64,
+        ca_name: &str,
+        org: &str,
+        country: &str,
+    ) -> Result<ProxyHierarchy, MintError> {
+        let stage = "proxy-ca";
         let mut rng = SplitMix64::new(seed);
-        let root_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
-        let issuing_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
-        let leaf_key = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+        let keygen = MintError::new(stage, "keygen");
+        let root_key = RsaKeyPair::generate(512, &mut rng).map_err(|_| keygen.clone())?;
+        let issuing_key = RsaKeyPair::generate(512, &mut rng).map_err(|_| keygen.clone())?;
+        let leaf_key = RsaKeyPair::generate(512, &mut rng).map_err(|_| keygen)?;
 
-        let nb = Time::date(2013, 1, 1).expect("valid");
-        let na = Time::date(2023, 1, 1).expect("valid");
+        let nb = date(stage, 2013, 1, 1)?;
+        let na = date(stage, 2023, 1, 1)?;
         let root_dn = DistinguishedName::builder()
-            .common_name(PROXY_CA_NAME)
-            .organization("RealityMine Ltd")
-            .country("GB")
+            .common_name(ca_name)
+            .organization(org)
+            .country(country)
             .build();
         let root = Arc::new(
             CertificateBuilder::new(root_dn.clone(), root_dn.clone(), nb, na)
@@ -54,12 +97,12 @@ impl MitmProxy {
                 .ca(None)
                 .key_ids(root_key.public_key(), root_key.public_key())
                 .sign(root_key.public_key(), &root_key)
-                .expect("root issuance"),
+                .map_err(|_| MintError::new(stage, "issuance"))?,
         );
         let issuing_dn = DistinguishedName::builder()
-            .common_name("Reality Mine Issuing CA 01")
-            .organization("RealityMine Ltd")
-            .country("GB")
+            .common_name(&format!("{ca_name} Issuing 01"))
+            .organization(org)
+            .country(country)
             .build();
         let issuing = Arc::new(
             CertificateBuilder::new(root_dn, issuing_dn, nb, na)
@@ -67,21 +110,80 @@ impl MitmProxy {
                 .ca(Some(0))
                 .key_ids(issuing_key.public_key(), root_key.public_key())
                 .sign(issuing_key.public_key(), &root_key)
-                .expect("issuing CA issuance"),
+                .map_err(|_| MintError::new(stage, "issuance"))?,
         );
-        MitmProxy {
-            policy,
+        Ok(ProxyHierarchy {
             root,
             issuing,
             issuing_key,
             leaf_key,
+        })
+    }
+
+    /// The Reality Mine hierarchy as the paper observed it.
+    pub fn reality_mine(seed: u64) -> Result<ProxyHierarchy, MintError> {
+        ProxyHierarchy::generate(seed, PROXY_CA_NAME, "RealityMine Ltd", "GB")
+    }
+
+    /// The self-signed root (never sent on the wire).
+    pub fn root(&self) -> &Arc<Certificate> {
+        &self.root
+    }
+
+    /// The issuing (intermediate) CA certificate.
+    pub fn issuing(&self) -> &Arc<Certificate> {
+        &self.issuing
+    }
+
+    /// Mint a leaf for `domain` under the issuing CA with an explicit
+    /// validity window and serial. All mints share one leaf key — exactly
+    /// what an on-path re-signer does, and what keeps minting cheap.
+    pub fn mint_leaf(
+        &self,
+        domain: &str,
+        dns_names: Vec<String>,
+        serial: u64,
+        not_before: Time,
+        not_after: Time,
+    ) -> Result<Arc<Certificate>, MintError> {
+        CertificateBuilder::new(
+            self.issuing.subject.clone(),
+            DistinguishedName::common_name(domain),
+            not_before,
+            not_after,
+        )
+        .serial(Uint::from_u64(serial))
+        .tls_server(dns_names)
+        .key_ids(self.leaf_key.public_key(), self.issuing_key.public_key())
+        .sign(self.leaf_key.public_key(), &self.issuing_key)
+        .map(Arc::new)
+        .map_err(|_| MintError::new("mint", "issuance"))
+    }
+}
+
+/// An HTTPS-intercepting proxy.
+pub struct MitmProxy {
+    policy: ProxyPolicy,
+    hierarchy: ProxyHierarchy,
+    minted: HashMap<Target, Vec<Arc<Certificate>>>,
+    serial: u64,
+}
+
+impl MitmProxy {
+    /// Stand up a proxy with a fresh CA hierarchy (deterministic in
+    /// `seed`) and the given policy.
+    pub fn new(policy: ProxyPolicy, seed: u64) -> Result<MitmProxy, MintError> {
+        let hierarchy = ProxyHierarchy::reality_mine(seed)?;
+        Ok(MitmProxy {
+            policy,
+            hierarchy,
             minted: HashMap::new(),
             serial: 90_000,
-        }
+        })
     }
 
     /// The Reality Mine proxy as the paper observed it.
-    pub fn reality_mine() -> MitmProxy {
+    pub fn reality_mine() -> Result<MitmProxy, MintError> {
         MitmProxy::new(ProxyPolicy::reality_mine(), 0x5EA1)
     }
 
@@ -89,7 +191,7 @@ impl MitmProxy {
     /// device in the §7 case — which is exactly why Netalyzr could see the
     /// interception).
     pub fn root_cert(&self) -> &Arc<Certificate> {
-        &self.root
+        self.hierarchy.root()
     }
 
     /// The policy in force.
@@ -102,33 +204,31 @@ impl MitmProxy {
     /// Whitelisted / non-HTTPS targets get the origin chain verbatim;
     /// intercepted targets get a proxy-minted chain
     /// `leaf(domain) ← issuing CA ← (proxy root, not sent)`.
-    pub fn serve(&mut self, target: &Target, origin: &OriginServers) -> Vec<Arc<Certificate>> {
+    pub fn serve(
+        &mut self,
+        target: &Target,
+        origin: &OriginServers,
+    ) -> Result<Vec<Arc<Certificate>>, MintError> {
         match self.policy.action(target) {
-            ProxyAction::PassThrough => origin
+            ProxyAction::PassThrough => Ok(origin
                 .chain(target)
                 .map(|c| c.to_vec())
-                .unwrap_or_default(),
+                .unwrap_or_default()),
             ProxyAction::Intercept => {
                 if let Some(chain) = self.minted.get(target) {
-                    return chain.clone();
+                    return Ok(chain.clone());
                 }
                 self.serial += 1;
-                let leaf = Arc::new(
-                    CertificateBuilder::new(
-                        self.issuing.subject.clone(),
-                        DistinguishedName::common_name(&target.domain),
-                        Time::date(2013, 6, 1).expect("valid"),
-                        Time::date(2016, 6, 1).expect("valid"),
-                    )
-                    .serial(Uint::from_u64(self.serial))
-                    .tls_server(vec![target.domain.clone()])
-                    .key_ids(self.leaf_key.public_key(), self.issuing_key.public_key())
-                    .sign(self.leaf_key.public_key(), &self.issuing_key)
-                    .expect("on-the-fly leaf"),
-                );
-                let chain = vec![leaf, Arc::clone(&self.issuing)];
+                let leaf = self.hierarchy.mint_leaf(
+                    &target.domain,
+                    vec![target.domain.clone()],
+                    self.serial,
+                    date("mint", 2013, 6, 1)?,
+                    date("mint", 2016, 6, 1)?,
+                )?;
+                let chain = vec![leaf, Arc::clone(self.hierarchy.issuing())];
                 self.minted.insert(target.clone(), chain.clone());
-                chain
+                Ok(chain)
             }
         }
     }
@@ -141,9 +241,9 @@ mod tests {
     #[test]
     fn intercepted_chain_is_proxy_signed() {
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let t = Target::parse("www.chase.com:443").unwrap();
-        let chain = proxy.serve(&t, &origin);
+        let chain = proxy.serve(&t, &origin).unwrap();
         assert_eq!(chain.len(), 2);
         assert_eq!(chain[0].subject.cn(), Some("www.chase.com"));
         // Leaf verifies under the proxy's issuing CA, which verifies under
@@ -157,31 +257,52 @@ mod tests {
     #[test]
     fn whitelisted_chain_is_untouched() {
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let t = Target::parse("www.facebook.com:443").unwrap();
-        let chain = proxy.serve(&t, &origin);
+        let chain = proxy.serve(&t, &origin).unwrap();
         assert_eq!(chain[0].to_der(), origin.chain(&t).unwrap()[0].to_der());
     }
 
     #[test]
     fn minted_leaves_are_cached_per_target() {
         let origin = OriginServers::for_table6();
-        let mut proxy = MitmProxy::reality_mine();
+        let mut proxy = MitmProxy::reality_mine().unwrap();
         let t = Target::parse("gmail.com:443").unwrap();
-        let a = proxy.serve(&t, &origin);
-        let b = proxy.serve(&t, &origin);
+        let a = proxy.serve(&t, &origin).unwrap();
+        let b = proxy.serve(&t, &origin).unwrap();
         assert_eq!(a[0].to_der(), b[0].to_der());
         // Different targets get different leaves.
-        let c = proxy.serve(&Target::parse("www.yahoo.com:443").unwrap(), &origin);
+        let c = proxy
+            .serve(&Target::parse("www.yahoo.com:443").unwrap(), &origin)
+            .unwrap();
         assert_ne!(a[0].to_der(), c[0].to_der());
     }
 
     #[test]
     fn proxy_is_deterministic_in_seed() {
-        let a = MitmProxy::new(ProxyPolicy::reality_mine(), 7);
-        let b = MitmProxy::new(ProxyPolicy::reality_mine(), 7);
+        let a = MitmProxy::new(ProxyPolicy::reality_mine(), 7).unwrap();
+        let b = MitmProxy::new(ProxyPolicy::reality_mine(), 7).unwrap();
         assert_eq!(a.root_cert().to_der(), b.root_cert().to_der());
-        let c = MitmProxy::new(ProxyPolicy::reality_mine(), 8);
+        let c = MitmProxy::new(ProxyPolicy::reality_mine(), 8).unwrap();
         assert_ne!(a.root_cert().to_der(), c.root_cert().to_der());
+    }
+
+    #[test]
+    fn mint_errors_display_in_quarantine_vocabulary() {
+        let e = MintError::new("proxy-ca", "keygen");
+        assert_eq!(e.to_string(), "proxy-ca/keygen");
+    }
+
+    #[test]
+    fn hierarchy_mints_custom_windows_and_names() {
+        let h = ProxyHierarchy::reality_mine(3).unwrap();
+        let nb = Time::date(2012, 1, 1).unwrap();
+        let na = Time::date(2013, 6, 1).unwrap();
+        let leaf = h
+            .mint_leaf("example.org", vec!["other.example".into()], 7, nb, na)
+            .unwrap();
+        assert_eq!(leaf.subject.cn(), Some("example.org"));
+        assert_eq!(leaf.dns_names(), &["other.example".to_string()]);
+        leaf.verify_issued_by(h.issuing()).unwrap();
     }
 }

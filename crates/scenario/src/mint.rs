@@ -1,0 +1,353 @@
+//! The interposing re-signing proxy: mint strategies over the Table 6
+//! target list.
+//!
+//! [`ScenarioProxy`] generalises [`tangled_intercept::proxy::MitmProxy`]:
+//! the same per-(domain, port) policy and pin-whitelist, but chain
+//! minting is a *pure* function of `(strategy, target index)` — serials
+//! are derived, not counted — so generation can shard over the ambient
+//! [`tangled_exec::ExecPool`] and stay byte-identical at any width.
+
+use std::sync::Arc;
+use tangled_asn1::Time;
+use tangled_crypto::Uint;
+use tangled_intercept::origin::OriginServers;
+use tangled_intercept::policy::{ProxyAction, ProxyPolicy};
+use tangled_intercept::proxy::{MintError, ProxyHierarchy};
+use tangled_intercept::Target;
+use tangled_pki::stores::{global_factory, ReferenceStore, FIRMAPROFESIONAL};
+use tangled_x509::{Certificate, CertIdentity, CertificateBuilder, DistinguishedName};
+
+/// How the proxy forges the chain for an intercepted target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MintStrategy {
+    /// Leaf under the proxy's own (uninstalled) self-signed hierarchy —
+    /// the paper's Reality Mine setup.
+    SelfSignedRoot,
+    /// Same forged chain, but the proxy root *is* installed on the
+    /// device (the §6 rooted-handset threat): even correct validation
+    /// anchors it.
+    InstalledRoot,
+    /// A perfectly valid public-PKI chain — for the wrong host.
+    WrongHostLeaf,
+    /// A leaf under the legitimate issuer whose window closed before the
+    /// study instant.
+    ExpiredLeaf,
+    /// A valid-window leaf signed by the expired Firmaprofesional root
+    /// that every AOSP store still ships (§2): only anchor-expiry
+    /// checking blocks it.
+    ExpiredRoot,
+}
+
+impl MintStrategy {
+    /// Every strategy, in canonical report order.
+    pub const ALL: [MintStrategy; 5] = [
+        MintStrategy::SelfSignedRoot,
+        MintStrategy::InstalledRoot,
+        MintStrategy::WrongHostLeaf,
+        MintStrategy::ExpiredLeaf,
+        MintStrategy::ExpiredRoot,
+    ];
+
+    /// Stable report/CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MintStrategy::SelfSignedRoot => "self-signed-root",
+            MintStrategy::InstalledRoot => "installed-root",
+            MintStrategy::WrongHostLeaf => "wrong-host-leaf",
+            MintStrategy::ExpiredLeaf => "expired-leaf",
+            MintStrategy::ExpiredRoot => "expired-root",
+        }
+    }
+
+    /// Parse a label back into a strategy.
+    pub fn parse(label: &str) -> Option<MintStrategy> {
+        MintStrategy::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+impl std::fmt::Display for MintStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn date(y: i32, m: u8, d: u8) -> Result<Time, MintError> {
+    Time::date(y, m, d).ok_or(MintError::new("mint", "bad-date"))
+}
+
+/// The scenario engine's re-signing middlebox.
+pub struct ScenarioProxy {
+    policy: ProxyPolicy,
+    hierarchy: ProxyHierarchy,
+    origin: OriginServers,
+    targets: Vec<Target>,
+    pinned: Vec<Target>,
+    expected_issuer: CertIdentity,
+}
+
+impl ScenarioProxy {
+    /// Stand up the proxy over the Table 6 endpoint list, deterministic
+    /// in `seed`. The pin set is the proxy's whitelist plus
+    /// `mail.google.com:443` — an endpoint the operator intercepts even
+    /// though the client app pins it, which is what makes the pin-bypass
+    /// defect observable.
+    pub fn new(seed: u64) -> Result<ScenarioProxy, MintError> {
+        let policy = ProxyPolicy::reality_mine();
+        let hierarchy = ProxyHierarchy::reality_mine(seed)?;
+        let origin = OriginServers::for_table6();
+        let mut targets: Vec<Target> = origin.targets().cloned().collect();
+        targets.sort_by_key(|t| t.to_string());
+        let mut pinned: Vec<Target> = tangled_intercept::WHITELISTED_DOMAINS
+            .iter()
+            .filter_map(|s| Target::parse(s))
+            .collect();
+        if let Some(t) = Target::parse("mail.google.com:443") {
+            pinned.push(t);
+        }
+        let expected_issuer = origin.issuer_identity();
+        Ok(ScenarioProxy {
+            policy,
+            hierarchy,
+            origin,
+            targets,
+            pinned,
+            expected_issuer,
+        })
+    }
+
+    /// The Table 6 targets, sorted by display form.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// Does the client app pin this endpoint's issuer?
+    pub fn is_pinned(&self, target: &Target) -> bool {
+        self.pinned.contains(target)
+    }
+
+    /// Does the proxy's per-(domain, port) policy interpose here?
+    pub fn intercepts(&self, target: &Target) -> bool {
+        self.policy.action(target) == ProxyAction::Intercept
+    }
+
+    /// The root the `installed-root` strategy plants on the device.
+    pub fn installed_root(&self) -> &Arc<Certificate> {
+        self.hierarchy.root()
+    }
+
+    /// The legitimate public-PKI issuer identity (the pin).
+    pub fn expected_issuer(&self) -> &CertIdentity {
+        &self.expected_issuer
+    }
+
+    /// The legitimate origin servers.
+    pub fn origin(&self) -> &OriginServers {
+        &self.origin
+    }
+
+    /// The chain presented on a session: the origin chain when the
+    /// policy passes the target through, the strategy's forgery when it
+    /// interposes. Pure in `(strategy, target index)`.
+    pub fn present(
+        &self,
+        strategy: MintStrategy,
+        target_idx: usize,
+    ) -> Result<Vec<Arc<Certificate>>, MintError> {
+        let target = self
+            .targets
+            .get(target_idx)
+            .ok_or(MintError::new("mint", "bad-target"))?;
+        if !self.intercepts(target) {
+            return Ok(self
+                .origin
+                .chain(target)
+                .map(|c| c.to_vec())
+                .unwrap_or_default());
+        }
+        self.mint(strategy, target_idx)
+    }
+
+    /// Mint the forged chain for an intercepted target. Serials are a
+    /// pure function of `(strategy, target index)` so parallel minting
+    /// is order-independent.
+    fn mint(
+        &self,
+        strategy: MintStrategy,
+        target_idx: usize,
+    ) -> Result<Vec<Arc<Certificate>>, MintError> {
+        let target = &self.targets[target_idx];
+        let serial = 100_000
+            + 1_000
+                * (MintStrategy::ALL
+                    .iter()
+                    .position(|s| *s == strategy)
+                    .unwrap_or(0) as u64)
+            + target_idx as u64;
+        match strategy {
+            MintStrategy::SelfSignedRoot | MintStrategy::InstalledRoot => {
+                let leaf = self.hierarchy.mint_leaf(
+                    &target.domain,
+                    vec![target.domain.clone()],
+                    serial,
+                    date(2013, 6, 1)?,
+                    date(2016, 6, 1)?,
+                )?;
+                Ok(vec![leaf, Arc::clone(self.hierarchy.issuing())])
+            }
+            MintStrategy::WrongHostLeaf => {
+                // Present another target's perfectly valid origin chain:
+                // trusted path, trusted anchor, wrong host name. Skip
+                // past same-domain neighbours (the list holds the same
+                // host on several ports) so the name really mismatches.
+                let domain = &self.targets[target_idx].domain;
+                let other = (1..self.targets.len())
+                    .map(|off| &self.targets[(target_idx + off) % self.targets.len()])
+                    .find(|t| &t.domain != domain)
+                    .ok_or(MintError::new("mint", "bad-target"))?;
+                Ok(self
+                    .origin
+                    .chain(other)
+                    .map(|c| c.to_vec())
+                    .unwrap_or_default())
+            }
+            MintStrategy::ExpiredLeaf => {
+                // A leaf under the legitimate issuer whose validity
+                // window closed months before the study instant.
+                self.issuer_signed_leaf(
+                    &target.domain,
+                    serial,
+                    date(2012, 1, 1)?,
+                    date(2013, 6, 1)?,
+                )
+            }
+            MintStrategy::ExpiredRoot => {
+                // A currently-valid leaf anchored at the expired
+                // Firmaprofesional root that AOSP still ships.
+                let store = ReferenceStore::Aosp44.cached();
+                let firm = store
+                    .enabled_certificates()
+                    .into_iter()
+                    .find(|c| c.subject.cn() == Some(FIRMAPROFESIONAL))
+                    .ok_or(MintError::new("mint", "missing-anchor"))?;
+                let firm_kp = {
+                    let mut f = global_factory().lock().expect("factory poisoned");
+                    f.keypair(FIRMAPROFESIONAL)
+                };
+                let leaf_kp = {
+                    let mut f = global_factory().lock().expect("factory poisoned");
+                    f.keypair("scenario strategy leaf")
+                };
+                CertificateBuilder::new(
+                    firm.subject.clone(),
+                    DistinguishedName::common_name(&target.domain),
+                    date(2012, 1, 1)?,
+                    date(2016, 1, 1)?,
+                )
+                .serial(Uint::from_u64(serial))
+                .tls_server(vec![target.domain.clone()])
+                .key_ids(leaf_kp.public_key(), firm_kp.public_key())
+                .sign(leaf_kp.public_key(), &firm_kp)
+                .map(|leaf| vec![Arc::new(leaf)])
+                .map_err(|_| MintError::new("mint", "issuance"))
+            }
+        }
+    }
+
+    fn issuer_signed_leaf(
+        &self,
+        domain: &str,
+        serial: u64,
+        not_before: Time,
+        not_after: Time,
+    ) -> Result<Vec<Arc<Certificate>>, MintError> {
+        let issuer_name = self.origin.issuer_name().to_owned();
+        let (issuer, issuer_kp, leaf_kp) = {
+            let mut f = global_factory().lock().expect("factory poisoned");
+            (
+                f.root(&issuer_name),
+                f.keypair(&issuer_name),
+                f.keypair("scenario strategy leaf"),
+            )
+        };
+        CertificateBuilder::new(
+            issuer.subject.clone(),
+            DistinguishedName::common_name(domain),
+            not_before,
+            not_after,
+        )
+        .serial(Uint::from_u64(serial))
+        .tls_server(vec![domain.to_owned()])
+        .key_ids(leaf_kp.public_key(), issuer_kp.public_key())
+        .sign(leaf_kp.public_key(), &issuer_kp)
+        .map(|leaf| vec![Arc::new(leaf)])
+        .map_err(|_| MintError::new("mint", "issuance"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_labels_round_trip() {
+        for s in MintStrategy::ALL {
+            assert_eq!(MintStrategy::parse(s.label()), Some(s));
+        }
+        assert_eq!(MintStrategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn proxy_serves_21_targets_with_12_intercepted() {
+        let proxy = ScenarioProxy::new(11).unwrap();
+        assert_eq!(proxy.targets().len(), 21);
+        let intercepted = proxy
+            .targets()
+            .iter()
+            .filter(|t| proxy.intercepts(t))
+            .count();
+        assert_eq!(intercepted, 12);
+        // 9 whitelisted pins plus the intercepted-but-pinned endpoint.
+        let pinned = proxy
+            .targets()
+            .iter()
+            .filter(|t| proxy.is_pinned(t))
+            .count();
+        assert_eq!(pinned, 10);
+    }
+
+    #[test]
+    fn minting_is_pure_in_strategy_and_index() {
+        let proxy = ScenarioProxy::new(11).unwrap();
+        let idx = proxy
+            .targets()
+            .iter()
+            .position(|t| proxy.intercepts(t))
+            .unwrap();
+        let a = proxy.present(MintStrategy::SelfSignedRoot, idx).unwrap();
+        let b = proxy.present(MintStrategy::SelfSignedRoot, idx).unwrap();
+        assert_eq!(a[0].to_der(), b[0].to_der());
+        // Different strategies mint different leaves for the same target.
+        let c = proxy.present(MintStrategy::ExpiredLeaf, idx).unwrap();
+        assert_ne!(a[0].to_der(), c[0].to_der());
+    }
+
+    #[test]
+    fn expired_root_leaf_is_valid_but_anchored_at_the_dead_root() {
+        let proxy = ScenarioProxy::new(11).unwrap();
+        let idx = proxy
+            .targets()
+            .iter()
+            .position(|t| proxy.intercepts(t))
+            .unwrap();
+        let chain = proxy.present(MintStrategy::ExpiredRoot, idx).unwrap();
+        assert_eq!(chain.len(), 1);
+        let study = tangled_intercept::study_time().to_unix();
+        assert!(chain[0].not_before.to_unix() <= study);
+        assert!(study <= chain[0].not_after.to_unix());
+        assert_eq!(
+            chain[0].issuer.cn(),
+            Some(FIRMAPROFESIONAL),
+            "anchored at the §2 expired root"
+        );
+    }
+}

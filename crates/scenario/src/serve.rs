@@ -1,0 +1,163 @@
+//! Served mode: drive the scenario's `probe_session` plan against a
+//! live trustd over the resilient client.
+//!
+//! The request plan is the same [`crate::plan`] the offline
+//! [`crate::compute`] evaluates in-process, and `probe_session` is
+//! idempotent, so a served replay must reproduce the offline report
+//! verdict-for-verdict — same ledger, same fingerprint. The chaos
+//! variant injects seeded *lossy* wire faults (disconnect, partial
+//! write, trickle) on the client side; faults cost retries, never
+//! answers, so the fingerprint still matches.
+
+use std::net::ToSocketAddrs;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tangled_faults::chaos::{ChaosPlan, ChaosStream, WireFaultKind, WireLedger};
+use tangled_trustd::{
+    canonical, Connect, ResilientClient, Response, RetryPolicy, TcpConnector, TrustClient,
+};
+
+use crate::{tally, ScenarioReport, ScenarioSpec};
+
+/// Outcome of one served scenario replay.
+pub struct MitmOutcome {
+    /// The tallied report — same shape as the offline one.
+    pub report: ScenarioReport,
+    /// Requests sent.
+    pub requests: usize,
+    /// `error` responses with stage `wire` (protocol errors).
+    pub wire_errors: usize,
+    /// TCP connections opened (keep-alive reuse makes this 1 clean).
+    pub connects: u64,
+    /// Client-side wire faults injected (chaos runs only).
+    pub faults: usize,
+    /// Wall-clock time spent replaying.
+    pub elapsed: Duration,
+}
+
+/// Replay the scenario plan against a live server, pipelining `depth`
+/// requests per round trip.
+pub fn replay_mitm(
+    addr: impl ToSocketAddrs + Clone,
+    spec: &ScenarioSpec,
+    depth: usize,
+) -> Result<MitmOutcome, String> {
+    let requests = crate::plan(spec).map_err(|e| format!("planning scenario: {e}"))?;
+    let probe = TrustClient::connect_retry(addr.clone(), Duration::from_secs(5))
+        .map_err(|e| format!("server never came up: {e}"))?;
+    drop(probe);
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+    let mut client = ResilientClient::new(TcpConnector::new(addr), RetryPolicy::new(spec.seed));
+
+    let depth = depth.max(1);
+    let started = Instant::now();
+    let mut verdicts = Vec::with_capacity(requests.len());
+    let mut wire_errors = 0usize;
+    for chunk in requests.chunks(depth) {
+        let replies = client
+            .call_pipelined(chunk)
+            .map_err(|e| format!("scenario chunk: {e}"))?;
+        for resp in &replies {
+            if matches!(resp, Response::Error { stage, .. } if stage == "wire") {
+                wire_errors += 1;
+            }
+            verdicts.push(canonical(resp));
+        }
+    }
+    let elapsed = started.elapsed();
+
+    Ok(MitmOutcome {
+        report: tally(spec, &verdicts),
+        requests: requests.len(),
+        wire_errors,
+        connects: client.reconnects(),
+        faults: 0,
+        elapsed,
+    })
+}
+
+struct ChaosConnector {
+    addr: std::net::SocketAddr,
+    plan: ChaosPlan,
+    salt: u64,
+    ledger: WireLedger,
+}
+
+impl Connect for ChaosConnector {
+    type Stream = ChaosStream<std::net::TcpStream>;
+
+    fn connect(&mut self) -> std::io::Result<TrustClient<ChaosStream<std::net::TcpStream>>> {
+        let stream = std::net::TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        self.salt += 1;
+        Ok(TrustClient::from_stream(ChaosStream::with_ledger(
+            stream,
+            &self.plan,
+            self.salt,
+            Arc::clone(&self.ledger),
+        )))
+    }
+}
+
+/// Replay the scenario with seeded lossy wire faults on the client
+/// side. `probe_session` is idempotent, so blind retries are safe and
+/// the report must still match the clean run's fingerprint.
+pub fn replay_mitm_chaos(
+    addr: impl ToSocketAddrs,
+    spec: &ScenarioSpec,
+    chaos_seed: u64,
+    chaos_rate: f64,
+) -> Result<MitmOutcome, String> {
+    let requests = crate::plan(spec).map_err(|e| format!("planning scenario: {e}"))?;
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving address: {e}"))?
+        .next()
+        .ok_or("address resolved to nothing")?;
+    let ledger: WireLedger = Arc::new(Mutex::new(Vec::new()));
+    let plan = ChaosPlan::new(chaos_seed)
+        .with_rate(chaos_rate)
+        .only(&WireFaultKind::LOSSY);
+    let connector = ChaosConnector {
+        addr,
+        plan,
+        salt: 0,
+        ledger: Arc::clone(&ledger),
+    };
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        ..RetryPolicy::immediate(chaos_seed)
+    };
+    let mut client = ResilientClient::new(connector, policy);
+
+    let started = Instant::now();
+    let mut verdicts = Vec::with_capacity(requests.len());
+    let mut wire_errors = 0usize;
+    for req in &requests {
+        let resp = client
+            .call(req)
+            .map_err(|e| format!("chaos scenario: {e}"))?;
+        if matches!(&resp, Response::Error { stage, .. } if stage == "wire") {
+            wire_errors += 1;
+        }
+        verdicts.push(canonical(&resp));
+    }
+    let elapsed = started.elapsed();
+    let faults = ledger.lock().map(|l| l.len()).unwrap_or(0);
+
+    Ok(MitmOutcome {
+        report: tally(spec, &verdicts),
+        requests: requests.len(),
+        wire_errors,
+        connects: client.reconnects(),
+        faults,
+        elapsed,
+    })
+}

@@ -265,6 +265,7 @@ pub fn canonical(resp: &Response) -> String {
             quarantined.len()
         ),
         Response::Probe { verdict } => format!("probe/{verdict}"),
+        Response::ProbeSession { outcome } => format!("probe_session/{outcome}"),
         Response::Compare {
             chain_key,
             verdicts,

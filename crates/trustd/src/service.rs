@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tangled_core::classify::class_index;
+use tangled_intercept::defect::{evaluate_session, DefectClass, SessionInput};
 use tangled_intercept::detect::{probe, Verdict};
 use tangled_intercept::origin::OriginServers;
 use tangled_intercept::policy::Target;
@@ -178,6 +179,23 @@ impl TrustService {
                 chain,
                 pinned,
             } => self.probe(profile, target, chain, *pinned),
+            Request::ProbeSession {
+                profile,
+                defect,
+                target,
+                chain,
+                pinned,
+                extra_anchor,
+                intercepted,
+            } => self.probe_session(
+                profile,
+                defect,
+                target,
+                chain,
+                *pinned,
+                extra_anchor.as_deref(),
+                *intercepted,
+            ),
             Request::Compare { chain } => self.compare(chain),
             Request::BatchValidate { profile, chains } => {
                 self.batch_validate(profile, chains)
@@ -437,6 +455,57 @@ impl TrustService {
         );
         Response::Probe {
             verdict: verdict_label(&report.verdict),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_session(
+        &self,
+        profile: &str,
+        defect: &str,
+        target: &str,
+        chain: &[Vec<u8>],
+        pinned: bool,
+        extra_anchor: Option<&[u8]>,
+        intercepted: bool,
+    ) -> Response {
+        let Some(profile) = self.index.profile(profile) else {
+            return error("probe_session", "unknown-profile");
+        };
+        let Some(defect) = DefectClass::parse(defect) else {
+            return error("probe_session", "unknown-defect");
+        };
+        let Some(target) = Target::parse(target) else {
+            return error("probe_session", "bad-target");
+        };
+        let Some(certs) = parse_chain(chain) else {
+            self.stats
+                .record_quarantined("probe_session", "malformed-der");
+            return error("probe_session", "malformed-der");
+        };
+        let extra = match extra_anchor {
+            Some(der) => match Certificate::parse(der) {
+                Ok(cert) => Some(Arc::new(cert)),
+                Err(_) => {
+                    self.stats
+                        .record_quarantined("probe_session", "malformed-der");
+                    return error("probe_session", "malformed-der");
+                }
+            },
+            None => None,
+        };
+        let outcome = evaluate_session(&SessionInput {
+            device_store: &profile.store,
+            extra_anchor: extra.as_ref(),
+            defect,
+            target: &target,
+            chain: &certs,
+            pinned,
+            expected_issuer: &self.expected_issuer,
+            intercepted,
+        });
+        Response::ProbeSession {
+            outcome: outcome.label(),
         }
     }
 
@@ -726,6 +795,83 @@ mod tests {
             pinned: false,
         }) {
             Response::Probe { verdict } => assert_eq!(verdict, "clean"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_session_attributes_and_rejects_bad_input() {
+        let svc = TrustService::new(0);
+        // A pass-through session is whitelisted no matter the defect.
+        match svc.handle(&Request::ProbeSession {
+            profile: "AOSP 4.4".into(),
+            defect: "accept-all".into(),
+            target: "www.facebook.com:443".into(),
+            chain: origin_chain("www.facebook.com:443"),
+            pinned: true,
+            extra_anchor: None,
+            intercepted: false,
+        }) {
+            Response::ProbeSession { outcome } => assert_eq!(outcome, "whitelisted"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A correct client blocks a re-signed chain; an accept-all client
+        // lets it through and is attributed.
+        let origin = OriginServers::for_table6();
+        let mut proxy = tangled_intercept::MitmProxy::reality_mine().unwrap();
+        let target = Target::parse("www.chase.com:443").unwrap();
+        let minted: Vec<Vec<u8>> = proxy
+            .serve(&target, &origin)
+            .unwrap()
+            .iter()
+            .map(|c| c.to_der().to_vec())
+            .collect();
+        for (defect, expected) in [
+            ("correct", "blocked(no-path)"),
+            ("accept-all", "intercepted(accept-all)"),
+        ] {
+            match svc.handle(&Request::ProbeSession {
+                profile: "AOSP 4.4".into(),
+                defect: defect.into(),
+                target: "www.chase.com:443".into(),
+                chain: minted.clone(),
+                pinned: false,
+                extra_anchor: None,
+                intercepted: true,
+            }) {
+                Response::ProbeSession { outcome } => assert_eq!(outcome, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Unknown defect labels and malformed anchors are classified.
+        match svc.handle(&Request::ProbeSession {
+            profile: "AOSP 4.4".into(),
+            defect: "nonsense".into(),
+            target: "www.chase.com:443".into(),
+            chain: minted.clone(),
+            pinned: false,
+            extra_anchor: None,
+            intercepted: true,
+        }) {
+            Response::Error { stage, error } => {
+                assert_eq!(stage, "probe_session");
+                assert_eq!(error, "unknown-defect");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match svc.handle(&Request::ProbeSession {
+            profile: "AOSP 4.4".into(),
+            defect: "correct".into(),
+            target: "www.chase.com:443".into(),
+            chain: minted,
+            pinned: false,
+            extra_anchor: Some(vec![0xde, 0xad]),
+            intercepted: true,
+        }) {
+            Response::Error { stage, error } => {
+                assert_eq!(stage, "probe_session");
+                assert_eq!(error, "malformed-der");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

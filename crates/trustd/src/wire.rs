@@ -277,6 +277,29 @@ pub enum Request {
         /// Does the client app pin the expected issuer?
         pinned: bool,
     },
+    /// One adversarial-interception scenario session: a client with a
+    /// named validator defect sees a (possibly re-signed) chain for a
+    /// target, and the server returns the conservation-ledger outcome —
+    /// whitelisted, blocked(reason) or intercepted(attributed-defect).
+    /// Idempotent: a pure function of its inputs and the named profile.
+    ProbeSession {
+        /// Store profile the device runs (e.g. `"AOSP 4.4"`).
+        profile: String,
+        /// The client's validator-defect label
+        /// ([`tangled_intercept::DefectClass`]).
+        defect: String,
+        /// Probed endpoint, `host:port`.
+        target: String,
+        /// Presented DER chain, leaf first.
+        chain: Vec<Vec<u8>>,
+        /// Does the client app pin the expected issuer?
+        pinned: bool,
+        /// A root the interceptor installed on the device, if any (DER).
+        extra_anchor: Option<Vec<u8>>,
+        /// Did the proxy interpose on this session (false = whitelisted
+        /// pass-through)?
+        intercepted: bool,
+    },
     /// Cross-ecosystem comparison: validate one presented chain against
     /// *every* standard store profile in a single round trip (the
     /// disparity engine's per-chain verdict vector, amortising one index
@@ -315,6 +338,7 @@ impl Request {
             Request::Classify { .. } => "classify",
             Request::Audit { .. } => "audit",
             Request::Probe { .. } => "probe",
+            Request::ProbeSession { .. } => "probe_session",
             Request::Compare { .. } => "compare",
             Request::BatchValidate { .. } => "batch_validate",
             Request::Swap { .. } => "swap",
@@ -324,8 +348,9 @@ impl Request {
 
     /// May this request be blindly retried after a transport failure?
     ///
-    /// Queries (`validate`, `classify`, `audit`, `probe`, `stats`) are
-    /// pure reads: executing one twice is indistinguishable from once.
+    /// Queries (`validate`, `classify`, `audit`, `probe`,
+    /// `probe_session`, `stats`) are pure reads: executing one twice is
+    /// indistinguishable from once.
     /// `swap` mutates the index and bumps the profile epoch, so a retry
     /// after an ambiguous failure could double-install; resilient callers
     /// must re-sync via the profile's epoch instead (see
@@ -369,6 +394,30 @@ impl Request {
                 "chain": encode_chain(chain),
                 "pinned": *pinned,
             }),
+            Request::ProbeSession {
+                profile,
+                defect,
+                target,
+                chain,
+                pinned,
+                extra_anchor,
+                intercepted,
+            } => {
+                let extra = match extra_anchor {
+                    Some(anchor) => Value::from(base64_encode(anchor)),
+                    None => Value::Null,
+                };
+                json!({
+                    "type": "probe_session",
+                    "profile": profile.as_str(),
+                    "defect": defect.as_str(),
+                    "target": target.as_str(),
+                    "chain": encode_chain(chain),
+                    "pinned": *pinned,
+                    "extra_anchor": extra,
+                    "intercepted": *intercepted,
+                })
+            }
             Request::Compare { chain } => json!({
                 "type": "compare",
                 "chain": encode_chain(chain),
@@ -427,6 +476,27 @@ impl Request {
                     .and_then(Value::as_bool)
                     .ok_or(WireError::BadRequest("missing pinned flag"))?,
             }),
+            "probe_session" => {
+                let extra_anchor = match v.get("extra_anchor") {
+                    None | Some(Value::Null) => None,
+                    some => Some(decode_blob(some)?),
+                };
+                Ok(Request::ProbeSession {
+                    profile: str_field(v, "profile")?.to_owned(),
+                    defect: str_field(v, "defect")?.to_owned(),
+                    target: str_field(v, "target")?.to_owned(),
+                    chain: decode_chain(v.get("chain"))?,
+                    pinned: v
+                        .get("pinned")
+                        .and_then(Value::as_bool)
+                        .ok_or(WireError::BadRequest("missing pinned flag"))?,
+                    extra_anchor,
+                    intercepted: v
+                        .get("intercepted")
+                        .and_then(Value::as_bool)
+                        .ok_or(WireError::BadRequest("missing intercepted flag"))?,
+                })
+            }
             "compare" => Ok(Request::Compare {
                 chain: decode_chain(v.get("chain"))?,
             }),
@@ -525,6 +595,12 @@ pub enum Response {
         /// Canonical verdict string (`clean`, `pin-violation`, …).
         verdict: String,
     },
+    /// Scenario-session result: the conservation-ledger bucket.
+    ProbeSession {
+        /// Canonical outcome label (`whitelisted`, `blocked(reason)`,
+        /// `intercepted(defect)`).
+        outcome: String,
+    },
     /// Compare result: the per-chain ecosystem verdict vector.
     Compare {
         /// Hex [`tangled_x509::ChainKey`] of the presented chain — the
@@ -617,6 +693,10 @@ impl Response {
             Response::Probe { verdict } => json!({
                 "type": "probe",
                 "verdict": verdict.as_str(),
+            }),
+            Response::ProbeSession { outcome } => json!({
+                "type": "probe_session",
+                "outcome": outcome.as_str(),
             }),
             Response::Compare {
                 chain_key,
@@ -743,6 +823,9 @@ impl Response {
             }),
             "probe" => Ok(Response::Probe {
                 verdict: str_field(v, "verdict")?.to_owned(),
+            }),
+            "probe_session" => Ok(Response::ProbeSession {
+                outcome: str_field(v, "outcome")?.to_owned(),
             }),
             "compare" => Ok(Response::Compare {
                 chain_key: str_field(v, "chain_key")?.to_owned(),
@@ -1100,6 +1183,24 @@ mod tests {
                 chain: vec![],
                 pinned: true,
             },
+            Request::ProbeSession {
+                profile: "AOSP 4.4".into(),
+                defect: "accept-all".into(),
+                target: "www.chase.com:443".into(),
+                chain: vec![vec![0x30, 0x03, 1, 2, 3]],
+                pinned: false,
+                extra_anchor: Some(vec![0x30, 0x01, 0xaa]),
+                intercepted: true,
+            },
+            Request::ProbeSession {
+                profile: "AOSP 4.1".into(),
+                defect: "correct".into(),
+                target: "supl.google.com:7275".into(),
+                chain: vec![],
+                pinned: true,
+                extra_anchor: None,
+                intercepted: false,
+            },
             Request::Compare {
                 chain: vec![vec![0x30, 0x03, 1, 2, 3], vec![0xab]],
             },
@@ -1148,6 +1249,9 @@ mod tests {
             },
             Response::Probe {
                 verdict: "clean".into(),
+            },
+            Response::ProbeSession {
+                outcome: "intercepted(accept-all)".into(),
             },
             Response::Compare {
                 chain_key: "ab12".into(),

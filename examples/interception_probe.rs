@@ -25,9 +25,9 @@ fn main() {
     let origin = OriginServers::for_table6();
 
     // Case 1: the paper's user — proxy root NOT in the device store.
-    let mut proxy = MitmProxy::reality_mine();
+    let mut proxy = MitmProxy::reality_mine().expect("proxy hierarchy");
     let stock = ReferenceStore::Aosp44.cached().cloned_as("Nexus 7 (stock)");
-    let reports = probe_all(&mut proxy, &origin, &stock, &[]);
+    let reports = probe_all(&mut proxy, &origin, &stock, &[]).expect("probe");
     let visible = reports
         .iter()
         .filter(|r| matches!(r.verdict, Verdict::UntrustedChain { .. }))
@@ -39,10 +39,10 @@ fn main() {
     );
 
     // Case 2: a root app installed the proxy root (§6).
-    let mut proxy = MitmProxy::reality_mine();
+    let mut proxy = MitmProxy::reality_mine().expect("proxy hierarchy");
     let mut rooted = ReferenceStore::Aosp44.cached().cloned_as("rooted device");
     rooted.add_cert(Arc::clone(proxy.root_cert()), AnchorSource::RootApp);
-    let reports = probe_all(&mut proxy, &origin, &rooted, &[]);
+    let reports = probe_all(&mut proxy, &origin, &rooted, &[]).expect("probe");
     let silent = reports
         .iter()
         .filter(|r| matches!(r.verdict, Verdict::UnexpectedAnchor { .. }))
@@ -58,9 +58,9 @@ fn main() {
     );
 
     // Case 3: pinned apps (the reason the proxy whitelists them).
-    let mut proxy = MitmProxy::reality_mine();
+    let mut proxy = MitmProxy::reality_mine().expect("proxy hierarchy");
     let pinned: Vec<Target> = origin.targets().cloned().collect();
-    let reports = probe_all(&mut proxy, &origin, &rooted, &pinned);
+    let reports = probe_all(&mut proxy, &origin, &rooted, &pinned).expect("probe");
     let pin_violations = reports
         .iter()
         .filter(|r| r.verdict == Verdict::PinViolation)

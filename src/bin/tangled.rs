@@ -36,7 +36,7 @@
 //!                                    into a checkpoint delta once it grows
 //!                                    past BYTES, keeping recovery O(state)
 //! tangled loadgen <addr> [--sessions N] [--seed S]
-//!                        [--op mixed|compare|batch] [--pipeline N]
+//!                        [--op mixed|compare|batch|mitm] [--pipeline N]
 //!                        [--chaos-rate R] [--chaos-seed S] [--swaps N]
 //!                                    replay a seeded population against a
 //!                                    server and verify the verdicts over one
@@ -52,7 +52,16 @@
 //!                                    the resilient retry client; with
 //!                                    --swaps, drive N store swaps of a
 //!                                    'canary' profile instead (exercises the
-//!                                    journal/compaction write path)
+//!                                    journal/compaction write path); with
+//!                                    --op mitm, replay the interception
+//!                                    scenario plan through probe_session and
+//!                                    cross-check the offline report's
+//!                                    fingerprint
+//! tangled mitm    [scale] [--seed S] adversarial interception scenarios: a
+//!                                    seeded defective-client population vs a
+//!                                    re-signing proxy, with per-strategy
+//!                                    conservation ledger and defect
+//!                                    attribution
 //! tangled disparity [scale]          cross-ecosystem disparity report:
 //!                                    Jaccard matrix, coverage tables,
 //!                                    trusted-by-exactly-k histogram and
@@ -109,6 +118,7 @@ use tangled_mass::pki::cacerts::{from_cacerts, to_cacerts_pem, CacertsFile};
 use tangled_mass::pki::stores::ReferenceStore;
 use tangled_mass::obs;
 use tangled_mass::pki::trust::AnchorSource;
+use tangled_mass::scenario;
 use tangled_mass::snap::{
     encode_checkpoint, load_study, write_study, Journal, Snapshot, SwapRecord,
     TrustState,
@@ -142,7 +152,7 @@ impl From<&str> for CliError {
 
 fn usage() -> String {
     [
-        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|disparity|chaos|stats|trace|bench-study|bench-snap> [...]",
+        "usage: tangled [--threads N] [--metrics-dump] <tables|figures|export|mkstore|audit|probe|snap|serve|loadgen|disparity|mitm|chaos|stats|trace|bench-study|bench-snap> [...]",
         "  tables  [scale]          print Tables 1-6",
         "  figures [scale]          print Figures 1-3 summaries",
         "  export  [scale]          print the result set as JSON",
@@ -168,7 +178,7 @@ fn usage() -> String {
         "                           present; write-ahead journal for swaps;",
         "                           --compact-threshold folds the journal into",
         "                           the checkpoint once it crosses BYTES)",
-        "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare|batch]",
+        "  loadgen <addr> [--sessions N] [--seed S] [--op mixed|compare|batch|mitm]",
         "          [--pipeline N] [--chaos-rate R] [--chaos-seed S] [--swaps N]",
         "                           replay a seeded population against a server",
         "                           over one keep-alive connection; --pipeline",
@@ -176,15 +186,23 @@ fn usage() -> String {
         "                           batch groups validates into batch_validate",
         "                           frames; --op compare serves per-chain",
         "                           verdict vectors and prints their",
-        "                           fingerprint; --chaos-rate injects lossy",
-        "                           wire faults recovered through the resilient",
-        "                           client; --swaps drives N store swaps on the",
-        "                           'canary' profile instead of a replay",
+        "                           fingerprint; --op mitm replays the",
+        "                           interception scenario plan and cross-checks",
+        "                           the offline fingerprint; --chaos-rate",
+        "                           injects lossy wire faults recovered through",
+        "                           the resilient client; --swaps drives N",
+        "                           store swaps on the 'canary' profile instead",
+        "                           of a replay",
         "  disparity [scale]        cross-ecosystem root-store disparity report",
         "  disparity --from A --to B",
         "                           longitudinal drift between two materialised",
         "                           snapshots: per-profile anchor churn, Jaccard",
         "                           drift, exactly-k migration",
+        "  mitm    [scale] [--seed S]",
+        "                           adversarial interception scenarios: seeded",
+        "                           defective-client population vs a re-signing",
+        "                           proxy, per-strategy conservation ledger and",
+        "                           defect attribution, seed-reproducible",
         "  chaos   [--seed S] [--requests N] [--rate R] [--busy-rate B]",
         "          [--attempts N] [--core threads|event] [--out FILE]",
         "                           deterministic wire-fault chaos run against an",
@@ -262,6 +280,7 @@ fn main() -> ExitCode {
         Some("disparity") => no_extra(&args, 2, "disparity [scale]")
             .and_then(|()| parse_scale(args.get(1)))
             .and_then(cmd_disparity),
+        Some("mitm") => cmd_mitm(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("stats") => no_extra(&args, 2, "stats [scale]")
             .and_then(|()| parse_scale(args.get(1)))
@@ -805,6 +824,7 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     let mut chaos_rate = 0.0f64;
     let mut chaos_seed = 7u64;
     let mut swaps: Option<usize> = None;
+    let mut mitm = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let value = |v: Option<&String>| {
@@ -829,13 +849,14 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
             }
             "--op" => {
                 let v = value(it.next())?;
-                op = match v.as_str() {
-                    "mixed" => ReplayOp::Mixed,
-                    "compare" => ReplayOp::Compare,
-                    "batch" => ReplayOp::Batch,
+                match v.as_str() {
+                    "mixed" => op = ReplayOp::Mixed,
+                    "compare" => op = ReplayOp::Compare,
+                    "batch" => op = ReplayOp::Batch,
+                    "mitm" => mitm = true,
                     other => {
                         return Err(CliError::Usage(format!(
-                            "invalid --op '{other}': want mixed|compare|batch"
+                            "invalid --op '{other}': want mixed|compare|batch|mitm"
                         )))
                     }
                 };
@@ -885,6 +906,10 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
 
     if let Some(swaps) = swaps {
         return drive_swaps(&addr, swaps);
+    }
+
+    if mitm {
+        return loadgen_mitm(&addr, sessions, seed, pipeline, chaos_rate, chaos_seed);
     }
 
     let spec = ReplaySpec::new(seed, sessions).with_op(op);
@@ -1010,6 +1035,94 @@ fn cmd_loadgen(addr: Option<&String>, rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `loadgen --op mitm`: replay the interception scenario plan through
+/// the served `probe_session` op and cross-check the offline report.
+fn loadgen_mitm(
+    addr: &str,
+    sessions: usize,
+    seed: u64,
+    pipeline: usize,
+    chaos_rate: f64,
+    chaos_seed: u64,
+) -> Result<(), CliError> {
+    let spec = scenario::ScenarioSpec::for_sessions(sessions, seed);
+    eprintln!(
+        "computing offline scenario report for seed {seed}: {} clients x {} strategies \
+         ({} sessions)…",
+        spec.clients,
+        spec.strategies.len(),
+        spec.sessions()
+    );
+    let expected =
+        scenario::compute(&spec).map_err(|e| CliError::Failure(format!("scenario: {e}")))?;
+
+    let outcome = if chaos_rate > 0.0 {
+        if pipeline > 1 {
+            return Err(CliError::Usage(
+                "--pipeline applies to the clean replay path; the chaos path \
+                 retries one request at a time"
+                    .into(),
+            ));
+        }
+        eprintln!(
+            "replaying {} probe_session requests against {addr} under wire chaos \
+             (rate {chaos_rate}, seed {chaos_seed})…",
+            spec.sessions()
+        );
+        scenario::replay_mitm_chaos(addr, &spec, chaos_seed, chaos_rate)
+    } else {
+        eprintln!(
+            "replaying {} probe_session requests against {addr} (pipeline depth {pipeline})…",
+            spec.sessions()
+        );
+        scenario::replay_mitm(addr, &spec, pipeline)
+    }
+    .map_err(CliError::Failure)?;
+
+    let throughput = outcome.requests as f64 / outcome.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {} requests in {:.3}s ({throughput:.0} req/s)",
+        outcome.requests,
+        outcome.elapsed.as_secs_f64()
+    );
+    println!(
+        "loadgen: {} connection(s) for {} requests (keep-alive)",
+        outcome.connects, outcome.requests
+    );
+    if outcome.faults > 0 {
+        println!("loadgen: chaos: {} fault(s) injected", outcome.faults);
+    }
+    println!("loadgen: protocol errors: {}", outcome.wire_errors);
+    if outcome.wire_errors > 0 {
+        return Err(format!("{} protocol errors", outcome.wire_errors).into());
+    }
+
+    let report = &outcome.report;
+    let (total, blocked, intercepted, whitelisted) = report.totals();
+    let status = if report.conserved() { "ok" } else { "VIOLATED" };
+    println!(
+        "loadgen: conservation: {status} (sessions {total} = blocked {blocked} + \
+         intercepted {intercepted} + whitelisted {whitelisted})"
+    );
+    if !report.conserved() {
+        return Err("served scenario ledger violated conservation".into());
+    }
+    if report.fingerprint != expected.fingerprint {
+        return Err(format!(
+            "served scenario diverges from the offline report \
+             (served {:016x}, offline {:016x})",
+            report.fingerprint, expected.fingerprint
+        )
+        .into());
+    }
+    println!("loadgen: probe_session replies match the offline scenario exactly");
+    println!(
+        "loadgen: verdict-vector fingerprint: {:016x}",
+        report.fingerprint
+    );
+    Ok(())
+}
+
 /// `loadgen --swaps N`: drive N swap requests against a fresh `canary`
 /// profile, rotating its single anchor so every swap changes the store.
 /// Touching only a profile of our own keeps the standard profiles —
@@ -1051,6 +1164,48 @@ fn cmd_disparity(scale: f64) -> Result<(), CliError> {
     eprintln!("computing disparity report at scale {scale} ({threads} threads)…");
     let report = tangled_mass::disparity::compute(scale);
     print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_mitm(rest: &[String]) -> Result<(), CliError> {
+    let mut seed = 2014u64;
+    let mut scale_arg: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                seed = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --seed '{v}': want an unsigned integer"))
+                })?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown mitm flag '{flag}'")));
+            }
+            _ => {
+                if scale_arg.replace(arg.clone()).is_some() {
+                    return Err(CliError::Usage("mitm [scale] [--seed S]".into()));
+                }
+            }
+        }
+    }
+    let scale = parse_scale(scale_arg.as_ref())?;
+    let spec = scenario::ScenarioSpec::for_scale(scale, seed);
+    eprintln!(
+        "running interception scenarios at scale {scale}: {} clients x {} strategies, \
+         seed {seed} ({} threads)…",
+        spec.clients,
+        spec.strategies.len(),
+        thread_count()
+    );
+    let report =
+        scenario::compute(&spec).map_err(|e| CliError::Failure(format!("scenario: {e}")))?;
+    print!("{}", report.render());
+    if !report.conserved() {
+        return Err("scenario ledger violated conservation".into());
+    }
     Ok(())
 }
 

@@ -24,6 +24,7 @@ pub use tangled_netalyzr as netalyzr;
 pub use tangled_obs as obs;
 pub use tangled_notary as notary;
 pub use tangled_pki as pki;
+pub use tangled_scenario as scenario;
 pub use tangled_snap as snap;
 pub use tangled_trustd as trustd;
 pub use tangled_x509 as x509;

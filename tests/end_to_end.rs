@@ -111,13 +111,14 @@ fn interception_detection_matrix() {
     let mut transparent = MitmProxy::new(
         tangled_mass::intercept::ProxyPolicy::transparent(),
         1,
-    );
-    let reports = probe_all(&mut transparent, &origin, &stock, &[]);
+    )
+    .unwrap();
+    let reports = probe_all(&mut transparent, &origin, &stock, &[]).unwrap();
     assert!(reports.iter().all(|r| r.verdict == Verdict::Clean));
 
     // Reality Mine proxy: exactly the 12 intercepted endpoints flagged.
-    let mut proxy = MitmProxy::reality_mine();
-    let reports = probe_all(&mut proxy, &origin, &stock, &[]);
+    let mut proxy = MitmProxy::reality_mine().unwrap();
+    let reports = probe_all(&mut proxy, &origin, &stock, &[]).unwrap();
     assert_eq!(
         reports.iter().filter(|r| r.verdict.is_interception()).count(),
         12
@@ -126,8 +127,8 @@ fn interception_detection_matrix() {
     // Proxy root installed: naive check goes quiet, anchors disagree.
     let mut rooted = stock.cloned_as("rooted");
     rooted.add_cert(Arc::clone(proxy.root_cert()), AnchorSource::RootApp);
-    let mut proxy2 = MitmProxy::reality_mine();
-    let reports = probe_all(&mut proxy2, &origin, &rooted, &[]);
+    let mut proxy2 = MitmProxy::reality_mine().unwrap();
+    let reports = probe_all(&mut proxy2, &origin, &rooted, &[]).unwrap();
     assert_eq!(
         reports
             .iter()
@@ -151,12 +152,12 @@ fn interception_detection_matrix() {
 #[test]
 fn platform_blacklist_beats_installed_proxy_root() {
     let origin = OriginServers::for_table6();
-    let mut proxy = MitmProxy::reality_mine();
+    let mut proxy = MitmProxy::reality_mine().unwrap();
     let mut rooted = ReferenceStore::Aosp44.cached().cloned_as("rooted");
     rooted.add_cert(Arc::clone(proxy.root_cert()), AnchorSource::RootApp);
 
     let target = Target::parse("gmail.com:443").unwrap();
-    let chain = proxy.serve(&target, &origin);
+    let chain = proxy.serve(&target, &origin).unwrap();
     let opts = ChainOptions::at(tangled_mass::intercept::study_time());
 
     // Without the blacklist, the tampered store anchors the forged chain.
